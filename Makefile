@@ -1,0 +1,29 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: test bench experiments examples fuzz race lint
+
+test:
+	go build ./... && go vet ./... && go test ./...
+
+race:
+	go test -race ./internal/...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+experiments:
+	go run ./cmd/rpaibench -exp all
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/vwap
+	go run ./examples/tpch_q17
+	go run ./examples/orderbook
+	go run ./examples/queryengine
+	go run ./examples/minmax
+	go run ./examples/checkpoint
+
+fuzz:
+	go test -fuzz FuzzTreeOps -fuzztime 30s ./internal/rpai/
+	go test -fuzz FuzzBTreeVsBinary -fuzztime 30s ./internal/rpaibtree/
+	go test -fuzz FuzzParse -fuzztime 30s ./internal/sqlparse/

@@ -1,0 +1,98 @@
+// Command datagen emits the synthetic workloads as CSV, so traces can be
+// inspected, archived, or replayed by external tools.
+//
+// Usage:
+//
+//	datagen -workload orderbook|rab|tpch [flags] > trace.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"rpai/internal/stream"
+	"rpai/internal/tpch"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "orderbook", "orderbook, rab, or tpch")
+		events   = flag.Int("events", 10000, "number of events")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		del      = flag.Float64("delete-ratio", 0.05, "fraction of deletion events")
+		both     = flag.Bool("both-sides", false, "orderbook: emit asks as well as bids")
+		sf       = flag.Float64("sf", 0.1, "tpch: scale factor")
+		skewed   = flag.Bool("skewed", false, "tpch: Zipf-skewed partkeys")
+	)
+	flag.Parse()
+
+	w := csv.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	switch *workload {
+	case "orderbook":
+		cfg := stream.DefaultOrderBook(*events)
+		cfg.Seed = *seed
+		cfg.DeleteRatio = *del
+		cfg.BothSides = *both
+		must(w.Write([]string{"op", "side", "time", "id", "broker_id", "volume", "price"}))
+		for _, e := range stream.GenerateOrderBook(cfg) {
+			side := "bids"
+			if e.Side == stream.Asks {
+				side = "asks"
+			}
+			must(w.Write([]string{
+				op(int(e.Op)), side,
+				strconv.FormatInt(e.Rec.Time, 10),
+				strconv.FormatInt(e.Rec.ID, 10),
+				strconv.Itoa(int(e.Rec.BrokerID)),
+				fmtF(e.Rec.Volume), fmtF(e.Rec.Price),
+			}))
+		}
+	case "rab":
+		cfg := stream.DefaultRAB(*events)
+		cfg.Seed = *seed
+		cfg.DeleteRatio = *del
+		must(w.Write([]string{"op", "a", "b"}))
+		for _, e := range stream.GenerateRAB(cfg) {
+			must(w.Write([]string{op(int(e.Op)), fmtF(e.Rec.A), fmtF(e.Rec.B)}))
+		}
+	case "tpch":
+		cfg := tpch.DefaultConfig(*sf, *skewed)
+		cfg.Seed = *seed
+		cfg.DeleteRatio = *del
+		d := tpch.Generate(cfg)
+		must(w.Write([]string{"op", "orderkey", "partkey", "quantity", "extendedprice"}))
+		for _, e := range d.Events {
+			must(w.Write([]string{
+				op(int(e.Op)),
+				strconv.Itoa(int(e.Rec.OrderKey)),
+				strconv.Itoa(int(e.Rec.PartKey)),
+				fmtF(e.Rec.Quantity), fmtF(e.Rec.ExtendedPrice),
+			}))
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "datagen: unknown workload %q\n", *workload)
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func op(x int) string {
+	if x > 0 {
+		return "insert"
+	}
+	return "delete"
+}
+
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func must(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}

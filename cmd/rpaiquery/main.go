@@ -1,0 +1,159 @@
+// Command rpaiquery incrementally evaluates a nested-aggregate SQL query
+// over a CSV update stream, using the engine's planner: the aggregate-index
+// strategy (PAI/RPAI) where the section 4.3 pattern applies, the general
+// algorithm otherwise.
+//
+// The trace is CSV with a header row; an optional "op" column marks each row
+// insert or delete (default insert), every other column is numeric. This is
+// the format cmd/datagen emits.
+//
+// Usage:
+//
+//	datagen -workload orderbook -events 10000 > trace.csv
+//	rpaiquery -trace trace.csv -every 1000 \
+//	  -query "SELECT Sum(b.price * b.volume) FROM bids b WHERE 0.75 * (SELECT Sum(b1.volume) FROM bids b1) < (SELECT Sum(b2.volume) FROM bids b2 WHERE b2.price <= b.price)"
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"rpai/internal/engine"
+	"rpai/internal/query"
+	"rpai/internal/sqlparse"
+)
+
+func main() {
+	var (
+		queryText = flag.String("query", "", "SQL query in the supported fragment")
+		queryFile = flag.String("query-file", "", "read the query from a file instead")
+		traceFile = flag.String("trace", "-", "CSV trace file ('-' for stdin)")
+		every     = flag.Int("every", 0, "print the result every N events (0: only at the end)")
+		verify    = flag.Bool("verify", false, "cross-check every printed result against naive re-evaluation (slow)")
+		side      = flag.String("side", "", "if the trace has a 'side' column, keep only this side (e.g. bids)")
+	)
+	flag.Parse()
+
+	sql := *queryText
+	if *queryFile != "" {
+		data, err := os.ReadFile(*queryFile)
+		if err != nil {
+			fatal(err)
+		}
+		sql = string(data)
+	}
+	if strings.TrimSpace(sql) == "" {
+		fmt.Fprintln(os.Stderr, "rpaiquery: no query given (use -query or -query-file)")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		fatal(err)
+	}
+	ex, err := engine.New(q)
+	if err != nil {
+		fatal(err)
+	}
+	var oracle *engine.NaiveExec
+	if *verify {
+		oracle = engine.NewNaive(q)
+	}
+	fmt.Printf("query:    %s\nstrategy: %s\n\n", q, ex.Strategy())
+
+	var in io.Reader = os.Stdin
+	if *traceFile != "-" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	r := csv.NewReader(in)
+	header, err := r.Read()
+	if err != nil {
+		fatal(fmt.Errorf("reading CSV header: %w", err))
+	}
+	opCol, sideCol := -1, -1
+	for i, h := range header {
+		switch strings.ToLower(h) {
+		case "op":
+			opCol = i
+		case "side":
+			sideCol = i
+		}
+	}
+
+	n := 0
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fatal(err)
+		}
+		if sideCol >= 0 && *side != "" && rec[sideCol] != *side {
+			continue
+		}
+		x := 1.0
+		tu := query.Tuple{}
+		for i, field := range rec {
+			switch i {
+			case opCol:
+				if strings.EqualFold(field, "delete") {
+					x = -1
+				}
+			case sideCol:
+				// consumed above
+			default:
+				v, err := strconv.ParseFloat(field, 64)
+				if err != nil {
+					fatal(fmt.Errorf("row %d, column %s: %w", n+1, header[i], err))
+				}
+				tu[header[i]] = v
+			}
+		}
+		ev := engine.Event{X: x, Tuple: tu}
+		ex.Apply(ev)
+		if oracle != nil {
+			oracle.Apply(ev)
+		}
+		n++
+		if *every > 0 && n%*every == 0 {
+			fmt.Printf("after %8d events: %g\n", n, ex.Result())
+			if oracle != nil {
+				if got, want := ex.Result(), oracle.Result(); got != want {
+					fatal(fmt.Errorf("verification failed after %d events: incremental %g vs naive %g", n, got, want))
+				}
+			}
+		}
+	}
+	if ge, ok := ex.(engine.GroupedExecutor); ok && len(q.GroupBy) > 0 {
+		fmt.Printf("final (%d events), %d groups:\n", n, len(ge.ResultGrouped()))
+		for _, g := range ge.ResultGrouped() {
+			fmt.Printf("  %v -> %g\n", g.Key, g.Value)
+		}
+		return
+	}
+	fmt.Printf("final (%d events): %g\n", n, ex.Result())
+	if oracle != nil {
+		if got, want := ex.Result(), oracle.Result(); got != want {
+			fatal(fmt.Errorf("verification failed at the end: incremental %g vs naive %g", got, want))
+		}
+		fmt.Println("verified against naive re-evaluation")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rpaiquery:", err)
+	os.Exit(1)
+}

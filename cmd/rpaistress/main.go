@@ -1,0 +1,100 @@
+// Command rpaistress runs a time-budgeted randomized differential soak: for
+// every finance query it replays freshly seeded delete-heavy traces through
+// the RPAI and DBToaster-style executors (plus naive on small traces) and
+// stops at the first divergence. Intended for long unattended runs (CI
+// nightlies) beyond what the unit-test soak covers.
+//
+// Usage:
+//
+//	rpaistress -duration 5m [-events 2000] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"rpai/internal/queries"
+	"rpai/internal/stream"
+)
+
+func main() {
+	var (
+		duration  = flag.Duration("duration", time.Minute, "total time budget")
+		events    = flag.Int("events", 2000, "events per trace (naive runs at events/10)")
+		seed      = flag.Int64("seed", 1, "starting seed; each round increments it")
+		withNaive = flag.Bool("naive", true, "also check against naive re-evaluation on short traces")
+	)
+	flag.Parse()
+
+	deadline := time.Now().Add(*duration)
+	round := 0
+	for time.Now().Before(deadline) {
+		round++
+		s := *seed + int64(round)
+		for _, q := range queries.FinanceQueries() {
+			cfg := stream.DefaultOrderBook(*events)
+			cfg.Seed = s
+			cfg.DeleteRatio = 0.3
+			cfg.PriceLevels = 32 + int(s%64)
+			cfg.MaxVolume = 10 + int(s%50)
+			cfg.BothSides = q.BothSides
+			if err := checkPair(q.Name, cfg); err != nil {
+				fail(round, err)
+			}
+			if *withNaive {
+				small := cfg
+				small.Events = *events / 10
+				if err := checkNaive(q.Name, small); err != nil {
+					fail(round, err)
+				}
+			}
+		}
+		fmt.Printf("round %d ok (seed %d)\n", round, s)
+	}
+	fmt.Printf("stress passed: %d rounds within %s\n", round, *duration)
+}
+
+// checkPair replays cfg through the RPAI and Toaster strategies.
+func checkPair(query string, cfg stream.OrderBookConfig) error {
+	rp := queries.NewBids(query, queries.RPAI)
+	to := queries.NewBids(query, queries.Toaster)
+	for i, e := range stream.GenerateOrderBook(cfg) {
+		rp.Apply(e)
+		to.Apply(e)
+		if !close(rp.Result(), to.Result()) {
+			return fmt.Errorf("%s seed %d event %d: rpai %v vs toaster %v",
+				query, cfg.Seed, i, rp.Result(), to.Result())
+		}
+	}
+	return nil
+}
+
+// checkNaive replays a short trace with the naive oracle included.
+func checkNaive(query string, cfg stream.OrderBookConfig) error {
+	rp := queries.NewBids(query, queries.RPAI)
+	na := queries.NewBids(query, queries.Naive)
+	for i, e := range stream.GenerateOrderBook(cfg) {
+		rp.Apply(e)
+		na.Apply(e)
+		if !close(rp.Result(), na.Result()) {
+			return fmt.Errorf("%s seed %d event %d: rpai %v vs naive %v",
+				query, cfg.Seed, i, rp.Result(), na.Result())
+		}
+	}
+	return nil
+}
+
+func close(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func fail(round int, err error) {
+	fmt.Fprintf(os.Stderr, "rpaistress: DIVERGENCE in round %d: %v\n", round, err)
+	os.Exit(1)
+}

@@ -1,0 +1,52 @@
+// Minmax: non-streamable aggregates under retractions (paper section 4.2.5).
+//
+// SUM and COUNT can be maintained from their current value alone, but after
+// deleting the current maximum there is no way to recover the next one from
+// the scalar — the paper's remedy is to keep the values in a balanced search
+// tree. This example maintains the best bid / best ask (MAX and MIN of an
+// order book's price levels) through a stream with heavy retractions and
+// prints the evolving spread.
+//
+// Run with: go run ./examples/minmax
+package main
+
+import (
+	"fmt"
+
+	"rpai/internal/minmax"
+	"rpai/internal/stream"
+)
+
+func main() {
+	cfg := stream.DefaultOrderBook(30000)
+	cfg.BothSides = true
+	cfg.DeleteRatio = 0.35 // heavy retractions: the extrema change constantly
+	cfg.PriceLevels = 120
+	events := stream.GenerateOrderBook(cfg)
+
+	bestBid := minmax.NewAggregate(minmax.Max) // highest bid price
+	bestAsk := minmax.NewAggregate(minmax.Min) // lowest ask price
+
+	fmt.Printf("replaying %d events (%.0f%% retractions)\n\n", len(events), cfg.DeleteRatio*100)
+	fmt.Printf("%-10s %10s %10s %10s %8s %8s\n", "events", "best bid", "best ask", "spread", "bids", "asks")
+
+	checkpoint := len(events) / 10
+	for i, e := range events {
+		agg := bestBid
+		if e.Side == stream.Asks {
+			agg = bestAsk
+		}
+		agg.Apply(e.Rec.Price, e.X())
+		if (i+1)%checkpoint == 0 {
+			bid, bidOK := bestBid.Value()
+			ask, askOK := bestAsk.Value()
+			spread := "-"
+			if bidOK && askOK {
+				spread = fmt.Sprintf("%.0f", ask-bid)
+			}
+			fmt.Printf("%-10d %10.0f %10.0f %10s %8d %8d\n",
+				i+1, bid, ask, spread, bestBid.Len(), bestAsk.Len())
+		}
+	}
+	fmt.Println("\nevery retraction of the current extremum recovered the next one in O(log n)")
+}

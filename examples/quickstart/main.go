@@ -1,0 +1,55 @@
+// Quickstart: the RPAI tree as a standalone index.
+//
+// It demonstrates the two operations that set RPAI apart from ordinary
+// ordered maps — GetSum (prefix aggregation over keys) and ShiftKeys
+// (relocating a whole key range in logarithmic time) — on a tiny running
+// example, including the deletion case that merges two aggregate keys.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"rpai/internal/rpai"
+)
+
+func main() {
+	t := rpai.New()
+
+	// Index aggregate values: key = a running sum, value = the aggregate the
+	// query reports (here arbitrary amounts).
+	fmt.Println("== build ==")
+	for _, kv := range [][2]float64{{10, 3}, {20, 3}, {30, 6}, {40, 2}, {50, 2}, {60, 8}, {70, 7}} {
+		t.Put(kv[0], kv[1])
+		fmt.Printf("put key=%v value=%v\n", kv[0], kv[1])
+	}
+
+	// GetSum(k): total of all values with key <= k, in O(log n). This is the
+	// paper's Figure 3 example: getSum(50) = 3+3+6+2+2 = 16.
+	fmt.Println("\n== getSum ==")
+	fmt.Printf("GetSum(50)  = %v\n", t.GetSum(50))
+	fmt.Printf("GetSum(5)   = %v\n", t.GetSum(5))
+	fmt.Printf("Total()     = %v\n", t.Total())
+
+	// ShiftKeys(k, d): move every key > k by d without touching the nodes
+	// individually — the parent-relative representation makes this O(log n).
+	fmt.Println("\n== shiftKeys(+) ==")
+	t.ShiftKeys(30, 100) // keys 40,50,60,70 become 140,150,160,170
+	fmt.Printf("keys after ShiftKeys(30, +100): %v\n", t.Keys())
+
+	// Negative shifts may make two aggregate keys collide; their values are
+	// merged, exactly what aggregate maintenance needs on a deletion.
+	fmt.Println("\n== shiftKeys(-) with merge ==")
+	t.ShiftKeys(100, -120) // 140..170 -> 20..50; 20 merges into the old 20
+	fmt.Printf("keys after ShiftKeys(100, -120): %v\n", t.Keys())
+	v, _ := t.Get(20)
+	fmt.Printf("merged value at key 20: %v (3 + 2)\n", v)
+
+	// Regular map operations are there too.
+	fmt.Println("\n== point ops ==")
+	t.Add(20, 5)
+	t.Delete(30)
+	v, ok := t.Get(20)
+	fmt.Printf("Get(20) = %v,%v after Add; Len = %d after Delete(30)\n", v, ok, t.Len())
+}

@@ -1,0 +1,3 @@
+module rpai
+
+go 1.22

@@ -1,0 +1,92 @@
+package aggindex
+
+import "sync"
+
+// Synchronized wraps an Index with a mutex, making it safe for concurrent
+// use. The executors themselves are single-threaded (as in the paper's
+// evaluation); this wrapper serves deployments where one goroutine maintains
+// an index while others read aggregates from it.
+func Synchronized(idx Index) Index { return &synchronized{idx: idx} }
+
+type synchronized struct {
+	mu  sync.RWMutex
+	idx Index
+}
+
+func (s *synchronized) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.idx.Len()
+}
+
+func (s *synchronized) Total() float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.idx.Total()
+}
+
+func (s *synchronized) Get(k float64) (float64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.idx.Get(k)
+}
+
+func (s *synchronized) Put(k, v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.idx.Put(k, v)
+}
+
+func (s *synchronized) Add(k, dv float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.idx.Add(k, dv)
+}
+
+func (s *synchronized) Delete(k float64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.idx.Delete(k)
+}
+
+func (s *synchronized) GetSum(k float64) float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.idx.GetSum(k)
+}
+
+func (s *synchronized) GetSumLess(k float64) float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.idx.GetSumLess(k)
+}
+
+func (s *synchronized) SuffixSum(k float64) float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.idx.SuffixSum(k)
+}
+
+func (s *synchronized) SuffixSumGreater(k float64) float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.idx.SuffixSumGreater(k)
+}
+
+func (s *synchronized) ShiftKeys(k, d float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.idx.ShiftKeys(k, d)
+}
+
+func (s *synchronized) ShiftKeysInclusive(k, d float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.idx.ShiftKeysInclusive(k, d)
+}
+
+func (s *synchronized) Ascend(fn func(k, v float64) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.idx.Ascend(fn)
+}

@@ -1,0 +1,75 @@
+package aggindex
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSynchronizedBehavesLikeUnderlying(t *testing.T) {
+	idx := Synchronized(New(KindRPAI))
+	idx.Put(10, 1)
+	idx.Add(20, 2)
+	idx.ShiftKeys(15, 5)
+	if got := idx.GetSum(25); got != 3 {
+		t.Fatalf("GetSum = %v", got)
+	}
+	if !idx.Delete(10) || idx.Len() != 1 {
+		t.Fatal("Delete/Len broken")
+	}
+	var visited int
+	idx.Ascend(func(_, _ float64) bool {
+		visited++
+		return true
+	})
+	if visited != 1 {
+		t.Fatalf("Ascend visited %d", visited)
+	}
+	if idx.GetSumLess(25) != 0 || idx.SuffixSum(25) != 2 || idx.SuffixSumGreater(25) != 0 || idx.Total() != 2 {
+		t.Fatal("range sums broken")
+	}
+	if _, ok := idx.Get(25); !ok {
+		t.Fatal("Get broken")
+	}
+	idx.ShiftKeysInclusive(25, -5)
+	if got := idx.GetSum(20); got != 2 {
+		t.Fatalf("after inclusive shift: %v", got)
+	}
+}
+
+// TestSynchronizedConcurrent hammers one writer and several readers; run
+// with -race to check the locking (the suite runs under -race in CI-style
+// full runs, and the test is also meaningful without it: totals must remain
+// consistent).
+func TestSynchronizedConcurrent(t *testing.T) {
+	idx := Synchronized(New(KindRPAI))
+	const writes = 5000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < writes; i++ {
+			idx.Add(float64(i%97), 1)
+			if i%7 == 0 {
+				idx.ShiftKeys(float64(i%97), 1)
+			}
+			if i%11 == 0 {
+				idx.ShiftKeys(float64(i%97), -1)
+			}
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				_ = idx.GetSum(float64((i * seed) % 200))
+				_ = idx.Total()
+				idx.Ascend(func(_, _ float64) bool { return false })
+			}
+		}(r + 2)
+	}
+	wg.Wait()
+	if got := idx.Total(); got != writes {
+		t.Fatalf("Total = %v, want %d", got, writes)
+	}
+}

@@ -1,0 +1,155 @@
+// Package bench is the experiment harness that regenerates the paper's
+// evaluation (section 5): Figure 7 (relative execution time per query),
+// Figures 8a-8d (scalability sweeps), Figure 9 (memory / rate / time
+// curves), and Table 1 (complexity classes, validated by measured growth
+// factors). The rpaibench command prints the paper-style rows; bench_test.go
+// exposes each experiment as a testing.B benchmark.
+//
+// Absolute numbers are not expected to match the paper (different machine,
+// language, and synthetic rather than proprietary traces — see DESIGN.md);
+// the shapes are: who wins, by roughly what factor, and where crossovers
+// fall.
+package bench
+
+import (
+	"time"
+
+	"rpai/internal/queries"
+	"rpai/internal/stream"
+	"rpai/internal/tpch"
+)
+
+// System names an execution strategy in benchmark output.
+type System string
+
+// The three systems under comparison.
+const (
+	SysNaive   System = "naive"
+	SysToaster System = "toaster"
+	SysRPAI    System = "rpai"
+)
+
+func (s System) strategy() queries.Strategy {
+	switch s {
+	case SysNaive:
+		return queries.Naive
+	case SysToaster:
+		return queries.Toaster
+	case SysRPAI:
+		return queries.RPAI
+	}
+	panic("bench: unknown system " + string(s))
+}
+
+// Runner is a prepared workload: an executor bound to a trace.
+type Runner struct {
+	Query  string
+	System System
+	N      int
+	// Apply processes event i; Result reads the maintained output.
+	Apply  func(i int)
+	Result func() float64
+}
+
+// Run replays the whole trace and reports the elapsed wall-clock time and
+// the final result (the result is returned so the caller can cross-check
+// systems against each other).
+func (r *Runner) Run() (time.Duration, float64) {
+	start := time.Now()
+	for i := 0; i < r.N; i++ {
+		r.Apply(i)
+	}
+	// The incremental contract is "result available after every event"; all
+	// executors maintain it eagerly or expose it as a cheap scan, and we
+	// include one final read in the timing.
+	res := r.Result()
+	return time.Since(start), res
+}
+
+// NewFinanceRunner binds a finance query executor to an order-book trace.
+// Executors for these queries recompute Result on demand, so Apply includes
+// a Result read per event, matching the paper's "refresh the output on every
+// update" execution model.
+func NewFinanceRunner(query string, sys System, events []stream.Event) *Runner {
+	ex := queries.NewBids(query, sys.strategy())
+	return &Runner{
+		Query:  query,
+		System: sys,
+		N:      len(events),
+		Apply: func(i int) {
+			ex.Apply(events[i])
+			ex.Result()
+		},
+		Result: ex.Result,
+	}
+}
+
+// NewEQ1Runner binds an EQ1 executor to an R(A,B) trace.
+func NewEQ1Runner(sys System, events []stream.RABEvent) *Runner {
+	ex := queries.NewEQ1(sys.strategy())
+	return &Runner{
+		Query:  "eq1",
+		System: sys,
+		N:      len(events),
+		Apply: func(i int) {
+			ex.Apply(events[i])
+			ex.Result()
+		},
+		Result: ex.Result,
+	}
+}
+
+// NewQ17Runner binds a Q17 executor to a TPC-H dataset.
+func NewQ17Runner(sys System, d tpch.Dataset) *Runner {
+	ex := queries.NewQ17(sys.strategy(), d.Parts)
+	return &Runner{
+		Query:  "q17",
+		System: sys,
+		N:      len(d.Events),
+		Apply: func(i int) {
+			ex.Apply(d.Events[i])
+			ex.Result()
+		},
+		Result: ex.Result,
+	}
+}
+
+// NewQ18Runner binds a Q18 executor to a lineitem trace.
+func NewQ18Runner(sys System, events []tpch.Event) *Runner {
+	ex := queries.NewQ18(sys.strategy())
+	return &Runner{
+		Query:  "q18",
+		System: sys,
+		N:      len(events),
+		Apply: func(i int) {
+			ex.Apply(events[i])
+			ex.Result()
+		},
+		Result: ex.Result,
+	}
+}
+
+// FinanceTrace generates the order-book trace the benchmarks share. The
+// price grid (64 levels) and volume domain (1-50) are sized so that the
+// DBToaster-style strategies' distinct-value loops land in the same regime
+// as the paper's real traces (see DESIGN.md's substitution notes).
+func FinanceTrace(events int, bothSides bool, seed int64) []stream.Event {
+	cfg := stream.OrderBookConfig{
+		Seed:        seed,
+		Events:      events,
+		DeleteRatio: 0.05,
+		PriceLevels: 64,
+		BasePrice:   10000,
+		Tick:        1,
+		MaxVolume:   50,
+		BothSides:   bothSides,
+	}
+	return stream.GenerateOrderBook(cfg)
+}
+
+// EQ1Trace generates the R(A,B) trace for the EQ1 micro-benchmarks.
+func EQ1Trace(events int, seed int64) []stream.RABEvent {
+	cfg := stream.DefaultRAB(events)
+	cfg.Seed = seed
+	return stream.GenerateRAB(cfg)
+}

@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"time"
+
+	"rpai/internal/tpch"
+)
+
+// Fig7Config parameterizes the Figure 7 reproduction: relative execution
+// time of RPAI vs DBToaster on every benchmark query.
+type Fig7Config struct {
+	// FinanceEvents is the finance trace length (the paper uses 10k).
+	FinanceEvents int
+	// TPCHScale is the TPC-H scale factor (the paper uses SF 1).
+	TPCHScale float64
+	Seed      int64
+}
+
+// DefaultFig7 is the paper-scale configuration.
+func DefaultFig7() Fig7Config {
+	return Fig7Config{FinanceEvents: 10000, TPCHScale: 1, Seed: 1}
+}
+
+// Fig7Row is one bar of Figure 7 plus the table beneath it.
+type Fig7Row struct {
+	Query   string
+	Toaster time.Duration
+	RPAI    time.Duration
+	// Speedup is Toaster/RPAI, the figure's y-axis.
+	Speedup float64
+	// FinalResult is the (agreeing) query output, kept as a cross-check.
+	FinalResult float64
+	// ResultsAgree records that both systems produced the same output.
+	ResultsAgree bool
+}
+
+// Fig7 measures every query of the evaluation under the Toaster and RPAI
+// systems and returns rows in the paper's order: Q17, Q17* (skewed), Q18,
+// MST, PSP, VWAP, SQ1, SQ2, NQ1, NQ2.
+func Fig7(cfg Fig7Config) []Fig7Row {
+	rows := make([]Fig7Row, 0, 10)
+
+	tpchRow := func(name string, skewed bool, q18 bool) Fig7Row {
+		tcfg := tpch.DefaultConfig(cfg.TPCHScale, skewed)
+		tcfg.Seed = cfg.Seed
+		d := tpch.Generate(tcfg)
+		mk := func(sys System) *Runner {
+			if q18 {
+				return NewQ18Runner(sys, d.Events)
+			}
+			return NewQ17Runner(sys, d)
+		}
+		return measureRow(name, mk)
+	}
+	rows = append(rows,
+		tpchRow("q17", false, false),
+		tpchRow("q17*", true, false),
+		tpchRow("q18", false, true),
+	)
+
+	finance := map[bool][]string{true: {"mst", "psp"}, false: {"vwap", "sq1", "sq2", "nq1", "nq2"}}
+	for _, both := range []bool{true, false} {
+		events := FinanceTrace(cfg.FinanceEvents, both, cfg.Seed)
+		for _, q := range finance[both] {
+			q := q
+			rows = append(rows, measureRow(q, func(sys System) *Runner {
+				return NewFinanceRunner(q, sys, events)
+			}))
+		}
+	}
+	return rows
+}
+
+func measureRow(name string, mk func(System) *Runner) Fig7Row {
+	tTime, tRes := mk(SysToaster).Run()
+	rTime, rRes := mk(SysRPAI).Run()
+	row := Fig7Row{
+		Query:        name,
+		Toaster:      tTime,
+		RPAI:         rTime,
+		FinalResult:  rRes,
+		ResultsAgree: nearlyEqual(tRes, rRes),
+	}
+	if rTime > 0 {
+		row.Speedup = float64(tTime) / float64(rTime)
+	}
+	return row
+}
+
+func nearlyEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	m := a
+	if m < 0 {
+		m = -m
+	}
+	if b > m {
+		m = b
+	} else if -b > m {
+		m = -b
+	}
+	return d <= 1e-9*m
+}

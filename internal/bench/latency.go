@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"sort"
+	"time"
+
+	"rpai/internal/queries"
+)
+
+// LatencyConfig parameterizes the per-event latency experiment: algorithmic
+// trading (the paper's motivating domain) cares about refresh tail latency
+// at least as much as throughput, so this measures the distribution of
+// per-event maintenance times rather than the trace total.
+type LatencyConfig struct {
+	Query  string
+	Events int
+	Seed   int64
+	// WarmUp events are excluded from the distribution.
+	WarmUp int
+}
+
+// DefaultLatency measures VWAP over a 10k-event trace.
+func DefaultLatency() LatencyConfig {
+	return LatencyConfig{Query: "vwap", Events: 10000, Seed: 1, WarmUp: 500}
+}
+
+// LatencyRow is one system's per-event latency distribution.
+type LatencyRow struct {
+	System System
+	P50    time.Duration
+	P95    time.Duration
+	P99    time.Duration
+	Max    time.Duration
+}
+
+// Latency replays the query under Toaster and RPAI, timing every event
+// (apply + result refresh) individually.
+func Latency(cfg LatencyConfig) []LatencyRow {
+	bothSides := cfg.Query == "mst" || cfg.Query == "psp"
+	events := FinanceTrace(cfg.Events, bothSides, cfg.Seed)
+	var out []LatencyRow
+	for _, sys := range []System{SysToaster, SysRPAI} {
+		ex := queries.NewBids(cfg.Query, sys.strategy())
+		samples := make([]time.Duration, 0, len(events))
+		for i, e := range events {
+			start := time.Now()
+			ex.Apply(e)
+			ex.Result()
+			d := time.Since(start)
+			if i >= cfg.WarmUp {
+				samples = append(samples, d)
+			}
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		out = append(out, LatencyRow{
+			System: sys,
+			P50:    percentile(samples, 0.50),
+			P95:    percentile(samples, 0.95),
+			P99:    percentile(samples, 0.99),
+			Max:    samples[len(samples)-1],
+		})
+	}
+	return out
+}
+
+// percentile returns the p-quantile of sorted samples (nearest-rank).
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}

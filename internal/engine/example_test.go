@@ -1,0 +1,60 @@
+package engine_test
+
+import (
+	"fmt"
+
+	"rpai/internal/engine"
+	"rpai/internal/query"
+	"rpai/internal/sqlparse"
+)
+
+// Planning and executing the paper's VWAP query (Example 2.2) from SQL: the
+// planner recognizes the aggregate-index pattern and maintains the result in
+// O(log n) per event.
+func ExampleNew() {
+	q := sqlparse.MustParse(`
+		SELECT Sum(b.price * b.volume) FROM bids b
+		WHERE 0.75 * (SELECT Sum(b1.volume) FROM bids b1)
+		      < (SELECT Sum(b2.volume) FROM bids b2 WHERE b2.price <= b.price)`)
+	ex, err := engine.New(q)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(ex.Strategy())
+
+	ex.Apply(engine.Insert(query.Tuple{"price": 10, "volume": 1}))
+	ex.Apply(engine.Insert(query.Tuple{"price": 20, "volume": 1}))
+	ex.Apply(engine.Insert(query.Tuple{"price": 30, "volume": 2}))
+	fmt.Println(ex.Result())
+
+	ex.Apply(engine.Delete(query.Tuple{"price": 30, "volume": 2}))
+	fmt.Println(ex.Result())
+	// Output:
+	// aggindex
+	// 60
+	// 20
+}
+
+// Queries outside the aggregate-index pattern fall back to the general
+// algorithm of section 4.2, which also supports GROUP BY.
+func ExampleGroupedExecutor() {
+	q := sqlparse.MustParse(`
+		SELECT SUM(b.volume) FROM bids b
+		WHERE b.volume > 1 * (SELECT AVG(b1.volume) FROM bids b1)
+		GROUP BY b.broker`)
+	ex, err := engine.New(q)
+	if err != nil {
+		panic(err)
+	}
+	ge := ex.(engine.GroupedExecutor)
+	ge.Apply(engine.Insert(query.Tuple{"broker": 1, "volume": 10}))
+	ge.Apply(engine.Insert(query.Tuple{"broker": 2, "volume": 4}))
+	ge.Apply(engine.Insert(query.Tuple{"broker": 2, "volume": 13}))
+	// avg = 9: volumes 10 and 13 qualify.
+	for _, g := range ge.ResultGrouped() {
+		fmt.Println(g.Key, g.Value)
+	}
+	// Output:
+	// [1] 10
+	// [2] 13
+}

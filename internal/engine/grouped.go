@@ -1,0 +1,109 @@
+package engine
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"rpai/internal/query"
+)
+
+// GroupResult is one group of a grouped query's output: the group-by column
+// values (in Query.GroupBy order) and the group's aggregate.
+type GroupResult struct {
+	Key   []float64
+	Value float64
+}
+
+// GroupedExecutor is implemented by executors that can emit per-group
+// results for queries with GROUP BY columns (the grammar's Aggr[cols]).
+// Result() on such queries returns the sum over all groups.
+type GroupedExecutor interface {
+	Executor
+	// ResultGrouped returns the qualifying groups sorted by key.
+	ResultGrouped() []GroupResult
+}
+
+// ResultGrouped implements GroupedExecutor for the naive executor.
+func (n *NaiveExec) ResultGrouped() []GroupResult {
+	acc := map[string]*GroupResult{}
+	for _, t := range n.live {
+		ok := true
+		for _, p := range n.q.Preds {
+			if !p.Op.Compare(n.evalValue(p.Left, t), n.evalValue(p.Right, t)) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		key, vals := groupProjection(n.q.GroupBy, t)
+		g := acc[key]
+		if g == nil {
+			g = &GroupResult{Key: vals}
+			acc[key] = g
+		}
+		g.Value += n.q.Agg.Eval(t)
+	}
+	return sortedGroups(acc)
+}
+
+// ResultGrouped implements GroupedExecutor for the general algorithm. The
+// result maps are already keyed by the union of the predicate columns and
+// the group-by columns (see NewGeneral), so this only re-projects.
+func (g *GeneralExec) ResultGrouped() []GroupResult {
+	outer := make(query.Tuple, len(g.groupCols))
+	acc := map[string]*GroupResult{}
+	for _, gr := range g.groups {
+		for i, c := range g.groupCols {
+			outer[c] = gr.vals[i]
+		}
+		ok := true
+		for _, p := range g.q.Preds {
+			if !p.Op.Compare(g.evalValue(p.Left, outer), g.evalValue(p.Right, outer)) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		key, vals := groupProjection(g.q.GroupBy, outer)
+		out := acc[key]
+		if out == nil {
+			out = &GroupResult{Key: vals}
+			acc[key] = out
+		}
+		out.Value += gr.agg
+	}
+	return sortedGroups(acc)
+}
+
+func groupProjection(cols []string, t query.Tuple) (string, []float64) {
+	vals := make([]float64, len(cols))
+	var b strings.Builder
+	for i, c := range cols {
+		vals[i] = t[c]
+		b.WriteString(strconv.FormatFloat(vals[i], 'g', -1, 64))
+		b.WriteByte('|')
+	}
+	return b.String(), vals
+}
+
+func sortedGroups(acc map[string]*GroupResult) []GroupResult {
+	out := make([]GroupResult, 0, len(acc))
+	for _, g := range acc {
+		out = append(out, *g)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Key, out[j].Key
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return out
+}

@@ -1,0 +1,191 @@
+// Package fenwick implements an aggregate index backed by a Binary Indexed
+// Tree (Fenwick 1994) — one of the two classical structures the paper's
+// related-work section names for logarithmic prefix sums ("Fenwick Trees and
+// Segment Trees ... support operations similar to getSum in logarithmic
+// time. However, none of them have support for efficiently shifting key
+// ranges", section 6).
+//
+// A Fenwick tree needs a dense, fixed position space, so this index keeps a
+// sorted key slice alongside the tree: point updates on existing keys and
+// prefix-sum queries cost O(log n), but inserting a new key or shifting a
+// key range forces an O(n) rebuild — exactly the limitation that motivates
+// the RPAI tree. It participates in the aggindex conformance tests and
+// ablation benchmarks as the related-work baseline.
+package fenwick
+
+import "sort"
+
+// Index is a Fenwick-backed aggregate index. The zero value is not usable;
+// call New.
+type Index struct {
+	keys []float64 // sorted distinct keys
+	vals []float64 // current value per key (authoritative)
+	bit  []float64 // Fenwick array over vals, 1-based
+}
+
+// New returns an empty index.
+func New() *Index { return &Index{} }
+
+// Len reports the number of distinct keys.
+func (f *Index) Len() int { return len(f.keys) }
+
+// Total returns the sum of all values.
+func (f *Index) Total() float64 { return f.prefix(len(f.keys)) }
+
+func (f *Index) search(k float64) (int, bool) {
+	i := sort.SearchFloat64s(f.keys, k)
+	return i, i < len(f.keys) && f.keys[i] == k
+}
+
+// prefix returns the sum of the first n values via the Fenwick array.
+func (f *Index) prefix(n int) float64 {
+	var s float64
+	for ; n > 0; n -= n & (-n) {
+		s += f.bit[n-1+1-1] // 1-based arithmetic on a 0-based slice
+	}
+	return s
+}
+
+// pointAdd adds dv at position i (0-based).
+func (f *Index) pointAdd(i int, dv float64) {
+	for n := i + 1; n <= len(f.bit); n += n & (-n) {
+		f.bit[n-1] += dv
+	}
+}
+
+// rebuild reconstructs the Fenwick array from vals: O(n).
+func (f *Index) rebuild() {
+	f.bit = make([]float64, len(f.vals))
+	for i, v := range f.vals {
+		f.pointAdd(i, v)
+	}
+}
+
+// Get returns the value stored under k and whether k is present.
+func (f *Index) Get(k float64) (float64, bool) {
+	if i, ok := f.search(k); ok {
+		return f.vals[i], true
+	}
+	return 0, false
+}
+
+// Put stores v under k. Existing keys update in O(log n); new keys rebuild.
+func (f *Index) Put(k, v float64) {
+	if i, ok := f.search(k); ok {
+		f.pointAdd(i, v-f.vals[i])
+		f.vals[i] = v
+		return
+	}
+	f.insert(k, v)
+}
+
+// Add adds dv to the value under k, inserting if absent.
+func (f *Index) Add(k, dv float64) {
+	if i, ok := f.search(k); ok {
+		f.pointAdd(i, dv)
+		f.vals[i] += dv
+		return
+	}
+	f.insert(k, dv)
+}
+
+func (f *Index) insert(k, v float64) {
+	i, _ := f.search(k)
+	f.keys = append(f.keys, 0)
+	f.vals = append(f.vals, 0)
+	copy(f.keys[i+1:], f.keys[i:])
+	copy(f.vals[i+1:], f.vals[i:])
+	f.keys[i], f.vals[i] = k, v
+	f.rebuild()
+}
+
+// Delete removes k, reporting whether it was present. O(n) rebuild.
+func (f *Index) Delete(k float64) bool {
+	i, ok := f.search(k)
+	if !ok {
+		return false
+	}
+	f.keys = append(f.keys[:i], f.keys[i+1:]...)
+	f.vals = append(f.vals[:i], f.vals[i+1:]...)
+	f.rebuild()
+	return true
+}
+
+// GetSum returns the sum of values over entries with key <= k: O(log n),
+// the operation Fenwick trees are built for.
+func (f *Index) GetSum(k float64) float64 {
+	i := sort.Search(len(f.keys), func(i int) bool { return f.keys[i] > k })
+	return f.prefix(i)
+}
+
+// GetSumLess returns the sum of values over entries with key < k.
+func (f *Index) GetSumLess(k float64) float64 {
+	i := sort.SearchFloat64s(f.keys, k)
+	return f.prefix(i)
+}
+
+// SuffixSum returns the sum of values over entries with key >= k.
+func (f *Index) SuffixSum(k float64) float64 { return f.Total() - f.GetSumLess(k) }
+
+// SuffixSumGreater returns the sum of values over entries with key > k.
+func (f *Index) SuffixSumGreater(k float64) float64 { return f.Total() - f.GetSum(k) }
+
+// ShiftKeys shifts every key strictly greater than k by d — the operation
+// Fenwick trees cannot support efficiently: O(n) key rewrite and rebuild.
+func (f *Index) ShiftKeys(k, d float64) { f.shift(k, d, false) }
+
+// ShiftKeysInclusive shifts every key greater than or equal to k by d.
+func (f *Index) ShiftKeysInclusive(k, d float64) { f.shift(k, d, true) }
+
+func (f *Index) shift(k, d float64, inclusive bool) {
+	if d == 0 || len(f.keys) == 0 {
+		return
+	}
+	var i int
+	if inclusive {
+		i = sort.SearchFloat64s(f.keys, k)
+	} else {
+		i = sort.Search(len(f.keys), func(i int) bool { return f.keys[i] > k })
+	}
+	if i == len(f.keys) {
+		return
+	}
+	for j := i; j < len(f.keys); j++ {
+		f.keys[j] += d
+	}
+	if d < 0 && i > 0 {
+		// The shifted block may overlap the prefix: merge the two sorted
+		// runs, summing values on collisions.
+		mk := make([]float64, 0, len(f.keys))
+		mv := make([]float64, 0, len(f.vals))
+		a, b := 0, i
+		for a < i || b < len(f.keys) {
+			switch {
+			case b >= len(f.keys) || (a < i && f.keys[a] < f.keys[b]):
+				mk = append(mk, f.keys[a])
+				mv = append(mv, f.vals[a])
+				a++
+			case a >= i || f.keys[b] < f.keys[a]:
+				mk = append(mk, f.keys[b])
+				mv = append(mv, f.vals[b])
+				b++
+			default:
+				mk = append(mk, f.keys[a])
+				mv = append(mv, f.vals[a]+f.vals[b])
+				a++
+				b++
+			}
+		}
+		f.keys, f.vals = mk, mv
+	}
+	f.rebuild()
+}
+
+// Ascend visits entries in increasing key order until fn returns false.
+func (f *Index) Ascend(fn func(k, v float64) bool) {
+	for i := range f.keys {
+		if !fn(f.keys[i], f.vals[i]) {
+			return
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package fenwick
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBasicOps(t *testing.T) {
+	f := New()
+	if f.Len() != 0 || f.Total() != 0 {
+		t.Fatal("new index not empty")
+	}
+	f.Put(10, 1)
+	f.Add(20, 2)
+	f.Add(10, 4) // existing-key fast path
+	if v, ok := f.Get(10); !ok || v != 5 {
+		t.Fatalf("Get(10) = %v,%v", v, ok)
+	}
+	f.Put(20, 7) // replace via point update
+	if f.Total() != 12 {
+		t.Fatalf("Total = %v", f.Total())
+	}
+	if !f.Delete(10) || f.Delete(10) {
+		t.Fatal("Delete semantics broken")
+	}
+	if f.Len() != 1 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+}
+
+func TestPrefixSumsMatchScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := New()
+	m := map[float64]float64{}
+	for i := 0; i < 500; i++ {
+		k := float64(rng.Intn(200))
+		v := float64(rng.Intn(50) + 1)
+		f.Add(k, v)
+		m[k] += v
+	}
+	for q := -5.0; q < 210; q += 7 {
+		var wantLE, wantLT float64
+		for k, v := range m {
+			if k <= q {
+				wantLE += v
+			}
+			if k < q {
+				wantLT += v
+			}
+		}
+		if got := f.GetSum(q); got != wantLE {
+			t.Fatalf("GetSum(%v) = %v want %v", q, got, wantLE)
+		}
+		if got := f.GetSumLess(q); got != wantLT {
+			t.Fatalf("GetSumLess(%v) = %v want %v", q, got, wantLT)
+		}
+	}
+}
+
+func TestShiftWithMerge(t *testing.T) {
+	f := New()
+	f.Put(10, 3)
+	f.Put(20, 4)
+	f.Put(30, 5)
+	f.ShiftKeys(15, -10) // 20 merges into 10; 30 -> 20
+	if f.Len() != 2 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+	if v, _ := f.Get(10); v != 7 {
+		t.Fatalf("merged = %v", v)
+	}
+	if got := f.GetSum(20); got != 12 {
+		t.Fatalf("GetSum(20) = %v", got)
+	}
+	f.ShiftKeysInclusive(10, 5)
+	if got := f.GetSum(14); got != 0 {
+		t.Fatalf("after inclusive shift: %v", got)
+	}
+	f.ShiftKeys(100, 1) // nothing qualifies
+	if f.Total() != 12 {
+		t.Fatalf("Total = %v", f.Total())
+	}
+}
+
+func TestAscendOrderAndEarlyStop(t *testing.T) {
+	f := New()
+	for _, k := range []float64{5, 1, 9, 3} {
+		f.Put(k, k)
+	}
+	var seen []float64
+	f.Ascend(func(k, _ float64) bool {
+		seen = append(seen, k)
+		return k < 5
+	})
+	if len(seen) != 3 || seen[0] != 1 || seen[2] != 5 {
+		t.Fatalf("seen = %v", seen)
+	}
+}

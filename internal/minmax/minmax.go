@@ -1,0 +1,97 @@
+// Package minmax lifts the streamability restriction of section 4.2.5: MIN
+// and MAX aggregates cannot be maintained from their current value alone
+// under deletions, but keeping the values in a balanced search tree recovers
+// the next extremum in logarithmic time after a retraction — exactly the
+// remedy the paper sketches ("keep a binary search tree of the data instead
+// of storing just the aggregate value").
+package minmax
+
+import "rpai/internal/treemap"
+
+// Multiset is an ordered multiset of float64 values supporting O(log n)
+// insert, delete, and extrema queries. The zero value is not usable; call
+// New.
+type Multiset struct {
+	counts *treemap.Tree // value -> multiplicity
+	n      int
+}
+
+// New returns an empty multiset.
+func New() *Multiset { return &Multiset{counts: treemap.New()} }
+
+// Len reports the number of elements, counting multiplicity.
+func (m *Multiset) Len() int { return m.n }
+
+// Insert adds one occurrence of v.
+func (m *Multiset) Insert(v float64) {
+	m.counts.Add(v, 1)
+	m.n++
+}
+
+// Delete removes one occurrence of v, reporting whether it was present.
+func (m *Multiset) Delete(v float64) bool {
+	c, ok := m.counts.Get(v)
+	if !ok || c == 0 {
+		return false
+	}
+	if c == 1 {
+		m.counts.Delete(v)
+	} else {
+		m.counts.Put(v, c-1)
+	}
+	m.n--
+	return true
+}
+
+// Count returns the multiplicity of v.
+func (m *Multiset) Count(v float64) int {
+	c, _ := m.counts.Get(v)
+	return int(c)
+}
+
+// Min returns the smallest element, or ok=false if empty.
+func (m *Multiset) Min() (float64, bool) { return m.counts.Min() }
+
+// Max returns the largest element, or ok=false if empty.
+func (m *Multiset) Max() (float64, bool) { return m.counts.Max() }
+
+// Kind selects which extremum an Aggregate maintains.
+type Kind int
+
+// Supported extrema.
+const (
+	Min Kind = iota
+	Max
+)
+
+// Aggregate maintains MIN(expr) or MAX(expr) of a streamed multiset under
+// insertions and deletions — the non-streamable aggregates of section 4.2.5.
+type Aggregate struct {
+	kind Kind
+	set  *Multiset
+}
+
+// NewAggregate returns an empty MIN or MAX aggregate.
+func NewAggregate(kind Kind) *Aggregate {
+	return &Aggregate{kind: kind, set: New()}
+}
+
+// Apply folds one update: x is +1 for insert, -1 for delete.
+func (a *Aggregate) Apply(v, x float64) {
+	if x > 0 {
+		a.set.Insert(v)
+	} else {
+		a.set.Delete(v)
+	}
+}
+
+// Value returns the current aggregate, or ok=false when the set is empty.
+func (a *Aggregate) Value() (float64, bool) {
+	if a.kind == Min {
+		return a.set.Min()
+	}
+	return a.set.Max()
+}
+
+// Len reports the number of live values.
+func (a *Aggregate) Len() int { return a.set.Len() }

@@ -1,0 +1,135 @@
+package minmax
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMultisetBasics(t *testing.T) {
+	m := New()
+	if m.Len() != 0 {
+		t.Fatal("new multiset not empty")
+	}
+	if _, ok := m.Min(); ok {
+		t.Fatal("Min on empty set")
+	}
+	m.Insert(5)
+	m.Insert(5)
+	m.Insert(3)
+	if m.Len() != 3 || m.Count(5) != 2 {
+		t.Fatalf("Len=%d Count(5)=%d", m.Len(), m.Count(5))
+	}
+	if mn, _ := m.Min(); mn != 3 {
+		t.Fatalf("Min = %v", mn)
+	}
+	if mx, _ := m.Max(); mx != 5 {
+		t.Fatalf("Max = %v", mx)
+	}
+	if !m.Delete(5) || m.Count(5) != 1 {
+		t.Fatal("Delete multiplicity broken")
+	}
+	if !m.Delete(5) || m.Count(5) != 0 {
+		t.Fatal("Delete to zero broken")
+	}
+	if m.Delete(5) {
+		t.Fatal("Delete of absent value succeeded")
+	}
+	if mx, _ := m.Max(); mx != 3 {
+		t.Fatalf("Max after deletes = %v", mx)
+	}
+}
+
+func TestAggregateRecoversExtremaUnderDeletions(t *testing.T) {
+	// The section 4.2.5 scenario: delete the current maximum and the
+	// aggregate must recover the next one.
+	a := NewAggregate(Max)
+	for _, v := range []float64{10, 30, 20} {
+		a.Apply(v, 1)
+	}
+	if v, _ := a.Value(); v != 30 {
+		t.Fatalf("Max = %v", v)
+	}
+	a.Apply(30, -1)
+	if v, _ := a.Value(); v != 20 {
+		t.Fatalf("Max after deleting max = %v", v)
+	}
+	a.Apply(20, -1)
+	a.Apply(10, -1)
+	if _, ok := a.Value(); ok {
+		t.Fatal("Value on empty aggregate")
+	}
+}
+
+func TestAggregateMinKind(t *testing.T) {
+	a := NewAggregate(Min)
+	a.Apply(7, 1)
+	a.Apply(3, 1)
+	if v, _ := a.Value(); v != 3 {
+		t.Fatalf("Min = %v", v)
+	}
+	a.Apply(3, -1)
+	if v, _ := a.Value(); v != 7 {
+		t.Fatalf("Min after delete = %v", v)
+	}
+}
+
+func TestRandomOpsAgainstSlice(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := New()
+	var model []float64
+	for i := 0; i < 4000; i++ {
+		if len(model) > 0 && rng.Intn(3) == 0 {
+			j := rng.Intn(len(model))
+			v := model[j]
+			model = append(model[:j], model[j+1:]...)
+			if !m.Delete(v) {
+				t.Fatalf("op %d: Delete(%v) failed", i, v)
+			}
+		} else {
+			v := float64(rng.Intn(100))
+			model = append(model, v)
+			m.Insert(v)
+		}
+		if m.Len() != len(model) {
+			t.Fatalf("op %d: Len=%d model=%d", i, m.Len(), len(model))
+		}
+		if len(model) > 0 {
+			sorted := append([]float64(nil), model...)
+			sort.Float64s(sorted)
+			if mn, _ := m.Min(); mn != sorted[0] {
+				t.Fatalf("op %d: Min=%v want %v", i, mn, sorted[0])
+			}
+			if mx, _ := m.Max(); mx != sorted[len(sorted)-1] {
+				t.Fatalf("op %d: Max=%v want %v", i, mx, sorted[len(sorted)-1])
+			}
+		}
+	}
+}
+
+func TestQuickInsertAllThenMinMax(t *testing.T) {
+	f := func(vals []int16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		m := New()
+		mn, mx := float64(vals[0]), float64(vals[0])
+		for _, v := range vals {
+			fv := float64(v)
+			m.Insert(fv)
+			if fv < mn {
+				mn = fv
+			}
+			if fv > mx {
+				mx = fv
+			}
+		}
+		gotMin, _ := m.Min()
+		gotMax, _ := m.Max()
+		return gotMin == mn && gotMax == mx && m.Len() == len(vals)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

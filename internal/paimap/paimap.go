@@ -1,0 +1,153 @@
+// Package paimap implements Partial Aggregate Index (PAI) maps: hash maps
+// from aggregate values to aggregate values (paper section 2.1.3).
+//
+// A PAI map supports the regular map operations in O(1) and the aggregate
+// index operations GetSum and ShiftKeys by iterating over all keys, in O(n).
+// It is the right structure for equality-correlated nested aggregates (where
+// only point moves are needed, as in the paper's Example 2.1) and the linear
+// baseline the RPAI tree improves on for inequality-correlated queries
+// (sections 2.2.3 and 3).
+package paimap
+
+import "sort"
+
+// Map is a Partial Aggregate Index backed by a Go map. The zero value is not
+// usable; call New.
+type Map struct {
+	m map[float64]float64
+}
+
+// New returns an empty PAI map.
+func New() *Map { return &Map{m: make(map[float64]float64)} }
+
+// Len reports the number of keys.
+func (p *Map) Len() int { return len(p.m) }
+
+// Total returns the sum of all values.
+func (p *Map) Total() float64 {
+	var s float64
+	for _, v := range p.m {
+		s += v
+	}
+	return s
+}
+
+// Get returns the value stored under k and whether k is present.
+func (p *Map) Get(k float64) (float64, bool) {
+	v, ok := p.m[k]
+	return v, ok
+}
+
+// Contains reports whether k is present.
+func (p *Map) Contains(k float64) bool {
+	_, ok := p.m[k]
+	return ok
+}
+
+// Put stores v under k, replacing any existing value.
+func (p *Map) Put(k, v float64) { p.m[k] = v }
+
+// Add adds dv to the value under k, inserting if absent. Zero-valued entries
+// remain present; use Delete to drop a key.
+func (p *Map) Add(k, dv float64) { p.m[k] += dv }
+
+// Delete removes k and reports whether it was present.
+func (p *Map) Delete(k float64) bool {
+	if _, ok := p.m[k]; !ok {
+		return false
+	}
+	delete(p.m, k)
+	return true
+}
+
+// GetSum returns the sum of values over entries with key <= k, by scanning
+// all keys (paper section 2.2.3: O(n) for PAI maps).
+func (p *Map) GetSum(k float64) float64 {
+	var s float64
+	for key, v := range p.m {
+		if key <= k {
+			s += v
+		}
+	}
+	return s
+}
+
+// GetSumLess returns the sum of values over entries with key < k.
+func (p *Map) GetSumLess(k float64) float64 {
+	var s float64
+	for key, v := range p.m {
+		if key < k {
+			s += v
+		}
+	}
+	return s
+}
+
+// SuffixSum returns the sum of values over entries with key >= k.
+func (p *Map) SuffixSum(k float64) float64 {
+	var s float64
+	for key, v := range p.m {
+		if key >= k {
+			s += v
+		}
+	}
+	return s
+}
+
+// SuffixSumGreater returns the sum of values over entries with key > k.
+func (p *Map) SuffixSumGreater(k float64) float64 {
+	var s float64
+	for key, v := range p.m {
+		if key > k {
+			s += v
+		}
+	}
+	return s
+}
+
+// ShiftKeys shifts every key strictly greater than k by d, merging values
+// when shifted keys collide. O(n).
+func (p *Map) ShiftKeys(k, d float64) { p.shift(k, d, false) }
+
+// ShiftKeysInclusive shifts every key greater than or equal to k by d.
+func (p *Map) ShiftKeysInclusive(k, d float64) { p.shift(k, d, true) }
+
+func (p *Map) shift(k, d float64, inclusive bool) {
+	if d == 0 {
+		return
+	}
+	type kv struct{ k, v float64 }
+	var moved []kv
+	for key, v := range p.m {
+		if key > k || (inclusive && key == k) {
+			moved = append(moved, kv{key, v})
+		}
+	}
+	for _, e := range moved {
+		delete(p.m, e.k)
+	}
+	for _, e := range moved {
+		p.m[e.k+d] += e.v
+	}
+}
+
+// Ascend calls fn for each entry in increasing key order until fn returns
+// false. Keys are sorted on every call; O(n log n). Intended for result
+// computation loops and tests, not hot paths.
+func (p *Map) Ascend(fn func(k, v float64) bool) {
+	for _, k := range p.Keys() {
+		if !fn(k, p.m[k]) {
+			return
+		}
+	}
+}
+
+// Keys returns all keys in increasing order.
+func (p *Map) Keys() []float64 {
+	out := make([]float64, 0, len(p.m))
+	for k := range p.m {
+		out = append(out, k)
+	}
+	sort.Float64s(out)
+	return out
+}

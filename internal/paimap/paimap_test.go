@@ -1,0 +1,172 @@
+package paimap
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	p := New()
+	if p.Len() != 0 || p.Total() != 0 {
+		t.Fatal("new map not empty")
+	}
+	p.Put(1, 10)
+	p.Add(1, 5)
+	p.Add(2, 7)
+	if v, ok := p.Get(1); !ok || v != 15 {
+		t.Fatalf("Get(1) = %v,%v", v, ok)
+	}
+	if p.Total() != 22 {
+		t.Fatalf("Total = %v", p.Total())
+	}
+	if !p.Delete(2) || p.Delete(2) {
+		t.Fatal("Delete semantics broken")
+	}
+	if p.Len() != 1 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+}
+
+func TestGetSumVariants(t *testing.T) {
+	p := New()
+	for _, k := range []float64{10, 20, 30} {
+		p.Put(k, k)
+	}
+	if got := p.GetSum(20); got != 30 {
+		t.Fatalf("GetSum(20) = %v", got)
+	}
+	if got := p.GetSumLess(20); got != 10 {
+		t.Fatalf("GetSumLess(20) = %v", got)
+	}
+	if got := p.SuffixSum(20); got != 50 {
+		t.Fatalf("SuffixSum(20) = %v", got)
+	}
+	if got := p.SuffixSumGreater(20); got != 30 {
+		t.Fatalf("SuffixSumGreater(20) = %v", got)
+	}
+}
+
+func TestShiftKeysExclusiveAndInclusive(t *testing.T) {
+	p := New()
+	p.Put(10, 1)
+	p.Put(20, 2)
+	p.Put(30, 3)
+	p.ShiftKeys(10, 5)
+	if ks := p.Keys(); !equal(ks, []float64{10, 25, 35}) {
+		t.Fatalf("keys = %v", ks)
+	}
+	p.ShiftKeysInclusive(10, 5)
+	if ks := p.Keys(); !equal(ks, []float64{15, 30, 40}) {
+		t.Fatalf("keys = %v", ks)
+	}
+}
+
+func TestShiftMergesCollisions(t *testing.T) {
+	p := New()
+	p.Put(10, 3)
+	p.Put(20, 4)
+	p.ShiftKeys(15, -10)
+	if p.Len() != 1 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	if v, _ := p.Get(10); v != 7 {
+		t.Fatalf("merged = %v", v)
+	}
+}
+
+func TestShiftZeroNoop(t *testing.T) {
+	p := New()
+	p.Put(1, 1)
+	p.ShiftKeys(0, 0)
+	if v, _ := p.Get(1); v != 1 {
+		t.Fatal("zero shift changed map")
+	}
+}
+
+func TestAscendSortedEarlyStop(t *testing.T) {
+	p := New()
+	for _, k := range []float64{5, 3, 9, 1, 7} {
+		p.Put(k, k)
+	}
+	var seen []float64
+	p.Ascend(func(k, _ float64) bool {
+		seen = append(seen, k)
+		return k < 7
+	})
+	if !equal(seen, []float64{1, 3, 5, 7}) {
+		t.Fatalf("seen = %v", seen)
+	}
+}
+
+func TestQuickShiftMatchesModel(t *testing.T) {
+	f := func(keys []int16, k int16, d int8) bool {
+		p := New()
+		m := map[float64]float64{}
+		for i, key := range keys {
+			v := float64(i%9 + 1)
+			p.Add(float64(key), v)
+			m[float64(key)] += v
+		}
+		p.ShiftKeys(float64(k), float64(d))
+		want := map[float64]float64{}
+		for key, v := range m {
+			nk := key
+			if key > float64(k) && d != 0 {
+				nk = key + float64(d)
+			}
+			want[nk] += v
+		}
+		if p.Len() != len(want) {
+			return false
+		}
+		for key, v := range want {
+			if got, _ := p.Get(key); got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomOpsKeepTotalConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := New()
+	var want float64
+	for i := 0; i < 2000; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			v := float64(rng.Intn(100))
+			p.Add(float64(rng.Intn(50)), v)
+			want += v
+		case 1:
+			p.ShiftKeys(float64(rng.Intn(80)), float64(rng.Intn(40)-20))
+		case 2:
+			k := float64(rng.Intn(50))
+			if v, ok := p.Get(k); ok {
+				p.Delete(k)
+				want -= v
+			}
+		}
+	}
+	if got := p.Total(); got != want {
+		t.Fatalf("Total = %v, want %v", got, want)
+	}
+}
+
+func equal(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	sort.Float64s(a)
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

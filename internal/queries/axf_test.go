@@ -1,0 +1,132 @@
+package queries
+
+import (
+	"testing"
+
+	"rpai/internal/stream"
+)
+
+func checkGroupedAgreement(t *testing.T, mk func(Strategy) GroupedBidsExecutor, cfg stream.OrderBookConfig) {
+	t.Helper()
+	naive := mk(Naive)
+	incr := mk(RPAI)
+	toaster := mk(Toaster)
+	for i, e := range stream.GenerateOrderBook(cfg) {
+		naive.Apply(e)
+		incr.Apply(e)
+		toaster.Apply(e)
+		want := naive.ResultByGroup()
+		for _, ex := range []GroupedBidsExecutor{incr, toaster} {
+			got := ex.ResultByGroup()
+			if len(got) != len(want) {
+				t.Fatalf("%s %s event %d (seed %d): %d groups, want %d\n got %v\nwant %v",
+					ex.Name(), ex.Strategy(), i, cfg.Seed, len(got), len(want), got, want)
+			}
+			for id, v := range want {
+				if !almostEqual(got[id], v) {
+					t.Fatalf("%s %s event %d: broker %d = %v, want %v", ex.Name(), ex.Strategy(), i, id, got[id], v)
+				}
+			}
+			if !almostEqual(ex.Result(), naive.Result()) {
+				t.Fatalf("%s %s event %d: scalar %v vs %v", ex.Name(), ex.Strategy(), i, ex.Result(), naive.Result())
+			}
+		}
+	}
+}
+
+func groupedConfigs() []stream.OrderBookConfig {
+	mk := func(seed int64, del float64, levels int) stream.OrderBookConfig {
+		cfg := stream.DefaultOrderBook(300)
+		cfg.Seed = seed
+		cfg.DeleteRatio = del
+		cfg.PriceLevels = levels
+		cfg.BothSides = true
+		return cfg
+	}
+	return []stream.OrderBookConfig{
+		mk(1, 0, 100),
+		mk(2, 0.25, 100),
+		mk(3, 0.05, 30), // band covers most of the grid: few qualifying pairs
+	}
+}
+
+func TestAXFStrategiesAgree(t *testing.T) {
+	for _, cfg := range groupedConfigs() {
+		checkGroupedAgreement(t, NewAXF, cfg)
+	}
+}
+
+func TestBSPStrategiesAgree(t *testing.T) {
+	for _, cfg := range groupedConfigs() {
+		checkGroupedAgreement(t, NewBSP, cfg)
+	}
+}
+
+func TestAXFBandBoundary(t *testing.T) {
+	q := NewAXF(RPAI)
+	ins := func(side stream.Side, id int64, broker int32, price, vol float64) {
+		q.Apply(stream.Event{Op: stream.Insert, Side: side, Rec: stream.Record{
+			ID: id, BrokerID: broker, Price: price, Volume: vol,
+		}})
+	}
+	ins(stream.Bids, 1, 7, 100, 5)
+	// Exactly at the band: |120-100| = 20 is NOT > 20: no pair.
+	ins(stream.Asks, 2, 7, 100+axfBand, 3)
+	if got := q.Result(); got != 0 {
+		t.Fatalf("boundary pair counted: %v", got)
+	}
+	// One past the band: pair contributes a.vol - b.vol = 3 - 5 = -2.
+	ins(stream.Asks, 3, 7, 100+axfBand+1, 3)
+	if got := q.Result(); got != -2 {
+		t.Fatalf("Result = %v, want -2", got)
+	}
+	// Different broker never pairs.
+	ins(stream.Asks, 4, 8, 200, 100)
+	if got := q.Result(); got != -2 {
+		t.Fatalf("cross-broker pair counted: %v", got)
+	}
+	grouped := q.ResultByGroup()
+	if len(grouped) != 1 || grouped[7] != -2 {
+		t.Fatalf("grouped = %v", grouped)
+	}
+}
+
+func TestBSPHandCheck(t *testing.T) {
+	q := NewBSP(RPAI)
+	apply := func(op stream.Op, side stream.Side, id int64, broker int32, price, vol float64) {
+		q.Apply(stream.Event{Op: op, Side: side, Rec: stream.Record{
+			ID: id, BrokerID: broker, Price: price, Volume: vol,
+		}})
+	}
+	apply(stream.Insert, stream.Bids, 1, 1, 10, 2) // pv 20
+	apply(stream.Insert, stream.Asks, 2, 1, 5, 1)  // pv 5
+	// result(1) = askCnt*bidPV - bidCnt*askPV = 1*20 - 1*5 = 15.
+	if got := q.Result(); got != 15 {
+		t.Fatalf("Result = %v, want 15", got)
+	}
+	apply(stream.Insert, stream.Asks, 3, 1, 7, 1) // pv 7
+	// = 2*20 - 1*12 = 28.
+	if got := q.Result(); got != 28 {
+		t.Fatalf("Result = %v, want 28", got)
+	}
+	apply(stream.Delete, stream.Bids, 1, 1, 10, 2)
+	// No bids: 2*0 - 0*12 = 0; broker state remains (asks live).
+	if got := q.Result(); got != 0 {
+		t.Fatalf("Result = %v, want 0", got)
+	}
+	apply(stream.Delete, stream.Asks, 2, 1, 5, 1)
+	apply(stream.Delete, stream.Asks, 3, 1, 7, 1)
+	if got := q.ResultByGroup(); len(got) != 0 {
+		t.Fatalf("stale brokers: %v", got)
+	}
+}
+
+func TestAXFFullRetractionLeavesNoState(t *testing.T) {
+	q := NewAXF(RPAI).(*axfIncr)
+	rec := stream.Record{ID: 1, BrokerID: 3, Price: 100, Volume: 5}
+	q.Apply(stream.Event{Op: stream.Insert, Side: stream.Bids, Rec: rec})
+	q.Apply(stream.Event{Op: stream.Delete, Side: stream.Bids, Rec: rec})
+	if len(q.brokers) != 0 {
+		t.Fatalf("stale broker state: %d", len(q.brokers))
+	}
+}

@@ -1,0 +1,107 @@
+package queries
+
+import "rpai/internal/stream"
+
+// BSP ("brokerspread", DBToaster finance benchmark): the per-broker spread
+// between bid and ask notional over the broker equijoin:
+//
+//	SELECT b.broker_id, Sum(b.price*b.volume - a.price*a.volume)
+//	FROM bids b, asks a
+//	WHERE b.broker_id = a.broker_id
+//	GROUP BY b.broker_id
+//
+// A plain equijoin cross aggregate: per broker the result factorizes to
+// |asks|*sum_pv(bids) - |bids|*sum_pv(asks), maintainable in O(1) per event.
+
+// NewBSP constructs the BSP executor. As with AXF, the Toaster and RPAI
+// strategies coincide.
+func NewBSP(s Strategy) GroupedBidsExecutor {
+	if s == Naive {
+		return &bspNaive{}
+	}
+	return &bspIncr{strategy: s, brokers: map[int32]*bspBroker{}}
+}
+
+// bspNaive re-evaluates the equijoin from scratch: O(n^2) per event.
+type bspNaive struct {
+	bids liveSet
+	asks liveSet
+}
+
+func (q *bspNaive) Name() string       { return "bsp" }
+func (q *bspNaive) Strategy() Strategy { return Naive }
+
+func (q *bspNaive) Apply(e stream.Event) {
+	if e.Side == stream.Bids {
+		q.bids.apply(e)
+	} else {
+		q.asks.apply(e)
+	}
+}
+
+func (q *bspNaive) ResultByGroup() map[int32]float64 {
+	out := map[int32]float64{}
+	for _, b := range q.bids.recs {
+		for _, a := range q.asks.recs {
+			if a.BrokerID == b.BrokerID {
+				out[b.BrokerID] += b.Price*b.Volume - a.Price*a.Volume
+			}
+		}
+	}
+	return out
+}
+
+func (q *bspNaive) Result() float64 { return sumGroups(q.ResultByGroup()) }
+
+// bspBroker is one broker's factored state.
+type bspBroker struct {
+	bidCnt, bidPV float64
+	askCnt, askPV float64
+}
+
+func (b *bspBroker) result() float64 { return b.askCnt*b.bidPV - b.bidCnt*b.askPV }
+
+func (b *bspBroker) empty() bool { return b.bidCnt == 0 && b.askCnt == 0 }
+
+// bspIncr maintains the factored per-broker sums: O(1) per event.
+type bspIncr struct {
+	strategy Strategy
+	brokers  map[int32]*bspBroker
+	total    float64
+}
+
+func (q *bspIncr) Name() string       { return "bsp" }
+func (q *bspIncr) Strategy() Strategy { return q.strategy }
+
+func (q *bspIncr) Apply(e stream.Event) {
+	t, x := e.Rec, e.X()
+	br := q.brokers[t.BrokerID]
+	if br == nil {
+		br = &bspBroker{}
+		q.brokers[t.BrokerID] = br
+	}
+	q.total -= br.result()
+	if e.Side == stream.Bids {
+		br.bidCnt += x
+		br.bidPV += x * t.Price * t.Volume
+	} else {
+		br.askCnt += x
+		br.askPV += x * t.Price * t.Volume
+	}
+	q.total += br.result()
+	if br.empty() {
+		delete(q.brokers, t.BrokerID)
+	}
+}
+
+func (q *bspIncr) ResultByGroup() map[int32]float64 {
+	out := make(map[int32]float64, len(q.brokers))
+	for id, br := range q.brokers {
+		if r := br.result(); r != 0 {
+			out[id] = r
+		}
+	}
+	return out
+}
+
+func (q *bspIncr) Result() float64 { return q.total }

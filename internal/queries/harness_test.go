@@ -1,0 +1,62 @@
+package queries
+
+import (
+	"math"
+	"testing"
+
+	"rpai/internal/stream"
+)
+
+// almostEqual compares query results. All maintained aggregates are exact
+// integer-valued sums, but naive re-evaluation and incremental maintenance
+// accumulate them in different orders, so allow a relative epsilon.
+func almostEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-9*scale
+}
+
+// checkAgreement replays a trace through all three strategies of a finance
+// query and requires identical results after every event.
+func checkAgreement(t *testing.T, query string, cfg stream.OrderBookConfig) {
+	t.Helper()
+	events := stream.GenerateOrderBook(cfg)
+	execs := make([]BidsExecutor, 0, 3)
+	for _, s := range Strategies() {
+		execs = append(execs, NewBids(query, s))
+	}
+	for i, e := range events {
+		for _, ex := range execs {
+			ex.Apply(e)
+		}
+		want := execs[0].Result() // naive is the ground truth
+		for _, ex := range execs[1:] {
+			if got := ex.Result(); !almostEqual(got, want) {
+				t.Fatalf("%s: %s diverged from naive at event %d (seed %d): got %v want %v",
+					query, ex.Strategy(), i, cfg.Seed, got, want)
+			}
+		}
+	}
+}
+
+// financeAgreementConfigs is the grid of traces every finance query must
+// agree on: insert-only and delete-heavy, narrow and wide price grids.
+func financeAgreementConfigs(bothSides bool, events int) []stream.OrderBookConfig {
+	mk := func(seed int64, deleteRatio float64, levels int) stream.OrderBookConfig {
+		cfg := stream.DefaultOrderBook(events)
+		cfg.Seed = seed
+		cfg.DeleteRatio = deleteRatio
+		cfg.PriceLevels = levels
+		cfg.BothSides = bothSides
+		return cfg
+	}
+	return []stream.OrderBookConfig{
+		mk(1, 0, 50),
+		mk(2, 0.2, 50),
+		mk(3, 0.05, 8), // heavy price collisions
+		mk(4, 0.4, 300),
+	}
+}

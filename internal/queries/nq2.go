@@ -1,0 +1,205 @@
+package queries
+
+import (
+	"rpai/internal/stream"
+	"rpai/internal/treemap"
+)
+
+// NQ2 (paper section 5.2.1): like NQ1 but the innermost subquery is
+// correlated to the outermost query, so the inner condition's threshold
+// varies per outer tuple:
+//
+//	SELECT Sum(b.price * b.volume) FROM bids b
+//	WHERE 0.75 * (SELECT Sum(b1.volume) FROM bids b1)
+//	   < (SELECT Sum(b2.volume) FROM bids b2
+//	      WHERE b2.price <= b.price
+//	        AND 0.5 * (SELECT Sum(b3.volume) FROM bids b3
+//	                   WHERE b3.price <= b.price)
+//	            < (SELECT Sum(b4.volume) FROM bids b4
+//	               WHERE b4.price <= b2.price))
+//
+// Because the qualifying set of b2 levels depends on the outer price, no
+// single aggregate index can serve all outer tuples; the RPAI strategy uses
+// the general algorithm for the outer level with O(log n) tree searches per
+// distinct outer price (Table 1: O(n log n), vs DBToaster's three nested
+// loops).
+
+// nq2Naive re-evaluates from scratch: O(n^3) per event.
+type nq2Naive struct {
+	live liveSet
+}
+
+func newNQ2Naive() *nq2Naive { return &nq2Naive{} }
+
+func (q *nq2Naive) Name() string       { return "nq2" }
+func (q *nq2Naive) Strategy() Strategy { return Naive }
+
+func (q *nq2Naive) Apply(e stream.Event) {
+	if e.Side != stream.Bids {
+		return
+	}
+	q.live.apply(e)
+}
+
+func (q *nq2Naive) Result() float64 {
+	var total float64
+	for _, r := range q.live.recs {
+		total += r.Volume
+	}
+	var res float64
+	for _, b := range q.live.recs {
+		var below float64
+		for _, b3 := range q.live.recs {
+			if b3.Price <= b.Price {
+				below += b3.Volume
+			}
+		}
+		thr := 0.5 * below
+		var rhs float64
+		for _, b2 := range q.live.recs {
+			if b2.Price > b.Price {
+				continue
+			}
+			var inner float64
+			for _, b4 := range q.live.recs {
+				if b4.Price <= b2.Price {
+					inner += b4.Volume
+				}
+			}
+			if thr < inner {
+				rhs += b2.Volume
+			}
+		}
+		if 0.75*total < rhs {
+			res += b.Price * b.Volume
+		}
+	}
+	return res
+}
+
+// nq2Toaster maintains per-price views; all three correlated levels are
+// re-evaluated by nested scans over distinct prices: O(p^3) per event
+// (Table 1's O(n^3)).
+type nq2Toaster struct {
+	volAt  map[float64]float64
+	pvAt   map[float64]float64
+	cntAt  map[float64]float64
+	sumVol float64
+}
+
+func newNQ2Toaster() *nq2Toaster {
+	return &nq2Toaster{
+		volAt: make(map[float64]float64),
+		pvAt:  make(map[float64]float64),
+		cntAt: make(map[float64]float64),
+	}
+}
+
+func (q *nq2Toaster) Name() string       { return "nq2" }
+func (q *nq2Toaster) Strategy() Strategy { return Toaster }
+
+func (q *nq2Toaster) Apply(e stream.Event) {
+	if e.Side != stream.Bids {
+		return
+	}
+	t, x := e.Rec, e.X()
+	q.volAt[t.Price] += x * t.Volume
+	q.pvAt[t.Price] += x * t.Price * t.Volume
+	q.cntAt[t.Price] += x
+	q.sumVol += x * t.Volume
+	if q.cntAt[t.Price] == 0 {
+		delete(q.volAt, t.Price)
+		delete(q.pvAt, t.Price)
+		delete(q.cntAt, t.Price)
+	}
+}
+
+func (q *nq2Toaster) Result() float64 {
+	lhs := 0.75 * q.sumVol
+	var res float64
+	for p, pv := range q.pvAt {
+		var below float64
+		for p3, v := range q.volAt {
+			if p3 <= p {
+				below += v
+			}
+		}
+		thr := 0.5 * below
+		var rhs float64
+		for p2, vol := range q.volAt {
+			if p2 > p {
+				continue
+			}
+			var inner float64
+			for p4, v := range q.volAt {
+				if p4 <= p2 {
+					inner += v
+				}
+			}
+			if thr < inner {
+				rhs += vol
+			}
+		}
+		if lhs < rhs {
+			res += pv
+		}
+	}
+	return res
+}
+
+// nq2RPAI is the general-algorithm executor. For each distinct outer price
+// p, the qualifying b2 levels form the contiguous range [qstar(p), p] where
+// qstar(p) is the first level whose cumulative volume exceeds half the
+// cumulative volume at p — both located in O(log n) on the sum-augmented
+// price tree, so rhs(p) is a difference of two prefix sums.
+type nq2RPAI struct {
+	volByPrice *treemap.Tree // price -> sum(volume)
+	pvByPrice  *treemap.Tree // price -> sum(price*volume)
+	cntAt      map[float64]float64
+	sumVol     float64
+}
+
+func newNQ2RPAI() *nq2RPAI {
+	return &nq2RPAI{
+		volByPrice: treemap.New(),
+		pvByPrice:  treemap.New(),
+		cntAt:      make(map[float64]float64),
+	}
+}
+
+func (q *nq2RPAI) Name() string       { return "nq2" }
+func (q *nq2RPAI) Strategy() Strategy { return RPAI }
+
+func (q *nq2RPAI) Apply(e stream.Event) {
+	if e.Side != stream.Bids {
+		return
+	}
+	t, x := e.Rec, e.X()
+	q.volByPrice.Add(t.Price, x*t.Volume)
+	q.pvByPrice.Add(t.Price, x*t.Price*t.Volume)
+	q.cntAt[t.Price] += x
+	q.sumVol += x * t.Volume
+	if q.cntAt[t.Price] == 0 {
+		q.volByPrice.Delete(t.Price)
+		q.pvByPrice.Delete(t.Price)
+		delete(q.cntAt, t.Price)
+	}
+}
+
+func (q *nq2RPAI) Result() float64 {
+	lhs := 0.75 * q.sumVol
+	var res float64
+	q.pvByPrice.Ascend(func(p, pv float64) bool {
+		prefix := q.volByPrice.PrefixSum(p)
+		qstar, ok := q.volByPrice.FirstPrefixGreater(0.5 * prefix)
+		if !ok {
+			return true // no level qualifies for this outer price
+		}
+		rhs := prefix - q.volByPrice.PrefixSumLess(qstar)
+		if lhs < rhs {
+			res += pv
+		}
+		return true
+	})
+	return res
+}

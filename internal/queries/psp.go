@@ -1,0 +1,182 @@
+package queries
+
+import (
+	"rpai/internal/stream"
+	"rpai/internal/treemap"
+)
+
+// PSP ("price spread", DBToaster finance benchmark): the spread over all
+// pairs of significant bids and asks, where significant means the record
+// carries more than a fixed fraction of its side's total volume:
+//
+//	SELECT Sum(a.price - b.price) FROM bids b, asks a
+//	WHERE b.volume > 0.0001 * (SELECT Sum(b1.volume) FROM bids b1)
+//	AND   a.volume > 0.0001 * (SELECT Sum(a1.volume) FROM asks a1)
+//
+// The nested aggregates are uncorrelated but the join predicates compare a
+// column against them (paper section 5.2.1: "join predicates on a column
+// (volume) instead of a correlated nested aggregate"). The cross join
+// factorizes to |QB|*sum_price(QA) - |QA|*sum_price(QB).
+const pspFraction = 0.0001
+
+// pspNaive re-evaluates the cross join from scratch: O(n^2) per event.
+type pspNaive struct {
+	bids liveSet
+	asks liveSet
+}
+
+func newPSPNaive() *pspNaive { return &pspNaive{} }
+
+func (q *pspNaive) Name() string       { return "psp" }
+func (q *pspNaive) Strategy() Strategy { return Naive }
+
+func (q *pspNaive) Apply(e stream.Event) {
+	if e.Side == stream.Bids {
+		q.bids.apply(e)
+	} else {
+		q.asks.apply(e)
+	}
+}
+
+func (q *pspNaive) Result() float64 {
+	var totB, totA float64
+	for _, b := range q.bids.recs {
+		totB += b.Volume
+	}
+	for _, a := range q.asks.recs {
+		totA += a.Volume
+	}
+	thrB, thrA := pspFraction*totB, pspFraction*totA
+	var res float64
+	for _, b := range q.bids.recs {
+		if b.Volume <= thrB {
+			continue
+		}
+		for _, a := range q.asks.recs {
+			if a.Volume > thrA {
+				res += a.Price - b.Price
+			}
+		}
+	}
+	return res
+}
+
+// pspSideToaster is one side's DBToaster view set: per-volume count and
+// price sums plus the total volume.
+type pspSideToaster struct {
+	cntAt   map[float64]float64 // volume -> count
+	priceAt map[float64]float64 // volume -> sum(price)
+	sumVol  float64
+}
+
+func newPSPSideToaster() *pspSideToaster {
+	return &pspSideToaster{cntAt: make(map[float64]float64), priceAt: make(map[float64]float64)}
+}
+
+func (s *pspSideToaster) apply(t stream.Record, x float64) {
+	s.cntAt[t.Volume] += x
+	s.priceAt[t.Volume] += x * t.Price
+	s.sumVol += x * t.Volume
+	if s.cntAt[t.Volume] == 0 {
+		delete(s.cntAt, t.Volume)
+		delete(s.priceAt, t.Volume)
+	}
+}
+
+// aggregates scans all distinct volumes to find the qualifying count and
+// price sum: O(v) per call, DBToaster's per-event cost for PSP (Table 1).
+func (s *pspSideToaster) aggregates() (cnt, price float64) {
+	thr := pspFraction * s.sumVol
+	for v, c := range s.cntAt {
+		if v > thr {
+			cnt += c
+			price += s.priceAt[v]
+		}
+	}
+	return cnt, price
+}
+
+// pspToaster maintains DBToaster's views with a linear distinct-volume scan
+// per event.
+type pspToaster struct {
+	bids *pspSideToaster
+	asks *pspSideToaster
+}
+
+func newPSPToaster() *pspToaster {
+	return &pspToaster{bids: newPSPSideToaster(), asks: newPSPSideToaster()}
+}
+
+func (q *pspToaster) Name() string       { return "psp" }
+func (q *pspToaster) Strategy() Strategy { return Toaster }
+
+func (q *pspToaster) Apply(e stream.Event) {
+	side := q.bids
+	if e.Side == stream.Asks {
+		side = q.asks
+	}
+	side.apply(e.Rec, e.X())
+}
+
+func (q *pspToaster) Result() float64 {
+	cntQA, prQA := q.asks.aggregates()
+	cntQB, prQB := q.bids.aggregates()
+	return cntQB*prQA - cntQA*prQB
+}
+
+// pspSideRPAI keeps sum-augmented trees keyed by volume, so the qualifying
+// aggregates are suffix sums above the moving threshold: O(log n) per event
+// and per result computation. No key shifting is needed — the keys are
+// column values and only the threshold moves, which is why PSP needs the
+// aggregate-index machinery only in its getSum form.
+type pspSideRPAI struct {
+	cntByVol   *treemap.Tree // volume -> count
+	priceByVol *treemap.Tree // volume -> sum(price)
+	sumVol     float64
+}
+
+func newPSPSideRPAI() *pspSideRPAI {
+	return &pspSideRPAI{cntByVol: treemap.New(), priceByVol: treemap.New()}
+}
+
+func (s *pspSideRPAI) apply(t stream.Record, x float64) {
+	s.cntByVol.Add(t.Volume, x)
+	s.priceByVol.Add(t.Volume, x*t.Price)
+	s.sumVol += x * t.Volume
+	if c, _ := s.cntByVol.Get(t.Volume); c == 0 {
+		s.cntByVol.Delete(t.Volume)
+		s.priceByVol.Delete(t.Volume)
+	}
+}
+
+func (s *pspSideRPAI) aggregates() (cnt, price float64) {
+	thr := pspFraction * s.sumVol
+	return s.cntByVol.SuffixSumGreater(thr), s.priceByVol.SuffixSumGreater(thr)
+}
+
+// pspRPAI is the paper's executor for PSP.
+type pspRPAI struct {
+	bids *pspSideRPAI
+	asks *pspSideRPAI
+}
+
+func newPSPRPAI() *pspRPAI {
+	return &pspRPAI{bids: newPSPSideRPAI(), asks: newPSPSideRPAI()}
+}
+
+func (q *pspRPAI) Name() string       { return "psp" }
+func (q *pspRPAI) Strategy() Strategy { return RPAI }
+
+func (q *pspRPAI) Apply(e stream.Event) {
+	side := q.bids
+	if e.Side == stream.Asks {
+		side = q.asks
+	}
+	side.apply(e.Rec, e.X())
+}
+
+func (q *pspRPAI) Result() float64 {
+	cntQA, prQA := q.asks.aggregates()
+	cntQB, prQB := q.bids.aggregates()
+	return cntQB*prQA - cntQA*prQB
+}

@@ -1,0 +1,197 @@
+package queries
+
+import (
+	"rpai/internal/tpch"
+	"rpai/internal/treemap"
+)
+
+// TPCHExecutor incrementally maintains a TPC-H query over lineitem events.
+type TPCHExecutor interface {
+	Name() string
+	Strategy() Strategy
+	Apply(e tpch.Event)
+	Result() float64
+}
+
+// Q17 (TPC-H, verbatim in the paper's section 5.2.2): the average yearly
+// revenue lost by small orders of selected parts:
+//
+//	SELECT SUM(l.extendedprice) / 7.0 AS avg_yearly
+//	FROM lineitem l, part p
+//	WHERE p.partkey = l.partkey AND p.brand = 'Brand#23'
+//	  AND p.container = 'WRAP BOX'
+//	  AND l.quantity < (SELECT 0.2 * AVG(l2.quantity) FROM lineitem l2
+//	                    WHERE l2.partkey = p.partkey)
+
+// NewQ17 constructs the Q17 executor for a strategy over the given part
+// dimension.
+func NewQ17(s Strategy, parts []tpch.Part) TPCHExecutor {
+	qualify := tpch.Dataset{Parts: parts}.QualifyingParts()
+	switch s {
+	case Naive:
+		return &q17Naive{qualify: qualify}
+	case Toaster:
+		return &q17Toaster{qualify: qualify, byPart: make(map[int32]*q17ToasterPart)}
+	case RPAI:
+		return &q17RPAI{qualify: qualify, byPart: make(map[int32]*q17RPAIPart)}
+	}
+	panic("queries: unknown strategy " + string(s))
+}
+
+// q17Naive re-evaluates from scratch: O(n^2) per event.
+type q17Naive struct {
+	qualify map[int32]bool
+	live    []tpch.LineItem
+}
+
+func (q *q17Naive) Name() string       { return "q17" }
+func (q *q17Naive) Strategy() Strategy { return Naive }
+
+func (q *q17Naive) Apply(e tpch.Event) {
+	switch e.Op {
+	case tpch.Insert:
+		q.live = append(q.live, e.Rec)
+	case tpch.Delete:
+		for i := range q.live {
+			if q.live[i] == e.Rec {
+				q.live[i] = q.live[len(q.live)-1]
+				q.live = q.live[:len(q.live)-1]
+				return
+			}
+		}
+	}
+}
+
+func (q *q17Naive) Result() float64 {
+	var res float64
+	for _, l := range q.live {
+		if !q.qualify[l.PartKey] {
+			continue
+		}
+		var sum, cnt float64
+		for _, l2 := range q.live {
+			if l2.PartKey == l.PartKey {
+				sum += l2.Quantity
+				cnt++
+			}
+		}
+		if cnt > 0 && l.Quantity < 0.2*sum/cnt {
+			res += l.ExtendedPrice
+		}
+	}
+	return res / 7.0
+}
+
+// q17ToasterPart is DBToaster's per-partkey state: the nested aggregate
+// (sum/count of quantity) plus the domain-extraction index mapping each
+// distinct quantity to its extendedprice sum (section 5.2.2: "partial sums
+// for each unique quantity per unique partkey").
+type q17ToasterPart struct {
+	sumQty float64
+	cntQty float64
+	byQty  map[float64]float64 // quantity -> sum(extendedprice)
+	cntAt  map[float64]float64 // quantity -> lineitem count
+	contr  float64             // current contribution to the result
+}
+
+// q17Toaster maintains the multi-level index and loops over the updated
+// partkey's distinct quantities on every event — fast on uniform data, slow
+// when skew concentrates many distinct quantities in hot partkeys.
+type q17Toaster struct {
+	qualify map[int32]bool
+	byPart  map[int32]*q17ToasterPart
+	res     float64
+}
+
+func (q *q17Toaster) Name() string       { return "q17" }
+func (q *q17Toaster) Strategy() Strategy { return Toaster }
+
+func (q *q17Toaster) Apply(e tpch.Event) {
+	l, x := e.Rec, e.X()
+	if !q.qualify[l.PartKey] {
+		return
+	}
+	p := q.byPart[l.PartKey]
+	if p == nil {
+		p = &q17ToasterPart{byQty: make(map[float64]float64), cntAt: make(map[float64]float64)}
+		q.byPart[l.PartKey] = p
+	}
+	p.sumQty += x * l.Quantity
+	p.cntQty += x
+	p.byQty[l.Quantity] += x * l.ExtendedPrice
+	p.cntAt[l.Quantity] += x
+	if p.cntAt[l.Quantity] == 0 {
+		delete(p.byQty, l.Quantity)
+		delete(p.cntAt, l.Quantity)
+	}
+	// Re-derive the partkey's contribution by scanning its distinct
+	// quantities (the domain-extraction loop).
+	var contr float64
+	if p.cntQty > 0 {
+		thr := 0.2 * p.sumQty / p.cntQty
+		for qty, ep := range p.byQty {
+			if qty < thr {
+				contr += ep
+			}
+		}
+	}
+	q.res += contr - p.contr
+	p.contr = contr
+	if p.cntQty == 0 {
+		delete(q.byPart, l.PartKey)
+	}
+}
+
+func (q *q17Toaster) Result() float64 { return q.res / 7.0 }
+
+// q17RPAIPart is the RPAI per-partkey state: the nested aggregate plus a
+// sum-augmented tree quantity -> sum(extendedprice), so the contribution is
+// one strict-prefix sum below the 0.2*avg threshold.
+type q17RPAIPart struct {
+	sumQty float64
+	cntQty float64
+	byQty  *treemap.Tree       // quantity -> sum(extendedprice)
+	cntAt  map[float64]float64 // quantity -> lineitem count
+	contr  float64
+}
+
+// q17RPAI is the paper's executor: O(log n) per event.
+type q17RPAI struct {
+	qualify map[int32]bool
+	byPart  map[int32]*q17RPAIPart
+	res     float64
+}
+
+func (q *q17RPAI) Name() string       { return "q17" }
+func (q *q17RPAI) Strategy() Strategy { return RPAI }
+
+func (q *q17RPAI) Apply(e tpch.Event) {
+	l, x := e.Rec, e.X()
+	if !q.qualify[l.PartKey] {
+		return
+	}
+	p := q.byPart[l.PartKey]
+	if p == nil {
+		p = &q17RPAIPart{byQty: treemap.New(), cntAt: make(map[float64]float64)}
+		q.byPart[l.PartKey] = p
+	}
+	p.sumQty += x * l.Quantity
+	p.cntQty += x
+	p.byQty.Add(l.Quantity, x*l.ExtendedPrice)
+	p.cntAt[l.Quantity] += x
+	if p.cntAt[l.Quantity] == 0 {
+		p.byQty.Delete(l.Quantity)
+		delete(p.cntAt, l.Quantity)
+	}
+	var contr float64
+	if p.cntQty > 0 {
+		contr = p.byQty.PrefixSumLess(0.2 * p.sumQty / p.cntQty)
+	}
+	q.res += contr - p.contr
+	p.contr = contr
+	if p.cntQty == 0 {
+		delete(q.byPart, l.PartKey)
+	}
+}
+
+func (q *q17RPAI) Result() float64 { return q.res / 7.0 }

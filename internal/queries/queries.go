@@ -1,0 +1,123 @@
+// Package queries implements the paper's ten benchmark queries (section 5.1:
+// EQ1 from Example 2.1, the finance queries VWAP, MST, PSP, SQ1, SQ2, NQ1,
+// NQ2, and TPC-H Q17 and Q18), each under three execution strategies:
+//
+//   - Naive: full re-evaluation on every event (Figures 1a, 2a),
+//   - Toaster: DBToaster-style higher-order IVM, maintaining exactly the
+//     materialized views the paper attributes to DBToaster's generated code
+//     (Figures 1b, 2b; section 5.2.2 for Q17),
+//   - RPAI: the paper's approach — PAI maps for equality correlations,
+//     RPAI trees for inequality correlations, and the general algorithm of
+//     section 4.2 where the aggregate-index optimization does not apply.
+//
+// Every executor consumes one update event at a time and exposes the current
+// query result; the integration tests require all three strategies to agree
+// on every prefix of randomized insert/delete traces.
+package queries
+
+import "rpai/internal/stream"
+
+// Strategy names an execution strategy.
+type Strategy string
+
+// The three execution strategies of the evaluation.
+const (
+	Naive   Strategy = "naive"
+	Toaster Strategy = "toaster"
+	RPAI    Strategy = "rpai"
+)
+
+// Strategies lists all strategies in evaluation order.
+func Strategies() []Strategy { return []Strategy{Naive, Toaster, RPAI} }
+
+// BidsExecutor incrementally maintains a finance query over order-book
+// events. MST and PSP consume both sides; the single-relation queries ignore
+// ask events.
+type BidsExecutor interface {
+	// Name returns the query name, e.g. "vwap".
+	Name() string
+	// Strategy returns the execution strategy of this implementation.
+	Strategy() Strategy
+	// Apply processes one order-book event.
+	Apply(e stream.Event)
+	// Result returns the current query output.
+	Result() float64
+}
+
+// NewBids constructs the executor for a finance query under a strategy. It
+// panics on an unknown query/strategy pair, which is a programming error.
+func NewBids(query string, s Strategy) BidsExecutor {
+	type key struct {
+		q string
+		s Strategy
+	}
+	ctors := map[key]func() BidsExecutor{
+		{"vwap", Naive}:   func() BidsExecutor { return newVWAPNaive() },
+		{"vwap", Toaster}: func() BidsExecutor { return newVWAPToaster() },
+		{"vwap", RPAI}:    func() BidsExecutor { return newVWAPRPAI() },
+		{"mst", Naive}:    func() BidsExecutor { return newMSTNaive() },
+		{"mst", Toaster}:  func() BidsExecutor { return newMSTToaster() },
+		{"mst", RPAI}:     func() BidsExecutor { return newMSTRPAI() },
+		{"psp", Naive}:    func() BidsExecutor { return newPSPNaive() },
+		{"psp", Toaster}:  func() BidsExecutor { return newPSPToaster() },
+		{"psp", RPAI}:     func() BidsExecutor { return newPSPRPAI() },
+		{"sq1", Naive}:    func() BidsExecutor { return newSQ1Naive() },
+		{"sq1", Toaster}:  func() BidsExecutor { return newSQ1Toaster() },
+		{"sq1", RPAI}:     func() BidsExecutor { return newSQ1RPAI() },
+		{"sq2", Naive}:    func() BidsExecutor { return newSQ2Naive() },
+		{"sq2", Toaster}:  func() BidsExecutor { return newSQ2Toaster() },
+		{"sq2", RPAI}:     func() BidsExecutor { return newSQ2RPAI() },
+		{"nq1", Naive}:    func() BidsExecutor { return newNQ1Naive() },
+		{"nq1", Toaster}:  func() BidsExecutor { return newNQ1Toaster() },
+		{"nq1", RPAI}:     func() BidsExecutor { return newNQ1RPAI() },
+		{"nq2", Naive}:    func() BidsExecutor { return newNQ2Naive() },
+		{"nq2", Toaster}:  func() BidsExecutor { return newNQ2Toaster() },
+		{"nq2", RPAI}:     func() BidsExecutor { return newNQ2RPAI() },
+	}
+	ctor, ok := ctors[key{query, s}]
+	if !ok {
+		panic("queries: unknown finance query/strategy " + query + "/" + string(s))
+	}
+	return ctor()
+}
+
+// FinanceQueries lists the order-book queries in evaluation order. The
+// boolean says whether the query consumes both order-book sides.
+func FinanceQueries() []struct {
+	Name      string
+	BothSides bool
+} {
+	return []struct {
+		Name      string
+		BothSides bool
+	}{
+		{"mst", true},
+		{"psp", true},
+		{"vwap", false},
+		{"sq1", false},
+		{"sq2", false},
+		{"nq1", false},
+		{"nq2", false},
+	}
+}
+
+// liveSet tracks the live records of one order-book side for the naive
+// executors, supporting O(1) insert and O(n) delete-by-value.
+type liveSet struct {
+	recs []stream.Record
+}
+
+func (l *liveSet) apply(e stream.Event) {
+	switch e.Op {
+	case stream.Insert:
+		l.recs = append(l.recs, e.Rec)
+	case stream.Delete:
+		for i := range l.recs {
+			if l.recs[i].ID == e.Rec.ID {
+				l.recs[i] = l.recs[len(l.recs)-1]
+				l.recs = l.recs[:len(l.recs)-1]
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package queries
+
+import (
+	"testing"
+
+	"rpai/internal/stream"
+)
+
+// TestSoakAllQueriesRPAIvsToaster replays longer delete-heavy traces through
+// the RPAI and Toaster strategies of every finance query (the naive oracle
+// is too slow at this length; the toaster implementations are themselves
+// validated against naive in the per-query agreement tests). Skipped under
+// -short.
+func TestSoakAllQueriesRPAIvsToaster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	sizes := map[string]int{
+		"mst": 4000, "psp": 4000, "vwap": 4000,
+		"sq1": 1200, "sq2": 3000, "nq1": 3000, "nq2": 800,
+	}
+	for _, q := range FinanceQueries() {
+		q := q
+		t.Run(q.Name, func(t *testing.T) {
+			t.Parallel()
+			cfg := stream.DefaultOrderBook(sizes[q.Name])
+			cfg.Seed = 99
+			cfg.DeleteRatio = 0.35
+			cfg.PriceLevels = 48
+			cfg.MaxVolume = 30
+			cfg.BothSides = q.BothSides
+			rp := NewBids(q.Name, RPAI)
+			to := NewBids(q.Name, Toaster)
+			for i, e := range stream.GenerateOrderBook(cfg) {
+				rp.Apply(e)
+				to.Apply(e)
+				if got, want := rp.Result(), to.Result(); !almostEqual(got, want) {
+					t.Fatalf("event %d: rpai %v vs toaster %v", i, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestVWAPAdversarialSamePriceChurn hammers a single price level with
+// alternating inserts and deletes: the aggregate index must repeatedly merge
+// and split the boundary key without leaking entries.
+func TestVWAPAdversarialSamePriceChurn(t *testing.T) {
+	q := newVWAPRPAI()
+	naive := newVWAPNaive()
+	apply := func(op stream.Op, id int64, price, vol float64) {
+		e := stream.Event{Op: op, Side: stream.Bids, Rec: stream.Record{ID: id, Price: price, Volume: vol}}
+		q.Apply(e)
+		naive.Apply(e)
+	}
+	apply(stream.Insert, 1, 100, 5)
+	apply(stream.Insert, 2, 101, 5)
+	for i := 0; i < 200; i++ {
+		id := int64(10 + i)
+		apply(stream.Insert, id, 100, 7)
+		if got, want := q.Result(), naive.Result(); got != want {
+			t.Fatalf("iter %d after insert: %v vs %v", i, got, want)
+		}
+		apply(stream.Delete, id, 100, 7)
+		if got, want := q.Result(), naive.Result(); got != want {
+			t.Fatalf("iter %d after delete: %v vs %v", i, got, want)
+		}
+	}
+	// The index must be back to exactly two price levels' worth of state.
+	if q.byPrice.Len() != 2 {
+		t.Fatalf("price map leaked: %d levels", q.byPrice.Len())
+	}
+	if q.agg.Len() != 2 {
+		t.Fatalf("aggregate index leaked: %d keys", q.agg.Len())
+	}
+}
+
+// TestNQ1AdversarialBoundaryThrash oscillates the total volume so the
+// qualifying boundary q* sweeps back and forth across many levels,
+// exercising the qualVol reconciliation loop heavily.
+func TestNQ1AdversarialBoundaryThrash(t *testing.T) {
+	q := newNQ1RPAI()
+	naive := newNQ1Naive()
+	var id int64
+	apply := func(op stream.Op, rec stream.Record) {
+		e := stream.Event{Op: op, Side: stream.Bids, Rec: rec}
+		q.Apply(e)
+		naive.Apply(e)
+		if got, want := q.Result(), naive.Result(); got != want {
+			t.Fatalf("after %v %v: %v vs %v", op, rec, got, want)
+		}
+	}
+	// A ladder of small levels.
+	for p := 1.0; p <= 20; p++ {
+		id++
+		apply(stream.Insert, stream.Record{ID: id, Price: p, Volume: 2})
+	}
+	// Repeatedly insert and retract a huge low-price volume: each insert
+	// drags q* far down (most levels qualify), each delete pushes it back.
+	for i := 0; i < 50; i++ {
+		id++
+		big := stream.Record{ID: id, Price: 1, Volume: 500}
+		apply(stream.Insert, big)
+		apply(stream.Delete, big)
+	}
+	// And a huge high-price volume, pulling the boundary the other way.
+	for i := 0; i < 50; i++ {
+		id++
+		big := stream.Record{ID: id, Price: 20, Volume: 500}
+		apply(stream.Insert, big)
+		apply(stream.Delete, big)
+	}
+}
+
+// TestMSTAdversarialLevelCollapse drives one side down to empty repeatedly
+// while the other stays populated.
+func TestMSTAdversarialLevelCollapse(t *testing.T) {
+	q := newMSTRPAI()
+	naive := newMSTNaive()
+	apply := func(op stream.Op, side stream.Side, id int64, price, vol float64) {
+		e := stream.Event{Op: op, Side: side, Rec: stream.Record{ID: id, Price: price, Volume: vol}}
+		q.Apply(e)
+		naive.Apply(e)
+		if got, want := q.Result(), naive.Result(); got != want {
+			t.Fatalf("after %v side=%v id=%d: %v vs %v", op, side, id, got, want)
+		}
+	}
+	apply(stream.Insert, stream.Bids, 1, 90, 10)
+	apply(stream.Insert, stream.Bids, 2, 95, 10)
+	for i := 0; i < 100; i++ {
+		base := int64(100 + 3*i)
+		apply(stream.Insert, stream.Asks, base, 100, 5)
+		apply(stream.Insert, stream.Asks, base+1, 101, 5)
+		apply(stream.Delete, stream.Asks, base, 100, 5)
+		apply(stream.Delete, stream.Asks, base+1, 101, 5)
+	}
+	if q.asks.byPrice.Len() != 0 {
+		t.Fatalf("ask side leaked %d levels", q.asks.byPrice.Len())
+	}
+	if q.asks.cnt.Len() != 0 || q.asks.pv.Len() != 0 {
+		t.Fatalf("ask indexes leaked %d/%d keys", q.asks.cnt.Len(), q.asks.pv.Len())
+	}
+}
+
+// TestNQ1InternalInvariants reconstructs the NQ1 executor's derived state
+// from first principles every few events: qualVol must equal byPrice
+// restricted to the qualifying suffix, and every aggregate-index key must be
+// the qualifying prefix sum of its outer price group with the group's
+// price*volume total as value.
+func TestNQ1InternalInvariants(t *testing.T) {
+	cfg := stream.DefaultOrderBook(1200)
+	cfg.Seed = 17
+	cfg.DeleteRatio = 0.3
+	cfg.PriceLevels = 25
+	cfg.MaxVolume = 20
+	q := newNQ1RPAI()
+	for i, e := range stream.GenerateOrderBook(cfg) {
+		q.Apply(e)
+		if i%10 != 0 {
+			continue
+		}
+		// Expected qualifying boundary.
+		wantQstar, ok := q.byPrice.FirstPrefixGreater(0.5 * q.sumVol)
+		// qualVol == byPrice restricted to [qstar, inf).
+		var wantQualLevels int
+		q.byPrice.Ascend(func(p, v float64) bool {
+			if ok && p >= wantQstar {
+				wantQualLevels++
+				if got, _ := q.qualVol.Get(p); got != v {
+					t.Fatalf("event %d: qualVol[%v] = %v, want %v", i, p, got, v)
+				}
+			}
+			return true
+		})
+		if q.qualVol.Len() != wantQualLevels {
+			t.Fatalf("event %d: qualVol has %d levels, want %d", i, q.qualVol.Len(), wantQualLevels)
+		}
+		// Aggregate index == resMap grouped by qualifying prefix key.
+		wantAgg := map[float64]float64{}
+		q.resMap.Ascend(func(p, pv float64) bool {
+			wantAgg[q.qualVol.PrefixSum(p)] += pv
+			return true
+		})
+		var aggKeys int
+		q.agg.Ascend(func(k, v float64) bool {
+			aggKeys++
+			if want := wantAgg[k]; !almostEqual(v, want) {
+				t.Fatalf("event %d: agg[%v] = %v, want %v", i, k, v, want)
+			}
+			return true
+		})
+		nonZero := 0
+		for _, v := range wantAgg {
+			if v != 0 {
+				nonZero++
+			}
+		}
+		if aggKeys != nonZero {
+			t.Fatalf("event %d: agg has %d keys, want %d", i, aggKeys, nonZero)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package queries
+
+import (
+	"rpai/internal/stream"
+	"rpai/internal/treemap"
+)
+
+// SQ1 (paper section 5.2.1): VWAP with the uncorrelated subquery made
+// correlated by adding a predicate inside it, so both sides of the outer
+// predicate vary per outer tuple:
+//
+//	SELECT Sum(b.price * b.volume) FROM bids b
+//	WHERE 0.75 * (SELECT Sum(b1.volume) FROM bids b1 WHERE b1.volume <= b.volume)
+//	      < (SELECT Sum(b2.volume) FROM bids b2 WHERE b2.price <= b.price)
+//
+// With both sides variable, the final result cannot be read off a single
+// aggregate index with getSum; the RPAI strategy falls back to the general
+// incrementalization algorithm of section 4.2 (Table 1: general algorithm
+// only, O(n) vs DBToaster's O(n^2)).
+
+// sq1Group keys the outer tuples by their free-column combination
+// (price, volume): tuples sharing both evaluate both predicates identically.
+type sq1Group struct {
+	price  float64
+	volume float64
+}
+
+// sq1Naive re-evaluates from scratch: O(n^2) per event.
+type sq1Naive struct {
+	live liveSet
+}
+
+func newSQ1Naive() *sq1Naive { return &sq1Naive{} }
+
+func (q *sq1Naive) Name() string       { return "sq1" }
+func (q *sq1Naive) Strategy() Strategy { return Naive }
+
+func (q *sq1Naive) Apply(e stream.Event) {
+	if e.Side != stream.Bids {
+		return
+	}
+	q.live.apply(e)
+}
+
+func (q *sq1Naive) Result() float64 {
+	var res float64
+	for _, b := range q.live.recs {
+		var lhs, rhs float64
+		for _, b1 := range q.live.recs {
+			if b1.Volume <= b.Volume {
+				lhs += b1.Volume
+			}
+		}
+		for _, b2 := range q.live.recs {
+			if b2.Price <= b.Price {
+				rhs += b2.Volume
+			}
+		}
+		if 0.75*lhs < rhs {
+			res += b.Price * b.Volume
+		}
+	}
+	return res
+}
+
+// sq1Toaster maintains DBToaster's per-column views but must re-evaluate
+// both correlated subqueries per distinct outer group by scanning the
+// distinct values: O(n * (p + v)) per event.
+type sq1Toaster struct {
+	volByPrice map[float64]float64  // price -> sum(volume)
+	volByVol   map[float64]float64  // volume -> sum(volume)
+	pvByGroup  map[sq1Group]float64 // (price, volume) -> sum(price*volume)
+	cntByGroup map[sq1Group]float64
+}
+
+func newSQ1Toaster() *sq1Toaster {
+	return &sq1Toaster{
+		volByPrice: make(map[float64]float64),
+		volByVol:   make(map[float64]float64),
+		pvByGroup:  make(map[sq1Group]float64),
+		cntByGroup: make(map[sq1Group]float64),
+	}
+}
+
+func (q *sq1Toaster) Name() string       { return "sq1" }
+func (q *sq1Toaster) Strategy() Strategy { return Toaster }
+
+func (q *sq1Toaster) Apply(e stream.Event) {
+	if e.Side != stream.Bids {
+		return
+	}
+	t, x := e.Rec, e.X()
+	g := sq1Group{t.Price, t.Volume}
+	q.volByPrice[t.Price] += x * t.Volume
+	q.volByVol[t.Volume] += x * t.Volume
+	q.pvByGroup[g] += x * t.Price * t.Volume
+	q.cntByGroup[g] += x
+	if q.volByPrice[t.Price] == 0 {
+		delete(q.volByPrice, t.Price)
+	}
+	if q.volByVol[t.Volume] == 0 {
+		delete(q.volByVol, t.Volume)
+	}
+	if q.cntByGroup[g] == 0 {
+		delete(q.cntByGroup, g)
+		delete(q.pvByGroup, g)
+	}
+}
+
+func (q *sq1Toaster) Result() float64 {
+	var res float64
+	for g, pv := range q.pvByGroup {
+		var lhs, rhs float64
+		for v, sum := range q.volByVol {
+			if v <= g.volume {
+				lhs += sum
+			}
+		}
+		for p, sum := range q.volByPrice {
+			if p <= g.price {
+				rhs += sum
+			}
+		}
+		if 0.75*lhs < rhs {
+			res += pv
+		}
+	}
+	return res
+}
+
+// sq1RPAI is the general-algorithm executor: sum-augmented free maps keyed
+// by the correlation columns give each subquery's aggregate in O(log n), and
+// the result recomputation iterates the distinct outer groups —
+// O(n log n) per event in place of DBToaster's O(n^2).
+type sq1RPAI struct {
+	volByPrice *treemap.Tree // free map of the rhs subquery
+	volByVol   *treemap.Tree // free map of the lhs subquery
+	pvByGroup  map[sq1Group]float64
+	cntByGroup map[sq1Group]float64
+}
+
+func newSQ1RPAI() *sq1RPAI {
+	return &sq1RPAI{
+		volByPrice: treemap.New(),
+		volByVol:   treemap.New(),
+		pvByGroup:  make(map[sq1Group]float64),
+		cntByGroup: make(map[sq1Group]float64),
+	}
+}
+
+func (q *sq1RPAI) Name() string       { return "sq1" }
+func (q *sq1RPAI) Strategy() Strategy { return RPAI }
+
+func (q *sq1RPAI) Apply(e stream.Event) {
+	if e.Side != stream.Bids {
+		return
+	}
+	t, x := e.Rec, e.X()
+	g := sq1Group{t.Price, t.Volume}
+	q.volByPrice.Add(t.Price, x*t.Volume)
+	if v, _ := q.volByPrice.Get(t.Price); v == 0 {
+		q.volByPrice.Delete(t.Price)
+	}
+	q.volByVol.Add(t.Volume, x*t.Volume)
+	if v, _ := q.volByVol.Get(t.Volume); v == 0 {
+		q.volByVol.Delete(t.Volume)
+	}
+	q.pvByGroup[g] += x * t.Price * t.Volume
+	q.cntByGroup[g] += x
+	if q.cntByGroup[g] == 0 {
+		delete(q.cntByGroup, g)
+		delete(q.pvByGroup, g)
+	}
+}
+
+func (q *sq1RPAI) Result() float64 {
+	var res float64
+	for g, pv := range q.pvByGroup {
+		lhs := 0.75 * q.volByVol.PrefixSum(g.volume)
+		rhs := q.volByPrice.PrefixSum(g.price)
+		if lhs < rhs {
+			res += pv
+		}
+	}
+	return res
+}

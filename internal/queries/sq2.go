@@ -1,0 +1,159 @@
+package queries
+
+import (
+	"rpai/internal/stream"
+	"rpai/internal/treemap"
+)
+
+// SQ2 (paper section 5.2.1): VWAP with an asymmetric inequality inside the
+// correlated subquery:
+//
+//	SELECT Sum(b.price * b.volume) FROM bids b
+//	WHERE 0.75 * (SELECT Sum(b1.volume) FROM bids b1)
+//	      < (SELECT Sum(b2.volume) FROM bids b2 WHERE 2 * b2.price <= b.price)
+//
+// The asymmetry breaks the aggregate-index optimization: outer prices no
+// longer correspond one-to-one to correlated-aggregate keys (two outer prices
+// can share a key yet diverge under a later update that lands between their
+// halved boundaries), so the RPAI strategy uses the general algorithm
+// (Table 1: O(n), vs DBToaster's O(n^2)).
+
+// sq2Naive re-evaluates from scratch: O(n^2) per event.
+type sq2Naive struct {
+	live liveSet
+}
+
+func newSQ2Naive() *sq2Naive { return &sq2Naive{} }
+
+func (q *sq2Naive) Name() string       { return "sq2" }
+func (q *sq2Naive) Strategy() Strategy { return Naive }
+
+func (q *sq2Naive) Apply(e stream.Event) {
+	if e.Side != stream.Bids {
+		return
+	}
+	q.live.apply(e)
+}
+
+func (q *sq2Naive) Result() float64 {
+	var total float64
+	for _, b1 := range q.live.recs {
+		total += b1.Volume
+	}
+	lhs := 0.75 * total
+	var res float64
+	for _, b := range q.live.recs {
+		var rhs float64
+		for _, b2 := range q.live.recs {
+			if 2*b2.Price <= b.Price {
+				rhs += b2.Volume
+			}
+		}
+		if lhs < rhs {
+			res += b.Price * b.Volume
+		}
+	}
+	return res
+}
+
+// sq2Toaster maintains per-price views and re-evaluates the correlated
+// subquery per distinct outer price by scanning distinct prices: O(p^2).
+type sq2Toaster struct {
+	volAt  map[float64]float64 // price -> sum(volume)
+	pvAt   map[float64]float64 // price -> sum(price*volume)
+	cntAt  map[float64]float64 // price -> count
+	sumVol float64
+}
+
+func newSQ2Toaster() *sq2Toaster {
+	return &sq2Toaster{
+		volAt: make(map[float64]float64),
+		pvAt:  make(map[float64]float64),
+		cntAt: make(map[float64]float64),
+	}
+}
+
+func (q *sq2Toaster) Name() string       { return "sq2" }
+func (q *sq2Toaster) Strategy() Strategy { return Toaster }
+
+func (q *sq2Toaster) Apply(e stream.Event) {
+	if e.Side != stream.Bids {
+		return
+	}
+	t, x := e.Rec, e.X()
+	q.volAt[t.Price] += x * t.Volume
+	q.pvAt[t.Price] += x * t.Price * t.Volume
+	q.cntAt[t.Price] += x
+	q.sumVol += x * t.Volume
+	if q.cntAt[t.Price] == 0 {
+		delete(q.volAt, t.Price)
+		delete(q.pvAt, t.Price)
+		delete(q.cntAt, t.Price)
+	}
+}
+
+func (q *sq2Toaster) Result() float64 {
+	lhs := 0.75 * q.sumVol
+	var res float64
+	for p, pv := range q.pvAt {
+		var rhs float64
+		for p2, vol := range q.volAt {
+			if 2*p2 <= p {
+				rhs += vol
+			}
+		}
+		if lhs < rhs {
+			res += pv
+		}
+	}
+	return res
+}
+
+// sq2RPAI is the general-algorithm executor: a sum-augmented price map gives
+// each outer price's correlated aggregate as PrefixSum(price/2) in O(log n);
+// the result loop iterates distinct outer prices. O(p log n) per event.
+type sq2RPAI struct {
+	volByPrice *treemap.Tree // price -> sum(volume), free map
+	pvByPrice  *treemap.Tree // price -> sum(price*volume), result map
+	cntAt      map[float64]float64
+	sumVol     float64
+}
+
+func newSQ2RPAI() *sq2RPAI {
+	return &sq2RPAI{
+		volByPrice: treemap.New(),
+		pvByPrice:  treemap.New(),
+		cntAt:      make(map[float64]float64),
+	}
+}
+
+func (q *sq2RPAI) Name() string       { return "sq2" }
+func (q *sq2RPAI) Strategy() Strategy { return RPAI }
+
+func (q *sq2RPAI) Apply(e stream.Event) {
+	if e.Side != stream.Bids {
+		return
+	}
+	t, x := e.Rec, e.X()
+	q.volByPrice.Add(t.Price, x*t.Volume)
+	q.pvByPrice.Add(t.Price, x*t.Price*t.Volume)
+	q.cntAt[t.Price] += x
+	q.sumVol += x * t.Volume
+	if q.cntAt[t.Price] == 0 {
+		q.volByPrice.Delete(t.Price)
+		q.pvByPrice.Delete(t.Price)
+		delete(q.cntAt, t.Price)
+	}
+}
+
+func (q *sq2RPAI) Result() float64 {
+	lhs := 0.75 * q.sumVol
+	var res float64
+	q.pvByPrice.Ascend(func(p, pv float64) bool {
+		if lhs < q.volByPrice.PrefixSum(p/2) {
+			res += pv
+		}
+		return true
+	})
+	return res
+}

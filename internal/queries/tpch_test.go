@@ -1,0 +1,128 @@
+package queries
+
+import (
+	"testing"
+
+	"rpai/internal/tpch"
+)
+
+func tpchConfigs() []tpch.Config {
+	mkUniform := tpch.DefaultConfig(0.02, false)
+	mkUniform.Events = 600
+	mkSkewed := tpch.DefaultConfig(0.02, true)
+	mkSkewed.Events = 600
+	heavyDel := tpch.DefaultConfig(0.02, false)
+	heavyDel.Events = 600
+	heavyDel.DeleteRatio = 0.3
+	heavyDel.Seed = 7
+	return []tpch.Config{mkUniform, mkSkewed, heavyDel}
+}
+
+func TestQ17StrategiesAgree(t *testing.T) {
+	for _, cfg := range tpchConfigs() {
+		d := tpch.Generate(cfg)
+		execs := []TPCHExecutor{
+			NewQ17(Naive, d.Parts),
+			NewQ17(Toaster, d.Parts),
+			NewQ17(RPAI, d.Parts),
+		}
+		for i, e := range d.Events {
+			for _, ex := range execs {
+				ex.Apply(e)
+			}
+			want := execs[0].Result()
+			for _, ex := range execs[1:] {
+				if got := ex.Result(); !almostEqual(got, want) {
+					t.Fatalf("q17 %s diverged at event %d (skewed=%v): %v vs %v",
+						ex.Strategy(), i, cfg.Skewed, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestQ17HandCheck(t *testing.T) {
+	parts := []tpch.Part{
+		{PartKey: 1, Brand: tpch.Q17Brand, Container: tpch.Q17Container},
+		{PartKey: 2, Brand: 1, Container: 1}, // does not qualify
+	}
+	q := NewQ17(RPAI, parts)
+	ins := func(pk int32, qty, price float64) {
+		q.Apply(tpch.Event{Op: tpch.Insert, Rec: tpch.LineItem{OrderKey: 1, PartKey: pk, Quantity: qty, ExtendedPrice: price}})
+	}
+	// Part 1: quantities 1, 10, 10 -> avg 7, threshold 1.4. Only the
+	// quantity-1 lineitem qualifies: res = 700/7 = 100.
+	ins(1, 1, 700)
+	ins(1, 10, 100)
+	ins(1, 10, 100)
+	// Part 2 is filtered out entirely.
+	ins(2, 1, 99999)
+	if got := q.Result(); got != 100 {
+		t.Fatalf("Result = %v, want 100", got)
+	}
+	// Retract a quantity-10 item: avg = 5.5, threshold 1.1, still only the
+	// quantity-1 item: 100.
+	q.Apply(tpch.Event{Op: tpch.Delete, Rec: tpch.LineItem{OrderKey: 1, PartKey: 1, Quantity: 10, ExtendedPrice: 100}})
+	if got := q.Result(); got != 100 {
+		t.Fatalf("Result after delete = %v, want 100", got)
+	}
+}
+
+func TestQ17FullRetractionLeavesNoState(t *testing.T) {
+	parts := []tpch.Part{{PartKey: 1, Brand: tpch.Q17Brand, Container: tpch.Q17Container}}
+	q := NewQ17(RPAI, parts).(*q17RPAI)
+	li := tpch.LineItem{OrderKey: 1, PartKey: 1, Quantity: 5, ExtendedPrice: 50}
+	q.Apply(tpch.Event{Op: tpch.Insert, Rec: li})
+	q.Apply(tpch.Event{Op: tpch.Delete, Rec: li})
+	if got := q.Result(); got != 0 {
+		t.Fatalf("Result = %v", got)
+	}
+	if len(q.byPart) != 0 {
+		t.Fatalf("stale per-part state: %d", len(q.byPart))
+	}
+}
+
+func TestQ18StrategiesAgree(t *testing.T) {
+	for _, cfg := range tpchConfigs() {
+		d := tpch.Generate(cfg)
+		execs := []TPCHExecutor{NewQ18(Naive), NewQ18(Toaster), NewQ18(RPAI)}
+		for i, e := range d.Events {
+			for _, ex := range execs {
+				ex.Apply(e)
+			}
+			want := execs[0].Result()
+			for _, ex := range execs[1:] {
+				if got := ex.Result(); !almostEqual(got, want) {
+					t.Fatalf("q18 %s diverged at event %d: %v vs %v", ex.Strategy(), i, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestQ18ThresholdCrossing(t *testing.T) {
+	q := NewQ18(RPAI)
+	add := func(ok int32, qty float64, op tpch.Op) {
+		q.Apply(tpch.Event{Op: op, Rec: tpch.LineItem{OrderKey: ok, Quantity: qty}})
+	}
+	add(1, 200, tpch.Insert)
+	if got := q.Result(); got != 0 {
+		t.Fatalf("below threshold: %v", got)
+	}
+	add(1, 150, tpch.Insert) // 350 > 300
+	if got := q.Result(); got != 350 {
+		t.Fatalf("above threshold: %v", got)
+	}
+	add(2, 301, tpch.Insert)
+	if got := q.Result(); got != 651 {
+		t.Fatalf("two orders: %v", got)
+	}
+	add(1, 150, tpch.Delete) // back to 200
+	if got := q.Result(); got != 301 {
+		t.Fatalf("after retraction: %v", got)
+	}
+	grouped := q.(*q18Incremental).QualifyingOrders()
+	if len(grouped) != 1 || grouped[2] != 301 {
+		t.Fatalf("grouped view = %v", grouped)
+	}
+}

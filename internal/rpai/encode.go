@@ -1,0 +1,140 @@
+package rpai
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Encode writes a compact binary snapshot of the tree. The stream preserves
+// the exact structure (relative keys, colors, values), so Decode restores a
+// bit-identical tree; executors can use this to checkpoint long-running
+// streams.
+//
+// Format: magic "RPAI", uint32 version, uint32 node count, then a preorder
+// walk of nodes as (flags byte, relative key, value) with two flag bits
+// marking child presence and one the link color.
+func (t *Tree) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(encodeMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(encodeVersion)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(t.Len())); err != nil {
+		return err
+	}
+	if err := encodeNode(bw, t.root); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+const (
+	encodeMagic   = "RPAI"
+	encodeVersion = 1
+
+	flagLeft  = 1 << 0
+	flagRight = 1 << 1
+	flagRed   = 1 << 2
+)
+
+func encodeNode(w *bufio.Writer, n *node) error {
+	if n == nil {
+		return nil
+	}
+	var flags byte
+	if n.left != nil {
+		flags |= flagLeft
+	}
+	if n.right != nil {
+		flags |= flagRight
+	}
+	if n.color == red {
+		flags |= flagRed
+	}
+	if err := w.WriteByte(flags); err != nil {
+		return err
+	}
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[0:], math.Float64bits(n.key))
+	binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(n.value))
+	if _, err := w.Write(buf[:]); err != nil {
+		return err
+	}
+	if err := encodeNode(w, n.left); err != nil {
+		return err
+	}
+	return encodeNode(w, n.right)
+}
+
+// Decode reads a snapshot written by Encode and returns the restored tree.
+// The augmented fields are recomputed and the result is validated, so a
+// corrupted stream is reported rather than silently accepted.
+func Decode(r io.Reader) (*Tree, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(encodeMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("rpai: reading snapshot header: %w", err)
+	}
+	if string(magic) != encodeMagic {
+		return nil, fmt.Errorf("rpai: bad snapshot magic %q", magic)
+	}
+	var version, count uint32
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, err
+	}
+	if version != encodeVersion {
+		return nil, fmt.Errorf("rpai: unsupported snapshot version %d", version)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, err
+	}
+	d := decoder{r: br}
+	root, err := d.node(int(count) > 0)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tree{root: root}
+	if t.Len() != int(count) {
+		return nil, fmt.Errorf("rpai: snapshot node count mismatch: header %d, stream %d", count, t.Len())
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("rpai: snapshot fails validation: %w", err)
+	}
+	return t, nil
+}
+
+type decoder struct {
+	r *bufio.Reader
+}
+
+func (d *decoder) node(present bool) (*node, error) {
+	if !present {
+		return nil, nil
+	}
+	flags, err := d.r.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("rpai: truncated snapshot: %w", err)
+	}
+	var buf [16]byte
+	if _, err := io.ReadFull(d.r, buf[:]); err != nil {
+		return nil, fmt.Errorf("rpai: truncated snapshot: %w", err)
+	}
+	n := &node{
+		key:   math.Float64frombits(binary.LittleEndian.Uint64(buf[0:])),
+		value: math.Float64frombits(binary.LittleEndian.Uint64(buf[8:])),
+		color: flags&flagRed != 0,
+	}
+	if n.left, err = d.node(flags&flagLeft != 0); err != nil {
+		return nil, err
+	}
+	if n.right, err = d.node(flags&flagRight != 0); err != nil {
+		return nil, err
+	}
+	n.update()
+	return n, nil
+}

@@ -1,0 +1,40 @@
+package rpai_test
+
+import (
+	"fmt"
+
+	"rpai/internal/rpai"
+)
+
+// The Figure 3 example: prefix-summing aggregate values in O(log n).
+func ExampleTree_GetSum() {
+	t := rpai.New()
+	for _, kv := range [][2]float64{{40, 2}, {20, 3}, {60, 8}, {10, 3}, {30, 6}, {50, 2}, {70, 7}} {
+		t.Put(kv[0], kv[1])
+	}
+	fmt.Println(t.GetSum(50))
+	fmt.Println(t.Total())
+	// Output:
+	// 16
+	// 31
+}
+
+// The Figure 4 example: shifting every key above 9 by 10 without visiting
+// the shifted nodes individually.
+func ExampleTree_ShiftKeys() {
+	t := rpai.New()
+	for _, k := range []float64{7, 8, 9, 11, 13, 14, 19, 20} {
+		t.Put(k, 1)
+	}
+	t.ShiftKeys(9, 10)
+	fmt.Println(t.Keys())
+	// Negative shifts merge keys that collide (section 3.2.4).
+	t.ShiftKeys(25, -8)
+	fmt.Println(t.Keys())
+	v, _ := t.Get(21)
+	fmt.Println(v)
+	// Output:
+	// [7 8 9 21 23 24 29 30]
+	// [7 8 9 21 22 23 24]
+	// 2
+}

@@ -1,0 +1,96 @@
+package rpai
+
+import (
+	"sort"
+	"testing"
+)
+
+// FuzzTreeOps decodes the fuzz input as a sequence of tree operations and
+// checks the balanced tree against the map model and the structural
+// validator after every step. Run with `go test -fuzz FuzzTreeOps`; the
+// seeded corpus executes under plain `go test`.
+func FuzzTreeOps(f *testing.F) {
+	f.Add([]byte{0, 10, 5, 1, 20, 7, 4, 15, 30, 5, 25, 40})
+	f.Add([]byte{2, 10, 0, 3, 200, 9, 0, 1, 1, 5, 0, 50})
+	f.Add([]byte{4, 0, 1, 4, 0, 2, 5, 255, 255, 1, 3, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr := New()
+		m := map[float64]float64{}
+		modelShift := func(k, d float64, incl bool) {
+			next := map[float64]float64{}
+			for key, v := range m {
+				nk := key
+				if key > k || (incl && key == k) {
+					nk = key + d
+				}
+				next[nk] += v
+			}
+			m = next
+		}
+		for i := 0; i+2 < len(data); i += 3 {
+			op := data[i] % 7
+			k := float64(int8(data[i+1])) // signed keys
+			v := float64(data[i+2]%64) - 16
+			switch op {
+			case 0:
+				tr.Add(k, v)
+				m[k] += v
+			case 1:
+				tr.Put(k, v)
+				m[k] = v
+			case 2:
+				_, want := m[k]
+				if got := tr.Delete(k); got != want {
+					t.Fatalf("Delete(%v) = %v want %v", k, got, want)
+				}
+				delete(m, k)
+			case 3:
+				tr.ShiftKeys(k, v)
+				modelShift(k, v, false)
+			case 4:
+				tr.ShiftKeysInclusive(k, v)
+				modelShift(k, v, true)
+			case 5:
+				var want float64
+				for key, val := range m {
+					if key <= k {
+						want += val
+					}
+				}
+				if got := tr.GetSum(k); got != want {
+					t.Fatalf("GetSum(%v) = %v want %v", k, got, want)
+				}
+			case 6:
+				if got, ok := tr.Get(k); ok != containsKey(m, k) || (ok && got != m[k]) {
+					t.Fatalf("Get(%v) = %v,%v want %v", k, got, ok, m[k])
+				}
+			}
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("after op %d: %v", i/3, err)
+			}
+			if tr.Len() != len(m) {
+				t.Fatalf("Len = %d want %d", tr.Len(), len(m))
+			}
+		}
+		// Final full comparison.
+		keys := tr.Keys()
+		want := make([]float64, 0, len(m))
+		for k := range m {
+			want = append(want, k)
+		}
+		sort.Float64s(want)
+		if len(keys) != len(want) {
+			t.Fatalf("key count %d want %d", len(keys), len(want))
+		}
+		for i := range keys {
+			if keys[i] != want[i] {
+				t.Fatalf("keys diverge at %d: %v vs %v", i, keys[i], want[i])
+			}
+		}
+	})
+}
+
+func containsKey(m map[float64]float64, k float64) bool {
+	_, ok := m[k]
+	return ok
+}

@@ -1,0 +1,379 @@
+package rpai
+
+import "fmt"
+
+// Reference is an unbalanced parent-relative BST implementing the paper's
+// Algorithms 1 and 2 literally, including fixTreeFromLeft/fixTreeFromRight
+// (detach the violating branch and re-insert its entries one by one). It
+// exists as a differential-testing oracle for Tree and as an ablation
+// baseline: it has the same asymptotic ShiftKeys behaviour on random inputs
+// but degrades to linear depth on adversarial insertion orders, which is why
+// the balanced Tree is the production structure (paper section 3.2.5).
+type Reference struct {
+	root *refNode
+}
+
+type refNode struct {
+	key    float64 // relative to parent
+	value  float64
+	left   *refNode
+	right  *refNode
+	size   int
+	sum    float64
+	minRel float64 // min true key of subtree, relative to this node
+	maxRel float64 // max true key of subtree, relative to this node
+}
+
+// NewReference returns an empty reference tree.
+func NewReference() *Reference { return &Reference{} }
+
+func (n *refNode) sizeOf() int {
+	if n == nil {
+		return 0
+	}
+	return n.size
+}
+
+func (n *refNode) sumOf() float64 {
+	if n == nil {
+		return 0
+	}
+	return n.sum
+}
+
+func (n *refNode) update() {
+	n.size = 1 + n.left.sizeOf() + n.right.sizeOf()
+	n.sum = n.value + n.left.sumOf() + n.right.sumOf()
+	n.minRel = 0
+	if n.left != nil {
+		n.minRel = n.left.key + n.left.minRel
+	}
+	n.maxRel = 0
+	if n.right != nil {
+		n.maxRel = n.right.key + n.right.maxRel
+	}
+}
+
+// Len reports the number of keys.
+func (t *Reference) Len() int { return t.root.sizeOf() }
+
+// Total returns the sum of all values.
+func (t *Reference) Total() float64 { return t.root.sumOf() }
+
+// Get returns the value stored under k and whether k is present.
+func (t *Reference) Get(k float64) (float64, bool) {
+	n := t.root
+	for n != nil {
+		switch {
+		case k < n.key:
+			k -= n.key
+			n = n.left
+		case k > n.key:
+			k -= n.key
+			n = n.right
+		default:
+			return n.value, true
+		}
+	}
+	return 0, false
+}
+
+// Contains reports whether k is present.
+func (t *Reference) Contains(k float64) bool {
+	_, ok := t.Get(k)
+	return ok
+}
+
+// Put stores v under k, replacing any existing value.
+func (t *Reference) Put(k, v float64) { t.root = refPut(t.root, k, v, true) }
+
+// Add adds dv to the value under k, inserting if absent.
+func (t *Reference) Add(k, dv float64) { t.root = refPut(t.root, k, dv, false) }
+
+func refPut(n *refNode, k, v float64, replace bool) *refNode {
+	if n == nil {
+		nn := &refNode{key: k, value: v}
+		nn.update()
+		return nn
+	}
+	switch {
+	case k < n.key:
+		n.left = refPut(n.left, k-n.key, v, replace)
+	case k > n.key:
+		n.right = refPut(n.right, k-n.key, v, replace)
+	default:
+		if replace {
+			n.value = v
+		} else {
+			n.value += v
+		}
+	}
+	n.update()
+	return n
+}
+
+// Delete removes k and reports whether it was present.
+func (t *Reference) Delete(k float64) bool {
+	if !t.Contains(k) {
+		return false
+	}
+	t.root = refDel(t.root, k)
+	return true
+}
+
+func refDel(n *refNode, k float64) *refNode {
+	switch {
+	case k < n.key:
+		n.left = refDel(n.left, k-n.key)
+	case k > n.key:
+		n.right = refDel(n.right, k-n.key)
+	default:
+		if n.left == nil && n.right == nil {
+			return nil
+		}
+		if n.left == nil {
+			n.right.key += n.key
+			return n.right
+		}
+		if n.right == nil {
+			n.left.key += n.key
+			return n.left
+		}
+		// Replace with successor: minimum of right subtree.
+		off, v := refMinOffset(n.right)
+		succOff := n.key + off
+		shift := succOff - n.key
+		n.key = succOff
+		n.value = v
+		n.left.key -= shift
+		n.right.key -= shift
+		n.right = refDeleteMin(n.right)
+	}
+	n.update()
+	return n
+}
+
+func refMinOffset(n *refNode) (off, value float64) {
+	off = n.key
+	for n.left != nil {
+		n = n.left
+		off += n.key
+	}
+	return off, n.value
+}
+
+func refDeleteMin(n *refNode) *refNode {
+	if n.left == nil {
+		if n.right != nil {
+			n.right.key += n.key
+		}
+		return n.right
+	}
+	n.left = refDeleteMin(n.left)
+	n.update()
+	return n
+}
+
+// GetSum returns the sum of values over entries with key <= k.
+func (t *Reference) GetSum(k float64) float64 {
+	var s float64
+	n := t.root
+	for n != nil {
+		if k < n.key {
+			k -= n.key
+			n = n.left
+		} else {
+			s += n.value + n.left.sumOf()
+			k -= n.key
+			n = n.right
+		}
+	}
+	return s
+}
+
+// GetSumLess returns the sum of values over entries with key < k.
+func (t *Reference) GetSumLess(k float64) float64 {
+	var s float64
+	n := t.root
+	for n != nil {
+		if k <= n.key {
+			k -= n.key
+			n = n.left
+		} else {
+			s += n.value + n.left.sumOf()
+			k -= n.key
+			n = n.right
+		}
+	}
+	return s
+}
+
+// ShiftKeys shifts all keys strictly greater than k by d, using the paper's
+// Algorithm 1 for d > 0 and Algorithm 2 (with fixTree) for d < 0.
+func (t *Reference) ShiftKeys(k, d float64) {
+	if t.root == nil || d == 0 {
+		return
+	}
+	if d > 0 {
+		refShiftPos(t.root, k, d)
+		return
+	}
+	t.root = refShiftNeg(t.root, k, d)
+}
+
+// refShiftPos is Algorithm 1 verbatim.
+func refShiftPos(n *refNode, k, d float64) {
+	if n == nil {
+		return
+	}
+	if k < n.key {
+		refShiftPos(n.left, k-n.key, d)
+		n.key += d
+		if n.left != nil {
+			n.left.key -= d
+		}
+	} else {
+		refShiftPos(n.right, k-n.key, d)
+	}
+	n.update()
+}
+
+// refShiftNeg is Algorithm 2: shift as in Algorithm 1, then detect BST
+// violations via the subtree min/max keys and repair with fixTree.
+func refShiftNeg(n *refNode, k, d float64) *refNode {
+	if n == nil {
+		return nil
+	}
+	if k < n.key {
+		n.left = refShiftNeg(n.left, k-n.key, d)
+		n.key += d
+		if n.left != nil {
+			n.left.key -= d
+			n.update()
+			// Violation if the left subtree's max true key reaches this
+			// node's key (paper line 8: node.key <= node.left.maxKey+node.key,
+			// i.e. the left subtree contains a key >= ours).
+			if n.left.key+n.left.maxRel >= 0 {
+				return fixTreeFromLeft(n)
+			}
+		}
+	} else {
+		n.right = refShiftNeg(n.right, k-n.key, d)
+		n.update()
+		if n.right != nil && n.right.key+n.right.minRel <= 0 {
+			return fixTreeFromRight(n)
+		}
+	}
+	n.update()
+	return n
+}
+
+// fixTreeFromLeft detaches the left subtree and re-inserts its entries
+// (paper Algorithm 2 lines 18-25).
+func fixTreeFromLeft(n *refNode) *refNode {
+	branch := n.left
+	n.left = nil
+	n.update()
+	return reinsert(n, branch, branch.key)
+}
+
+// fixTreeFromRight is the symmetric case the paper omits for space.
+func fixTreeFromRight(n *refNode) *refNode {
+	branch := n.right
+	n.right = nil
+	n.update()
+	return reinsert(n, branch, branch.key)
+}
+
+// reinsert adds every entry of the detached branch back into the subtree
+// rooted at root. base is the branch root's key offset expressed in root's
+// own frame; entry keys passed to refPut must be in root's parent frame,
+// hence the root.key addition at each leaf visit.
+func reinsert(root, branch *refNode, base float64) *refNode {
+	if branch == nil {
+		return root
+	}
+	root = reinsert(root, branch.left, base+branchKey(branch.left))
+	root = refPut(root, root.key+base, branch.value, false)
+	root = reinsert(root, branch.right, base+branchKey(branch.right))
+	return root
+}
+
+func branchKey(n *refNode) float64 {
+	if n == nil {
+		return 0
+	}
+	return n.key
+}
+
+// Ascend calls fn for each entry in increasing key order until fn returns
+// false.
+func (t *Reference) Ascend(fn func(k, v float64) bool) { refAscend(t.root, 0, fn) }
+
+func refAscend(n *refNode, base float64, fn func(k, v float64) bool) bool {
+	if n == nil {
+		return true
+	}
+	k := base + n.key
+	if !refAscend(n.left, k, fn) {
+		return false
+	}
+	if !fn(k, n.value) {
+		return false
+	}
+	return refAscend(n.right, k, fn)
+}
+
+// Keys returns all true keys in increasing order.
+func (t *Reference) Keys() []float64 {
+	out := make([]float64, 0, t.Len())
+	t.Ascend(func(k, _ float64) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}
+
+// Validate checks BST order and augmented-field consistency.
+func (t *Reference) Validate() error {
+	_, err := refValidate(t.root, 0)
+	return err
+}
+
+func refValidate(n *refNode, base float64) (int, error) {
+	if n == nil {
+		return 0, nil
+	}
+	k := base + n.key
+	if n.left != nil && n.left.key+n.left.maxRel >= 0 {
+		return 0, fmt.Errorf("rpai: reference BST order violated left of key %v", k)
+	}
+	if n.right != nil && n.right.key+n.right.minRel <= 0 {
+		return 0, fmt.Errorf("rpai: reference BST order violated right of key %v", k)
+	}
+	ln, err := refValidate(n.left, k)
+	if err != nil {
+		return 0, err
+	}
+	rn, err := refValidate(n.right, k)
+	if err != nil {
+		return 0, err
+	}
+	if n.size != 1+ln+rn {
+		return 0, fmt.Errorf("rpai: reference size mismatch at key %v", k)
+	}
+	if want := n.value + n.left.sumOf() + n.right.sumOf(); n.sum != want {
+		return 0, fmt.Errorf("rpai: reference sum mismatch at key %v", k)
+	}
+	wantMin, wantMax := 0.0, 0.0
+	if n.left != nil {
+		wantMin = n.left.key + n.left.minRel
+	}
+	if n.right != nil {
+		wantMax = n.right.key + n.right.maxRel
+	}
+	if n.minRel != wantMin || n.maxRel != wantMax {
+		return 0, fmt.Errorf("rpai: reference min/max mismatch at key %v", k)
+	}
+	return n.size, nil
+}

@@ -1,0 +1,62 @@
+package rpaibtree
+
+import (
+	"testing"
+
+	"rpai/internal/rpai"
+)
+
+// FuzzBTreeVsBinary decodes the input as an op sequence and requires the
+// B-tree and the binary RPAI tree (itself model-checked) to agree after
+// every step, with the B-tree's structural invariants intact.
+func FuzzBTreeVsBinary(f *testing.F) {
+	f.Add([]byte{0, 10, 5, 3, 20, 7, 5, 15, 30})
+	f.Add([]byte{1, 1, 1, 1, 2, 2, 2, 3, 3, 4, 200, 50})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		bt := New()
+		rt := rpai.New()
+		for i := 0; i+2 < len(data); i += 3 {
+			op := data[i] % 6
+			k := float64(int8(data[i+1]))
+			v := float64(data[i+2]%64) - 16
+			switch op {
+			case 0:
+				bt.Add(k, v)
+				rt.Add(k, v)
+			case 1:
+				bt.Put(k, v)
+				rt.Put(k, v)
+			case 2:
+				if got, want := bt.Delete(k), rt.Delete(k); got != want {
+					t.Fatalf("Delete(%v): %v vs %v", k, got, want)
+				}
+			case 3:
+				bt.ShiftKeys(k, v)
+				rt.ShiftKeys(k, v)
+			case 4:
+				bt.ShiftKeysInclusive(k, v)
+				rt.ShiftKeysInclusive(k, v)
+			case 5:
+				if got, want := bt.GetSum(k), rt.GetSum(k); got != want {
+					t.Fatalf("GetSum(%v): %v vs %v", k, got, want)
+				}
+			}
+			if bt.Len() != rt.Len() || bt.Total() != rt.Total() {
+				t.Fatalf("op %d: Len/Total diverged", i/3)
+			}
+		}
+		if err := bt.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		keys := bt.Keys()
+		want := rt.Keys()
+		if len(keys) != len(want) {
+			t.Fatalf("key counts diverge: %d vs %d", len(keys), len(want))
+		}
+		for i := range keys {
+			if keys[i] != want[i] {
+				t.Fatalf("keys diverge at %d", i)
+			}
+		}
+	})
+}

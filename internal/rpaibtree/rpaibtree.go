@@ -1,0 +1,624 @@
+// Package rpaibtree implements the Relative Partial Aggregate Index on a
+// B-tree, the variant the paper sketches in its closing note to section 3
+// ("we used binary trees in our discussion and implementation, but the same
+// principles would apply to B-trees as well").
+//
+// Each node carries a base offset relative to its parent's coordinate frame;
+// keys inside a node are stored relative to the node's own frame, and the
+// true key of an entry is the sum of base offsets along its root path plus
+// its in-node key. Shifting every key of a subtree is then one addition to
+// the subtree root's base, which makes ShiftKeys O(t log n) for branching
+// factor t — the B-tree counterpart of the paper's parent-relative binary
+// tree. Nodes also carry subtree sums, serving GetSum the same way.
+//
+// Negative shifts reuse the balanced strategy of package rpai: extract the
+// contiguous range of keys whose shifted position could violate the order,
+// apply the pure relative shift, and re-insert them at their new positions,
+// merging values on collision.
+//
+// The type implements aggindex.Index and is differential-tested against the
+// binary RPAI tree; benchmarks compare the two (cache behaviour vs pointer
+// chasing) as an ablation.
+package rpaibtree
+
+import "fmt"
+
+// minDegree is the B-tree minimum degree t: every node except the root has
+// between t-1 and 2t-1 keys. 16 keeps nodes around two cache lines of keys.
+const minDegree = 16
+
+const maxKeys = 2*minDegree - 1
+
+type bnode struct {
+	// base is the offset of this node's coordinate frame relative to the
+	// parent's frame (0 for the root).
+	base float64
+	// keys are relative to this node's frame; vals are parallel.
+	keys []float64
+	vals []float64
+	// children has len(keys)+1 entries for internal nodes, nil for leaves.
+	children []*bnode
+	// sum is the total of vals in this subtree; size the entry count.
+	sum  float64
+	size int
+}
+
+func (n *bnode) leaf() bool { return n.children == nil }
+
+func (n *bnode) update() {
+	n.sum = 0
+	n.size = len(n.keys)
+	for _, v := range n.vals {
+		n.sum += v
+	}
+	for _, c := range n.children {
+		n.sum += c.sum
+		n.size += c.size
+	}
+}
+
+// Tree is a Relative Partial Aggregate Index over a B-tree. The zero value
+// is not usable; call New.
+type Tree struct {
+	root *bnode
+}
+
+// New returns an empty tree.
+func New() *Tree { return &Tree{root: &bnode{}} }
+
+// Len reports the number of keys.
+func (t *Tree) Len() int { return t.root.size }
+
+// Total returns the sum of all values.
+func (t *Tree) Total() float64 { return t.root.sum }
+
+// Get returns the value stored under k and whether k is present.
+func (t *Tree) Get(k float64) (float64, bool) {
+	n := t.root
+	for {
+		k -= n.base
+		i := search(n.keys, k)
+		if i < len(n.keys) && n.keys[i] == k {
+			return n.vals[i], true
+		}
+		if n.leaf() {
+			return 0, false
+		}
+		n = n.children[i]
+	}
+}
+
+// Contains reports whether k is present.
+func (t *Tree) Contains(k float64) bool {
+	_, ok := t.Get(k)
+	return ok
+}
+
+// search returns the first index with keys[i] >= k.
+func search(keys []float64, k float64) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys[mid] < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Put stores v under k, replacing any existing value.
+func (t *Tree) Put(k, v float64) { t.upsert(k, v, true) }
+
+// Add adds dv to the value under k, inserting if absent.
+func (t *Tree) Add(k, dv float64) { t.upsert(k, dv, false) }
+
+func (t *Tree) upsert(k, v float64, replace bool) {
+	if len(t.root.keys) == maxKeys {
+		old := t.root
+		t.root = &bnode{children: []*bnode{old}}
+		t.splitChild(t.root, 0)
+	}
+	t.insertNonFull(t.root, k, v, replace)
+}
+
+// splitChild splits the full child p.children[i], lifting its median key
+// into p. Both halves keep the child's base, so in-node keys need no
+// re-expression; the median's key is translated into p's frame.
+func (t *Tree) splitChild(p *bnode, i int) {
+	c := p.children[i]
+	mid := maxKeys / 2
+	right := &bnode{
+		base: c.base,
+		keys: append([]float64(nil), c.keys[mid+1:]...),
+		vals: append([]float64(nil), c.vals[mid+1:]...),
+	}
+	if !c.leaf() {
+		right.children = append([]*bnode(nil), c.children[mid+1:]...)
+	}
+	upKey := c.base + c.keys[mid]
+	upVal := c.vals[mid]
+	c.keys = c.keys[:mid:mid]
+	c.vals = c.vals[:mid:mid]
+	if !c.leaf() {
+		c.children = c.children[: mid+1 : mid+1]
+	}
+	c.update()
+	right.update()
+	p.keys = insertF(p.keys, i, upKey)
+	p.vals = insertF(p.vals, i, upVal)
+	p.children = insertN(p.children, i+1, right)
+	p.update()
+}
+
+func (t *Tree) insertNonFull(n *bnode, k, v float64, replace bool) {
+	k -= n.base
+	i := search(n.keys, k)
+	if i < len(n.keys) && n.keys[i] == k {
+		if replace {
+			n.vals[i] = v
+		} else {
+			n.vals[i] += v
+		}
+		n.update()
+		return
+	}
+	if n.leaf() {
+		n.keys = insertF(n.keys, i, k)
+		n.vals = insertF(n.vals, i, v)
+		n.update()
+		return
+	}
+	if len(n.children[i].keys) == maxKeys {
+		t.splitChild(n, i)
+		// The lifted median may equal or precede k.
+		if k == n.keys[i] {
+			if replace {
+				n.vals[i] = v
+			} else {
+				n.vals[i] += v
+			}
+			n.update()
+			return
+		}
+		if k > n.keys[i] {
+			i++
+		}
+	}
+	t.insertNonFull(n.children[i], k, v, replace)
+	n.update()
+}
+
+func insertF(s []float64, i int, v float64) []float64 {
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func insertN(s []*bnode, i int, v *bnode) []*bnode {
+	s = append(s, nil)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// GetSum returns the sum of values over entries with key <= k.
+func (t *Tree) GetSum(k float64) float64 { return t.rangeSum(k, true) }
+
+// GetSumLess returns the sum of values over entries with key < k.
+func (t *Tree) GetSumLess(k float64) float64 { return t.rangeSum(k, false) }
+
+func (t *Tree) rangeSum(k float64, inclusive bool) float64 {
+	var s float64
+	n := t.root
+	for n != nil {
+		k -= n.base
+		i := 0
+		for ; i < len(n.keys); i++ {
+			if n.keys[i] < k || (inclusive && n.keys[i] == k) {
+				s += n.vals[i]
+				if !n.leaf() {
+					s += n.children[i].sum
+				}
+				continue
+			}
+			break
+		}
+		if n.leaf() {
+			return s
+		}
+		n = n.children[i]
+	}
+	return s
+}
+
+// SuffixSum returns the sum of values over entries with key >= k.
+func (t *Tree) SuffixSum(k float64) float64 { return t.Total() - t.GetSumLess(k) }
+
+// SuffixSumGreater returns the sum of values over entries with key > k.
+func (t *Tree) SuffixSumGreater(k float64) float64 { return t.Total() - t.GetSum(k) }
+
+// ShiftKeys shifts every key strictly greater than k by d.
+func (t *Tree) ShiftKeys(k, d float64) { t.shift(k, d, false) }
+
+// ShiftKeysInclusive shifts every key greater than or equal to k by d.
+func (t *Tree) ShiftKeysInclusive(k, d float64) { t.shift(k, d, true) }
+
+func (t *Tree) shift(k, d float64, inclusive bool) {
+	if d == 0 || t.root.size == 0 {
+		return
+	}
+	if d < 0 {
+		moved := t.extractRange(k, k-d, inclusive)
+		shiftRel(t.root, k, d, inclusive)
+		for _, e := range moved {
+			t.Add(e.key+d, e.value)
+		}
+		return
+	}
+	shiftRel(t.root, k, d, inclusive)
+}
+
+// shiftRel performs the pure relative shift along the boundary path: the
+// qualifying suffix of in-node keys moves by d, whole child subtrees to the
+// right move via their base, and only the one straddling child is descended.
+func shiftRel(n *bnode, k, d float64, inclusive bool) {
+	if n == nil {
+		return
+	}
+	k -= n.base
+	// First key that qualifies for the shift.
+	i := search(n.keys, k)
+	if i < len(n.keys) && n.keys[i] == k && !inclusive {
+		i++
+	}
+	for j := i; j < len(n.keys); j++ {
+		n.keys[j] += d
+	}
+	if n.leaf() {
+		return
+	}
+	for j := i + 1; j < len(n.children); j++ {
+		n.children[j].base += d
+	}
+	// children[i] straddles the boundary.
+	shiftRel(n.children[i], k, d, inclusive)
+}
+
+type entry struct {
+	key   float64
+	value float64
+}
+
+// extractRange removes and returns all entries with key in (lo, hi], or
+// [lo, hi] when inclusive is true.
+func (t *Tree) extractRange(lo, hi float64, inclusive bool) []entry {
+	var out []entry
+	collect(t.root, 0, lo, hi, inclusive, &out)
+	for _, e := range out {
+		t.Delete(e.key)
+	}
+	return out
+}
+
+func collect(n *bnode, acc, lo, hi float64, inclusive bool, out *[]entry) {
+	if n == nil {
+		return
+	}
+	acc += n.base
+	for i, rk := range n.keys {
+		k := acc + rk
+		if !n.leaf() && k > lo {
+			collect(n.children[i], acc, lo, hi, inclusive, out)
+		}
+		if (k > lo || (inclusive && k == lo)) && k <= hi {
+			*out = append(*out, entry{k, n.vals[i]})
+		}
+		if k > hi {
+			// Everything further right is beyond the range.
+			return
+		}
+	}
+	if !n.leaf() {
+		collect(n.children[len(n.children)-1], acc, lo, hi, inclusive, out)
+	}
+}
+
+// Delete removes k, reporting whether it was present.
+func (t *Tree) Delete(k float64) bool {
+	if !t.Contains(k) {
+		return false
+	}
+	t.del(t.root, k)
+	if len(t.root.keys) == 0 && !t.root.leaf() {
+		// Shrink the tree: the sole child absorbs the root's frame.
+		child := t.root.children[0]
+		child.base += t.root.base
+		t.root = child
+	}
+	return true
+}
+
+// del removes k from the subtree at n. n is guaranteed to have at least
+// minDegree keys unless it is the root (the classic precondition, maintained
+// by fill before each descent).
+func (t *Tree) del(n *bnode, k float64) {
+	k -= n.base
+	i := search(n.keys, k)
+	if i < len(n.keys) && n.keys[i] == k {
+		if n.leaf() {
+			n.keys = append(n.keys[:i], n.keys[i+1:]...)
+			n.vals = append(n.vals[:i], n.vals[i+1:]...)
+			n.update()
+			return
+		}
+		t.delInternal(n, i, k)
+		n.update()
+		return
+	}
+	if n.leaf() {
+		return // not present (guarded by Contains)
+	}
+	if len(n.children[i].keys) < minDegree {
+		i = t.fill(n, i)
+	}
+	t.del(n.children[i], k)
+	n.update()
+}
+
+// delInternal removes n.keys[i] when n is internal: replace it with its
+// predecessor or successor if a child can spare a key, otherwise merge.
+func (t *Tree) delInternal(n *bnode, i int, k float64) {
+	left, right := n.children[i], n.children[i+1]
+	switch {
+	case len(left.keys) >= minDegree:
+		// Replace with the predecessor, then remove it from the left child
+		// (which can spare a key, so the descent precondition holds).
+		pk, pv := maxEntry(left)
+		n.keys[i] = pk // pk is in n's frame (maxEntry accumulates bases)
+		n.vals[i] = pv
+		t.del(left, pk)
+	case len(right.keys) >= minDegree:
+		sk, sv := minEntry(right)
+		n.keys[i] = sk
+		n.vals[i] = sv
+		t.del(right, sk)
+	default:
+		// k is already expressed in n's frame, which is also the frame the
+		// merged child's base is relative to.
+		t.merge(n, i)
+		t.del(n.children[i], k)
+	}
+}
+
+// maxEntry returns the largest entry of the subtree, with its key expressed
+// in the frame of the subtree's parent.
+func maxEntry(n *bnode) (float64, float64) {
+	var acc float64
+	for {
+		acc += n.base
+		if n.leaf() {
+			last := len(n.keys) - 1
+			return acc + n.keys[last], n.vals[last]
+		}
+		n = n.children[len(n.children)-1]
+	}
+}
+
+// minEntry returns the smallest entry of the subtree, key in the parent's
+// frame.
+func minEntry(n *bnode) (float64, float64) {
+	var acc float64
+	for {
+		acc += n.base
+		if n.leaf() {
+			return acc + n.keys[0], n.vals[0]
+		}
+		n = n.children[0]
+	}
+}
+
+// fill ensures n.children[i] has at least minDegree keys by borrowing from a
+// sibling or merging; it returns the index of the child that now covers the
+// original child's key range.
+func (t *Tree) fill(n *bnode, i int) int {
+	if i > 0 && len(n.children[i-1].keys) >= minDegree {
+		t.borrowFromLeft(n, i)
+		return i
+	}
+	if i < len(n.children)-1 && len(n.children[i+1].keys) >= minDegree {
+		t.borrowFromRight(n, i)
+		return i
+	}
+	if i == len(n.children)-1 {
+		t.merge(n, i-1)
+		return i - 1
+	}
+	t.merge(n, i)
+	return i
+}
+
+// borrowFromLeft moves the parent separator down into child i and the left
+// sibling's last key up, translating frames.
+func (t *Tree) borrowFromLeft(n *bnode, i int) {
+	c, l := n.children[i], n.children[i-1]
+	// Parent separator (n frame) -> c frame.
+	c.keys = insertF(c.keys, 0, n.keys[i-1]-c.base)
+	c.vals = insertF(c.vals, 0, n.vals[i-1])
+	if !c.leaf() {
+		moved := l.children[len(l.children)-1]
+		moved.base += l.base - c.base // re-express in c's frame
+		c.children = insertN(c.children, 0, moved)
+		l.children = l.children[: len(l.children)-1 : len(l.children)-1]
+	}
+	last := len(l.keys) - 1
+	n.keys[i-1] = l.base + l.keys[last] // l frame -> n frame
+	n.vals[i-1] = l.vals[last]
+	l.keys = l.keys[:last:last]
+	l.vals = l.vals[:last:last]
+	l.update()
+	c.update()
+	n.update()
+}
+
+// borrowFromRight is the mirror image.
+func (t *Tree) borrowFromRight(n *bnode, i int) {
+	c, r := n.children[i], n.children[i+1]
+	c.keys = append(c.keys, n.keys[i]-c.base)
+	c.vals = append(c.vals, n.vals[i])
+	if !c.leaf() {
+		moved := r.children[0]
+		moved.base += r.base - c.base
+		c.children = append(c.children, moved)
+		r.children = append([]*bnode(nil), r.children[1:]...)
+	}
+	n.keys[i] = r.base + r.keys[0]
+	n.vals[i] = r.vals[0]
+	r.keys = append([]float64(nil), r.keys[1:]...)
+	r.vals = append([]float64(nil), r.vals[1:]...)
+	r.update()
+	c.update()
+	n.update()
+}
+
+// merge folds n.keys[i] and n.children[i+1] into n.children[i].
+func (t *Tree) merge(n *bnode, i int) {
+	c, r := n.children[i], n.children[i+1]
+	c.keys = append(c.keys, n.keys[i]-c.base)
+	c.vals = append(c.vals, n.vals[i])
+	shift := r.base - c.base
+	for _, rk := range r.keys {
+		c.keys = append(c.keys, rk+shift)
+	}
+	c.vals = append(c.vals, r.vals...)
+	if !c.leaf() {
+		for _, rc := range r.children {
+			rc.base += shift
+			c.children = append(c.children, rc)
+		}
+	}
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.vals = append(n.vals[:i], n.vals[i+1:]...)
+	n.children = append(n.children[:i+1], n.children[i+2:]...)
+	c.update()
+	n.update()
+}
+
+// Ascend calls fn for each entry in increasing key order until fn returns
+// false.
+func (t *Tree) Ascend(fn func(k, v float64) bool) { ascend(t.root, 0, fn) }
+
+func ascend(n *bnode, acc float64, fn func(k, v float64) bool) bool {
+	if n == nil {
+		return true
+	}
+	acc += n.base
+	for i := range n.keys {
+		if !n.leaf() && !ascend(n.children[i], acc, fn) {
+			return false
+		}
+		if !fn(acc+n.keys[i], n.vals[i]) {
+			return false
+		}
+	}
+	if !n.leaf() {
+		return ascend(n.children[len(n.children)-1], acc, fn)
+	}
+	return true
+}
+
+// Keys returns all true keys in increasing order. O(n); for tests.
+func (t *Tree) Keys() []float64 {
+	out := make([]float64, 0, t.Len())
+	t.Ascend(func(k, _ float64) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}
+
+// Validate checks key order, occupancy bounds, uniform leaf depth and the
+// sum/size augmentation. For tests.
+func (t *Tree) Validate() error {
+	_, err := validate(t.root, 0, true)
+	return err
+}
+
+func validate(n *bnode, acc float64, root bool) (depth int, err error) {
+	acc += n.base
+	if !root && len(n.keys) < minDegree-1 {
+		return 0, fmt.Errorf("rpaibtree: underfull node (%d keys)", len(n.keys))
+	}
+	if len(n.keys) > maxKeys {
+		return 0, fmt.Errorf("rpaibtree: overfull node (%d keys)", len(n.keys))
+	}
+	for i := 1; i < len(n.keys); i++ {
+		if n.keys[i-1] >= n.keys[i] {
+			return 0, fmt.Errorf("rpaibtree: in-node key order violated at %v", acc+n.keys[i])
+		}
+	}
+	if len(n.vals) != len(n.keys) {
+		return 0, fmt.Errorf("rpaibtree: vals/keys length mismatch")
+	}
+	wantSum, wantSize := 0.0, len(n.keys)
+	for _, v := range n.vals {
+		wantSum += v
+	}
+	if n.leaf() {
+		if n.size != wantSize || n.sum != wantSum {
+			return 0, fmt.Errorf("rpaibtree: leaf augmentation mismatch")
+		}
+		return 1, nil
+	}
+	if len(n.children) != len(n.keys)+1 {
+		return 0, fmt.Errorf("rpaibtree: children count %d for %d keys", len(n.children), len(n.keys))
+	}
+	childDepth := -1
+	for i, c := range n.children {
+		// Subtree separation: child i strictly between keys[i-1] and keys[i].
+		var lo, hi float64
+		hasLo, hasHi := i > 0, i < len(n.keys)
+		if hasLo {
+			lo = n.keys[i-1]
+		}
+		if hasHi {
+			hi = n.keys[i]
+		}
+		cmin, cmax := subtreeMin(c), subtreeMax(c)
+		if hasLo && cmin <= lo {
+			return 0, fmt.Errorf("rpaibtree: separation violated left of key %v", acc+lo)
+		}
+		if hasHi && cmax >= hi {
+			return 0, fmt.Errorf("rpaibtree: separation violated right of key %v", acc+hi)
+		}
+		d, err := validate(c, acc, false)
+		if err != nil {
+			return 0, err
+		}
+		if childDepth == -1 {
+			childDepth = d
+		} else if d != childDepth {
+			return 0, fmt.Errorf("rpaibtree: uneven leaf depth")
+		}
+		wantSum += c.sum
+		wantSize += c.size
+	}
+	if n.size != wantSize || n.sum != wantSum {
+		return 0, fmt.Errorf("rpaibtree: augmentation mismatch (size %d vs %d, sum %v vs %v)", n.size, wantSize, n.sum, wantSum)
+	}
+	return childDepth + 1, nil
+}
+
+// subtreeMin/Max return the extreme keys of a subtree expressed in the
+// parent's frame.
+func subtreeMin(n *bnode) float64 {
+	k, _ := minEntry(n)
+	return k
+}
+
+func subtreeMax(n *bnode) float64 {
+	k, _ := maxEntry(n)
+	return k
+}

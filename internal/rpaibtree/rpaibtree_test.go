@@ -1,0 +1,328 @@
+package rpaibtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"rpai/internal/rpai"
+)
+
+func TestEmpty(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 || tr.Total() != 0 {
+		t.Fatal("new tree not empty")
+	}
+	if _, ok := tr.Get(1); ok {
+		t.Fatal("Get hit")
+	}
+	if tr.Delete(1) {
+		t.Fatal("Delete succeeded")
+	}
+	tr.ShiftKeys(0, 5)
+	tr.ShiftKeysInclusive(0, -5)
+	if got := tr.GetSum(10); got != 0 {
+		t.Fatalf("GetSum = %v", got)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutGetManySplits(t *testing.T) {
+	tr := New()
+	const n = 5000 // forces several levels of splits
+	for i := 0; i < n; i++ {
+		tr.Put(float64(i), float64(i%7))
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if v, ok := tr.Get(float64(i)); !ok || v != float64(i%7) {
+			t.Fatalf("Get(%d) = %v,%v", i, v, ok)
+		}
+	}
+	if _, ok := tr.Get(-1); ok {
+		t.Fatal("Get(-1) hit")
+	}
+}
+
+func TestAddMergesAndReplace(t *testing.T) {
+	tr := New()
+	tr.Add(10, 5)
+	tr.Add(10, 7)
+	if v, _ := tr.Get(10); v != 12 {
+		t.Fatalf("Add merge = %v", v)
+	}
+	tr.Put(10, 3)
+	if v, _ := tr.Get(10); v != 3 {
+		t.Fatalf("Put replace = %v", v)
+	}
+}
+
+func TestGetSumMatchesScan(t *testing.T) {
+	tr := New()
+	rng := rand.New(rand.NewSource(1))
+	m := map[float64]float64{}
+	for i := 0; i < 3000; i++ {
+		k := float64(rng.Intn(5000))
+		v := float64(rng.Intn(100) + 1)
+		tr.Add(k, v)
+		m[k] += v
+	}
+	for q := -10.0; q < 5100; q += 97 {
+		var wantLE, wantLT float64
+		for k, v := range m {
+			if k <= q {
+				wantLE += v
+			}
+			if k < q {
+				wantLT += v
+			}
+		}
+		if got := tr.GetSum(q); got != wantLE {
+			t.Fatalf("GetSum(%v) = %v want %v", q, got, wantLE)
+		}
+		if got := tr.GetSumLess(q); got != wantLT {
+			t.Fatalf("GetSumLess(%v) = %v want %v", q, got, wantLT)
+		}
+	}
+}
+
+func TestDeleteAllOrders(t *testing.T) {
+	const n = 2000
+	orders := map[string][]int{
+		"ascending":  seq(n, false),
+		"descending": seq(n, true),
+		"shuffled":   shuffled(n, 5),
+	}
+	for name, order := range orders {
+		tr := New()
+		for i := 0; i < n; i++ {
+			tr.Put(float64(i), 1)
+		}
+		for step, k := range order {
+			if !tr.Delete(float64(k)) {
+				t.Fatalf("%s: Delete(%d) failed at step %d", name, k, step)
+			}
+			if step%97 == 0 {
+				if err := tr.Validate(); err != nil {
+					t.Fatalf("%s step %d: %v", name, step, err)
+				}
+			}
+		}
+		if tr.Len() != 0 {
+			t.Fatalf("%s: Len = %d", name, tr.Len())
+		}
+	}
+}
+
+func seq(n int, desc bool) []int {
+	out := make([]int, n)
+	for i := range out {
+		if desc {
+			out[i] = n - 1 - i
+		} else {
+			out[i] = i
+		}
+	}
+	return out
+}
+
+func shuffled(n int, seed int64) []int {
+	out := seq(n, false)
+	rand.New(rand.NewSource(seed)).Shuffle(n, func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+func TestShiftKeysPositiveLargeTree(t *testing.T) {
+	tr := New()
+	const n = 4000
+	for i := 0; i < n; i++ {
+		tr.Put(float64(i), 1)
+	}
+	tr.ShiftKeys(1999, 10000)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.GetSum(1999); got != 2000 {
+		t.Fatalf("unshifted prefix sum = %v", got)
+	}
+	if got := tr.GetSumLess(12000); got != 2000 {
+		t.Fatalf("gap sum = %v", got)
+	}
+	if got := tr.Total(); got != n {
+		t.Fatalf("Total = %v", got)
+	}
+	for _, k := range []float64{12000, 13999} {
+		if _, ok := tr.Get(k); !ok {
+			t.Fatalf("shifted key %v missing", k)
+		}
+	}
+}
+
+func TestShiftKeysNegativeMerge(t *testing.T) {
+	tr := New()
+	tr.Put(10, 3)
+	tr.Put(20, 4)
+	tr.Put(30, 5)
+	tr.ShiftKeys(15, -10) // 20->10 merges, 30->20
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if v, _ := tr.Get(10); v != 7 {
+		t.Fatalf("merged = %v", v)
+	}
+	if v, _ := tr.Get(20); v != 5 {
+		t.Fatalf("moved = %v", v)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShiftInclusiveBoundary(t *testing.T) {
+	tr := New()
+	tr.Put(10, 1)
+	tr.Put(11, 1)
+	tr.ShiftKeys(10, 5)
+	if ks := tr.Keys(); !eq(ks, []float64{10, 16}) {
+		t.Fatalf("keys = %v", ks)
+	}
+	tr.ShiftKeysInclusive(10, 5)
+	if ks := tr.Keys(); !eq(ks, []float64{15, 21}) {
+		t.Fatalf("keys = %v", ks)
+	}
+}
+
+// TestDifferentialAgainstBinaryRPAI drives the B-tree and the binary RPAI
+// tree through identical op sequences, requiring exact agreement after every
+// step — the binary tree is itself differential-tested against a model, so
+// this transitively checks the B-tree against the model too.
+func TestDifferentialAgainstBinaryRPAI(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		bt := New()
+		rt := rpai.New()
+		for op := 0; op < 3000; op++ {
+			switch rng.Intn(8) {
+			case 0, 1:
+				k, v := float64(rng.Intn(400)), float64(rng.Intn(50)+1)
+				bt.Add(k, v)
+				rt.Add(k, v)
+			case 2:
+				k, v := float64(rng.Intn(400)), float64(rng.Intn(50))
+				bt.Put(k, v)
+				rt.Put(k, v)
+			case 3:
+				k := float64(rng.Intn(400))
+				if got, want := bt.Delete(k), rt.Delete(k); got != want {
+					t.Fatalf("seed %d op %d: Delete(%v) = %v want %v", seed, op, k, got, want)
+				}
+			case 4:
+				k, d := float64(rng.Intn(500)-50), float64(rng.Intn(80)+1)
+				bt.ShiftKeys(k, d)
+				rt.ShiftKeys(k, d)
+			case 5:
+				k, d := float64(rng.Intn(500)-50), -float64(rng.Intn(80)+1)
+				bt.ShiftKeys(k, d)
+				rt.ShiftKeys(k, d)
+			case 6:
+				k, d := float64(rng.Intn(500)-50), float64(rng.Intn(160)-80)
+				bt.ShiftKeysInclusive(k, d)
+				rt.ShiftKeysInclusive(k, d)
+			case 7:
+				q := float64(rng.Intn(600) - 100)
+				if got, want := bt.GetSum(q), rt.GetSum(q); got != want {
+					t.Fatalf("seed %d op %d: GetSum(%v) = %v want %v", seed, op, q, got, want)
+				}
+				if got, want := bt.GetSumLess(q), rt.GetSumLess(q); got != want {
+					t.Fatalf("seed %d op %d: GetSumLess(%v) = %v want %v", seed, op, q, got, want)
+				}
+			}
+			if bt.Len() != rt.Len() || bt.Total() != rt.Total() {
+				t.Fatalf("seed %d op %d: Len/Total diverged (%d/%v vs %d/%v)",
+					seed, op, bt.Len(), bt.Total(), rt.Len(), rt.Total())
+			}
+		}
+		if err := bt.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !eq(bt.Keys(), rt.Keys()) {
+			t.Fatalf("seed %d: key sets diverged", seed)
+		}
+		bt.Ascend(func(k, v float64) bool {
+			if rv, ok := rt.Get(k); !ok || rv != v {
+				t.Fatalf("seed %d: value mismatch at %v: %v vs %v", seed, k, v, rv)
+			}
+			return true
+		})
+	}
+}
+
+func TestQuickInsertDeleteRoundTrip(t *testing.T) {
+	f := func(keys []int16) bool {
+		tr := New()
+		uniq := map[float64]bool{}
+		for _, k := range keys {
+			tr.Put(float64(k), 1)
+			uniq[float64(k)] = true
+		}
+		if tr.Len() != len(uniq) {
+			return false
+		}
+		if err := tr.Validate(); err != nil {
+			return false
+		}
+		for k := range uniq {
+			if !tr.Delete(k) {
+				return false
+			}
+		}
+		return tr.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAscendOrderedAndEarlyStop(t *testing.T) {
+	tr := New()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		tr.Put(float64(rng.Intn(100000)), 1)
+	}
+	var keys []float64
+	tr.Ascend(func(k, _ float64) bool {
+		keys = append(keys, k)
+		return true
+	})
+	if !sort.Float64sAreSorted(keys) || len(keys) != tr.Len() {
+		t.Fatal("Ascend broken")
+	}
+	var count int
+	tr.Ascend(func(_, _ float64) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func eq(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

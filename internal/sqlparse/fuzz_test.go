@@ -1,0 +1,32 @@
+package sqlparse
+
+import (
+	"testing"
+
+	"rpai/internal/engine"
+)
+
+// FuzzParse checks that arbitrary input never panics the parser and that
+// anything it accepts is well-formed enough for rendering and planning.
+func FuzzParse(f *testing.F) {
+	f.Add(vwapSQL)
+	f.Add(eq1SQL)
+	f.Add("SELECT SUM(b.v) FROM r b")
+	f.Add("SELECT SUM(b.v) FROM r b WHERE b.v > 1 * (SELECT COUNT(*) FROM r c)")
+	f.Add("select sum(") // truncated
+	f.Add("WHERE AND OR <= >= . . (")
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := Parse(input)
+		if err != nil {
+			return
+		}
+		// Accepted queries must render and plan without panicking.
+		_ = q.String()
+		_, _ = q.PlanAggIndex()
+		if q.Validate() == nil {
+			if _, err := engine.New(q); err != nil {
+				t.Fatalf("engine rejected a validated parsed query %q: %v", input, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,91 @@
+package stream
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadOrderBookCSV parses an order-book trace in the format cmd/datagen
+// emits: a header row naming at least price and volume, with optional op
+// (insert/delete), side (bids/asks), time, id and broker_id columns. It is
+// the bring-your-own-trace entry point: rpaibench can replay real order-book
+// data through the executors instead of the synthetic generator.
+func ReadOrderBookCSV(r io.Reader) ([]Event, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("stream: reading CSV header: %w", err)
+	}
+	col := map[string]int{}
+	for i, h := range header {
+		col[strings.ToLower(strings.TrimSpace(h))] = i
+	}
+	priceIdx, ok := col["price"]
+	if !ok {
+		return nil, fmt.Errorf("stream: CSV header lacks a price column")
+	}
+	volIdx, ok := col["volume"]
+	if !ok {
+		return nil, fmt.Errorf("stream: CSV header lacks a volume column")
+	}
+	get := func(rec []string, name string) (string, bool) {
+		i, ok := col[name]
+		if !ok || i >= len(rec) {
+			return "", false
+		}
+		return rec[i], true
+	}
+	var events []Event
+	row := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		row++
+		e := Event{Op: Insert, Side: Bids}
+		if s, ok := get(rec, "op"); ok && strings.EqualFold(s, "delete") {
+			e.Op = Delete
+		}
+		if s, ok := get(rec, "side"); ok && strings.EqualFold(s, "asks") {
+			e.Side = Asks
+		}
+		if e.Rec.Price, err = parseField(rec[priceIdx], "price", row); err != nil {
+			return nil, err
+		}
+		if e.Rec.Volume, err = parseField(rec[volIdx], "volume", row); err != nil {
+			return nil, err
+		}
+		if s, ok := get(rec, "time"); ok {
+			if v, err := strconv.ParseInt(s, 10, 64); err == nil {
+				e.Rec.Time = v
+			}
+		}
+		if s, ok := get(rec, "id"); ok {
+			if v, err := strconv.ParseInt(s, 10, 64); err == nil {
+				e.Rec.ID = v
+			}
+		}
+		if s, ok := get(rec, "broker_id"); ok {
+			if v, err := strconv.ParseInt(s, 10, 32); err == nil {
+				e.Rec.BrokerID = int32(v)
+			}
+		}
+		events = append(events, e)
+	}
+	return events, nil
+}
+
+func parseField(s, name string, row int) (float64, error) {
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return 0, fmt.Errorf("stream: row %d: bad %s %q: %w", row, name, s, err)
+	}
+	return v, nil
+}

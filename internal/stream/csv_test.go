@@ -1,0 +1,70 @@
+package stream
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadOrderBookCSVRoundTrip(t *testing.T) {
+	// The exact format cmd/datagen emits.
+	in := strings.Join([]string{
+		"op,side,time,id,broker_id,volume,price",
+		"insert,bids,0,1,3,10,100",
+		"insert,asks,1,2,4,20,105",
+		"delete,bids,2,1,3,10,100",
+	}, "\n")
+	events, err := ReadOrderBookCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("events = %d", len(events))
+	}
+	if events[0].Op != Insert || events[0].Side != Bids || events[0].Rec.Price != 100 ||
+		events[0].Rec.Volume != 10 || events[0].Rec.BrokerID != 3 || events[0].Rec.ID != 1 {
+		t.Fatalf("first event = %+v", events[0])
+	}
+	if events[1].Side != Asks || events[1].Rec.Price != 105 {
+		t.Fatalf("second event = %+v", events[1])
+	}
+	if events[2].Op != Delete || events[2].Rec.ID != 1 ||
+		events[2].Rec.Price != 100 || events[2].Rec.Volume != 10 {
+		t.Fatalf("third event = %+v", events[2])
+	}
+}
+
+func TestReadOrderBookCSVMinimalColumns(t *testing.T) {
+	in := "price,volume\n10,5\n20,7\n"
+	events, err := ReadOrderBookCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("events = %d", len(events))
+	}
+	for _, e := range events {
+		if e.Op != Insert || e.Side != Bids {
+			t.Fatalf("defaults wrong: %+v", e)
+		}
+	}
+}
+
+func TestReadOrderBookCSVErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		frag string
+	}{
+		{"empty", "", "header"},
+		{"no price", "volume\n5\n", "price column"},
+		{"no volume", "price\n5\n", "volume column"},
+		{"bad number", "price,volume\nten,5\n", "bad price"},
+	}
+	for _, c := range cases {
+		if _, err := ReadOrderBookCSV(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: no error", c.name)
+		} else if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.frag)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+// Package stream models the update streams the paper's evaluation replays:
+// order-book traces of bids and asks (the finance workload of section 5.1.1)
+// and the simple R(A,B) relation of Example 2.1.
+//
+// Every event inserts or deletes one record; deletions always retract a
+// previously inserted live record, matching the retraction semantics of
+// financial order books ("transactions often contain updates or retractions
+// of older transactions", section 2.2).
+//
+// All generated numeric fields are integral values stored in float64, so
+// every aggregate the executors maintain is exact: sums of integers below
+// 2^53 round-trip exactly through float64, which the RPAI tree's relative
+// keys rely on when keys are compared for equality.
+package stream
+
+import "math/rand"
+
+// Op distinguishes insertions from deletions; its value is the paper's
+// bids.X multiplicity (+1 insert, -1 delete).
+type Op int8
+
+// Supported event operations.
+const (
+	Insert Op = 1
+	Delete Op = -1
+)
+
+// Side says which order-book relation an event belongs to.
+type Side int8
+
+// Order-book sides.
+const (
+	Bids Side = iota
+	Asks
+)
+
+// Record is an order-book entry: the bids/asks schema of section 2.2
+// (timestamp, id, broker_id, volume, price).
+type Record struct {
+	Time     int64
+	ID       int64
+	BrokerID int32
+	Volume   float64
+	Price    float64
+}
+
+// Event is one update to an order-book relation. X returns the +1/-1
+// multiplicity used throughout the paper's trigger code.
+type Event struct {
+	Op   Op
+	Side Side
+	Rec  Record
+}
+
+// X is the insertion/deletion multiplicity of the event (t.X in the paper).
+func (e Event) X() float64 { return float64(e.Op) }
+
+// OrderBookConfig parameterizes the synthetic order-book generator.
+type OrderBookConfig struct {
+	// Seed makes the trace reproducible.
+	Seed int64
+	// Events is the total number of events to generate (inserts + deletes).
+	Events int
+	// DeleteRatio in [0,1) is the probability that an event retracts a live
+	// record instead of inserting a new one.
+	DeleteRatio float64
+	// PriceLevels is the number of distinct price ticks. Real order books
+	// concentrate on a bounded tick grid; a few hundred levels reproduces
+	// the distinct-price cardinality the paper's DBToaster numbers imply.
+	PriceLevels int
+	// BasePrice is the lowest price level. Prices are BasePrice + level*Tick.
+	BasePrice float64
+	// Tick is the price increment between levels; keep it integral so that
+	// aggregate keys remain exact.
+	Tick float64
+	// MaxVolume bounds the per-record volume, drawn uniformly from
+	// [1, MaxVolume].
+	MaxVolume int
+	// BothSides emits ask events interleaved with bids (needed by MST, PSP).
+	BothSides bool
+}
+
+// DefaultOrderBook returns the configuration used throughout the benchmarks:
+// a 10k-event single-sided trace with 300 price levels and 5% deletions.
+func DefaultOrderBook(events int) OrderBookConfig {
+	return OrderBookConfig{
+		Seed:        1,
+		Events:      events,
+		DeleteRatio: 0.05,
+		PriceLevels: 300,
+		BasePrice:   10000,
+		Tick:        1,
+		MaxVolume:   1000,
+	}
+}
+
+// GenerateOrderBook produces a reproducible synthetic order-book trace. The
+// mid-price follows a bounded random walk over the tick grid and each side's
+// deletions retract uniformly random live records of that side.
+func GenerateOrderBook(cfg OrderBookConfig) []Event {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.PriceLevels <= 0 {
+		cfg.PriceLevels = 300
+	}
+	if cfg.MaxVolume <= 0 {
+		cfg.MaxVolume = 1000
+	}
+	if cfg.Tick == 0 {
+		cfg.Tick = 1
+	}
+	events := make([]Event, 0, cfg.Events)
+	live := map[Side][]Record{}
+	level := cfg.PriceLevels / 2
+	var nextID int64
+	for i := 0; i < cfg.Events; i++ {
+		side := Bids
+		if cfg.BothSides && rng.Intn(2) == 1 {
+			side = Asks
+		}
+		if len(live[side]) > 0 && rng.Float64() < cfg.DeleteRatio {
+			j := rng.Intn(len(live[side]))
+			rec := live[side][j]
+			live[side][j] = live[side][len(live[side])-1]
+			live[side] = live[side][:len(live[side])-1]
+			events = append(events, Event{Op: Delete, Side: side, Rec: rec})
+			continue
+		}
+		// Random-walk the price level, reflecting at the grid edges.
+		level += rng.Intn(7) - 3
+		if level < 0 {
+			level = 0
+		}
+		if level >= cfg.PriceLevels {
+			level = cfg.PriceLevels - 1
+		}
+		nextID++
+		rec := Record{
+			Time:     int64(i),
+			ID:       nextID,
+			BrokerID: int32(rng.Intn(10)),
+			Volume:   float64(rng.Intn(cfg.MaxVolume) + 1),
+			Price:    cfg.BasePrice + float64(level)*cfg.Tick,
+		}
+		live[side] = append(live[side], rec)
+		events = append(events, Event{Op: Insert, Side: side, Rec: rec})
+	}
+	return events
+}
+
+// RAB is a tuple of the R(A,B) relation of Example 2.1.
+type RAB struct {
+	A float64
+	B float64
+}
+
+// RABEvent is one update to R.
+type RABEvent struct {
+	Op  Op
+	Rec RAB
+}
+
+// X is the insertion/deletion multiplicity of the event.
+func (e RABEvent) X() float64 { return float64(e.Op) }
+
+// RABConfig parameterizes the Example 2.1 workload generator.
+type RABConfig struct {
+	Seed        int64
+	Events      int
+	DeleteRatio float64
+	// ADomain is the number of distinct A values (the equality-correlation
+	// column); BMax bounds B.
+	ADomain int
+	BMax    int
+}
+
+// DefaultRAB returns the configuration used by the EQ1 tests and benchmarks.
+func DefaultRAB(events int) RABConfig {
+	return RABConfig{Seed: 1, Events: events, DeleteRatio: 0.05, ADomain: 100, BMax: 50}
+}
+
+// GenerateRAB produces a reproducible trace of updates to R(A,B).
+func GenerateRAB(cfg RABConfig) []RABEvent {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.ADomain <= 0 {
+		cfg.ADomain = 100
+	}
+	if cfg.BMax <= 0 {
+		cfg.BMax = 50
+	}
+	events := make([]RABEvent, 0, cfg.Events)
+	var live []RAB
+	for i := 0; i < cfg.Events; i++ {
+		if len(live) > 0 && rng.Float64() < cfg.DeleteRatio {
+			j := rng.Intn(len(live))
+			rec := live[j]
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+			events = append(events, RABEvent{Op: Delete, Rec: rec})
+			continue
+		}
+		rec := RAB{
+			A: float64(rng.Intn(cfg.ADomain) + 1),
+			B: float64(rng.Intn(cfg.BMax) + 1),
+		}
+		live = append(live, rec)
+		events = append(events, RABEvent{Op: Insert, Rec: rec})
+	}
+	return events
+}

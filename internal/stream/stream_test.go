@@ -1,0 +1,153 @@
+package stream
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestGenerateOrderBookDeterministic(t *testing.T) {
+	cfg := DefaultOrderBook(1000)
+	a := GenerateOrderBook(cfg)
+	b := GenerateOrderBook(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different traces")
+	}
+	cfg.Seed = 2
+	c := GenerateOrderBook(cfg)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateOrderBookCount(t *testing.T) {
+	ev := GenerateOrderBook(DefaultOrderBook(5000))
+	if len(ev) != 5000 {
+		t.Fatalf("len = %d", len(ev))
+	}
+}
+
+func TestDeletionsAlwaysRetractLiveRecords(t *testing.T) {
+	cfg := DefaultOrderBook(20000)
+	cfg.DeleteRatio = 0.3
+	cfg.BothSides = true
+	live := map[Side]map[int64]Record{Bids: {}, Asks: {}}
+	var deletes int
+	for _, e := range GenerateOrderBook(cfg) {
+		switch e.Op {
+		case Insert:
+			live[e.Side][e.Rec.ID] = e.Rec
+		case Delete:
+			deletes++
+			got, ok := live[e.Side][e.Rec.ID]
+			if !ok {
+				t.Fatalf("deletion of non-live record %d", e.Rec.ID)
+			}
+			if got != e.Rec {
+				t.Fatalf("deletion payload mismatch for id %d", e.Rec.ID)
+			}
+			delete(live[e.Side], e.Rec.ID)
+		}
+	}
+	if deletes == 0 {
+		t.Fatal("no deletions generated at ratio 0.3")
+	}
+}
+
+func TestPricesOnTickGrid(t *testing.T) {
+	cfg := DefaultOrderBook(5000)
+	distinct := map[float64]bool{}
+	for _, e := range GenerateOrderBook(cfg) {
+		p := e.Rec.Price
+		if p < cfg.BasePrice || p >= cfg.BasePrice+float64(cfg.PriceLevels)*cfg.Tick {
+			t.Fatalf("price %v outside grid", p)
+		}
+		if p != float64(int64(p)) {
+			t.Fatalf("price %v not integral", p)
+		}
+		distinct[p] = true
+	}
+	if len(distinct) < 10 {
+		t.Fatalf("only %d distinct prices; random walk too narrow", len(distinct))
+	}
+	if len(distinct) > cfg.PriceLevels {
+		t.Fatalf("%d distinct prices exceeds configured levels", len(distinct))
+	}
+}
+
+func TestVolumesBoundedAndIntegral(t *testing.T) {
+	cfg := DefaultOrderBook(2000)
+	for _, e := range GenerateOrderBook(cfg) {
+		v := e.Rec.Volume
+		if v < 1 || v > float64(cfg.MaxVolume) {
+			t.Fatalf("volume %v out of range", v)
+		}
+		if v != float64(int64(v)) {
+			t.Fatalf("volume %v not integral", v)
+		}
+	}
+}
+
+func TestBothSidesEmitsAsks(t *testing.T) {
+	cfg := DefaultOrderBook(2000)
+	cfg.BothSides = true
+	sides := map[Side]int{}
+	for _, e := range GenerateOrderBook(cfg) {
+		sides[e.Side]++
+	}
+	if sides[Bids] == 0 || sides[Asks] == 0 {
+		t.Fatalf("sides = %v", sides)
+	}
+	cfg.BothSides = false
+	for _, e := range GenerateOrderBook(cfg) {
+		if e.Side != Bids {
+			t.Fatal("single-sided trace contains asks")
+		}
+	}
+}
+
+func TestEventX(t *testing.T) {
+	if (Event{Op: Insert}).X() != 1 {
+		t.Fatal("insert X != 1")
+	}
+	if (Event{Op: Delete}).X() != -1 {
+		t.Fatal("delete X != -1")
+	}
+}
+
+func TestGenerateRABDeterministicAndValid(t *testing.T) {
+	cfg := DefaultRAB(5000)
+	cfg.DeleteRatio = 0.2
+	a := GenerateRAB(cfg)
+	if !reflect.DeepEqual(a, GenerateRAB(cfg)) {
+		t.Fatal("same seed produced different traces")
+	}
+	type key struct{ a, b float64 }
+	live := map[key]int{}
+	for _, e := range a {
+		k := key{e.Rec.A, e.Rec.B}
+		switch e.Op {
+		case Insert:
+			live[k]++
+			if e.Rec.A < 1 || e.Rec.A > float64(cfg.ADomain) {
+				t.Fatalf("A = %v out of domain", e.Rec.A)
+			}
+			if e.Rec.B < 1 || e.Rec.B > float64(cfg.BMax) {
+				t.Fatalf("B = %v out of range", e.Rec.B)
+			}
+		case Delete:
+			if live[k] == 0 {
+				t.Fatalf("deletion of non-live tuple %v", k)
+			}
+			live[k]--
+		}
+	}
+}
+
+func TestZeroEventTraces(t *testing.T) {
+	if got := GenerateOrderBook(DefaultOrderBook(0)); len(got) != 0 {
+		t.Fatalf("len = %d", len(got))
+	}
+	if got := GenerateRAB(DefaultRAB(0)); len(got) != 0 {
+		t.Fatalf("len = %d", len(got))
+	}
+}

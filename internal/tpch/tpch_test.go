@@ -1,0 +1,159 @@
+package tpch
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultConfig(0.1, false)
+	a := Generate(cfg)
+	b := Generate(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different datasets")
+	}
+	cfg.Seed = 9
+	if c := Generate(cfg); reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical datasets")
+	}
+}
+
+func TestPartDimensionShape(t *testing.T) {
+	d := Generate(DefaultConfig(1, false))
+	if len(d.Parts) != 2000 {
+		t.Fatalf("parts = %d", len(d.Parts))
+	}
+	for i, p := range d.Parts {
+		if p.PartKey != int32(i+1) {
+			t.Fatalf("partkey %d at index %d", p.PartKey, i)
+		}
+		if p.Brand < 1 || p.Brand > numBrands || p.Container < 1 || p.Container > numContainer {
+			t.Fatalf("part %d: brand/container out of domain: %+v", i, p)
+		}
+	}
+}
+
+func TestQualifyingPartsDeterministicRatio(t *testing.T) {
+	d := Generate(DefaultConfig(1, false))
+	q := d.QualifyingParts()
+	want := (len(d.Parts) + DefaultQualifyEvery - 1) / DefaultQualifyEvery
+	if len(q) != want {
+		t.Fatalf("qualifying parts = %d, want %d", len(q), want)
+	}
+	if !q[1] {
+		t.Fatal("partkey 1 must qualify (hot head of the Zipf domain)")
+	}
+	// Non-modulo parts must not accidentally qualify.
+	for _, p := range d.Parts {
+		if q[p.PartKey] != (int(p.PartKey-1)%DefaultQualifyEvery == 0) {
+			t.Fatalf("qualification mismatch for partkey %d", p.PartKey)
+		}
+	}
+}
+
+func TestLineItemDomains(t *testing.T) {
+	cfg := DefaultConfig(0.5, false)
+	d := Generate(cfg)
+	if len(d.Events) != cfg.Events {
+		t.Fatalf("events = %d, want %d", len(d.Events), cfg.Events)
+	}
+	for _, e := range d.Events {
+		r := e.Rec
+		if r.PartKey < 1 || int(r.PartKey) > cfg.Parts {
+			t.Fatalf("partkey %d out of domain", r.PartKey)
+		}
+		if r.OrderKey < 1 || int(r.OrderKey) > cfg.Orders {
+			t.Fatalf("orderkey %d out of domain", r.OrderKey)
+		}
+		if r.Quantity < 1 || r.Quantity > float64(cfg.MaxQuantity) {
+			t.Fatalf("quantity %v out of uniform domain", r.Quantity)
+		}
+		if r.Quantity != float64(int(r.Quantity)) {
+			t.Fatalf("quantity %v not integral", r.Quantity)
+		}
+		if r.ExtendedPrice <= 0 {
+			t.Fatalf("extendedprice %v", r.ExtendedPrice)
+		}
+	}
+}
+
+func TestDeletionsRetractLiveLineItems(t *testing.T) {
+	cfg := DefaultConfig(0.2, false)
+	cfg.DeleteRatio = 0.25
+	live := map[LineItem]int{}
+	var deletes int
+	for _, e := range Generate(cfg).Events {
+		switch e.Op {
+		case Insert:
+			live[e.Rec]++
+		case Delete:
+			deletes++
+			if live[e.Rec] == 0 {
+				t.Fatalf("deletion of non-live lineitem %+v", e.Rec)
+			}
+			live[e.Rec]--
+		}
+	}
+	if deletes == 0 {
+		t.Fatal("no deletions at ratio 0.25")
+	}
+}
+
+func TestSkewedModeConcentratesPartkeys(t *testing.T) {
+	uni := Generate(DefaultConfig(1, false))
+	skew := Generate(DefaultConfig(1, true))
+	top := func(d Dataset) float64 {
+		counts := map[int32]int{}
+		var total int
+		for _, e := range d.Events {
+			if e.Op == Insert {
+				counts[e.Rec.PartKey]++
+				total++
+			}
+		}
+		var maxCount int
+		for _, c := range counts {
+			if c > maxCount {
+				maxCount = c
+			}
+		}
+		return float64(maxCount) / float64(total)
+	}
+	u, s := top(uni), top(skew)
+	if s < 5*u {
+		t.Fatalf("skewed hottest-part share %.4f not clearly above uniform %.4f", s, u)
+	}
+}
+
+func TestSkewedModeWidensQuantityDomain(t *testing.T) {
+	cfg := DefaultConfig(1, true)
+	var maxQty float64
+	for _, e := range Generate(cfg).Events {
+		if e.Rec.Quantity > maxQty {
+			maxQty = e.Rec.Quantity
+		}
+	}
+	if maxQty <= float64(cfg.MaxQuantity) {
+		t.Fatalf("max quantity %v does not exceed uniform domain %d", maxQty, cfg.MaxQuantity)
+	}
+	if maxQty > float64(cfg.MaxQuantitySkewed) {
+		t.Fatalf("max quantity %v exceeds skewed domain", maxQty)
+	}
+}
+
+func TestEventX(t *testing.T) {
+	if (Event{Op: Insert}).X() != 1 || (Event{Op: Delete}).X() != -1 {
+		t.Fatal("X multiplicities wrong")
+	}
+}
+
+func TestScaleFactorScalesSizes(t *testing.T) {
+	small := DefaultConfig(0.1, false)
+	big := DefaultConfig(2, false)
+	if big.Parts <= small.Parts || big.Events <= small.Events {
+		t.Fatalf("scale factors not monotone: %+v vs %+v", small, big)
+	}
+	if small.Parts < 20 || small.Events < 600 {
+		t.Fatal("minimum sizes not enforced")
+	}
+}
