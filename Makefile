@@ -1,9 +1,12 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: test bench experiments examples fuzz race lint
+.PHONY: test test-race bench experiments examples fuzz fuzz-smoke race lint
 
 test:
 	go build ./... && go vet ./... && go test ./...
+
+test-race:
+	go test -race ./...
 
 race:
 	go test -race ./internal/...
@@ -25,5 +28,11 @@ examples:
 
 fuzz:
 	go test -fuzz FuzzTreeOps -fuzztime 30s ./internal/rpai/
+	go test -fuzz FuzzEngineDifferential -fuzztime 30s ./internal/engine/
 	go test -fuzz FuzzBTreeVsBinary -fuzztime 30s ./internal/rpaibtree/
 	go test -fuzz FuzzParse -fuzztime 30s ./internal/sqlparse/
+
+# The 10-second smoke CI runs on every push.
+fuzz-smoke:
+	go test -fuzz FuzzTreeOps -fuzztime 10s -run '^$$' ./internal/rpai/
+	go test -fuzz FuzzEngineDifferential -fuzztime 10s -run '^$$' ./internal/engine/

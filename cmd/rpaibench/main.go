@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1, scaling, fig7, fig8, fig8d, fig9, batch, latency, replay, or all")
+		exp     = flag.String("exp", "all", "experiment: table1, scaling, fig7, fig8, fig8d, fig9, batch, latency, serve, replay, or all")
 		events  = flag.Int("events", 10000, "finance trace length for fig7")
 		sf      = flag.Float64("sf", 1, "TPC-H scale factor for fig7")
 		seed    = flag.Int64("seed", 1, "workload seed")
@@ -31,6 +31,7 @@ func main() {
 		format  = flag.String("format", "text", "output format: text or csv")
 		trace   = flag.String("trace", "", "replay: order-book CSV trace file (as emitted by datagen)")
 		rQuery  = flag.String("query", "vwap", "replay: finance query to run over -trace")
+		srvOut  = flag.String("serve-out", "BENCH_serve.json", "serve: JSON report path (empty to skip the file)")
 	)
 	flag.Parse()
 	csvOut := *format == "csv"
@@ -159,6 +160,31 @@ func main() {
 		for _, sys := range []bench.System{bench.SysToaster, bench.SysRPAI} {
 			elapsed, res := bench.NewFinanceRunner(*rQuery, sys, events).Run()
 			fmt.Printf("  %-8s %12v   result %g\n", sys, elapsed.Round(time.Microsecond), res)
+		}
+	}
+	if *exp == "serve" {
+		ran = true
+		cfg := bench.DefaultServe()
+		if *quick {
+			cfg.Events, cfg.Partitions, cfg.QueueLen = 20000, 1024, 2048
+		}
+		cfg.Seed = *seed
+		rep, err := bench.Serve(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rpaibench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(bench.FormatServe(rep))
+		if *srvOut != "" {
+			data, err := bench.ServeJSON(rep)
+			if err == nil {
+				err = os.WriteFile(*srvOut, data, 0o644)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rpaibench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *srvOut)
 		}
 	}
 	if run("fig9") {

@@ -73,3 +73,173 @@ func TestSynchronizedConcurrent(t *testing.T) {
 		t.Fatalf("Total = %v, want %d", got, writes)
 	}
 }
+
+// TestSynchronizedManyWritersManyReaders runs N writer goroutines against M
+// reader goroutines over every index kind. Each writer owns a disjoint key
+// range and replays a deterministic Add/Put/Delete sequence, so after the
+// goroutines join the index must equal the serial replay of all sequences —
+// any lost update or torn read the mutex failed to prevent shows up either
+// here or (run under -race) as a reported race.
+func TestSynchronizedManyWritersManyReaders(t *testing.T) {
+	const (
+		writers = 4
+		readers = 4
+		ops     = 400
+		keys    = 37
+	)
+	// writerOps replays writer w's deterministic op sequence into apply.
+	writerOps := func(w int, add func(k, dv float64), put func(k, v float64), del func(k float64)) {
+		base := float64(w * 1000)
+		for i := 0; i < ops; i++ {
+			k := base + float64(i%keys)
+			switch i % 5 {
+			case 0, 1:
+				add(k, float64(i%7+1))
+			case 2:
+				put(k, float64(i%11))
+			case 3:
+				add(k, -float64(i%3))
+			default:
+				del(k)
+			}
+		}
+	}
+	for _, kind := range Kinds() {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			idx := Synchronized(New(kind))
+			var wg sync.WaitGroup
+			// Readers do a bounded amount of work (unbounded spinning starves
+			// the writers under the race detector on small machines).
+			for r := 0; r < readers; r++ {
+				wg.Add(1)
+				go func(seed int) {
+					defer wg.Done()
+					for i := 0; i < 150; i++ {
+						k := float64((i * seed) % (writers * 1000))
+						_, _ = idx.Get(k)
+						_ = idx.GetSum(k)
+						_ = idx.GetSumLess(k)
+						_ = idx.SuffixSum(k)
+						_ = idx.Total()
+						_ = idx.Len()
+						idx.Ascend(func(_, _ float64) bool { return i%2 == 0 })
+					}
+				}(r + 2)
+			}
+			var wwg sync.WaitGroup
+			for w := 0; w < writers; w++ {
+				wwg.Add(1)
+				go func(w int) {
+					defer wwg.Done()
+					writerOps(w,
+						func(k, dv float64) { idx.Add(k, dv) },
+						func(k, v float64) { idx.Put(k, v) },
+						func(k float64) { idx.Delete(k) })
+				}(w)
+			}
+			wwg.Wait()
+			wg.Wait()
+			// Serial model: the same sequences applied to a plain map.
+			want := map[float64]float64{}
+			for w := 0; w < writers; w++ {
+				writerOps(w,
+					func(k, dv float64) { want[k] += dv },
+					func(k, v float64) { want[k] = v },
+					func(k float64) { delete(want, k) })
+			}
+			var wantTotal float64
+			for k, v := range want {
+				wantTotal += v
+				if got, ok := idx.Get(k); !ok || got != v {
+					t.Fatalf("key %v = %v,%v, want %v", k, got, ok, v)
+				}
+			}
+			if got := idx.Len(); got != len(want) {
+				t.Fatalf("Len = %d, want %d", got, len(want))
+			}
+			if got := idx.Total(); got != wantTotal {
+				t.Fatalf("Total = %v, want %v", got, wantTotal)
+			}
+		})
+	}
+}
+
+// TestSynchronizedConcurrentShifts lets every writer interleave inserts with
+// key-range shifts (the RPAI maintenance op). Shifted keys cross writer
+// boundaries, so per-key state is scheduler-dependent — but ShiftKeys and
+// ShiftKeysInclusive conserve the value total, and every Add contributes
+// exactly +1, so the final Total is exact regardless of interleaving.
+func TestSynchronizedConcurrentShifts(t *testing.T) {
+	const (
+		writers = 4
+		readers = 3
+		ops     = 250
+	)
+	for _, kind := range Kinds() {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			idx := Synchronized(New(kind))
+			var wg sync.WaitGroup
+			for r := 0; r < readers; r++ {
+				wg.Add(1)
+				go func(seed int) {
+					defer wg.Done()
+					for i := 0; i < 400; i++ {
+						_ = idx.GetSum(float64((i * seed) % 500))
+						_ = idx.SuffixSumGreater(float64(i % 100))
+						_ = idx.Total()
+					}
+				}(r + 3)
+			}
+			var wwg sync.WaitGroup
+			for w := 0; w < writers; w++ {
+				wwg.Add(1)
+				go func(w int) {
+					defer wwg.Done()
+					for i := 0; i < ops; i++ {
+						idx.Add(float64((w*131+i*17)%251), 1)
+						switch i % 9 {
+						case 4:
+							idx.ShiftKeys(float64(i%251), 3)
+						case 7:
+							idx.ShiftKeysInclusive(float64(i%251), -2)
+						}
+					}
+				}(w)
+			}
+			wwg.Wait()
+			wg.Wait()
+			if got := idx.Total(); got != float64(writers*ops) {
+				t.Fatalf("Total = %v, want %d (shifts must conserve the total)", got, writers*ops)
+			}
+		})
+	}
+}
+
+// TestSynchronizedKindsConform spot-checks that the wrapper preserves each
+// kind's single-threaded semantics (delegation, not reimplementation).
+func TestSynchronizedKindsConform(t *testing.T) {
+	for _, kind := range Kinds() {
+		plain, wrapped := New(kind), Synchronized(New(kind))
+		for i := 0; i < 200; i++ {
+			k := float64(i % 23)
+			plain.Add(k, float64(i%5))
+			wrapped.Add(k, float64(i%5))
+			if i%6 == 0 {
+				plain.ShiftKeys(k, 2)
+				wrapped.ShiftKeys(k, 2)
+			}
+		}
+		for q := 0; q < 30; q++ {
+			k := float64(q)
+			if p, w := plain.GetSum(k), wrapped.GetSum(k); p != w {
+				t.Fatalf("%s: GetSum(%v) %v vs %v", kind, k, p, w)
+			}
+		}
+		if plain.Total() != wrapped.Total() || plain.Len() != wrapped.Len() {
+			t.Fatalf("%s: Total/Len diverge", kind)
+		}
+	}
+}
+

@@ -1,0 +1,208 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"rpai/internal/queries"
+	"rpai/internal/serve"
+	"rpai/internal/stream"
+	"rpai/internal/tpch"
+)
+
+// ServeConfig parameterizes the serving-layer scaling experiment: the same
+// partitioned workload replayed through serve.Service at increasing shard
+// counts. The experiment isolates the serving layer's per-batch snapshot
+// publication cost, which is proportional to partitions-per-shard and is the
+// dominant term at high partition counts — so throughput scales with the
+// shard count even on a single core, on top of whatever core parallelism the
+// machine offers.
+type ServeConfig struct {
+	Events     int   `json:"events"`     // events per workload trace
+	Partitions int   `json:"partitions"` // distinct partition keys (symbols / order keys)
+	Shards     []int `json:"shards"`     // shard counts to sweep; the first is the baseline
+	BatchSize  int   `json:"batch_size"`
+	QueueLen   int   `json:"queue_len"`
+	Seed       int64 `json:"seed"`
+}
+
+// DefaultServe returns the scales used for BENCH_serve.json.
+func DefaultServe() ServeConfig {
+	return ServeConfig{
+		Events:     150000,
+		Partitions: 8192,
+		Shards:     []int{1, 2, 4, 8},
+		BatchSize:  64,
+		QueueLen:   8192,
+		Seed:       1,
+	}
+}
+
+// ServePoint is one measured cell: a workload replayed at one shard count.
+type ServePoint struct {
+	Workload     string  `json:"workload"`
+	Shards       int     `json:"shards"`
+	Events       int     `json:"events"`
+	Partitions   int     `json:"partitions"`
+	ElapsedMS    float64 `json:"elapsed_ms"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	// Speedup is throughput relative to this workload's baseline (smallest)
+	// shard count.
+	Speedup  float64 `json:"speedup"`
+	Batches  uint64  `json:"batches_flushed"`
+	AvgBatch float64 `json:"avg_batch_size"`
+	// Result is the drained final output, cross-checked for exact equality
+	// across shard counts before Serve returns.
+	Result float64 `json:"result"`
+}
+
+// ServeReport is the full experiment output serialized to BENCH_serve.json.
+type ServeReport struct {
+	GoMaxProcs int          `json:"gomaxprocs"`
+	NumCPU     int          `json:"num_cpu"`
+	Config     ServeConfig  `json:"config"`
+	Points     []ServePoint `json:"points"`
+}
+
+// Serve runs the shard-count sweep over both workloads: the order-book VWAP
+// trace partitioned per instrument (record id modulo the partition count, so
+// a retraction lands on the same partition as its insert) and a TPC-H
+// Q18-style lineitem trace partitioned by order key (where the correlated
+// subquery binds on the partition key, so the served per-partition results
+// coincide with the global grouped query). It returns an error if any shard
+// count produces a different final result than the baseline — the same
+// differential property the serve tests check, enforced on the benchmark's
+// own runs.
+func Serve(cfg ServeConfig) (*ServeReport, error) {
+	if len(cfg.Shards) == 0 {
+		cfg.Shards = []int{1, 2, 4}
+	}
+	rep := &ServeReport{GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(), Config: cfg}
+
+	// Workload 1: order-book VWAP, one executor per synthetic instrument.
+	fin := FinanceTrace(cfg.Events, false, cfg.Seed)
+	finPoints, err := serveSweep(cfg, "orderbook-vwap", fin,
+		func(e stream.Event, buf []float64) []float64 {
+			return append(buf, float64(e.Rec.ID%int64(cfg.Partitions)))
+		},
+		func([]float64) serve.Executor[stream.Event] {
+			return queries.NewBids("vwap", queries.RPAI)
+		})
+	if err != nil {
+		return nil, err
+	}
+	rep.Points = append(rep.Points, finPoints...)
+
+	// Workload 2: TPC-H Q18-style, one executor per order key.
+	tcfg := tpch.DefaultConfig(1, false)
+	tcfg.Seed = cfg.Seed
+	tcfg.Events = cfg.Events
+	tcfg.Orders = cfg.Partitions
+	ds := tpch.Generate(tcfg)
+	q18Points, err := serveSweep(cfg, "tpch-q18", ds.Events,
+		func(e tpch.Event, buf []float64) []float64 {
+			return append(buf, float64(e.Rec.OrderKey))
+		},
+		func([]float64) serve.Executor[tpch.Event] {
+			return queries.NewQ18(queries.RPAI)
+		})
+	if err != nil {
+		return nil, err
+	}
+	rep.Points = append(rep.Points, q18Points...)
+	return rep, nil
+}
+
+// serveSweep replays one trace through a fresh service per shard count and
+// checks result invariance against the baseline.
+func serveSweep[E any](cfg ServeConfig, workload string, events []E,
+	partition func(E, []float64) []float64,
+	newEx func([]float64) serve.Executor[E]) ([]ServePoint, error) {
+	var points []ServePoint
+	for i, shards := range cfg.Shards {
+		svc, err := serve.New(serve.Config[E]{
+			Shards:    shards,
+			QueueLen:  cfg.QueueLen,
+			BatchSize: cfg.BatchSize,
+			Partition: partition,
+			New:       newEx,
+		})
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		for _, e := range events {
+			if err := svc.Apply(e); err != nil {
+				return nil, err
+			}
+		}
+		if err := svc.Drain(); err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		res := svc.Result()
+		var batches uint64
+		var parts int
+		for _, st := range svc.Stats() {
+			batches += st.Flushed
+			parts += st.Partitions
+		}
+		if err := svc.Close(); err != nil {
+			return nil, err
+		}
+		p := ServePoint{
+			Workload:     workload,
+			Shards:       shards,
+			Events:       len(events),
+			Partitions:   parts,
+			ElapsedMS:    float64(elapsed.Microseconds()) / 1e3,
+			EventsPerSec: float64(len(events)) / elapsed.Seconds(),
+			Batches:      batches,
+			Result:       res,
+		}
+		if batches > 0 {
+			p.AvgBatch = float64(len(events)) / float64(batches)
+		}
+		if i == 0 {
+			p.Speedup = 1
+		} else {
+			base := points[0]
+			p.Speedup = p.EventsPerSec / base.EventsPerSec
+			// All workload values are integral, so per-partition results and
+			// their sums are exact and order-independent: shard counts must
+			// agree bit-for-bit.
+			if res != base.Result {
+				return nil, fmt.Errorf("bench: %s result diverged: %d shards gave %g, %d shards gave %g",
+					workload, shards, res, base.Shards, base.Result)
+			}
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}
+
+// ServeJSON serializes the report for BENCH_serve.json.
+func ServeJSON(rep *ServeReport) ([]byte, error) {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// FormatServe renders the report as an aligned text table.
+func FormatServe(rep *ServeReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "serve scaling (GOMAXPROCS=%d, NumCPU=%d, batch=%d, queue=%d)\n",
+		rep.GoMaxProcs, rep.NumCPU, rep.Config.BatchSize, rep.Config.QueueLen)
+	fmt.Fprintf(&b, "%-16s %8s %10s %12s %14s %9s %10s\n",
+		"workload", "shards", "events", "elapsed", "events/sec", "speedup", "avg batch")
+	for _, p := range rep.Points {
+		fmt.Fprintf(&b, "%-16s %8d %10d %11.1fms %14.0f %8.2fx %10.1f\n",
+			p.Workload, p.Shards, p.Events, p.ElapsedMS, p.EventsPerSec, p.Speedup, p.AvgBatch)
+	}
+	return b.String()
+}

@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func tinyServe() ServeConfig {
+	return ServeConfig{Events: 2000, Partitions: 64, Shards: []int{1, 2, 4}, Seed: 1}
+}
+
+// TestServeSweepConsistent runs the serving-layer sweep at toy scale: Serve
+// itself enforces that every shard count reproduces the baseline result
+// exactly, so this test's job is to check the sweep completes, covers both
+// workloads, and produces sane counters. Speedups are machine-dependent and
+// deliberately not asserted here (BENCH_serve.json records the measured run).
+func TestServeSweepConsistent(t *testing.T) {
+	rep, err := Serve(tinyServe())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 6 {
+		t.Fatalf("points = %d, want 6", len(rep.Points))
+	}
+	workloads := map[string]int{}
+	for _, p := range rep.Points {
+		workloads[p.Workload]++
+		if p.EventsPerSec <= 0 || p.Batches == 0 || p.Partitions == 0 {
+			t.Fatalf("%s @ %d shards: degenerate counters %+v", p.Workload, p.Shards, p)
+		}
+		if p.Speedup <= 0 {
+			t.Fatalf("%s @ %d shards: speedup %v", p.Workload, p.Shards, p.Speedup)
+		}
+	}
+	if workloads["orderbook-vwap"] != 3 || workloads["tpch-q18"] != 3 {
+		t.Fatalf("workload coverage: %v", workloads)
+	}
+	data, err := ServeJSON(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ServeReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if len(back.Points) != len(rep.Points) {
+		t.Fatalf("round-trip lost points: %d vs %d", len(back.Points), len(rep.Points))
+	}
+	if FormatServe(rep) == "" {
+		t.Fatal("empty text rendering")
+	}
+}

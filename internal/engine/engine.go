@@ -20,8 +20,6 @@ package engine
 import (
 	"fmt"
 	"sort"
-	"strconv"
-	"strings"
 
 	"rpai/internal/aggindex"
 	"rpai/internal/query"
@@ -445,14 +443,7 @@ func unionCols(a, b []string) []string {
 }
 
 func (g *GeneralExec) groupKey(t query.Tuple) (string, []float64) {
-	vals := make([]float64, len(g.groupCols))
-	var b strings.Builder
-	for i, c := range g.groupCols {
-		vals[i] = t[c]
-		b.WriteString(strconv.FormatFloat(vals[i], 'g', -1, 64))
-		b.WriteByte('|')
-	}
-	return b.String(), vals
+	return groupProjection(g.groupCols, t)
 }
 
 // Result implements Executor.

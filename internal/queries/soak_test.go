@@ -9,15 +9,18 @@ import (
 // TestSoakAllQueriesRPAIvsToaster replays longer delete-heavy traces through
 // the RPAI and Toaster strategies of every finance query (the naive oracle
 // is too slow at this length; the toaster implementations are themselves
-// validated against naive in the per-query agreement tests). Skipped under
-// -short.
+// validated against naive in the per-query agreement tests). Under -short
+// (the CI race run) the traces shrink by 10x so the delete-heavy churn still
+// gets some coverage without the full soak cost.
 func TestSoakAllQueriesRPAIvsToaster(t *testing.T) {
-	if testing.Short() {
-		t.Skip("soak test skipped in -short mode")
-	}
 	sizes := map[string]int{
 		"mst": 4000, "psp": 4000, "vwap": 4000,
 		"sq1": 1200, "sq2": 3000, "nq1": 3000, "nq2": 800,
+	}
+	if testing.Short() {
+		for q, n := range sizes {
+			sizes[q] = n / 10
+		}
 	}
 	for _, q := range FinanceQueries() {
 		q := q

@@ -208,44 +208,77 @@ func (t *Reference) GetSumLess(k float64) float64 {
 	return s
 }
 
+// Min returns the smallest true key, or ok=false if the tree is empty.
+func (t *Reference) Min() (float64, bool) {
+	if t.root == nil {
+		return 0, false
+	}
+	return t.root.key + t.root.minRel, true
+}
+
+// Max returns the largest true key, or ok=false if the tree is empty.
+func (t *Reference) Max() (float64, bool) {
+	if t.root == nil {
+		return 0, false
+	}
+	return t.root.key + t.root.maxRel, true
+}
+
 // ShiftKeys shifts all keys strictly greater than k by d, using the paper's
 // Algorithm 1 for d > 0 and Algorithm 2 (with fixTree) for d < 0.
-func (t *Reference) ShiftKeys(k, d float64) {
+func (t *Reference) ShiftKeys(k, d float64) { t.shift(k, d, false) }
+
+// ShiftKeysInclusive shifts all keys greater than or equal to k by d: the
+// same algorithms with the qualifying comparison widened to >=, matching
+// Tree.ShiftKeysInclusive.
+func (t *Reference) ShiftKeysInclusive(k, d float64) { t.shift(k, d, true) }
+
+func (t *Reference) shift(k, d float64, incl bool) {
 	if t.root == nil || d == 0 {
 		return
 	}
 	if d > 0 {
-		refShiftPos(t.root, k, d)
+		refShiftPos(t.root, k, d, incl)
 		return
 	}
-	t.root = refShiftNeg(t.root, k, d)
+	t.root = refShiftNeg(t.root, k, d, incl)
 }
 
-// refShiftPos is Algorithm 1 verbatim.
-func refShiftPos(n *refNode, k, d float64) {
+// qualifies reports whether a node at relative offset k-from-node shifts:
+// its true key exceeds the boundary (or reaches it, in the inclusive case).
+func qualifies(k float64, incl bool) bool {
+	if incl {
+		return k <= 0
+	}
+	return k < 0
+}
+
+// refShiftPos is Algorithm 1 verbatim (with the inclusive variant folded in
+// via the boundary comparison).
+func refShiftPos(n *refNode, k, d float64, incl bool) {
 	if n == nil {
 		return
 	}
-	if k < n.key {
-		refShiftPos(n.left, k-n.key, d)
+	if qualifies(k-n.key, incl) {
+		refShiftPos(n.left, k-n.key, d, incl)
 		n.key += d
 		if n.left != nil {
 			n.left.key -= d
 		}
 	} else {
-		refShiftPos(n.right, k-n.key, d)
+		refShiftPos(n.right, k-n.key, d, incl)
 	}
 	n.update()
 }
 
 // refShiftNeg is Algorithm 2: shift as in Algorithm 1, then detect BST
 // violations via the subtree min/max keys and repair with fixTree.
-func refShiftNeg(n *refNode, k, d float64) *refNode {
+func refShiftNeg(n *refNode, k, d float64, incl bool) *refNode {
 	if n == nil {
 		return nil
 	}
-	if k < n.key {
-		n.left = refShiftNeg(n.left, k-n.key, d)
+	if qualifies(k-n.key, incl) {
+		n.left = refShiftNeg(n.left, k-n.key, d, incl)
 		n.key += d
 		if n.left != nil {
 			n.left.key -= d
@@ -258,7 +291,7 @@ func refShiftNeg(n *refNode, k, d float64) *refNode {
 			}
 		}
 	} else {
-		n.right = refShiftNeg(n.right, k-n.key, d)
+		n.right = refShiftNeg(n.right, k-n.key, d, incl)
 		n.update()
 		if n.right != nil && n.right.key+n.right.minRel <= 0 {
 			return fixTreeFromRight(n)

@@ -1,0 +1,49 @@
+package serve
+
+import (
+	"errors"
+
+	"rpai/internal/engine"
+	"rpai/internal/query"
+)
+
+// Options configures ForQuery; the zero value picks the Config defaults.
+type Options struct {
+	Shards    int
+	QueueLen  int
+	BatchSize int
+}
+
+// ForQuery builds a service that maintains q independently per partition,
+// partitioning engine events by the given tuple columns. Each partition gets
+// its own executor from engine.New (so eligible queries use the aggregate-
+// index strategy per partition). The query is validated and planned once up
+// front; per-partition construction cannot fail afterwards.
+func ForQuery(q *query.Query, partitionBy []string, opt Options) (*Service[engine.Event], error) {
+	if len(partitionBy) == 0 {
+		return nil, errors.New("serve: ForQuery requires at least one partition column")
+	}
+	if _, err := engine.New(q); err != nil {
+		return nil, err
+	}
+	cfg := Config[engine.Event]{
+		Shards:    opt.Shards,
+		QueueLen:  opt.QueueLen,
+		BatchSize: opt.BatchSize,
+		Partition: func(e engine.Event, buf []float64) []float64 {
+			for _, c := range partitionBy {
+				buf = append(buf, e.Tuple[c])
+			}
+			return buf
+		},
+		New: func([]float64) Executor[engine.Event] {
+			ex, err := engine.New(q)
+			if err != nil {
+				// Unreachable: the same query planned successfully above.
+				panic("serve: " + err.Error())
+			}
+			return ex
+		},
+	}
+	return New(cfg)
+}

@@ -1,0 +1,358 @@
+// Package serve is the sharded concurrent serving layer over the incremental
+// executors: the substrate that turns the single-threaded RPAI machinery into
+// a streaming service consuming batched deltas under concurrent reads, the
+// execution model DBToaster-style higher-order IVM and DBSP frame for
+// incremental maintenance.
+//
+// The design is share-nothing. The event stream is partitioned by a
+// user-supplied partition key (for example an instrument symbol, a broker id,
+// or a TPC-H order key); partitions are assigned to N shards by key hash, and
+// each shard is one worker goroutine owning one incremental executor per
+// partition. A shard drains its buffered input channel in batches: it applies
+// every event of the batch to the owning partition's executor, refreshes the
+// results of the partitions the batch touched, and then publishes an
+// immutable snapshot of all its partition results through an atomic pointer.
+// Readers therefore never take a lock and never block a writer: Result and
+// ResultGrouped read the last published snapshots, which lag the input by at
+// most one batch per shard (call Drain for a barrier).
+//
+// Semantics: the served query is evaluated independently per partition, as if
+// each partition key had its own relation. Result returns the sum over
+// partitions and ResultGrouped the per-partition values, so for queries whose
+// correlated subqueries bind on the partition key (for example TPC-H Q18
+// grouped by order key) the served output coincides with the global grouped
+// query; for per-instrument queries such as VWAP it is the usual
+// one-executor-per-symbol serving deployment. The output is invariant to the
+// shard count — the property the differential tests in this package check.
+package serve
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"rpai/internal/engine"
+)
+
+// ErrClosed is returned by Apply and Drain after Close.
+var ErrClosed = errors.New("serve: service is closed")
+
+// Executor is the per-partition maintained state: the subset of
+// engine.Executor (and of the hand-written query executors in package
+// queries) the serving layer needs.
+type Executor[E any] interface {
+	// Apply processes one event.
+	Apply(e E)
+	// Result returns the current query output for this partition.
+	Result() float64
+}
+
+// Config parameterizes a Service.
+type Config[E any] struct {
+	// Shards is the number of worker goroutines (default 1). Partitions are
+	// assigned to shards by key hash, so the same key always lands on the
+	// same shard and per-partition event order is preserved.
+	Shards int
+	// QueueLen is the per-shard input channel buffer (default 1024 events).
+	QueueLen int
+	// BatchSize bounds how many queued events a shard applies before it
+	// republishes its snapshot (default 64). Larger batches amortize the
+	// snapshot publication; smaller ones tighten read freshness.
+	BatchSize int
+	// Partition appends the event's partition key columns to buf and returns
+	// the extended slice (append-style, so steady-state routing does not
+	// allocate). It must be pure: the same event must always yield the same
+	// key.
+	Partition func(e E, buf []float64) []float64
+	// New constructs the executor for a new partition key.
+	New func(key []float64) Executor[E]
+}
+
+// item is one queue entry: an event, or a drain barrier when sync is set.
+type item[E any] struct {
+	ev   E
+	sync chan<- struct{}
+}
+
+// partition is one partition owned by a shard: its executor plus the cached
+// result the snapshots are built from.
+type partition[E any] struct {
+	vals  []float64 // partition key values (immutable, shared with snapshots)
+	ex    Executor[E]
+	last  float64
+	dirty bool
+}
+
+// Snapshot is one shard's published state: the per-partition results as of
+// the shard's last batch flush. Groups is immutable and unsorted; Total is
+// the sum of the group values.
+type Snapshot struct {
+	Total  float64
+	Groups []engine.GroupResult
+}
+
+// ShardStats are the per-shard serving counters.
+type ShardStats struct {
+	Shard      int    // shard index
+	Applied    uint64 // events applied
+	Flushed    uint64 // batches flushed (snapshot publications)
+	QueueDepth int    // events currently buffered in the input channel
+	Partitions int    // partitions owned
+}
+
+type shard[E any] struct {
+	in         chan item[E]
+	snap       atomic.Pointer[Snapshot]
+	applied    atomic.Uint64
+	flushed    atomic.Uint64
+	partitions atomic.Int64
+}
+
+// Service is the sharded serving layer. Apply may be called from any number
+// of goroutines; Result, ResultGrouped and Stats are safe concurrently with
+// writers and never block them.
+type Service[E any] struct {
+	cfg    Config[E]
+	shards []*shard[E]
+
+	mu     sync.RWMutex // guards closed vs. in-flight Apply/Drain sends
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New starts the service's shard workers.
+func New[E any](cfg Config[E]) (*Service[E], error) {
+	if cfg.Partition == nil || cfg.New == nil {
+		return nil, errors.New("serve: Config.Partition and Config.New are required")
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = 1024
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 64
+	}
+	s := &Service[E]{cfg: cfg, shards: make([]*shard[E], cfg.Shards)}
+	for i := range s.shards {
+		sh := &shard[E]{in: make(chan item[E], cfg.QueueLen)}
+		sh.snap.Store(&Snapshot{})
+		s.shards[i] = sh
+		s.wg.Add(1)
+		go s.run(sh)
+	}
+	return s, nil
+}
+
+// hashVals is FNV-1a over the IEEE-754 bits of the key columns: deterministic
+// across runs, so benchmark shard assignments are reproducible.
+func hashVals(vals []float64) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, v := range vals {
+		b := math.Float64bits(v)
+		for i := 0; i < 64; i += 8 {
+			h ^= (b >> i) & 0xff
+			h *= prime
+		}
+	}
+	return h
+}
+
+// encodeKey appends the canonical byte encoding of the key columns to b.
+func encodeKey(b []byte, vals []float64) []byte {
+	for _, v := range vals {
+		b = binary.BigEndian.AppendUint64(b, math.Float64bits(v))
+	}
+	return b
+}
+
+// Apply routes one event to its partition's shard. It blocks when the shard's
+// queue is full (natural backpressure) and returns ErrClosed after Close.
+func (s *Service[E]) Apply(e E) error {
+	var kb [4]float64
+	vals := s.cfg.Partition(e, kb[:0])
+	sh := s.shards[hashVals(vals)%uint64(len(s.shards))]
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return ErrClosed
+	}
+	sh.in <- item[E]{ev: e}
+	s.mu.RUnlock()
+	return nil
+}
+
+// run is the shard worker: drain a batch, apply it, refresh the touched
+// partitions, publish the snapshot, release any drain barriers.
+func (s *Service[E]) run(sh *shard[E]) {
+	defer s.wg.Done()
+	parts := make(map[string]*partition[E])
+	var (
+		dirty   []*partition[E]
+		syncs   []chan<- struct{}
+		keyBuf  []float64
+		byteBuf []byte
+	)
+	apply := func(it item[E]) {
+		if it.sync != nil {
+			syncs = append(syncs, it.sync)
+			return
+		}
+		keyBuf = s.cfg.Partition(it.ev, keyBuf[:0])
+		byteBuf = encodeKey(byteBuf[:0], keyBuf)
+		p, ok := parts[string(byteBuf)] // no alloc: compiler-optimized map access
+		if !ok {
+			vals := append([]float64(nil), keyBuf...)
+			p = &partition[E]{vals: vals, ex: s.cfg.New(vals)}
+			parts[string(byteBuf)] = p
+			sh.partitions.Store(int64(len(parts)))
+		}
+		p.ex.Apply(it.ev)
+		if !p.dirty {
+			p.dirty = true
+			dirty = append(dirty, p)
+		}
+		sh.applied.Add(1)
+	}
+	for it := range sh.in {
+		apply(it)
+		// Greedily drain up to BatchSize queued events before refreshing.
+		n := 1
+		for n < s.cfg.BatchSize {
+			select {
+			case it2, ok := <-sh.in:
+				if !ok {
+					break
+				}
+				apply(it2)
+				n++
+				continue
+			default:
+			}
+			break
+		}
+		for _, p := range dirty {
+			p.last = p.ex.Result()
+			p.dirty = false
+		}
+		dirty = dirty[:0]
+		// Publish a fresh immutable snapshot of every partition this shard
+		// owns. This full walk is the price of lock-free consistent reads;
+		// its cost shrinks with the shard count, which is what the serve
+		// benchmark measures on top of multi-core parallelism.
+		snap := &Snapshot{Groups: make([]engine.GroupResult, 0, len(parts))}
+		for _, p := range parts {
+			snap.Groups = append(snap.Groups, engine.GroupResult{Key: p.vals, Value: p.last})
+			snap.Total += p.last
+		}
+		sh.snap.Store(snap)
+		sh.flushed.Add(1)
+		for _, c := range syncs {
+			close(c)
+		}
+		syncs = syncs[:0]
+	}
+}
+
+// Result returns the sum of all partition results as of each shard's last
+// published snapshot.
+func (s *Service[E]) Result() float64 {
+	var total float64
+	for _, sh := range s.shards {
+		total += sh.snap.Load().Total
+	}
+	return total
+}
+
+// ResultGrouped returns the per-partition results as of each shard's last
+// published snapshot, sorted by partition key (the engine.GroupedExecutor
+// ordering).
+func (s *Service[E]) ResultGrouped() []engine.GroupResult {
+	var out []engine.GroupResult
+	for _, sh := range s.shards {
+		out = append(out, sh.snap.Load().Groups...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Key, out[j].Key
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// Stats returns the per-shard serving counters.
+func (s *Service[E]) Stats() []ShardStats {
+	out := make([]ShardStats, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = ShardStats{
+			Shard:      i,
+			Applied:    sh.applied.Load(),
+			Flushed:    sh.flushed.Load(),
+			QueueDepth: len(sh.in),
+			Partitions: int(sh.partitions.Load()),
+		}
+	}
+	return out
+}
+
+// Drain blocks until every event sent before the call has been applied and
+// reflected in the published snapshots (a read barrier for tests, benchmarks
+// and consistent point-in-time reads).
+func (s *Service[E]) Drain() error {
+	dones := make([]chan struct{}, len(s.shards))
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return ErrClosed
+	}
+	for i, sh := range s.shards {
+		done := make(chan struct{})
+		dones[i] = done
+		sh.in <- item[E]{sync: done}
+	}
+	s.mu.RUnlock()
+	for _, done := range dones {
+		<-done
+	}
+	return nil
+}
+
+// Close stops accepting events, drains every queue, publishes the final
+// snapshots and waits for the shard workers to exit. It is idempotent only in
+// the sense that a second call returns ErrClosed.
+func (s *Service[E]) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.closed = true
+	for _, sh := range s.shards {
+		close(sh.in)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// Shards reports the shard count.
+func (s *Service[E]) Shards() int { return len(s.shards) }
+
+// String summarizes the service configuration.
+func (s *Service[E]) String() string {
+	return fmt.Sprintf("serve.Service{shards: %d, batch: %d, queue: %d}",
+		len(s.shards), s.cfg.BatchSize, s.cfg.QueueLen)
+}

@@ -1,0 +1,332 @@
+package serve
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rpai/internal/engine"
+	"rpai/internal/queries"
+	"rpai/internal/query"
+	"rpai/internal/stream"
+)
+
+// vwapSpec is Example 2.2 (the per-partition query of most serving tests):
+// SUM(price*volume) WHERE 0.75*SUM(volume) < SUM(volume | price<=price).
+func vwapSpec() *query.Query {
+	return &query.Query{
+		Agg: query.Mul(query.Col("price"), query.Col("volume")),
+		Preds: []query.Predicate{{
+			Left: query.ValSub(0.75, &query.Subquery{Kind: query.Sum, Of: query.Col("volume")}),
+			Op:   query.Lt,
+			Right: query.ValSub(1, &query.Subquery{
+				Kind:  query.Sum,
+				Of:    query.Col("volume"),
+				Where: &query.CorrPred{Inner: query.Col("price"), Op: query.Le, Outer: query.Col("price")},
+			}),
+		}},
+	}
+}
+
+// symEvents generates an insert/delete trace over partitions distinguished by
+// the "sym" column.
+func symEvents(seed int64, n, partitions int) []engine.Event {
+	rng := rand.New(rand.NewSource(seed))
+	var live []query.Tuple
+	out := make([]engine.Event, 0, n)
+	for i := 0; i < n; i++ {
+		if len(live) > 0 && rng.Float64() < 0.25 {
+			j := rng.Intn(len(live))
+			out = append(out, engine.Delete(live[j]))
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+			continue
+		}
+		t := query.Tuple{
+			"sym":    float64(rng.Intn(partitions)),
+			"price":  float64(rng.Intn(30) + 1),
+			"volume": float64(rng.Intn(20) + 1),
+		}
+		live = append(live, t)
+		out = append(out, engine.Insert(t))
+	}
+	return out
+}
+
+// serialReference applies the trace through one engine executor per partition
+// (the semantics the service promises) and returns the per-partition results.
+func serialReference(t *testing.T, q *query.Query, events []engine.Event) map[float64]float64 {
+	t.Helper()
+	execs := map[float64]engine.Executor{}
+	for _, e := range events {
+		k := e.Tuple["sym"]
+		ex, ok := execs[k]
+		if !ok {
+			var err error
+			ex, err = engine.New(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			execs[k] = ex
+		}
+		ex.Apply(e)
+	}
+	out := make(map[float64]float64, len(execs))
+	for k, ex := range execs {
+		out[k] = ex.Result()
+	}
+	return out
+}
+
+// TestShardCountInvariance is the central differential test: the served
+// output must not depend on the shard count, and must equal the serial
+// one-executor-per-partition reference exactly.
+func TestShardCountInvariance(t *testing.T) {
+	q := vwapSpec()
+	events := symEvents(7, 4000, 23)
+	want := serialReference(t, q, events)
+	var wantTotal float64
+	for _, v := range want {
+		wantTotal += v
+	}
+	for _, shards := range []int{1, 2, 3, 4, 8} {
+		svc, err := ForQuery(q, []string{"sym"}, Options{Shards: shards, BatchSize: 32, QueueLen: 256})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range events {
+			if err := svc.Apply(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := svc.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		if got := svc.Result(); got != wantTotal {
+			t.Fatalf("shards=%d: Result = %v, want %v", shards, got, wantTotal)
+		}
+		groups := svc.ResultGrouped()
+		if len(groups) != len(want) {
+			t.Fatalf("shards=%d: %d groups, want %d", shards, len(groups), len(want))
+		}
+		for i, g := range groups {
+			if len(g.Key) != 1 {
+				t.Fatalf("shards=%d: group %d has key %v", shards, i, g.Key)
+			}
+			if i > 0 && groups[i-1].Key[0] >= g.Key[0] {
+				t.Fatalf("shards=%d: groups not sorted at %d", shards, i)
+			}
+			if wantV, ok := want[g.Key[0]]; !ok || wantV != g.Value {
+				t.Fatalf("shards=%d: group %v = %v, want %v", shards, g.Key, g.Value, wantV)
+			}
+		}
+		if err := svc.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSnapshotsLagAtMostUntilDrain checks the read contract: reads between
+// batches may lag but Drain is a barrier after which reads are exact.
+func TestSnapshotsLagAtMostUntilDrain(t *testing.T) {
+	q := vwapSpec()
+	events := symEvents(11, 1500, 9)
+	svc, err := ForQuery(q, []string{"sym"}, Options{Shards: 2, BatchSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	want := serialReference(t, q, events)
+	var wantTotal float64
+	for _, v := range want {
+		wantTotal += v
+	}
+	for i, e := range events {
+		if err := svc.Apply(e); err != nil {
+			t.Fatal(err)
+		}
+		if i%100 == 0 {
+			// Concurrent, possibly stale read: must not panic or block.
+			if v := svc.Result(); math.IsNaN(v) {
+				t.Fatal("NaN mid-stream result")
+			}
+		}
+	}
+	if err := svc.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if got := svc.Result(); got != wantTotal {
+		t.Fatalf("after Drain: Result = %v, want %v", got, wantTotal)
+	}
+}
+
+// TestCloseSemantics: Close drains and publishes final state; later Apply,
+// Drain and Close report ErrClosed; reads keep working.
+func TestCloseSemantics(t *testing.T) {
+	q := vwapSpec()
+	events := symEvents(3, 800, 5)
+	svc, err := ForQuery(q, []string{"sym"}, Options{Shards: 4, BatchSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		if err := svc.Apply(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := serialReference(t, q, events)
+	var wantTotal float64
+	for _, v := range want {
+		wantTotal += v
+	}
+	if got := svc.Result(); got != wantTotal {
+		t.Fatalf("post-Close Result = %v, want %v (final snapshots must be published)", got, wantTotal)
+	}
+	if err := svc.Apply(events[0]); err != ErrClosed {
+		t.Fatalf("Apply after Close = %v, want ErrClosed", err)
+	}
+	if err := svc.Drain(); err != ErrClosed {
+		t.Fatalf("Drain after Close = %v, want ErrClosed", err)
+	}
+	if err := svc.Close(); err != ErrClosed {
+		t.Fatalf("second Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestStatsCounters checks the per-shard counters add up.
+func TestStatsCounters(t *testing.T) {
+	q := vwapSpec()
+	const partitions = 13
+	events := symEvents(5, 1000, partitions)
+	svc, err := ForQuery(q, []string{"sym"}, Options{Shards: 4, BatchSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	for _, e := range events {
+		if err := svc.Apply(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := svc.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	var applied, flushed uint64
+	var parts int
+	for _, st := range svc.Stats() {
+		applied += st.Applied
+		flushed += st.Flushed
+		parts += st.Partitions
+		if st.QueueDepth != 0 {
+			t.Fatalf("shard %d: queue depth %d after Drain", st.Shard, st.QueueDepth)
+		}
+	}
+	if applied != uint64(len(events)) {
+		t.Fatalf("applied = %d, want %d", applied, len(events))
+	}
+	if flushed == 0 {
+		t.Fatal("no batches flushed")
+	}
+	if parts != partitions {
+		t.Fatalf("partitions = %d, want %d", parts, partitions)
+	}
+	if svc.Shards() != 4 {
+		t.Fatalf("Shards() = %d, want 4", svc.Shards())
+	}
+}
+
+// TestConfigValidation covers the constructor error paths and defaults.
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config[int]{}); err == nil {
+		t.Fatal("New without Partition/New succeeded")
+	}
+	if _, err := ForQuery(vwapSpec(), nil, Options{}); err == nil {
+		t.Fatal("ForQuery without partition columns succeeded")
+	}
+	// MIN is representable but not streamable under deletions, so planning
+	// must fail and ForQuery must surface the error.
+	bad := &query.Query{
+		Agg: query.Col("price"),
+		Preds: []query.Predicate{{
+			Left:  query.ValExpr(query.Col("price")),
+			Op:    query.Ge,
+			Right: query.ValSub(1, &query.Subquery{Kind: query.Min, Of: query.Col("price")}),
+		}},
+	}
+	if _, err := ForQuery(bad, []string{"sym"}, Options{}); err == nil {
+		t.Fatal("ForQuery with a non-streamable query succeeded")
+	}
+	// Zero options fall back to defaults and the service still works.
+	svc, err := ForQuery(vwapSpec(), []string{"sym"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc.Shards() != 1 {
+		t.Fatalf("default shards = %d, want 1", svc.Shards())
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFinanceExecutorServing serves the hand-written VWAP executor of package
+// queries per broker over raw order-book events — the cross-layer deployment
+// the serving layer exists for — and checks it against per-broker serial
+// replay.
+func TestFinanceExecutorServing(t *testing.T) {
+	cfg := stream.DefaultOrderBook(5000)
+	cfg.Seed = 42
+	cfg.DeleteRatio = 0.2
+	cfg.PriceLevels = 40
+	cfg.MaxVolume = 50
+	events := stream.GenerateOrderBook(cfg)
+
+	svc, err := New(Config[stream.Event]{
+		Shards:    3,
+		BatchSize: 32,
+		Partition: func(e stream.Event, buf []float64) []float64 {
+			return append(buf, float64(e.Rec.BrokerID))
+		},
+		New: func([]float64) Executor[stream.Event] {
+			return queries.NewBids("vwap", queries.RPAI)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ref := map[int32]queries.BidsExecutor{}
+	for _, e := range events {
+		if err := svc.Apply(e); err != nil {
+			t.Fatal(err)
+		}
+		ex, ok := ref[e.Rec.BrokerID]
+		if !ok {
+			ex = queries.NewBids("vwap", queries.RPAI)
+			ref[e.Rec.BrokerID] = ex
+		}
+		ex.Apply(e)
+	}
+	if err := svc.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	var wantTotal float64
+	for _, ex := range ref {
+		wantTotal += ex.Result()
+	}
+	if got := svc.Result(); got != wantTotal {
+		t.Fatalf("served VWAP-per-broker = %v, want %v", got, wantTotal)
+	}
+	groups := svc.ResultGrouped()
+	if len(groups) != len(ref) {
+		t.Fatalf("%d broker groups, want %d", len(groups), len(ref))
+	}
+	for _, g := range groups {
+		if want := ref[int32(g.Key[0])].Result(); g.Value != want {
+			t.Fatalf("broker %v = %v, want %v", g.Key[0], g.Value, want)
+		}
+	}
+}
