@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: test test-race bench experiments examples fuzz fuzz-smoke race lint
+.PHONY: test test-race bench experiments examples fuzz fuzz-smoke race recovery lint
 
 test:
 	go build ./... && go vet ./... && go test ./...
@@ -29,6 +29,8 @@ examples:
 fuzz:
 	go test -fuzz FuzzTreeOps -fuzztime 30s ./internal/rpai/
 	go test -fuzz FuzzEngineDifferential -fuzztime 30s ./internal/engine/
+	go test -fuzz FuzzSnapshotRoundTrip -fuzztime 30s ./internal/engine/
+	go test -fuzz FuzzWALRecords -fuzztime 30s ./internal/checkpoint/
 	go test -fuzz FuzzBTreeVsBinary -fuzztime 30s ./internal/rpaibtree/
 	go test -fuzz FuzzParse -fuzztime 30s ./internal/sqlparse/
 
@@ -36,3 +38,12 @@ fuzz:
 fuzz-smoke:
 	go test -fuzz FuzzTreeOps -fuzztime 10s -run '^$$' ./internal/rpai/
 	go test -fuzz FuzzEngineDifferential -fuzztime 10s -run '^$$' ./internal/engine/
+	go test -fuzz FuzzSnapshotRoundTrip -fuzztime 10s -run '^$$' ./internal/engine/
+	go test -fuzz FuzzWALRecords -fuzztime 10s -run '^$$' ./internal/checkpoint/
+
+# The durability surface: crash-injection/recovery tests under -race, plus
+# the recovery-vs-replay experiment at quick scale (CI's recovery job).
+recovery:
+	go test -race -run 'Crash|Snapshot|Recover|WAL|Torn|Manifest|Checkpoint|Generation' \
+		./internal/checkpoint/ ./internal/engine/ ./internal/serve/
+	go run ./cmd/rpaibench -exp recovery -quick -recovery-out ""

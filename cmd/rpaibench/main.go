@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1, scaling, fig7, fig8, fig8d, fig9, batch, latency, serve, replay, or all")
+		exp     = flag.String("exp", "all", "experiment: table1, scaling, fig7, fig8, fig8d, fig9, batch, latency, serve, replay, recovery, or all")
 		events  = flag.Int("events", 10000, "finance trace length for fig7")
 		sf      = flag.Float64("sf", 1, "TPC-H scale factor for fig7")
 		seed    = flag.Int64("seed", 1, "workload seed")
@@ -32,6 +32,7 @@ func main() {
 		trace   = flag.String("trace", "", "replay: order-book CSV trace file (as emitted by datagen)")
 		rQuery  = flag.String("query", "vwap", "replay: finance query to run over -trace")
 		srvOut  = flag.String("serve-out", "BENCH_serve.json", "serve: JSON report path (empty to skip the file)")
+		recOut  = flag.String("recovery-out", "BENCH_recovery.json", "recovery: JSON report path (empty to skip the file)")
 	)
 	flag.Parse()
 	csvOut := *format == "csv"
@@ -185,6 +186,31 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("wrote %s\n", *srvOut)
+		}
+	}
+	if *exp == "recovery" {
+		ran = true
+		cfg := bench.DefaultRecovery()
+		if *quick {
+			cfg.Events, cfg.Partitions, cfg.QueueLen = 20000, 128, 2048
+		}
+		cfg.Seed = *seed
+		rep, err := bench.Recovery(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rpaibench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(bench.FormatRecovery(rep))
+		if *recOut != "" {
+			data, err := bench.RecoveryJSON(rep)
+			if err == nil {
+				err = os.WriteFile(*recOut, data, 0o644)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rpaibench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *recOut)
 		}
 	}
 	if run("fig9") {

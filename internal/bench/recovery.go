@@ -1,0 +1,277 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"rpai/internal/checkpoint"
+	"rpai/internal/engine"
+	"rpai/internal/query"
+	"rpai/internal/serve"
+)
+
+// RecoveryConfig parameterizes the durability experiment: a partitioned VWAP
+// workload ingested by a durable service that checkpoints at CheckpointFrac
+// of the trace, then brought back two ways — Recover (snapshot + WAL-tail
+// replay) versus a cold start replaying the full trace. The point of the
+// experiment is the recovery-time-vs-replay speedup: recovery cost is
+// proportional to state size plus the WAL tail, not to trace length.
+type RecoveryConfig struct {
+	Events     int `json:"events"`     // trace length
+	Partitions int `json:"partitions"` // distinct partition keys
+	Shards     int `json:"shards"`     // shard count at ingest time
+	// RecoverShards are the shard counts to recover under; counts different
+	// from Shards force the partitions to rehash.
+	RecoverShards  []int   `json:"recover_shards"`
+	BatchSize      int     `json:"batch_size"`
+	QueueLen       int     `json:"queue_len"`
+	CheckpointFrac float64 `json:"checkpoint_frac"` // fraction of the trace ingested before the checkpoint
+	Seed           int64   `json:"seed"`
+}
+
+// DefaultRecovery returns the scales used for BENCH_recovery.json.
+func DefaultRecovery() RecoveryConfig {
+	return RecoveryConfig{
+		Events:         120000,
+		Partitions:     512,
+		Shards:         4,
+		RecoverShards:  []int{4, 8},
+		BatchSize:      64,
+		QueueLen:       8192,
+		CheckpointFrac: 0.9,
+		Seed:           1,
+	}
+}
+
+// RecoveryPoint is one measured recovery against the full-replay baseline.
+type RecoveryPoint struct {
+	Shards        int     `json:"shards"`
+	RecoveryMS    float64 `json:"recovery_ms"`
+	ReplayMS      float64 `json:"replay_ms"`
+	Speedup       float64 `json:"speedup"` // replay time / recovery time
+	Result        float64 `json:"result"`  // cross-checked against ingest and replay
+	ResultMatches bool    `json:"result_matches"`
+}
+
+// RecoveryReport is the full experiment output serialized to
+// BENCH_recovery.json.
+type RecoveryReport struct {
+	GoMaxProcs    int             `json:"gomaxprocs"`
+	NumCPU        int             `json:"num_cpu"`
+	Config        RecoveryConfig  `json:"config"`
+	IngestMS      float64         `json:"ingest_ms"`      // full-trace durable ingest (WAL on)
+	CheckpointMS  float64         `json:"checkpoint_ms"`  // explicit mid-stream checkpoint
+	SnapshotBytes int64           `json:"snapshot_bytes"` // on-disk snapshot size after ingest
+	WALBytes      int64           `json:"wal_bytes"`      // on-disk WAL tail size after ingest
+	WALEvents     int             `json:"wal_events"`     // events the WAL tail holds
+	Points        []RecoveryPoint `json:"points"`
+}
+
+// recoveryQuery is the Example 2.2 VWAP decile query, evaluated per
+// partition by the serving layer.
+func recoveryQuery() *query.Query {
+	return &query.Query{
+		Agg: query.Mul(query.Col("price"), query.Col("volume")),
+		Preds: []query.Predicate{{
+			Left: query.ValSub(0.75, &query.Subquery{Kind: query.Sum, Of: query.Col("volume")}),
+			Op:   query.Lt,
+			Right: query.ValSub(1, &query.Subquery{
+				Kind:  query.Sum,
+				Of:    query.Col("volume"),
+				Where: &query.CorrPred{Inner: query.Col("price"), Op: query.Le, Outer: query.Col("price")},
+			}),
+		}},
+	}
+}
+
+// recoveryEvents generates the insert/delete trace over sym partitions.
+func recoveryEvents(seed int64, n, partitions int) []engine.Event {
+	rng := rand.New(rand.NewSource(seed))
+	var live []query.Tuple
+	out := make([]engine.Event, 0, n)
+	for i := 0; i < n; i++ {
+		if len(live) > 0 && rng.Float64() < 0.25 {
+			j := rng.Intn(len(live))
+			out = append(out, engine.Delete(live[j]))
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+			continue
+		}
+		t := query.Tuple{
+			"sym":    float64(rng.Intn(partitions)),
+			"price":  float64(rng.Intn(64) + 1),
+			"volume": float64(rng.Intn(32) + 1),
+		}
+		live = append(live, t)
+		out = append(out, engine.Insert(t))
+	}
+	return out
+}
+
+// Recovery runs the durability experiment. It ingests the trace into a
+// durable service (checkpointing at CheckpointFrac), closes it, then for
+// each recovery shard count measures Recover against a from-scratch replay
+// and cross-checks all three results for exact equality (the workload is
+// integer-valued, so equality is bit-for-bit).
+func Recovery(cfg RecoveryConfig) (*RecoveryReport, error) {
+	if cfg.CheckpointFrac <= 0 || cfg.CheckpointFrac >= 1 {
+		cfg.CheckpointFrac = 0.9
+	}
+	if len(cfg.RecoverShards) == 0 {
+		cfg.RecoverShards = []int{cfg.Shards}
+	}
+	rep := &RecoveryReport{GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(), Config: cfg}
+	q := recoveryQuery()
+	events := recoveryEvents(cfg.Seed, cfg.Events, cfg.Partitions)
+	dir, err := os.MkdirTemp("", "rpai-recovery-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	opt := serve.Options{Shards: cfg.Shards, BatchSize: cfg.BatchSize, QueueLen: cfg.QueueLen, Dir: dir}
+
+	// Ingest with WAL on, checkpointing at the configured fraction.
+	svc, err := serve.ForQuery(q, []string{"sym"}, opt)
+	if err != nil {
+		return nil, err
+	}
+	at := int(float64(len(events)) * cfg.CheckpointFrac)
+	start := time.Now()
+	for i, e := range events {
+		if err := svc.Apply(e); err != nil {
+			return nil, err
+		}
+		if i+1 == at {
+			if err := svc.Drain(); err != nil {
+				return nil, err
+			}
+			ckStart := time.Now()
+			if err := svc.Checkpoint(dir); err != nil {
+				return nil, err
+			}
+			rep.CheckpointMS = float64(time.Since(ckStart).Microseconds()) / 1e3
+		}
+	}
+	if err := svc.Drain(); err != nil {
+		return nil, err
+	}
+	rep.IngestMS = float64(time.Since(start).Microseconds()) / 1e3
+	want := svc.Result()
+	if err := svc.Close(); err != nil {
+		return nil, err
+	}
+	if err := measureDir(dir, rep); err != nil {
+		return nil, err
+	}
+
+	// Cold-start baseline: replay the whole trace into a fresh in-memory
+	// service (measured once per recovery shard count, same shard budget).
+	for _, shards := range cfg.RecoverShards {
+		recStart := time.Now()
+		rec, err := serve.RecoverForQuery(dir, q, []string{"sym"},
+			serve.Options{Shards: shards, BatchSize: cfg.BatchSize, QueueLen: cfg.QueueLen})
+		if err != nil {
+			return nil, err
+		}
+		recMS := float64(time.Since(recStart).Microseconds()) / 1e3
+		got := rec.Result()
+		if err := rec.Close(); err != nil {
+			return nil, err
+		}
+
+		repStart := time.Now()
+		cold, err := serve.ForQuery(q, []string{"sym"},
+			serve.Options{Shards: shards, BatchSize: cfg.BatchSize, QueueLen: cfg.QueueLen})
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range events {
+			if err := cold.Apply(e); err != nil {
+				return nil, err
+			}
+		}
+		if err := cold.Drain(); err != nil {
+			return nil, err
+		}
+		repMS := float64(time.Since(repStart).Microseconds()) / 1e3
+		coldRes := cold.Result()
+		if err := cold.Close(); err != nil {
+			return nil, err
+		}
+
+		if got != want || coldRes != want {
+			return nil, fmt.Errorf("bench: recovery diverged at %d shards: ingest %g, recovered %g, replayed %g",
+				shards, want, got, coldRes)
+		}
+		rep.Points = append(rep.Points, RecoveryPoint{
+			Shards:        shards,
+			RecoveryMS:    recMS,
+			ReplayMS:      repMS,
+			Speedup:       repMS / recMS,
+			Result:        got,
+			ResultMatches: true,
+		})
+	}
+	return rep, nil
+}
+
+// measureDir records the checkpoint directory's footprint: snapshot and WAL
+// bytes, plus the number of events the WAL tails hold (the replay work
+// recovery actually performs).
+func measureDir(dir string, rep *RecoveryReport) error {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, ent := range ents {
+		_, _, isWAL, ok := checkpoint.ParseName(ent.Name())
+		if !ok {
+			continue
+		}
+		info, err := ent.Info()
+		if err != nil {
+			return err
+		}
+		if isWAL {
+			rep.WALBytes += info.Size()
+			_, n, err := checkpoint.ReadWAL(filepath.Join(dir, ent.Name()), func([]byte) error { return nil })
+			if err != nil {
+				return err
+			}
+			rep.WALEvents += n
+		} else {
+			rep.SnapshotBytes += info.Size()
+		}
+	}
+	return nil
+}
+
+// RecoveryJSON serializes the report for BENCH_recovery.json.
+func RecoveryJSON(rep *RecoveryReport) ([]byte, error) {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// FormatRecovery renders the report as an aligned text table.
+func FormatRecovery(rep *RecoveryReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "recovery vs full replay (%d events, %d partitions, checkpoint at %.0f%%)\n",
+		rep.Config.Events, rep.Config.Partitions, rep.Config.CheckpointFrac*100)
+	fmt.Fprintf(&b, "  ingest %.1f ms, checkpoint %.1f ms; on disk: %.1f KiB snapshots, %.1f KiB WAL (%d events to replay)\n",
+		rep.IngestMS, rep.CheckpointMS,
+		float64(rep.SnapshotBytes)/1024, float64(rep.WALBytes)/1024, rep.WALEvents)
+	fmt.Fprintf(&b, "  %-8s %14s %14s %9s\n", "shards", "recovery (ms)", "replay (ms)", "speedup")
+	for _, p := range rep.Points {
+		fmt.Fprintf(&b, "  %-8d %14.1f %14.1f %8.1fx\n", p.Shards, p.RecoveryMS, p.ReplayMS, p.Speedup)
+	}
+	return b.String()
+}

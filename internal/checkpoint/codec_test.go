@@ -1,0 +1,451 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rpai/internal/aggindex"
+	"rpai/internal/treemap"
+)
+
+func TestPrimitiveRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewEncoder(&buf)
+	e.U8(7)
+	e.U32(0xdeadbeef)
+	e.U64(1 << 60)
+	e.F64(-3.25)
+	e.Bytes([]byte{1, 2, 3})
+	e.Str("hello")
+	e.Bytes(nil)
+	if err := e.Err(); err != nil {
+		t.Fatal(err)
+	}
+	d := NewDecoder(bytes.NewReader(buf.Bytes()))
+	if got := d.U8(); got != 7 {
+		t.Fatalf("U8 = %d", got)
+	}
+	if got := d.U32(); got != 0xdeadbeef {
+		t.Fatalf("U32 = %#x", got)
+	}
+	if got := d.U64(); got != 1<<60 {
+		t.Fatalf("U64 = %d", got)
+	}
+	if got := d.F64(); got != -3.25 {
+		t.Fatalf("F64 = %g", got)
+	}
+	if got := d.Bytes(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("Bytes = %v", got)
+	}
+	if got := d.Str(); got != "hello" {
+		t.Fatalf("Str = %q", got)
+	}
+	if got := d.Bytes(); len(got) != 0 {
+		t.Fatalf("empty Bytes = %v", got)
+	}
+	if err := d.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// Reading past the end sticks an error rather than fabricating zeros
+	// silently forever.
+	d.U64()
+	if d.Err() == nil {
+		t.Fatal("decoder did not report truncation")
+	}
+}
+
+func TestFiniteF64RejectsNaN(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewEncoder(&buf)
+	e.F64(math.NaN())
+	d := NewDecoder(bytes.NewReader(buf.Bytes()))
+	d.FiniteF64()
+	if d.Err() == nil {
+		t.Fatal("FiniteF64 accepted NaN")
+	}
+}
+
+func TestRecordRoundTripAndCorruption(t *testing.T) {
+	payloads := [][]byte{[]byte("alpha"), {}, []byte("a longer record payload 123456789")}
+	var buf bytes.Buffer
+	for _, p := range payloads {
+		if err := WriteRecord(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	full := buf.Bytes()
+
+	r := bytes.NewReader(full)
+	for i, want := range payloads {
+		got, err := ReadRecord(r)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("record %d = %q, want %q", i, got, want)
+		}
+	}
+	if _, err := ReadRecord(r); err != io.EOF {
+		t.Fatalf("end of stream: got %v, want io.EOF", err)
+	}
+
+	// Every single-byte corruption must be detected.
+	for i := range full {
+		mut := append([]byte(nil), full...)
+		mut[i] ^= 0x01
+		r := bytes.NewReader(mut)
+		ok := true
+		for j := range payloads {
+			got, err := ReadRecord(r)
+			if err != nil {
+				if !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("flip at %d: error %v does not wrap ErrCorrupt", i, err)
+				}
+				ok = false
+				break
+			}
+			if !bytes.Equal(got, payloads[j]) {
+				t.Fatalf("flip at %d: record %d silently decoded to %q", i, j, got)
+			}
+		}
+		if ok {
+			t.Fatalf("flip at byte %d went undetected", i)
+		}
+	}
+
+	// Every truncation must either stop at a record boundary (clean EOF) or
+	// report corruption — never return a wrong payload.
+	for cut := 0; cut < len(full); cut++ {
+		r := bytes.NewReader(full[:cut])
+		n := 0
+		for {
+			got, err := ReadRecord(r)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				if !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("cut at %d: error %v does not wrap ErrCorrupt", cut, err)
+				}
+				break
+			}
+			if n >= len(payloads) || !bytes.Equal(got, payloads[n]) {
+				t.Fatalf("cut at %d: bogus record %q", cut, got)
+			}
+			n++
+		}
+	}
+}
+
+func TestReadRecordLengthCap(t *testing.T) {
+	var hdr [8]byte
+	le.PutUint32(hdr[0:4], MaxRecord+1)
+	_, err := ReadRecord(bytes.NewReader(hdr[:]))
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("oversized length: got %v", err)
+	}
+}
+
+func TestCrashWriter(t *testing.T) {
+	w := NewCrashWriter(10)
+	n, err := w.Write([]byte("12345678"))
+	if n != 8 || err != nil {
+		t.Fatalf("first write: n=%d err=%v", n, err)
+	}
+	n, err = w.Write([]byte("abcdef"))
+	if n != 2 || !errors.Is(err, ErrCrash) {
+		t.Fatalf("crashing write: n=%d err=%v", n, err)
+	}
+	if !w.Crashed() {
+		t.Fatal("Crashed() = false after injected failure")
+	}
+	if _, err := w.Write([]byte("x")); !errors.Is(err, ErrCrash) {
+		t.Fatalf("post-crash write: %v", err)
+	}
+	if got := string(w.Bytes()); got != "12345678ab" {
+		t.Fatalf("surviving bytes = %q", got)
+	}
+}
+
+func testParts() (Header, []Partition) {
+	h := Header{Gen: 3, Seq: 7, Shard: 1, ShardCount: 4}
+	parts := []Partition{
+		{Key: []float64{1}, State: []byte("state-one")},
+		{Key: []float64{2, 5}, State: []byte("state-two")},
+		{Key: nil, State: nil},
+	}
+	return h, parts
+}
+
+func TestSnapshotFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	h, parts := testParts()
+	path := SnapPath(dir, h.Gen, int(h.Shard))
+	if err := WriteSnapshotFile(path, h, parts); err != nil {
+		t.Fatal(err)
+	}
+	gh, gparts, err := ReadSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gh != h {
+		t.Fatalf("header = %+v, want %+v", gh, h)
+	}
+	if len(gparts) != len(parts) {
+		t.Fatalf("got %d partitions, want %d", len(gparts), len(parts))
+	}
+	for i := range parts {
+		if len(gparts[i].Key) != len(parts[i].Key) || !bytes.Equal(gparts[i].State, parts[i].State) {
+			t.Fatalf("partition %d = %+v, want %+v", i, gparts[i], parts[i])
+		}
+		for j := range parts[i].Key {
+			if gparts[i].Key[j] != parts[i].Key[j] {
+				t.Fatalf("partition %d key mismatch", i)
+			}
+		}
+	}
+}
+
+// TestSnapshotCrashInjectionMatrix aims a CrashWriter at every byte offset
+// of a snapshot stream: the write must report the crash, and reading the
+// surviving prefix must fail (the incomplete snapshot is detected, never
+// silently decoded).
+func TestSnapshotCrashInjectionMatrix(t *testing.T) {
+	h, parts := testParts()
+	var full bytes.Buffer
+	if err := WriteSnapshot(&full, h, parts); err != nil {
+		t.Fatal(err)
+	}
+	for limit := 0; limit < full.Len(); limit++ {
+		cw := NewCrashWriter(limit)
+		if err := WriteSnapshot(cw, h, parts); !errors.Is(err, ErrCrash) {
+			t.Fatalf("limit %d: write error = %v, want ErrCrash", limit, err)
+		}
+		if !bytes.Equal(cw.Bytes(), full.Bytes()[:limit]) {
+			t.Fatalf("limit %d: surviving prefix diverges from the full stream", limit)
+		}
+		if _, _, err := ReadSnapshot(bytes.NewReader(cw.Bytes())); err == nil {
+			t.Fatalf("limit %d: truncated snapshot decoded without error", limit)
+		}
+	}
+	// Sanity: the untruncated stream still decodes.
+	if _, _, err := ReadSnapshot(bytes.NewReader(full.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWALRoundTripAndTornTail(t *testing.T) {
+	dir := t.TempDir()
+	h := Header{Gen: 1, Seq: 2, Shard: 0, ShardCount: 2}
+	path := WALPath(dir, h.Gen, int(h.Shard))
+	w, err := CreateWAL(path, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := [][]byte{[]byte("ev-1"), []byte("ev-two"), []byte("ev-3!"), {}, []byte("ev-five")}
+	// boundaries[i] is the file size after i records: the exact set of
+	// truncation points that are clean record boundaries.
+	boundaries := []int64{fileSize(t, path)}
+	for _, p := range payloads {
+		if err := w.Append(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		boundaries = append(boundaries, fileSize(t, path))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := 0; cut <= len(full); cut++ {
+		torn := filepath.Join(dir, "torn.wal")
+		if err := os.WriteFile(torn, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var got [][]byte
+		gh, n, err := ReadWAL(torn, func(p []byte) error {
+			got = append(got, append([]byte(nil), p...))
+			return nil
+		})
+		if int64(cut) < boundaries[0] {
+			// Header torn: the file is unusable and must say so.
+			if err == nil {
+				t.Fatalf("cut %d: torn header accepted", cut)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if gh != h {
+			t.Fatalf("cut %d: header = %+v", cut, gh)
+		}
+		want := 0
+		for i := 1; i < len(boundaries); i++ {
+			if boundaries[i] <= int64(cut) {
+				want = i
+			}
+		}
+		if n != want {
+			t.Fatalf("cut %d: delivered %d records, want %d", cut, n, want)
+		}
+		for i := 0; i < n; i++ {
+			if !bytes.Equal(got[i], payloads[i]) {
+				t.Fatalf("cut %d: record %d = %q, want %q", cut, i, got[i], payloads[i])
+			}
+		}
+	}
+}
+
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi.Size()
+}
+
+func TestManifest(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := ReadManifest(dir); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing manifest: %v", err)
+	}
+	m := Manifest{Gen: 9, Shards: 3}
+	if err := WriteManifest(dir, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != m {
+		t.Fatalf("manifest = %+v, want %+v", got, m)
+	}
+	// Overwrite is atomic-swap semantics: the new value wins.
+	m2 := Manifest{Gen: 10, Shards: 5}
+	if err := WriteManifest(dir, m2); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := ReadManifest(dir); got != m2 {
+		t.Fatalf("manifest after swap = %+v, want %+v", got, m2)
+	}
+	// Corruption is detected.
+	if err := os.WriteFile(filepath.Join(dir, ManifestName), []byte("RPMFgarbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(dir); err == nil {
+		t.Fatal("corrupt manifest accepted")
+	}
+}
+
+func TestParseName(t *testing.T) {
+	cases := []struct {
+		name  string
+		gen   uint64
+		shard int
+		isWAL bool
+		ok    bool
+	}{
+		{"g1-shard-0.snap", 1, 0, false, true},
+		{"g42-shard-7.wal", 42, 7, true, true},
+		{"MANIFEST", 0, 0, false, false},
+		{"g1-shard-0.snap.tmp-123", 0, 0, false, false},
+		{"gx-shard-0.snap", 0, 0, false, false},
+		{"g1-shard--1.wal", 0, 0, false, false},
+	}
+	for _, c := range cases {
+		gen, shard, isWAL, ok := ParseName(c.name)
+		if gen != c.gen || shard != c.shard || isWAL != c.isWAL || ok != c.ok {
+			t.Fatalf("ParseName(%q) = (%d,%d,%v,%v), want (%d,%d,%v,%v)",
+				c.name, gen, shard, isWAL, ok, c.gen, c.shard, c.isWAL, c.ok)
+		}
+	}
+}
+
+func TestTreeMapCodecCanonical(t *testing.T) {
+	tm := treemap.New()
+	for _, kv := range [][2]float64{{5, 2}, {1, -3}, {9, 4}, {2, 0.5}} {
+		tm.Put(kv[0], kv[1])
+	}
+	var buf bytes.Buffer
+	e := NewEncoder(&buf)
+	e.TreeMap(tm)
+	if err := e.Err(); err != nil {
+		t.Fatal(err)
+	}
+	d := NewDecoder(bytes.NewReader(buf.Bytes()))
+	got := d.TreeMap()
+	if err := d.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tm.Len() {
+		t.Fatalf("Len = %d, want %d", got.Len(), tm.Len())
+	}
+	var buf2 bytes.Buffer
+	e2 := NewEncoder(&buf2)
+	e2.TreeMap(got)
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("treemap re-encode is not byte-identical")
+	}
+	// Out-of-order entries are rejected (the canonical form is sorted).
+	var bad bytes.Buffer
+	be := NewEncoder(&bad)
+	be.U32(2)
+	be.F64(5)
+	be.F64(1)
+	be.F64(3)
+	be.F64(1)
+	bd := NewDecoder(bytes.NewReader(bad.Bytes()))
+	bd.TreeMap()
+	if bd.Err() == nil {
+		t.Fatal("unsorted treemap entries accepted")
+	}
+}
+
+func TestIndexCodecAllKinds(t *testing.T) {
+	for _, kind := range aggindex.Kinds() {
+		idx := aggindex.New(kind)
+		for _, kv := range [][2]float64{{10, 3}, {4, 1}, {7.5, 2}, {-2, 5}} {
+			idx.Add(kv[0], kv[1])
+		}
+		var buf bytes.Buffer
+		e := NewEncoder(&buf)
+		e.Index(idx)
+		if err := e.Err(); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		d := NewDecoder(bytes.NewReader(buf.Bytes()))
+		got := d.Index()
+		if err := d.Err(); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if got.Len() != idx.Len() || got.Total() != idx.Total() {
+			t.Fatalf("%s: decoded Len/Total = %d/%g, want %d/%g",
+				kind, got.Len(), got.Total(), idx.Len(), idx.Total())
+		}
+		if got.GetSum(7.5) != idx.GetSum(7.5) {
+			t.Fatalf("%s: GetSum mismatch", kind)
+		}
+		var buf2 bytes.Buffer
+		e2 := NewEncoder(&buf2)
+		e2.Index(got)
+		if err := e2.Err(); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Fatalf("%s: re-encode is not byte-identical", kind)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"rpai/internal/aggindex"
+	"rpai/internal/fenwick"
+	"rpai/internal/paimap"
+	"rpai/internal/rpai"
+	"rpai/internal/rpaibtree"
+	"rpai/internal/treemap"
+)
+
+// This file encodes the engine's index structures. Two regimes:
+//
+//   - The RPAI tree has its own structural codec (rpai.Encode/Decode) that
+//     preserves the exact node layout — parent-relative keys, subtree sums,
+//     link colors — so a restored tree is bit-identical, not merely
+//     equivalent. Its stream is embedded length-prefixed because rpai.Decode
+//     buffers its reader and would otherwise over-read the enclosing stream.
+//   - Every other structure (treemaps, PAI maps, the sorted/fenwick/btree
+//     index baselines) is encoded as its canonical sorted entry list and
+//     rebuilt by insertion. Entry lists are canonical regardless of the
+//     in-memory shape, so encode(decode(encode(x))) == encode(x) holds for
+//     them too.
+
+// Index kind tags in encoded streams. Stable on-disk values: never renumber.
+const (
+	idxRPAI    = 1
+	idxBTree   = 2
+	idxPAI     = 3
+	idxSorted  = 4
+	idxFenwick = 5
+)
+
+// TreeMap encodes t as its sorted entry list. t must be non-nil; callers
+// encode structure presence separately (it is derivable from the query).
+func (e *Encoder) TreeMap(t *treemap.Tree) {
+	e.U32(uint32(t.Len()))
+	t.Ascend(func(k, v float64) bool {
+		e.F64(k)
+		e.F64(v)
+		return e.err == nil
+	})
+}
+
+// TreeMap decodes an entry list into a fresh treemap, validating that keys
+// are finite and strictly ascending (the canonical form TreeMap writes).
+func (d *Decoder) TreeMap() *treemap.Tree {
+	t := treemap.New()
+	n := d.U32()
+	var prev float64
+	for i := uint32(0); i < n && d.err == nil; i++ {
+		k := d.FiniteF64()
+		v := d.F64()
+		if d.err != nil {
+			break
+		}
+		if i > 0 && k <= prev {
+			d.Fail(errors.New("checkpoint: treemap keys not strictly ascending"))
+			break
+		}
+		prev = k
+		t.Put(k, v)
+	}
+	return t
+}
+
+// F64Map encodes a float-keyed map as its sorted entry list (the canonical
+// order; Go map iteration order is random).
+func (e *Encoder) F64Map(m map[float64]float64) {
+	e.U32(uint32(len(m)))
+	for _, k := range sortedKeys(m) {
+		e.F64(k)
+		e.F64(m[k])
+	}
+}
+
+// F64Map decodes a sorted entry list into m (which must be non-nil when the
+// list is non-empty; engine constructors allocate their maps up front).
+func (d *Decoder) F64Map(m map[float64]float64) {
+	n := d.U32()
+	var prev float64
+	for i := uint32(0); i < n && d.err == nil; i++ {
+		k := d.FiniteF64()
+		v := d.F64()
+		if d.err != nil {
+			break
+		}
+		if i > 0 && k <= prev {
+			d.Fail(errors.New("checkpoint: map keys not strictly ascending"))
+			break
+		}
+		prev = k
+		m[k] = v
+	}
+}
+
+func sortedKeys(m map[float64]float64) []float64 {
+	keys := make([]float64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	// Keys are finite (engine state never holds NaN keys), so a simple sort
+	// is total.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+// Index encodes an aggregate index with a kind tag. RPAI trees use the
+// structural codec; the rest are sorted entry lists.
+func (e *Encoder) Index(idx aggindex.Index) {
+	switch t := idx.(type) {
+	case *rpai.Tree:
+		e.U8(idxRPAI)
+		var buf bytes.Buffer
+		if e.err == nil {
+			if err := t.Encode(&buf); err != nil {
+				e.err = err
+				return
+			}
+		}
+		e.Bytes(buf.Bytes())
+	case *rpaibtree.Tree:
+		e.U8(idxBTree)
+		e.indexEntries(idx)
+	case *paimap.Map:
+		e.U8(idxPAI)
+		e.indexEntries(idx)
+	case *aggindex.Sorted:
+		e.U8(idxSorted)
+		e.indexEntries(idx)
+	case *fenwick.Index:
+		e.U8(idxFenwick)
+		e.indexEntries(idx)
+	default:
+		e.err = fmt.Errorf("checkpoint: unknown index type %T", idx)
+	}
+}
+
+func (e *Encoder) indexEntries(idx aggindex.Index) {
+	e.U32(uint32(idx.Len()))
+	idx.Ascend(func(k, v float64) bool {
+		e.F64(k)
+		e.F64(v)
+		return e.err == nil
+	})
+}
+
+// Index decodes an aggregate index written by Encoder.Index.
+func (d *Decoder) Index() aggindex.Index {
+	var kind aggindex.Kind
+	switch tag := d.U8(); tag {
+	case idxRPAI:
+		b := d.Bytes()
+		if d.err != nil {
+			return nil
+		}
+		t, err := rpai.Decode(bytes.NewReader(b))
+		if err != nil {
+			d.Fail(err)
+			return nil
+		}
+		return t
+	case idxBTree:
+		kind = aggindex.KindBTree
+	case idxPAI:
+		kind = aggindex.KindPAI
+	case idxSorted:
+		kind = aggindex.KindSorted
+	case idxFenwick:
+		kind = aggindex.KindFenwick
+	default:
+		if d.err == nil {
+			d.Fail(fmt.Errorf("checkpoint: unknown index kind tag %d", tag))
+		}
+		return nil
+	}
+	idx := aggindex.New(kind)
+	n := d.U32()
+	var prev float64
+	for i := uint32(0); i < n && d.err == nil; i++ {
+		k := d.FiniteF64()
+		v := d.F64()
+		if d.err != nil {
+			break
+		}
+		if i > 0 && k <= prev {
+			d.Fail(errors.New("checkpoint: index keys not strictly ascending"))
+			break
+		}
+		prev = k
+		idx.Put(k, v)
+	}
+	return idx
+}

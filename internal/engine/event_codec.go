@@ -1,0 +1,68 @@
+package engine
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"rpai/internal/query"
+)
+
+// EncodeEvent appends e's canonical binary encoding to buf: the X weight
+// followed by the tuple's columns in sorted name order. The serving layer
+// uses it to frame events in its write-ahead logs (append-style, so
+// steady-state logging does not allocate once buf has grown).
+func EncodeEvent(buf []byte, e Event) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.X))
+	cols := make([]string, 0, len(e.Tuple))
+	for c := range e.Tuple {
+		cols = append(cols, c)
+	}
+	sort.Strings(cols)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(cols)))
+	for _, c := range cols {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(c)))
+		buf = append(buf, c...)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Tuple[c]))
+	}
+	return buf
+}
+
+// DecodeEvent parses a payload written by EncodeEvent.
+func DecodeEvent(p []byte) (Event, error) {
+	fail := func() (Event, error) {
+		return Event{}, fmt.Errorf("engine: malformed event payload (%d bytes)", len(p))
+	}
+	if len(p) < 12 {
+		return fail()
+	}
+	e := Event{X: math.Float64frombits(binary.LittleEndian.Uint64(p))}
+	n := binary.LittleEndian.Uint32(p[8:])
+	if n > 1024 {
+		return fail()
+	}
+	p = p[12:]
+	e.Tuple = make(query.Tuple, n)
+	prev := ""
+	for i := uint32(0); i < n; i++ {
+		if len(p) < 4 {
+			return fail()
+		}
+		cl := binary.LittleEndian.Uint32(p)
+		if cl > 1024 || len(p) < int(4+cl+8) {
+			return fail()
+		}
+		col := string(p[4 : 4+cl])
+		if i > 0 && col <= prev {
+			return fail()
+		}
+		prev = col
+		e.Tuple[col] = math.Float64frombits(binary.LittleEndian.Uint64(p[4+cl:]))
+		p = p[4+cl+8:]
+	}
+	if len(p) != 0 {
+		return fail()
+	}
+	return e, nil
+}

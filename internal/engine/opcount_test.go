@@ -1,0 +1,116 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"rpai/internal/aggindex"
+	"rpai/internal/query"
+)
+
+// countingIndex wraps an aggindex.Index and counts every operation, so the
+// guard below can pin the executor's algorithmic behaviour (operations per
+// event) independently of wall-clock noise.
+type countingIndex struct {
+	inner aggindex.Index
+	ops   int64
+}
+
+func (c *countingIndex) Len() int                      { c.ops++; return c.inner.Len() }
+func (c *countingIndex) Total() float64                { c.ops++; return c.inner.Total() }
+func (c *countingIndex) Get(k float64) (float64, bool) { c.ops++; return c.inner.Get(k) }
+func (c *countingIndex) Put(k, v float64)              { c.ops++; c.inner.Put(k, v) }
+func (c *countingIndex) Add(k, dv float64)             { c.ops++; c.inner.Add(k, dv) }
+func (c *countingIndex) Delete(k float64) bool         { c.ops++; return c.inner.Delete(k) }
+func (c *countingIndex) GetSum(k float64) float64      { c.ops++; return c.inner.GetSum(k) }
+func (c *countingIndex) GetSumLess(k float64) float64  { c.ops++; return c.inner.GetSumLess(k) }
+func (c *countingIndex) SuffixSum(k float64) float64   { c.ops++; return c.inner.SuffixSum(k) }
+func (c *countingIndex) SuffixSumGreater(k float64) float64 {
+	c.ops++
+	return c.inner.SuffixSumGreater(k)
+}
+func (c *countingIndex) ShiftKeys(k, d float64)            { c.ops++; c.inner.ShiftKeys(k, d) }
+func (c *countingIndex) ShiftKeysInclusive(k, d float64)   { c.ops++; c.inner.ShiftKeysInclusive(k, d) }
+func (c *countingIndex) Ascend(fn func(k, v float64) bool) { c.ops++; c.inner.Ascend(fn) }
+
+// orderBookTrace is a deterministic limit-order-book style workload: inserts
+// at clustered integer price levels with a deletion (cancel) mix, the shape
+// the paper's VWAP experiments replay.
+func orderBookTrace(seed int64, n int) []Event {
+	rng := rand.New(rand.NewSource(seed))
+	var live []query.Tuple
+	out := make([]Event, 0, n)
+	mid := 100
+	for i := 0; i < n; i++ {
+		if len(live) > 0 && rng.Float64() < 0.3 {
+			j := rng.Intn(len(live))
+			out = append(out, Delete(live[j]))
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+			continue
+		}
+		if rng.Float64() < 0.02 { // occasional mid-price drift
+			mid += rng.Intn(5) - 2
+		}
+		t := query.Tuple{
+			"price":  float64(mid + rng.Intn(21) - 10),
+			"volume": float64(rng.Intn(50) + 1),
+		}
+		live = append(live, t)
+		out = append(out, Insert(t))
+	}
+	return out
+}
+
+// goldenVWAPOps is the committed operation count for the trace below: the
+// total aggregate-index operations the agg-index executor performs replaying
+// orderBookTrace(42, 4000) against vwapSpec, as measured when this guard was
+// introduced. The test fails when the count grows past double the golden
+// value — an algorithmic regression (for example, a per-event rebuild or an
+// accidental full scan) long before it would show up as benchmark noise.
+// If the executor legitimately changes its access pattern, re-measure with
+// `go test -run TestAggIndexOpCountGuard -v ./internal/engine` and update
+// the constant in the same change.
+const goldenVWAPOps = 12006
+
+func TestAggIndexOpCountGuard(t *testing.T) {
+	q := vwapSpec()
+	ex, err := NewAggIndex(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr := &countingIndex{inner: ex.agg}
+	ex.agg = ctr
+
+	events := orderBookTrace(42, 4000)
+	for _, e := range events {
+		ex.Apply(e)
+	}
+
+	// Cross-check the instrumented run still computes the right answer.
+	ref, err := NewGeneral(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		ref.Apply(e)
+	}
+	if got, want := ex.Result(), ref.Result(); got != want {
+		t.Fatalf("instrumented executor result %v, want %v", got, want)
+	}
+
+	t.Logf("aggregate-index ops for %d events: %d (golden %d)", len(events), ctr.ops, goldenVWAPOps)
+	if ctr.ops > 2*goldenVWAPOps {
+		t.Fatalf("agg-index executor performed %d index operations for %d events; golden count is %d "+
+			"(limit 2x) — an algorithmic regression in the incremental maintenance path",
+			ctr.ops, len(events), goldenVWAPOps)
+	}
+	// A floor too: if the count collapses, the executor stopped using the
+	// index (e.g. silently fell back to recomputation elsewhere) and this
+	// guard would be watching nothing.
+	if ctr.ops < goldenVWAPOps/2 {
+		t.Fatalf("agg-index executor performed only %d index operations (golden %d); "+
+			"the guard is no longer measuring the maintenance path — re-baseline it",
+			ctr.ops, goldenVWAPOps)
+	}
+}

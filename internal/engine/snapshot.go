@@ -1,0 +1,543 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"rpai/internal/checkpoint"
+	"rpai/internal/query"
+)
+
+// This file makes every executor durable: Snapshot serializes the executor's
+// maintained state (RPAI trees via their structural codec, treemaps and maps
+// as canonical sorted entry lists) and Restore rebuilds an executor that is
+// indistinguishable from one that never stopped. The query itself is not
+// serialized — it is the caller's configuration, passed again to Restore —
+// so a snapshot is state only, and Restore cross-checks the decoded
+// structure against what the query implies (a snapshot from a different
+// query fails instead of silently misbehaving).
+//
+// Encodings are canonical: map-shaped state is written in sorted key order
+// and tree-shaped state either as sorted entries or through the exact
+// structural codec, so encode -> decode -> encode is byte-identical (the
+// property FuzzSnapshotRoundTrip enforces).
+
+// Snapshotter is implemented by every executor in this package; serve's
+// checkpointing uses it to persist per-partition state.
+type Snapshotter interface {
+	// Snapshot writes the executor's full state to w.
+	Snapshot(w io.Writer) error
+}
+
+// Executor snapshot stream tags. Stable on-disk values: never renumber.
+const (
+	snapVersion = 1
+
+	tagNaive      = 1
+	tagGeneral    = 2
+	tagAggIndex   = 3
+	tagRelState   = 4
+	tagMultiAgg   = 5
+	tagMultiNaive = 6
+)
+
+func snapHeader(e *checkpoint.Encoder, tag uint8) {
+	e.U8(tag)
+	e.U8(snapVersion)
+}
+
+func readSnapHeader(d *checkpoint.Decoder) uint8 {
+	tag := d.U8()
+	if v := d.U8(); d.Err() == nil && v != snapVersion {
+		d.Fail(fmt.Errorf("engine: unsupported executor snapshot version %d", v))
+	}
+	return tag
+}
+
+// Restore rebuilds an executor of q from a stream written by Snapshot. The
+// executor type is dispatched from the stream's tag, so the restored
+// strategy always matches the snapshotted one regardless of what New would
+// pick today.
+func Restore(q *query.Query, r io.Reader) (Executor, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	d := checkpoint.NewDecoder(r)
+	var ex Executor
+	switch tag := readSnapHeader(d); {
+	case d.Err() != nil:
+	case tag == tagNaive:
+		ex = restoreNaive(d, q)
+	case tag == tagGeneral:
+		ex = restoreGeneral(d, q)
+	case tag == tagAggIndex:
+		ex = restoreAggIndex(d, q)
+	case tag == tagRelState:
+		ex = restoreRelStateExec(d, q)
+	default:
+		d.Fail(fmt.Errorf("engine: unknown executor snapshot tag %d", tag))
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return ex, nil
+}
+
+// RestoreMulti rebuilds a multi-relation executor of q from a stream written
+// by its Snapshot.
+func RestoreMulti(q *MultiQuery, r io.Reader) (MultiExecutor, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	d := checkpoint.NewDecoder(r)
+	var ex MultiExecutor
+	switch tag := readSnapHeader(d); {
+	case d.Err() != nil:
+	case tag == tagMultiAgg:
+		ex = restoreMultiAgg(d, q)
+	case tag == tagMultiNaive:
+		ex = restoreMultiNaive(d, q)
+	default:
+		d.Fail(fmt.Errorf("engine: unknown multi-relation snapshot tag %d", tag))
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return ex, nil
+}
+
+// --- tuples ---
+
+func snapTuple(e *checkpoint.Encoder, t query.Tuple) {
+	cols := make([]string, 0, len(t))
+	for c := range t {
+		cols = append(cols, c)
+	}
+	sort.Strings(cols)
+	e.U32(uint32(len(cols)))
+	for _, c := range cols {
+		e.Str(c)
+		e.F64(t[c])
+	}
+}
+
+func restoreTuple(d *checkpoint.Decoder) query.Tuple {
+	n := d.U32()
+	if d.Err() != nil {
+		return nil
+	}
+	if n > 1024 {
+		d.Fail(fmt.Errorf("engine: tuple width %d in snapshot", n))
+		return nil
+	}
+	t := make(query.Tuple, n)
+	prev := ""
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		c := d.Str()
+		v := d.F64()
+		if d.Err() != nil {
+			break
+		}
+		if i > 0 && c <= prev {
+			d.Fail(errors.New("engine: tuple columns not strictly ascending in snapshot"))
+			break
+		}
+		prev = c
+		t[c] = v
+	}
+	return t
+}
+
+// --- naive ---
+
+// Snapshot implements Snapshotter: the live multiset in insertion order.
+func (n *NaiveExec) Snapshot(w io.Writer) error {
+	e := checkpoint.NewEncoder(w)
+	snapHeader(e, tagNaive)
+	e.U32(uint32(len(n.live)))
+	for _, t := range n.live {
+		snapTuple(e, t)
+	}
+	return e.Err()
+}
+
+func restoreNaive(d *checkpoint.Decoder, q *query.Query) *NaiveExec {
+	n := NewNaive(q)
+	cnt := d.U32()
+	for i := uint32(0); i < cnt && d.Err() == nil; i++ {
+		t := restoreTuple(d)
+		if d.Err() == nil {
+			n.live = append(n.live, t)
+		}
+	}
+	return n
+}
+
+// --- subquery state ---
+
+func subStateFlags(st *subState) uint8 {
+	var flags uint8
+	if st.sumTree != nil {
+		flags |= 1
+	}
+	if st.wTree != nil {
+		flags |= 2
+	}
+	if st.thrTree != nil {
+		flags |= 4
+	}
+	return flags
+}
+
+func snapSubState(e *checkpoint.Encoder, st *subState) {
+	flags := subStateFlags(st)
+	e.U8(flags)
+	if flags&1 != 0 {
+		e.TreeMap(st.sumTree)
+		e.TreeMap(st.cntTree)
+	} else {
+		e.F64(st.sum)
+		e.F64(st.cnt)
+	}
+	if flags&2 != 0 {
+		e.TreeMap(st.wTree)
+		if flags&4 != 0 {
+			e.TreeMap(st.thrTree)
+		} else {
+			e.F64(st.thrSum)
+		}
+	}
+}
+
+// restoreSubState decodes one subquery's state. The structure flags must
+// match what the query implies for s — newSubState derives the tree set
+// from the subquery shape, so a mismatch means the snapshot belongs to a
+// different query.
+func restoreSubState(d *checkpoint.Decoder, s *query.Subquery) *subState {
+	st := newSubState(s)
+	flags := d.U8()
+	if d.Err() != nil {
+		return st
+	}
+	if flags != subStateFlags(st) {
+		d.Fail(fmt.Errorf("engine: snapshot subquery structure %#x does not match query structure %#x", flags, subStateFlags(st)))
+		return st
+	}
+	if flags&1 != 0 {
+		st.sumTree = d.TreeMap()
+		st.cntTree = d.TreeMap()
+	} else {
+		st.sum = d.F64()
+		st.cnt = d.F64()
+	}
+	if flags&2 != 0 {
+		st.wTree = d.TreeMap()
+		if flags&4 != 0 {
+			st.thrTree = d.TreeMap()
+		} else {
+			st.thrSum = d.F64()
+		}
+	}
+	return st
+}
+
+// --- general ---
+
+// groupKeyFromVals rebuilds the result-map key from the stored projection
+// values; it must stay in lockstep with groupProjection.
+func groupKeyFromVals(vals []float64) string {
+	var b strings.Builder
+	for _, v := range vals {
+		b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+		b.WriteByte('|')
+	}
+	return b.String()
+}
+
+// Snapshot implements Snapshotter: per-subquery bound maps in the query's
+// deterministic subquery order, then the result map sorted by group key.
+func (g *GeneralExec) Snapshot(w io.Writer) error {
+	e := checkpoint.NewEncoder(w)
+	snapHeader(e, tagGeneral)
+	subs := g.q.Subqueries()
+	e.U32(uint32(len(subs)))
+	for _, s := range subs {
+		snapSubState(e, g.subs[s])
+	}
+	keys := make([]string, 0, len(g.groups))
+	for k := range g.groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	e.U32(uint32(len(g.groups)))
+	for _, k := range keys {
+		gr := g.groups[k]
+		e.U32(uint32(len(gr.vals)))
+		for _, v := range gr.vals {
+			e.F64(v)
+		}
+		e.F64(gr.agg)
+		e.F64(gr.cnt)
+	}
+	return e.Err()
+}
+
+func restoreGeneral(d *checkpoint.Decoder, q *query.Query) *GeneralExec {
+	g, err := NewGeneral(q)
+	if err != nil {
+		d.Fail(err)
+		return nil
+	}
+	subs := q.Subqueries()
+	if n := d.U32(); d.Err() == nil && int(n) != len(subs) {
+		d.Fail(fmt.Errorf("engine: snapshot has %d subqueries, query has %d", n, len(subs)))
+		return g
+	}
+	for _, s := range subs {
+		if d.Err() != nil {
+			break
+		}
+		g.subs[s] = restoreSubState(d, s)
+	}
+	ngroups := d.U32()
+	for i := uint32(0); i < ngroups && d.Err() == nil; i++ {
+		nv := d.U32()
+		if d.Err() != nil {
+			break
+		}
+		if int(nv) != len(g.groupCols) {
+			d.Fail(fmt.Errorf("engine: snapshot group width %d, query projects %d columns", nv, len(g.groupCols)))
+			break
+		}
+		vals := make([]float64, nv)
+		for j := range vals {
+			vals[j] = d.F64()
+		}
+		gr := &group{vals: vals, agg: d.F64(), cnt: d.F64()}
+		if d.Err() == nil {
+			g.groups[groupKeyFromVals(vals)] = gr
+		}
+	}
+	return g
+}
+
+// --- aggregate index ---
+
+// Snapshot implements Snapshotter: the threshold subquery state, the
+// per-level weight map, the per-level live counts, the aggregate index
+// itself (structural for RPAI trees), and the equality plan's group map.
+func (ex *AggIndexExec) Snapshot(w io.Writer) error {
+	e := checkpoint.NewEncoder(w)
+	snapHeader(e, tagAggIndex)
+	if ex.thr != nil {
+		e.U8(1)
+		snapSubState(e, ex.thr)
+	} else {
+		e.U8(0)
+	}
+	e.TreeMap(ex.byKey)
+	e.F64Map(ex.cntAt)
+	e.Index(ex.agg)
+	e.F64Map(ex.groups)
+	return e.Err()
+}
+
+func restoreAggIndex(d *checkpoint.Decoder, q *query.Query) *AggIndexExec {
+	plan, ok := q.PlanAggIndex()
+	if !ok {
+		d.Fail(fmt.Errorf("engine: query not eligible for an aggregate-index snapshot: %s", q))
+		return nil
+	}
+	ex := &AggIndexExec{q: q, plan: plan, cntAt: make(map[float64]float64)}
+	hasThr := d.U8()
+	if d.Err() != nil {
+		return ex
+	}
+	if (hasThr == 1) != (plan.Threshold.Sub != nil) {
+		d.Fail(errors.New("engine: snapshot threshold structure does not match query plan"))
+		return ex
+	}
+	if hasThr == 1 {
+		ex.thr = restoreSubState(d, plan.Threshold.Sub)
+	}
+	ex.byKey = d.TreeMap()
+	d.F64Map(ex.cntAt)
+	ex.agg = d.Index()
+	if n := d.U32(); d.Err() == nil && n > 0 {
+		// Re-read the group map: back up is impossible on a stream, so the
+		// count is decoded here and the entries inline (mirrors F64Map).
+		ex.groups = make(map[float64]float64, n)
+		var prev float64
+		for i := uint32(0); i < n && d.Err() == nil; i++ {
+			k := d.FiniteF64()
+			v := d.F64()
+			if d.Err() != nil {
+				break
+			}
+			if i > 0 && k <= prev {
+				d.Fail(errors.New("engine: group keys not strictly ascending in snapshot"))
+				break
+			}
+			prev = k
+			ex.groups[k] = v
+		}
+	}
+	return ex
+}
+
+// --- single-relation planned executor (relState) ---
+
+// Snapshot implements Snapshotter for the planner's single-relation
+// aggregate-index executor.
+func (ex *relStateExec) Snapshot(w io.Writer) error {
+	e := checkpoint.NewEncoder(w)
+	snapHeader(e, tagRelState)
+	snapRelState(e, ex.rs)
+	return e.Err()
+}
+
+func restoreRelStateExec(d *checkpoint.Decoder, q *query.Query) *relStateExec {
+	if len(q.GroupBy) != 0 || len(q.Preds) != 1 || !noNested(q) {
+		d.Fail(fmt.Errorf("engine: query shape does not match a single-relation snapshot: %s", q))
+		return nil
+	}
+	spec := RelSpec{Name: "R", Term: q.Agg, Pred: q.Preds[0]}
+	rs := restoreRelState(d, spec)
+	if d.Err() != nil {
+		return nil
+	}
+	return &relStateExec{rs: rs}
+}
+
+func snapRelState(e *checkpoint.Encoder, rs *relState) {
+	if rs.thr != nil {
+		e.U8(1)
+		snapSubState(e, rs.thr)
+	} else {
+		e.U8(0)
+	}
+	e.U8(uint8(rs.plan.kind))
+	switch rs.plan.kind {
+	case PredCorrelated:
+		e.TreeMap(rs.byKey)
+		e.Index(rs.cnt)
+		e.Index(rs.term)
+	case PredColumn:
+		e.TreeMap(rs.cntByCol)
+		e.TreeMap(rs.termByCol)
+	}
+}
+
+func restoreRelState(d *checkpoint.Decoder, spec RelSpec) *relState {
+	plan, err := classifyRelPred(spec.Pred)
+	if err != nil {
+		d.Fail(err)
+		return nil
+	}
+	rs := &relState{spec: spec, plan: plan}
+	hasThr := d.U8()
+	if d.Err() != nil {
+		return rs
+	}
+	if (hasThr == 1) != (plan.threshold.Sub != nil) {
+		d.Fail(errors.New("engine: snapshot threshold structure does not match relation plan"))
+		return rs
+	}
+	if hasThr == 1 {
+		rs.thr = restoreSubState(d, plan.threshold.Sub)
+	}
+	if k := d.U8(); d.Err() == nil && RelPredKind(k) != plan.kind {
+		d.Fail(fmt.Errorf("engine: snapshot predicate kind %d does not match plan kind %d", k, plan.kind))
+		return rs
+	}
+	switch plan.kind {
+	case PredCorrelated:
+		rs.byKey = d.TreeMap()
+		rs.cnt = d.Index()
+		rs.term = d.Index()
+	case PredColumn:
+		rs.cntByCol = d.TreeMap()
+		rs.termByCol = d.TreeMap()
+	}
+	return rs
+}
+
+// --- multi-relation ---
+
+// Snapshot implements Snapshotter: per-relation state in MultiQuery.Rels
+// order, each labeled with its relation name.
+func (ex *MultiAggIndexExec) Snapshot(w io.Writer) error {
+	e := checkpoint.NewEncoder(w)
+	snapHeader(e, tagMultiAgg)
+	e.U32(uint32(len(ex.q.Rels)))
+	for _, spec := range ex.q.Rels {
+		e.Str(spec.Name)
+		snapRelState(e, ex.rels[spec.Name])
+	}
+	return e.Err()
+}
+
+func restoreMultiAgg(d *checkpoint.Decoder, q *MultiQuery) *MultiAggIndexExec {
+	if n := d.U32(); d.Err() == nil && int(n) != len(q.Rels) {
+		d.Fail(fmt.Errorf("engine: snapshot has %d relations, query has %d", n, len(q.Rels)))
+		return nil
+	}
+	ex := &MultiAggIndexExec{q: q, rels: make(map[string]*relState, len(q.Rels))}
+	for _, spec := range q.Rels {
+		if d.Err() != nil {
+			break
+		}
+		if name := d.Str(); d.Err() == nil && name != spec.Name {
+			d.Fail(fmt.Errorf("engine: snapshot relation %q, query expects %q", name, spec.Name))
+			break
+		}
+		ex.rels[spec.Name] = restoreRelState(d, spec)
+	}
+	return ex
+}
+
+// Snapshot implements Snapshotter: per-relation live multisets in
+// MultiQuery.Rels order.
+func (ex *MultiNaiveExec) Snapshot(w io.Writer) error {
+	e := checkpoint.NewEncoder(w)
+	snapHeader(e, tagMultiNaive)
+	e.U32(uint32(len(ex.q.Rels)))
+	for _, spec := range ex.q.Rels {
+		e.Str(spec.Name)
+		live := ex.live[spec.Name]
+		e.U32(uint32(len(live)))
+		for _, t := range live {
+			snapTuple(e, t)
+		}
+	}
+	return e.Err()
+}
+
+func restoreMultiNaive(d *checkpoint.Decoder, q *MultiQuery) *MultiNaiveExec {
+	if n := d.U32(); d.Err() == nil && int(n) != len(q.Rels) {
+		d.Fail(fmt.Errorf("engine: snapshot has %d relations, query has %d", n, len(q.Rels)))
+		return nil
+	}
+	ex := &MultiNaiveExec{q: q, live: map[string][]query.Tuple{}}
+	for _, spec := range q.Rels {
+		if d.Err() != nil {
+			break
+		}
+		if name := d.Str(); d.Err() == nil && name != spec.Name {
+			d.Fail(fmt.Errorf("engine: snapshot relation %q, query expects %q", name, spec.Name))
+			break
+		}
+		cnt := d.U32()
+		for i := uint32(0); i < cnt && d.Err() == nil; i++ {
+			t := restoreTuple(d)
+			if d.Err() == nil {
+				ex.live[spec.Name] = append(ex.live[spec.Name], t)
+			}
+		}
+	}
+	return ex
+}

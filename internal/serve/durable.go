@@ -1,0 +1,429 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"rpai/internal/checkpoint"
+)
+
+// This file is the durability coordinator for a Service: Checkpoint fans a
+// snapshot request out to every shard worker, Recover rebuilds a service from
+// a checkpoint directory, and compactShard is the per-shard rotation both of
+// them (and the workers' own auto-compaction) share. All shard-state access
+// happens on the owning worker goroutine via control requests, so none of
+// this code takes locks on partition state.
+
+// compactShard snapshots one shard's partitions to dir under generation gen
+// and, when rotate is set, starts a fresh WAL at the next sequence number.
+// It runs on the shard's worker goroutine (via a control request or the
+// worker's own auto-compaction), so it owns ws exclusively.
+//
+// Rotation order matters for crash safety: the snapshot is renamed into
+// place first, then the WAL is recreated. A crash between the two leaves a
+// WAL whose Seq is below the snapshot's; recovery ignores it as stale, since
+// every event it holds is already inside the snapshot.
+func (s *Service[E]) compactShard(ws *workerState[E], dir string, gen uint64, rotate bool) error {
+	if ws.err != nil {
+		return ws.err
+	}
+	d := s.cfg.Durable
+	keys := make([]string, 0, len(ws.parts))
+	for k := range ws.parts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]checkpoint.Partition, 0, len(keys))
+	var buf bytes.Buffer
+	for _, k := range keys {
+		p := ws.parts[k]
+		buf.Reset()
+		if err := d.Snapshot(&buf, p.vals, p.ex); err != nil {
+			return fmt.Errorf("serve: snapshotting partition %v: %w", p.vals, err)
+		}
+		parts = append(parts, checkpoint.Partition{Key: p.vals, State: append([]byte(nil), buf.Bytes()...)})
+	}
+	seq := ws.seq + 1
+	h := checkpoint.Header{Gen: gen, Seq: seq, Shard: uint32(ws.idx), ShardCount: uint32(len(s.shards))}
+	if err := checkpoint.WriteSnapshotFile(checkpoint.SnapPath(dir, gen, ws.idx), h, parts); err != nil {
+		return err
+	}
+	if !rotate {
+		return nil
+	}
+	if ws.wal != nil {
+		if err := ws.wal.Close(); err != nil {
+			return err
+		}
+		ws.wal = nil
+	}
+	w, err := checkpoint.CreateWAL(checkpoint.WALPath(dir, gen, ws.idx), h)
+	if err != nil {
+		return err
+	}
+	ws.wal, ws.gen, ws.seq, ws.pending = w, gen, seq, 0
+	return nil
+}
+
+// Checkpoint writes a consistent snapshot of every shard to dir.
+//
+// When dir is the service's own Durable.Dir, this is a full rotation: a new
+// generation is written, the per-shard WALs restart empty, the MANIFEST is
+// swapped only after every shard is durable, and the previous generation's
+// files are removed — so a crash at any point leaves either the old or the
+// new generation recoverable, never a mix. When dir is any other directory
+// the call exports a standalone generation-1 checkpoint (no WALs) that
+// Recover can open later; the live WALs are untouched.
+//
+// Each shard snapshots between batches, so the checkpoint captures a
+// point-in-time state per partition. Checkpoint returns ErrClosed after
+// Close.
+func (s *Service[E]) Checkpoint(dir string) error {
+	d := s.cfg.Durable
+	if d == nil || d.Snapshot == nil {
+		return errors.New("serve: Checkpoint requires Config.Durable.Snapshot")
+	}
+	s.ckMu.Lock()
+	defer s.ckMu.Unlock()
+	own := s.walEnabled() && filepath.Clean(dir) == filepath.Clean(d.Dir)
+	gen, rotate := uint64(1), false
+	if own {
+		gen, rotate = s.gen+1, true
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	dones := make([]chan error, len(s.shards))
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return ErrClosed
+	}
+	for i, sh := range s.shards {
+		done := make(chan error, 1)
+		dones[i] = done
+		sh.in <- item[E]{ctl: &ctl[E]{
+			fn:   func(ws *workerState[E]) error { return s.compactShard(ws, dir, gen, rotate) },
+			done: done,
+		}}
+	}
+	s.mu.RUnlock()
+	var first error
+	for _, done := range dones {
+		if err := <-done; err != nil && first == nil {
+			first = err
+		}
+	}
+	if first != nil {
+		return first
+	}
+	if err := checkpoint.WriteManifest(dir, checkpoint.Manifest{Gen: gen, Shards: uint32(len(s.shards))}); err != nil {
+		return err
+	}
+	if own {
+		s.gen = gen
+		removeStale(dir, gen, len(s.shards))
+	}
+	return nil
+}
+
+// control runs fn on shard i's worker goroutine and returns its error.
+func (s *Service[E]) control(i int, fn func(ws *workerState[E]) error) error {
+	done := make(chan error, 1)
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return ErrClosed
+	}
+	s.shards[i].in <- item[E]{ctl: &ctl[E]{fn: fn, done: done}}
+	s.mu.RUnlock()
+	return <-done
+}
+
+// removeStale deletes checkpoint files that do not belong to the current
+// generation, plus orphaned temp files from interrupted writes. Temp files
+// of the current generation are left alone: a worker's auto-compaction may
+// be renaming one concurrently.
+func removeStale(dir string, gen uint64, shards int) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, ent := range ents {
+		name := ent.Name()
+		if base, _, found := strings.Cut(name, ".tmp-"); found {
+			g, sIdx, _, ok := checkpoint.ParseName(base)
+			live := ok && g == gen && sIdx < shards
+			if !live && (ok || strings.HasPrefix(base, checkpoint.ManifestName)) {
+				os.Remove(filepath.Join(dir, name))
+			}
+			continue
+		}
+		g, sIdx, _, ok := checkpoint.ParseName(name)
+		if ok && (g != gen || sIdx >= shards) {
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
+}
+
+// errStopWAL aborts walHeader's read after the header record.
+var errStopWAL = errors.New("serve: stop after WAL header")
+
+// walHeader reads just a WAL file's header, without replaying its events.
+func walHeader(path string) (checkpoint.Header, error) {
+	h, _, err := checkpoint.ReadWAL(path, func([]byte) error { return errStopWAL })
+	if err != nil && !errors.Is(err, errStopWAL) {
+		return checkpoint.Header{}, err
+	}
+	return h, nil
+}
+
+// recoveredShard is one shard of a checkpoint generation as loaded from
+// disk: its restored partition executors plus the WAL to replay, if any.
+type recoveredShard[E any] struct {
+	parts   []*partition[E]
+	walPath string
+}
+
+// scanGens lists the generations present in a checkpoint directory, highest
+// first.
+func scanGens(dir string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[uint64]bool{}
+	for _, ent := range ents {
+		if g, _, _, ok := checkpoint.ParseName(ent.Name()); ok {
+			seen[g] = true
+		}
+	}
+	gens := make([]uint64, 0, len(seen))
+	for g := range seen {
+		gens = append(gens, g)
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] > gens[j] })
+	return gens, nil
+}
+
+// loadGen loads one checkpoint generation, restoring every partition
+// executor and validating the snapshot/WAL sequence pairing. It returns an
+// error if the generation is incomplete or inconsistent, in which case the
+// caller falls back to the previous generation.
+func loadGen[E any](dir string, gen uint64, d *Durable[E]) ([]recoveredShard[E], error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	hasSnap, hasWAL := map[int]bool{}, map[int]bool{}
+	for _, ent := range ents {
+		g, sIdx, isWAL, ok := checkpoint.ParseName(ent.Name())
+		if !ok || g != gen {
+			continue
+		}
+		if isWAL {
+			hasWAL[sIdx] = true
+		} else {
+			hasSnap[sIdx] = true
+		}
+	}
+	if len(hasSnap)+len(hasWAL) == 0 {
+		return nil, fmt.Errorf("generation %d: no files", gen)
+	}
+	type snapUnit struct {
+		h     checkpoint.Header
+		parts []checkpoint.Partition
+	}
+	var count uint32
+	note := func(h checkpoint.Header, kind string, i int) error {
+		if h.Gen != gen || int(h.Shard) != i {
+			return fmt.Errorf("generation %d shard %d %s: header says gen %d shard %d", gen, i, kind, h.Gen, h.Shard)
+		}
+		if count == 0 {
+			count = h.ShardCount
+		} else if h.ShardCount != count {
+			return fmt.Errorf("generation %d: inconsistent shard counts %d vs %d", gen, count, h.ShardCount)
+		}
+		return nil
+	}
+	snaps := map[int]snapUnit{}
+	walSeq := map[int]uint64{}
+	for i := range hasSnap {
+		h, parts, err := checkpoint.ReadSnapshotFile(checkpoint.SnapPath(dir, gen, i))
+		if err != nil {
+			return nil, fmt.Errorf("generation %d shard %d snapshot: %w", gen, i, err)
+		}
+		if err := note(h, "snapshot", i); err != nil {
+			return nil, err
+		}
+		snaps[i] = snapUnit{h: h, parts: parts}
+	}
+	for i := range hasWAL {
+		h, err := walHeader(checkpoint.WALPath(dir, gen, i))
+		if err != nil {
+			// A WAL whose header is torn was cut down mid-creation, before
+			// any event could be logged: with a valid snapshot the shard is
+			// still whole, without one the generation is unrecoverable.
+			if !hasSnap[i] {
+				return nil, fmt.Errorf("generation %d shard %d WAL: %w", gen, i, err)
+			}
+			continue
+		}
+		if err := note(h, "WAL", i); err != nil {
+			return nil, err
+		}
+		walSeq[i] = h.Seq
+	}
+	out := make([]recoveredShard[E], count)
+	for i := 0; i < int(count); i++ {
+		su, haveSnap := snaps[i]
+		seq, haveWAL := walSeq[i]
+		switch {
+		case haveSnap && haveWAL:
+			if seq > su.h.Seq {
+				return nil, fmt.Errorf("generation %d shard %d: WAL seq %d ahead of snapshot seq %d", gen, i, seq, su.h.Seq)
+			}
+			if seq == su.h.Seq {
+				out[i].walPath = checkpoint.WALPath(dir, gen, i)
+			}
+			// seq < snapshot seq: stale WAL from a crash mid-rotation; the
+			// snapshot already contains everything it holds.
+		case haveSnap:
+			// Snapshot alone carries the shard.
+		case haveWAL:
+			if seq != 0 {
+				return nil, fmt.Errorf("generation %d shard %d: WAL seq %d but no snapshot", gen, i, seq)
+			}
+			out[i].walPath = checkpoint.WALPath(dir, gen, i)
+		default:
+			return nil, fmt.Errorf("generation %d: shard %d of %d missing", gen, i, count)
+		}
+		for _, p := range su.parts {
+			ex, err := d.Restore(bytes.NewReader(p.State), p.Key)
+			if err != nil {
+				return nil, fmt.Errorf("generation %d shard %d partition %v: %w", gen, i, p.Key, err)
+			}
+			key := append([]float64(nil), p.Key...)
+			out[i].parts = append(out[i].parts, &partition[E]{vals: key, ex: ex, last: ex.Result()})
+		}
+	}
+	return out, nil
+}
+
+// Recover rebuilds a Service from the checkpoint directory dir: it loads the
+// highest complete generation (falling back past a partially written one),
+// restores every partition executor from its snapshot, replays the paired
+// WALs, and returns the service ready for new events.
+//
+// cfg.Shards need not match the checkpointed shard count — partitions are
+// rehashed onto the new shards, and per-partition event order is preserved
+// because each partition's WAL suffix lived on exactly one old shard.
+// cfg.Durable must provide Restore and DecodeEvent; when cfg.Durable.Dir is
+// set (normally dir itself), recovery finishes with a Checkpoint into it, so
+// the service resumes with compact state and fresh WALs.
+func Recover[E any](dir string, cfg Config[E]) (*Service[E], error) {
+	d := cfg.Durable
+	if d == nil || d.Restore == nil || d.DecodeEvent == nil {
+		return nil, errors.New("serve: Recover requires Config.Durable with Restore and DecodeEvent")
+	}
+	if _, err := checkpoint.ReadManifest(dir); err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("serve: %s is not a checkpoint directory", dir)
+		}
+		return nil, err
+	}
+	gens, err := scanGens(dir)
+	if err != nil {
+		return nil, err
+	}
+	var (
+		gen     uint64
+		loaded  []recoveredShard[E]
+		lastErr error
+	)
+	for _, g := range gens {
+		l, err := loadGen(dir, g, d)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		gen, loaded = g, l
+		break
+	}
+	if loaded == nil {
+		if lastErr != nil {
+			return nil, fmt.Errorf("serve: no recoverable generation in %s: %w", dir, lastErr)
+		}
+		return nil, fmt.Errorf("serve: no checkpoint files in %s", dir)
+	}
+	svc, err := newService(cfg, true)
+	if err != nil {
+		return nil, err
+	}
+	svc.gen = gen
+	fail := func(err error) (*Service[E], error) {
+		svc.Close()
+		return nil, err
+	}
+	// Rehash the restored partitions onto the (possibly different) shard
+	// count and install each batch on its owning worker. Installs are
+	// control requests on the same channels as events, so FIFO ordering
+	// guarantees every install lands before any replayed event.
+	installs := make([][]*partition[E], len(svc.shards))
+	for _, rs := range loaded {
+		for _, p := range rs.parts {
+			t := int(hashVals(p.vals) % uint64(len(svc.shards)))
+			installs[t] = append(installs[t], p)
+		}
+	}
+	for i, list := range installs {
+		if len(list) == 0 {
+			continue
+		}
+		list := list
+		if err := svc.control(i, func(ws *workerState[E]) error {
+			for _, p := range list {
+				k := string(encodeKey(nil, p.vals))
+				if _, dup := ws.parts[k]; dup {
+					return fmt.Errorf("serve: duplicate partition %v in checkpoint", p.vals)
+				}
+				ws.parts[k] = p
+			}
+			svc.shards[ws.idx].partitions.Store(int64(len(ws.parts)))
+			return nil
+		}); err != nil {
+			return fail(err)
+		}
+	}
+	for i, rs := range loaded {
+		if rs.walPath == "" {
+			continue
+		}
+		if _, _, err := checkpoint.ReadWAL(rs.walPath, func(p []byte) error {
+			ev, err := d.DecodeEvent(p)
+			if err != nil {
+				return err
+			}
+			return svc.Apply(ev)
+		}); err != nil {
+			return fail(fmt.Errorf("serve: replaying shard %d WAL: %w", i, err))
+		}
+	}
+	if err := svc.Drain(); err != nil {
+		return fail(err)
+	}
+	if svc.walEnabled() {
+		if d.Snapshot == nil {
+			return fail(errors.New("serve: Recover with Durable.Dir requires Durable.Snapshot"))
+		}
+		if err := svc.Checkpoint(d.Dir); err != nil {
+			return fail(err)
+		}
+	}
+	return svc, nil
+}

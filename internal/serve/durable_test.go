@@ -1,0 +1,364 @@
+package serve
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rpai/internal/checkpoint"
+	"rpai/internal/engine"
+)
+
+// groupedMap flattens ResultGrouped into partition-key -> value (all serving
+// tests partition by a single column).
+func groupedMap(svc *Service[engine.Event]) map[float64]float64 {
+	out := map[float64]float64{}
+	for _, g := range svc.ResultGrouped() {
+		out[g.Key[0]] = g.Value
+	}
+	return out
+}
+
+func requireSameGroups(t *testing.T, ctx string, got, want map[float64]float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d partitions, want %d", ctx, len(got), len(want))
+	}
+	for k, w := range want {
+		if g, ok := got[k]; !ok || g != w {
+			t.Fatalf("%s: partition %v = %v (present=%v), want %v", ctx, k, g, ok, w)
+		}
+	}
+}
+
+// buildDurableDir runs a durable service over events, checkpointing after
+// checkpointAt events (0 skips the explicit checkpoint), and closes it.
+func buildDurableDir(t *testing.T, dir string, shards, checkpointAt int, events []engine.Event) {
+	t.Helper()
+	svc, err := ForQuery(vwapSpec(), []string{"sym"}, Options{Shards: shards, BatchSize: 16, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range events {
+		if err := svc.Apply(e); err != nil {
+			t.Fatal(err)
+		}
+		if checkpointAt > 0 && i+1 == checkpointAt {
+			if err := svc.Drain(); err != nil {
+				t.Fatal(err)
+			}
+			if err := svc.Checkpoint(dir); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := svc.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoverMatchesReference is the core recovery differential: a service
+// that checkpointed mid-stream and then crashed (Close stands in for the
+// crash; Drain guarantees the WAL tail) must recover to exactly the serial
+// reference state — under the original shard count and under different ones,
+// which forces the partitions to rehash.
+func TestRecoverMatchesReference(t *testing.T) {
+	q := vwapSpec()
+	events := symEvents(11, 5000, 17)
+	dir := t.TempDir()
+	buildDurableDir(t, dir, 3, 3000, events)
+	want := serialReference(t, q, events)
+	for _, shards := range []int{1, 2, 3, 5} {
+		// Options.Dir is left empty: a read-only recovery that leaves the
+		// checkpoint directory untouched, so every shard count sees it.
+		rec, err := RecoverForQuery(dir, q, []string{"sym"}, Options{Shards: shards})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		requireSameGroups(t, "recovered", groupedMap(rec), want)
+		if err := rec.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRecoverResumesService recovers with durability re-enabled, applies more
+// events, crashes again, and recovers again: the full resume cycle, across a
+// shard-count change, with auto-compaction running in the second life.
+func TestRecoverResumesService(t *testing.T) {
+	q := vwapSpec()
+	first := symEvents(21, 2500, 13)
+	dir := t.TempDir()
+	buildDurableDir(t, dir, 3, 1500, first)
+
+	rec, err := RecoverForQuery(dir, q, []string{"sym"}, Options{Shards: 2, Dir: dir, CompactEvery: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := symEvents(22, 2500, 13)
+	for _, e := range second {
+		if err := rec.Apply(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rec.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	all := append(append([]engine.Event(nil), first...), second...)
+	want := serialReference(t, q, all)
+	requireSameGroups(t, "resumed", groupedMap(rec), want)
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec2, err := RecoverForQuery(dir, q, []string{"sym"}, Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameGroups(t, "re-recovered", groupedMap(rec2), want)
+	if err := rec2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWALOnlyRecovery recovers a service that never checkpointed: generation
+// 1, sequence 0, state rebuilt purely by replay.
+func TestWALOnlyRecovery(t *testing.T) {
+	q := vwapSpec()
+	events := symEvents(5, 1500, 9)
+	dir := t.TempDir()
+	buildDurableDir(t, dir, 2, 0, events)
+	rec, err := RecoverForQuery(dir, q, []string{"sym"}, Options{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameGroups(t, "wal-only", groupedMap(rec), serialReference(t, q, events))
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAutoCompaction checks that CompactEvery actually rotates (the snapshot
+// sequence advances and the WAL stays short) and that the compacted state
+// still recovers exactly.
+func TestAutoCompaction(t *testing.T) {
+	q := vwapSpec()
+	events := symEvents(9, 3000, 9)
+	dir := t.TempDir()
+	svc, err := ForQuery(q, []string{"sym"}, Options{Shards: 2, BatchSize: 16, Dir: dir, CompactEvery: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		if err := svc.Apply(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := svc.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rotated := false
+	walEvents := 0
+	for i := 0; i < 2; i++ {
+		if h, _, err := checkpoint.ReadSnapshotFile(checkpoint.SnapPath(dir, 1, i)); err == nil && h.Seq >= 1 {
+			rotated = true
+		}
+		_, n, err := checkpoint.ReadWAL(checkpoint.WALPath(dir, 1, i), func([]byte) error { return nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		walEvents += n
+	}
+	if !rotated {
+		t.Fatal("no shard rotated a snapshot despite CompactEvery")
+	}
+	if walEvents >= len(events) {
+		t.Fatalf("WALs hold %d events of %d: compaction did not bound replay", walEvents, len(events))
+	}
+	rec, err := RecoverForQuery(dir, q, []string{"sym"}, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameGroups(t, "compacted", groupedMap(rec), serialReference(t, q, events))
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTornWALTailRecovery truncates the log mid-record after a crash and
+// checks recovery equals a twin that applied exactly the surviving prefix —
+// the serving-layer end of the torn-tail property the checkpoint package's
+// fuzzers establish for the framing.
+func TestTornWALTailRecovery(t *testing.T) {
+	q := vwapSpec()
+	events := symEvents(13, 1200, 7)
+	dir := t.TempDir()
+	buildDurableDir(t, dir, 1, 0, events)
+
+	path := checkpoint.WALPath(dir, 1, 0)
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+	var surviving []engine.Event
+	if _, _, err := checkpoint.ReadWAL(path, func(p []byte) error {
+		ev, err := engine.DecodeEvent(p)
+		if err != nil {
+			return err
+		}
+		surviving = append(surviving, ev)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(surviving) >= len(events) {
+		t.Fatalf("truncation dropped nothing: %d of %d events survive", len(surviving), len(events))
+	}
+	rec, err := RecoverForQuery(dir, q, []string{"sym"}, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameGroups(t, "torn-tail", groupedMap(rec), serialReference(t, q, surviving))
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGenerationFallback plants a torn higher generation next to a complete
+// one (the on-disk shape of a crash mid-Checkpoint): recovery must fall back
+// to the complete generation, and must fail outright when no complete
+// generation remains.
+func TestGenerationFallback(t *testing.T) {
+	q := vwapSpec()
+	events := symEvents(17, 1000, 7)
+	dir := t.TempDir()
+	buildDurableDir(t, dir, 2, len(events), events) // checkpoint at the end -> gen 2 complete
+	want := serialReference(t, q, events)
+
+	// A torn gen-3 snapshot: the prefix of a real snapshot file, cut before
+	// its trailer, under the next generation's name.
+	g2, err := os.ReadFile(checkpoint.SnapPath(dir, 2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(checkpoint.SnapPath(dir, 3, 0), g2[:len(g2)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := RecoverForQuery(dir, q, []string{"sym"}, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameGroups(t, "fallback", groupedMap(rec), want)
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the only complete generation: recovery must error rather than
+	// silently serve damaged state.
+	snap := checkpoint.SnapPath(dir, 2, 1)
+	b, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0x40
+	if err := os.WriteFile(snap, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RecoverForQuery(dir, q, []string{"sym"}, Options{Shards: 2}); err == nil {
+		t.Fatal("recovery from a corrupt sole generation succeeded")
+	}
+}
+
+// TestExportCheckpoint snapshots an in-memory (WAL-less) service to a
+// foreign directory and recovers from the export.
+func TestExportCheckpoint(t *testing.T) {
+	q := vwapSpec()
+	events := symEvents(19, 1500, 11)
+	svc, err := ForQuery(q, []string{"sym"}, Options{Shards: 3, BatchSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		if err := svc.Apply(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := svc.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	export := filepath.Join(t.TempDir(), "export")
+	if err := svc.Checkpoint(export); err != nil {
+		t.Fatal(err)
+	}
+	// The live service keeps running after an export.
+	if err := svc.Apply(events[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := RecoverForQuery(export, q, []string{"sym"}, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameGroups(t, "export", groupedMap(rec), serialReference(t, q, events))
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDurableErrors pins the error surface: Checkpoint after Close returns
+// ErrClosed, New refuses a directory that already holds a checkpoint,
+// Recover refuses a directory that does not, and Durable misconfiguration is
+// rejected up front.
+func TestDurableErrors(t *testing.T) {
+	q := vwapSpec()
+	svc, err := ForQuery(q, []string{"sym"}, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Checkpoint(t.TempDir()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Checkpoint after Close = %v, want ErrClosed", err)
+	}
+
+	dir := t.TempDir()
+	buildDurableDir(t, dir, 2, 0, symEvents(3, 50, 3))
+	if _, err := ForQuery(q, []string{"sym"}, Options{Shards: 2, Dir: dir}); err == nil ||
+		!strings.Contains(err.Error(), "Recover") {
+		t.Fatalf("New over an existing checkpoint = %v, want refusal pointing at Recover", err)
+	}
+
+	if _, err := RecoverForQuery(t.TempDir(), q, []string{"sym"}, Options{}); err == nil ||
+		!strings.Contains(err.Error(), "not a checkpoint directory") {
+		t.Fatalf("Recover from empty dir = %v", err)
+	}
+
+	if _, err := Recover(dir, Config[engine.Event]{
+		Partition: func(e engine.Event, buf []float64) []float64 { return append(buf, e.Tuple["sym"]) },
+		New:       func([]float64) Executor[engine.Event] { panic("unused") },
+	}); err == nil || !strings.Contains(err.Error(), "Restore") {
+		t.Fatalf("Recover without Durable = %v", err)
+	}
+
+	if _, err := New(Config[engine.Event]{
+		Partition: func(e engine.Event, buf []float64) []float64 { return append(buf, e.Tuple["sym"]) },
+		New:       func([]float64) Executor[engine.Event] { panic("unused") },
+		Durable:   &Durable[engine.Event]{Dir: t.TempDir()},
+	}); err == nil || !strings.Contains(err.Error(), "EncodeEvent") {
+		t.Fatalf("Durable.Dir without codec = %v", err)
+	}
+}

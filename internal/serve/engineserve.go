@@ -2,31 +2,59 @@ package serve
 
 import (
 	"errors"
+	"fmt"
+	"io"
 
 	"rpai/internal/engine"
 	"rpai/internal/query"
 )
 
-// Options configures ForQuery; the zero value picks the Config defaults.
+// Options configures ForQuery; the zero value picks the Config defaults and
+// keeps the service in-memory only.
 type Options struct {
 	Shards    int
 	QueueLen  int
 	BatchSize int
+	// Dir, when set, makes the service durable: applied events are logged to
+	// per-shard WALs under Dir, Checkpoint(Dir) rotates generations, and
+	// RecoverForQuery resumes from it after a crash.
+	Dir string
+	// CompactEvery bounds replay work by rotating a shard's snapshot after
+	// that many logged events (0 disables auto-compaction).
+	CompactEvery int
 }
 
-// ForQuery builds a service that maintains q independently per partition,
-// partitioning engine events by the given tuple columns. Each partition gets
-// its own executor from engine.New (so eligible queries use the aggregate-
-// index strategy per partition). The query is validated and planned once up
-// front; per-partition construction cannot fail afterwards.
-func ForQuery(q *query.Query, partitionBy []string, opt Options) (*Service[engine.Event], error) {
+// engineDurable wires the engine's executor snapshot codec and event codec
+// into the serving layer's persistence hooks. It is always installed, so any
+// engine-backed service can Checkpoint; Dir decides whether WALs are kept.
+func engineDurable(q *query.Query, opt Options) *Durable[engine.Event] {
+	return &Durable[engine.Event]{
+		Dir:          opt.Dir,
+		CompactEvery: opt.CompactEvery,
+		EncodeEvent:  engine.EncodeEvent,
+		DecodeEvent:  engine.DecodeEvent,
+		Snapshot: func(w io.Writer, _ []float64, ex Executor[engine.Event]) error {
+			s, ok := ex.(engine.Snapshotter)
+			if !ok {
+				return fmt.Errorf("serve: executor %T does not support snapshots", ex)
+			}
+			return s.Snapshot(w)
+		},
+		Restore: func(r io.Reader, _ []float64) (Executor[engine.Event], error) {
+			return engine.Restore(q, r)
+		},
+	}
+}
+
+func engineConfig(q *query.Query, partitionBy []string, opt Options) (Config[engine.Event], error) {
+	var cfg Config[engine.Event]
 	if len(partitionBy) == 0 {
-		return nil, errors.New("serve: ForQuery requires at least one partition column")
+		return cfg, errors.New("serve: ForQuery requires at least one partition column")
 	}
 	if _, err := engine.New(q); err != nil {
-		return nil, err
+		return cfg, err
 	}
-	cfg := Config[engine.Event]{
+	cfg = Config[engine.Event]{
 		Shards:    opt.Shards,
 		QueueLen:  opt.QueueLen,
 		BatchSize: opt.BatchSize,
@@ -44,6 +72,34 @@ func ForQuery(q *query.Query, partitionBy []string, opt Options) (*Service[engin
 			}
 			return ex
 		},
+		Durable: engineDurable(q, opt),
+	}
+	return cfg, nil
+}
+
+// ForQuery builds a service that maintains q independently per partition,
+// partitioning engine events by the given tuple columns. Each partition gets
+// its own executor from engine.New (so eligible queries use the aggregate-
+// index strategy per partition). The query is validated and planned once up
+// front; per-partition construction cannot fail afterwards. The service can
+// always Checkpoint; set Options.Dir to additionally keep WALs for crash
+// recovery via RecoverForQuery.
+func ForQuery(q *query.Query, partitionBy []string, opt Options) (*Service[engine.Event], error) {
+	cfg, err := engineConfig(q, partitionBy, opt)
+	if err != nil {
+		return nil, err
 	}
 	return New(cfg)
+}
+
+// RecoverForQuery rebuilds a ForQuery service from the checkpoint directory
+// dir. The query and partition columns must match the ones the checkpoint
+// was written under (a mismatched query fails executor restoration); the
+// shard count may differ — partitions are rehashed onto opt.Shards.
+func RecoverForQuery(dir string, q *query.Query, partitionBy []string, opt Options) (*Service[engine.Event], error) {
+	cfg, err := engineConfig(q, partitionBy, opt)
+	if err != nil {
+		return nil, err
+	}
+	return Recover(dir, cfg)
 }

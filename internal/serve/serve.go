@@ -30,15 +30,20 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"math"
+	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
 
+	"rpai/internal/checkpoint"
 	"rpai/internal/engine"
 )
 
-// ErrClosed is returned by Apply and Drain after Close.
+// ErrClosed is returned by Apply, Drain, Checkpoint and Close itself once the
+// service has been closed. Every public entry point that needs a live service
+// reports the closed state this way; callers can test for it with errors.Is.
 var ErrClosed = errors.New("serve: service is closed")
 
 // Executor is the per-partition maintained state: the subset of
@@ -70,12 +75,62 @@ type Config[E any] struct {
 	Partition func(e E, buf []float64) []float64
 	// New constructs the executor for a new partition key.
 	New func(key []float64) Executor[E]
+	// Durable enables checkpoint/WAL persistence (nil disables it).
+	Durable *Durable[E]
 }
 
-// item is one queue entry: an event, or a drain barrier when sync is set.
+// Durable configures persistence for a Service: how events are framed in the
+// per-shard write-ahead logs and how partition executors are snapshotted and
+// restored. Snapshot/Restore are required for Checkpoint and Recover;
+// EncodeEvent/DecodeEvent and Dir are additionally required for WAL logging.
+type Durable[E any] struct {
+	// Dir, when non-empty, is the live checkpoint directory: every applied
+	// event is appended to the owning shard's WAL under Dir and flushed once
+	// per batch — after Drain returns, all acknowledged events survive a
+	// process crash. Checkpoint(Dir) rotates the WALs into a fresh snapshot
+	// generation. When Dir is empty no WAL is kept; Checkpoint still exports
+	// consistent snapshots to any directory.
+	Dir string
+	// CompactEvery, when positive, rotates a shard's snapshot after that many
+	// events have accumulated in its WAL, bounding replay work on recovery.
+	CompactEvery int
+	// EncodeEvent appends e's WAL encoding to buf and returns the extended
+	// slice.
+	EncodeEvent func(buf []byte, e E) []byte
+	// DecodeEvent parses a WAL record payload written by EncodeEvent.
+	DecodeEvent func(p []byte) (E, error)
+	// Snapshot writes one partition executor's state to w.
+	Snapshot func(w io.Writer, key []float64, ex Executor[E]) error
+	// Restore rebuilds one partition executor from a Snapshot stream.
+	Restore func(r io.Reader, key []float64) (Executor[E], error)
+}
+
+// item is one queue entry: an event, a drain barrier when sync is set, or a
+// control request when ctl is set. Control requests run on the shard's worker
+// goroutine, giving them exclusive access to the shard state without locks.
 type item[E any] struct {
 	ev   E
 	sync chan<- struct{}
+	ctl  *ctl[E]
+}
+
+// ctl is a control request executed inline by a shard worker (checkpoint
+// rotation, recovery installation). The worker sends fn's error on done.
+type ctl[E any] struct {
+	fn   func(ws *workerState[E]) error
+	done chan<- error
+}
+
+// workerState is the state a shard worker owns exclusively: its partitions
+// and its WAL position. Control requests mutate it between batches.
+type workerState[E any] struct {
+	idx     int
+	parts   map[string]*partition[E]
+	wal     *checkpoint.WALWriter
+	gen     uint64 // checkpoint generation the WAL belongs to
+	seq     uint64 // snapshot sequence the WAL follows
+	pending int    // events appended to the WAL since its header
+	err     error  // sticky durability error, surfaced on control requests
 }
 
 // partition is one partition owned by a shard: its executor plus the cached
@@ -105,11 +160,19 @@ type ShardStats struct {
 }
 
 type shard[E any] struct {
+	idx        int
 	in         chan item[E]
 	snap       atomic.Pointer[Snapshot]
 	applied    atomic.Uint64
 	flushed    atomic.Uint64
 	partitions atomic.Int64
+
+	// initWAL is the WAL opened by New before the worker starts (nil when
+	// durability is off or WALs are deferred until after recovery replay).
+	initWAL *checkpoint.WALWriter
+	// werr is the worker's sticky durability error; written by the worker
+	// goroutine only and read after wg.Wait in Close.
+	werr error
 }
 
 // Service is the sharded serving layer. Apply may be called from any number
@@ -122,10 +185,21 @@ type Service[E any] struct {
 	mu     sync.RWMutex // guards closed vs. in-flight Apply/Drain sends
 	closed bool
 	wg     sync.WaitGroup
+
+	ckMu sync.Mutex // serializes Checkpoint calls
+	gen  uint64     // current checkpoint generation (guarded by ckMu)
 }
 
-// New starts the service's shard workers.
+// New starts the service's shard workers. When cfg.Durable has a Dir, the
+// per-shard WALs of generation 1 are created up front and a MANIFEST is
+// written, so even a never-checkpointed service recovers from its logs; a
+// directory that already holds a checkpoint is rejected — use Recover to
+// resume from it instead of silently truncating its logs.
 func New[E any](cfg Config[E]) (*Service[E], error) {
+	return newService(cfg, false)
+}
+
+func newService[E any](cfg Config[E], deferWAL bool) (*Service[E], error) {
 	if cfg.Partition == nil || cfg.New == nil {
 		return nil, errors.New("serve: Config.Partition and Config.New are required")
 	}
@@ -138,15 +212,65 @@ func New[E any](cfg Config[E]) (*Service[E], error) {
 	if cfg.BatchSize <= 0 {
 		cfg.BatchSize = 64
 	}
-	s := &Service[E]{cfg: cfg, shards: make([]*shard[E], cfg.Shards)}
+	if d := cfg.Durable; d != nil && d.Dir != "" {
+		if d.EncodeEvent == nil || d.DecodeEvent == nil {
+			return nil, errors.New("serve: Durable.Dir requires EncodeEvent and DecodeEvent")
+		}
+		if d.CompactEvery > 0 && (d.Snapshot == nil || d.Restore == nil) {
+			return nil, errors.New("serve: Durable.CompactEvery requires Snapshot and Restore")
+		}
+	}
+	s := &Service[E]{cfg: cfg, shards: make([]*shard[E], cfg.Shards), gen: 1}
+	logged := s.walEnabled() && !deferWAL
+	if logged {
+		d := cfg.Durable
+		if err := os.MkdirAll(d.Dir, 0o755); err != nil {
+			return nil, err
+		}
+		if _, err := checkpoint.ReadManifest(d.Dir); err == nil {
+			return nil, fmt.Errorf("serve: %s already holds a checkpoint; use Recover to resume from it", d.Dir)
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return nil, err
+		}
+	}
 	for i := range s.shards {
-		sh := &shard[E]{in: make(chan item[E], cfg.QueueLen)}
+		sh := &shard[E]{idx: i, in: make(chan item[E], cfg.QueueLen)}
+		if logged {
+			w, err := checkpoint.CreateWAL(checkpoint.WALPath(cfg.Durable.Dir, 1, i),
+				checkpoint.Header{Gen: 1, Seq: 0, Shard: uint32(i), ShardCount: uint32(cfg.Shards)})
+			if err != nil {
+				closeWALs(s.shards[:i])
+				return nil, err
+			}
+			sh.initWAL = w
+		}
 		sh.snap.Store(&Snapshot{})
 		s.shards[i] = sh
+	}
+	if logged {
+		if err := checkpoint.WriteManifest(cfg.Durable.Dir, checkpoint.Manifest{Gen: 1, Shards: uint32(cfg.Shards)}); err != nil {
+			closeWALs(s.shards)
+			return nil, err
+		}
+	}
+	for _, sh := range s.shards {
 		s.wg.Add(1)
 		go s.run(sh)
 	}
 	return s, nil
+}
+
+// walEnabled reports whether applied events are logged to per-shard WALs.
+func (s *Service[E]) walEnabled() bool {
+	return s.cfg.Durable != nil && s.cfg.Durable.Dir != ""
+}
+
+func closeWALs[E any](shards []*shard[E]) {
+	for _, sh := range shards {
+		if sh.initWAL != nil {
+			sh.initWAL.Close()
+		}
+	}
 }
 
 // hashVals is FNV-1a over the IEEE-754 bits of the key columns: deterministic
@@ -191,32 +315,54 @@ func (s *Service[E]) Apply(e E) error {
 	return nil
 }
 
-// run is the shard worker: drain a batch, apply it, refresh the touched
-// partitions, publish the snapshot, release any drain barriers.
+// run is the shard worker: drain a batch, apply it (logging each event to
+// the WAL when durability is on), refresh the touched partitions, publish
+// the snapshot, flush the WAL, release any drain barriers — in that order,
+// so a released Drain implies the acknowledged events are in the log.
 func (s *Service[E]) run(sh *shard[E]) {
 	defer s.wg.Done()
-	parts := make(map[string]*partition[E])
+	ws := &workerState[E]{idx: sh.idx, parts: make(map[string]*partition[E]), wal: sh.initWAL, gen: 1}
+	defer func() {
+		if ws.wal != nil {
+			if err := ws.wal.Close(); err != nil && ws.err == nil {
+				ws.err = err
+			}
+		}
+		sh.werr = ws.err
+	}()
 	var (
 		dirty   []*partition[E]
 		syncs   []chan<- struct{}
 		keyBuf  []float64
 		byteBuf []byte
+		walBuf  []byte
 	)
 	apply := func(it item[E]) {
+		if it.ctl != nil {
+			it.ctl.done <- it.ctl.fn(ws)
+			return
+		}
 		if it.sync != nil {
 			syncs = append(syncs, it.sync)
 			return
 		}
 		keyBuf = s.cfg.Partition(it.ev, keyBuf[:0])
 		byteBuf = encodeKey(byteBuf[:0], keyBuf)
-		p, ok := parts[string(byteBuf)] // no alloc: compiler-optimized map access
+		p, ok := ws.parts[string(byteBuf)] // no alloc: compiler-optimized map access
 		if !ok {
 			vals := append([]float64(nil), keyBuf...)
 			p = &partition[E]{vals: vals, ex: s.cfg.New(vals)}
-			parts[string(byteBuf)] = p
-			sh.partitions.Store(int64(len(parts)))
+			ws.parts[string(byteBuf)] = p
+			sh.partitions.Store(int64(len(ws.parts)))
 		}
 		p.ex.Apply(it.ev)
+		if ws.wal != nil && ws.err == nil {
+			walBuf = s.cfg.Durable.EncodeEvent(walBuf[:0], it.ev)
+			if err := ws.wal.Append(walBuf); err != nil {
+				ws.err = err
+			}
+			ws.pending++
+		}
 		if !p.dirty {
 			p.dirty = true
 			dirty = append(dirty, p)
@@ -249,17 +395,29 @@ func (s *Service[E]) run(sh *shard[E]) {
 		// owns. This full walk is the price of lock-free consistent reads;
 		// its cost shrinks with the shard count, which is what the serve
 		// benchmark measures on top of multi-core parallelism.
-		snap := &Snapshot{Groups: make([]engine.GroupResult, 0, len(parts))}
-		for _, p := range parts {
+		snap := &Snapshot{Groups: make([]engine.GroupResult, 0, len(ws.parts))}
+		for _, p := range ws.parts {
 			snap.Groups = append(snap.Groups, engine.GroupResult{Key: p.vals, Value: p.last})
 			snap.Total += p.last
 		}
 		sh.snap.Store(snap)
 		sh.flushed.Add(1)
+		if ws.wal != nil && ws.err == nil {
+			if err := ws.wal.Flush(); err != nil {
+				ws.err = err
+			}
+		}
 		for _, c := range syncs {
 			close(c)
 		}
 		syncs = syncs[:0]
+		// Bound replay work: rotate the shard's snapshot once the WAL has
+		// accumulated CompactEvery events since the last rotation.
+		if d := s.cfg.Durable; ws.wal != nil && ws.err == nil && d.CompactEvery > 0 && ws.pending >= d.CompactEvery {
+			if err := s.compactShard(ws, d.Dir, ws.gen, true); err != nil {
+				ws.err = err
+			}
+		}
 	}
 }
 
@@ -331,8 +489,9 @@ func (s *Service[E]) Drain() error {
 }
 
 // Close stops accepting events, drains every queue, publishes the final
-// snapshots and waits for the shard workers to exit. It is idempotent only in
-// the sense that a second call returns ErrClosed.
+// snapshots, flushes and closes the WALs, and waits for the shard workers to
+// exit. It returns the first shard's sticky durability error, if any. It is
+// idempotent only in the sense that a second call returns ErrClosed.
 func (s *Service[E]) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -345,6 +504,11 @@ func (s *Service[E]) Close() error {
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
+	for _, sh := range s.shards {
+		if sh.werr != nil {
+			return fmt.Errorf("serve: shard %d durability: %w", sh.idx, sh.werr)
+		}
+	}
 	return nil
 }
 
