@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: test test-race bench experiments examples fuzz fuzz-smoke race recovery lint
+.PHONY: test test-race bench experiments examples fuzz fuzz-smoke race recovery wire serve-demo lint
 
 test:
 	go build ./... && go vet ./... && go test ./...
@@ -25,6 +25,7 @@ examples:
 	go run ./examples/queryengine
 	go run ./examples/minmax
 	go run ./examples/checkpoint
+	go run ./examples/wiredemo
 
 fuzz:
 	go test -fuzz FuzzTreeOps -fuzztime 30s ./internal/rpai/
@@ -33,6 +34,7 @@ fuzz:
 	go test -fuzz FuzzWALRecords -fuzztime 30s ./internal/checkpoint/
 	go test -fuzz FuzzBTreeVsBinary -fuzztime 30s ./internal/rpaibtree/
 	go test -fuzz FuzzParse -fuzztime 30s ./internal/sqlparse/
+	go test -fuzz FuzzWireFrames -fuzztime 30s ./internal/wire/
 
 # The 10-second smoke CI runs on every push.
 fuzz-smoke:
@@ -40,6 +42,7 @@ fuzz-smoke:
 	go test -fuzz FuzzEngineDifferential -fuzztime 10s -run '^$$' ./internal/engine/
 	go test -fuzz FuzzSnapshotRoundTrip -fuzztime 10s -run '^$$' ./internal/engine/
 	go test -fuzz FuzzWALRecords -fuzztime 10s -run '^$$' ./internal/checkpoint/
+	go test -fuzz FuzzWireFrames -fuzztime 10s -run '^$$' ./internal/wire/
 
 # The durability surface: crash-injection/recovery tests under -race, plus
 # the recovery-vs-replay experiment at quick scale (CI's recovery job).
@@ -47,3 +50,17 @@ recovery:
 	go test -race -run 'Crash|Snapshot|Recover|WAL|Torn|Manifest|Checkpoint|Generation' \
 		./internal/checkpoint/ ./internal/engine/ ./internal/serve/
 	go run ./cmd/rpaibench -exp recovery -quick -recovery-out ""
+
+# The networked serving surface under -race, plus the wire experiment at
+# quick scale (CI's wire job).
+wire:
+	go build ./cmd/rpaiserver
+	go test -race ./internal/wire/...
+	go run ./cmd/rpaibench -exp wire -quick -wire-out ""
+
+# Boot a durable rpaiserver on :7411 with the VWAP decile query, partitioned
+# by symbol, and run the in-process demo against a loopback server.
+serve-demo:
+	go run ./examples/wiredemo
+	go run ./cmd/rpaiserver -addr 127.0.0.1:7411 -partition sym -data /tmp/rpai-serve-demo \
+		-query "SELECT Sum(b.price * b.volume) FROM bids b WHERE 0.75 * (SELECT Sum(b1.volume) FROM bids b1) < (SELECT Sum(b2.volume) FROM bids b2 WHERE b2.price <= b.price)"

@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1, scaling, fig7, fig8, fig8d, fig9, batch, latency, serve, replay, recovery, or all")
+		exp     = flag.String("exp", "all", "experiment: table1, scaling, fig7, fig8, fig8d, fig9, batch, latency, serve, replay, recovery, wire, or all")
 		events  = flag.Int("events", 10000, "finance trace length for fig7")
 		sf      = flag.Float64("sf", 1, "TPC-H scale factor for fig7")
 		seed    = flag.Int64("seed", 1, "workload seed")
@@ -33,6 +33,7 @@ func main() {
 		rQuery  = flag.String("query", "vwap", "replay: finance query to run over -trace")
 		srvOut  = flag.String("serve-out", "BENCH_serve.json", "serve: JSON report path (empty to skip the file)")
 		recOut  = flag.String("recovery-out", "BENCH_recovery.json", "recovery: JSON report path (empty to skip the file)")
+		wireOut = flag.String("wire-out", "BENCH_wire.json", "wire: JSON report path (empty to skip the file)")
 	)
 	flag.Parse()
 	csvOut := *format == "csv"
@@ -211,6 +212,31 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("wrote %s\n", *recOut)
+		}
+	}
+	if *exp == "wire" {
+		ran = true
+		cfg := bench.DefaultWire()
+		if *quick {
+			cfg.Events, cfg.Partitions = 20000, 128
+		}
+		cfg.Seed = *seed
+		rep, err := bench.Wire(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rpaibench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(bench.FormatWire(rep))
+		if *wireOut != "" {
+			data, err := bench.WireJSON(rep)
+			if err == nil {
+				err = os.WriteFile(*wireOut, data, 0o644)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rpaibench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *wireOut)
 		}
 	}
 	if run("fig9") {

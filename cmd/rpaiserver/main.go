@@ -1,0 +1,152 @@
+// Command rpaiserver is the network daemon of the serving layer: it maintains
+// a nested-aggregate query incrementally per partition (the sharded service
+// of internal/serve) and speaks the wire protocol of internal/wire over TCP —
+// batched applies with exactly-once sessions, drain barriers, scalar and
+// grouped reads, stats, and checkpoint triggers.
+//
+// With -data the service is durable: applied events are logged to per-shard
+// WALs, checkpoints rotate generations, and a restart recovers from the
+// directory before accepting connections.
+//
+// Usage:
+//
+//	rpaiserver -addr :7411 -partition sym -data /var/lib/rpai \
+//	  -query "SELECT Sum(b.price * b.volume) FROM bids b WHERE 0.75 * (SELECT Sum(b1.volume) FROM bids b1) < (SELECT Sum(b2.volume) FROM bids b2 WHERE b2.price <= b.price)"
+//
+// Clients connect with internal/wire/client, or any implementation of the
+// framing in DESIGN.md section 5d.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"rpai/internal/checkpoint"
+	"rpai/internal/engine"
+	"rpai/internal/serve"
+	"rpai/internal/sqlparse"
+	"rpai/internal/wire"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:7411", "TCP listen address")
+		queryText    = flag.String("query", "", "SQL query in the supported fragment")
+		queryFile    = flag.String("query-file", "", "read the query from a file instead")
+		partition    = flag.String("partition", "", "comma-separated partition key columns (required)")
+		shards       = flag.Int("shards", 0, "shard worker count (0: serve default)")
+		queueLen     = flag.Int("queue", 0, "per-shard queue length (0: serve default)")
+		batch        = flag.Int("batch", 0, "per-shard apply batch size (0: serve default)")
+		dataDir      = flag.String("data", "", "checkpoint/WAL directory; enables durability and boot-time recovery")
+		compactEvery = flag.Int("compact-every", 0, "auto-compact a shard's WAL after this many events (0: off)")
+		maxInFlight  = flag.Int("max-inflight", 0, "admission limit for in-flight work requests (0: wire default)")
+		perConn      = flag.Int("per-conn", 0, "pipelined requests buffered per connection (0: wire default)")
+		idleTimeout  = flag.Duration("idle-timeout", 0, "per-frame read deadline (0: wire default)")
+	)
+	flag.Parse()
+
+	sql := *queryText
+	if *queryFile != "" {
+		data, err := os.ReadFile(*queryFile)
+		if err != nil {
+			fatal(err)
+		}
+		sql = string(data)
+	}
+	if strings.TrimSpace(sql) == "" {
+		fmt.Fprintln(os.Stderr, "rpaiserver: no query given (use -query or -query-file)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if strings.TrimSpace(*partition) == "" {
+		fmt.Fprintln(os.Stderr, "rpaiserver: -partition is required (e.g. -partition sym)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	var partitionBy []string
+	for _, c := range strings.Split(*partition, ",") {
+		if c = strings.TrimSpace(c); c != "" {
+			partitionBy = append(partitionBy, c)
+		}
+	}
+
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		fatal(err)
+	}
+	opt := serve.Options{
+		Shards:       *shards,
+		QueueLen:     *queueLen,
+		BatchSize:    *batch,
+		Dir:          *dataDir,
+		CompactEvery: *compactEvery,
+	}
+
+	// With a data directory holding a manifest, resume from it; otherwise
+	// start fresh (logging into the directory if one was given).
+	var svc *serve.Service[engine.Event]
+	if *dataDir != "" {
+		if _, merr := checkpoint.ReadManifest(*dataDir); merr == nil {
+			svc, err = serve.RecoverForQuery(*dataDir, q, partitionBy, opt)
+			if err != nil {
+				fatal(fmt.Errorf("recovering from %s: %w", *dataDir, err))
+			}
+			fmt.Printf("rpaiserver: recovered state from %s\n", *dataDir)
+		}
+	}
+	if svc == nil {
+		if svc, err = serve.ForQuery(q, partitionBy, opt); err != nil {
+			fatal(err)
+		}
+	}
+
+	srv := wire.NewServer(svc, wire.ServerConfig{
+		MaxInFlight:  *maxInFlight,
+		PerConnQueue: *perConn,
+		IdleTimeout:  *idleTimeout,
+		DataDir:      *dataDir,
+		Query:        q.String(),
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("rpaiserver: serving %s\n  partition by %v, %d shards, listening on %s\n",
+		q, partitionBy, svc.Shards(), ln.Addr())
+
+	// Graceful shutdown: stop the front door first (in-flight replies still
+	// flush), then drain the shards and close the service to flush the WALs.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	select {
+	case sig := <-sigc:
+		fmt.Printf("rpaiserver: %v, shutting down\n", sig)
+		srv.Close()
+		if err := <-done; err != nil {
+			fatal(err)
+		}
+	case err := <-done:
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if err := svc.Drain(); err != nil {
+		fatal(err)
+	}
+	if err := svc.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Println("rpaiserver: clean shutdown")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rpaiserver:", err)
+	os.Exit(1)
+}

@@ -377,6 +377,9 @@ func Recover[E any](dir string, cfg Config[E]) (*Service[E], error) {
 	installs := make([][]*partition[E], len(svc.shards))
 	for _, rs := range loaded {
 		for _, p := range rs.parts {
+			// Normalize restored keys so checkpoints written before the -0/NaN
+			// canonicalization still rehash onto the same shard as live events.
+			p.vals = normalizeVals(p.vals)
 			t := int(hashVals(p.vals) % uint64(len(svc.shards)))
 			installs[t] = append(installs[t], p)
 		}

@@ -1,0 +1,187 @@
+package serve
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// countEvent is a minimal event for the routing tests: the partition key is
+// carried verbatim.
+type countEvent struct{ key float64 }
+
+// countExec counts applied events per partition.
+type countExec struct{ n float64 }
+
+func (c *countExec) Apply(countEvent) { c.n++ }
+func (c *countExec) Result() float64  { return c.n }
+
+func countConfig(shards, queueLen int) Config[countEvent] {
+	return Config[countEvent]{
+		Shards:    shards,
+		QueueLen:  queueLen,
+		BatchSize: 4,
+		Partition: func(e countEvent, buf []float64) []float64 { return append(buf, e.key) },
+		New:       func([]float64) Executor[countEvent] { return &countExec{} },
+	}
+}
+
+// TestKeyNormalization pins the fix for -0/+0 and NaN-payload partition keys:
+// all bit patterns of one logical key must hash to the same shard and encode
+// to the same partition, so the pair of events lands in a single partition
+// with count 2 — never in two partitions of one event each.
+func TestKeyNormalization(t *testing.T) {
+	nan := func(bits uint64) float64 { return math.Float64frombits(bits) }
+	cases := []struct {
+		name string
+		a, b float64
+	}{
+		{"neg-zero vs pos-zero", math.Copysign(0, -1), 0},
+		{"pos-zero vs neg-zero", 0, math.Copysign(0, -1)},
+		{"canonical NaN vs payload NaN", math.NaN(), nan(0x7ff8000000000002)},
+		{"two payload NaNs", nan(0x7ff8000000000042), nan(0xfff8000000000017)},
+		{"signalling vs quiet NaN", nan(0x7ff0000000000001), math.NaN()},
+		{"plain key control", 3, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Many shards so a hash mismatch almost surely splits the pair.
+			svc, err := New(countConfig(16, 64))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer svc.Close()
+			if err := svc.Apply(countEvent{tc.a}); err != nil {
+				t.Fatal(err)
+			}
+			if err := svc.Apply(countEvent{tc.b}); err != nil {
+				t.Fatal(err)
+			}
+			if err := svc.Drain(); err != nil {
+				t.Fatal(err)
+			}
+			groups := svc.ResultGrouped()
+			if len(groups) != 1 {
+				t.Fatalf("keys %x/%x split into %d partitions, want 1",
+					math.Float64bits(tc.a), math.Float64bits(tc.b), len(groups))
+			}
+			if groups[0].Value != 2 {
+				t.Fatalf("partition count = %v, want 2", groups[0].Value)
+			}
+			var parts int
+			for _, st := range svc.Stats() {
+				parts += st.Partitions
+			}
+			if parts != 1 {
+				t.Fatalf("stats report %d partitions, want 1", parts)
+			}
+		})
+	}
+}
+
+// TestNormalizeValsTable pins the normalization function itself, bit for bit.
+func TestNormalizeValsTable(t *testing.T) {
+	canonNaN := math.Float64bits(math.NaN())
+	cases := []struct {
+		name string
+		in   uint64
+		want uint64
+	}{
+		{"neg zero", 0x8000000000000000, 0},
+		{"pos zero", 0, 0},
+		{"payload NaN", 0x7ff8000000000002, canonNaN},
+		{"negative NaN", 0xfff8000000000099, canonNaN},
+		{"one", math.Float64bits(1), math.Float64bits(1)},
+		{"neg inf", math.Float64bits(math.Inf(-1)), math.Float64bits(math.Inf(-1))},
+	}
+	for _, tc := range cases {
+		got := normalizeVals([]float64{math.Float64frombits(tc.in)})
+		if bits := math.Float64bits(got[0]); bits != tc.want {
+			t.Errorf("%s: normalize(%#x) = %#x, want %#x", tc.name, tc.in, bits, tc.want)
+		}
+	}
+}
+
+// gateExec blocks every Apply on the gate channel; the admission tests use it
+// to wedge a shard worker deterministically.
+type gateExec struct {
+	gate <-chan struct{}
+	n    float64
+}
+
+func (g *gateExec) Apply(countEvent) { <-g.gate; g.n++ }
+func (g *gateExec) Result() float64  { return g.n }
+
+// TestTryApplyShedsAndCounts wedges a one-shard service and checks TryApply
+// sheds with ErrBusy once the queue is full, the Rejected counter matches the
+// shed count, the queue depth never exceeds QueueLen, and blocked Apply time
+// shows up in EnqueueWaitNS.
+func TestTryApplyShedsAndCounts(t *testing.T) {
+	gate := make(chan struct{})
+	cfg := countConfig(1, 4)
+	cfg.BatchSize = 1
+	cfg.New = func([]float64) Executor[countEvent] { return &gateExec{gate: gate} }
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One event wedges the worker; QueueLen more fill the channel.
+	total := 1 + cfg.QueueLen
+	for i := 0; i < total; i++ {
+		if err := svc.Apply(countEvent{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var shed int
+	for i := 0; i < 7; i++ {
+		err := svc.TryApply(countEvent{1})
+		if err == nil {
+			total++ // raced a batch drain; the event was accepted
+			continue
+		}
+		if !errors.Is(err, ErrBusy) {
+			t.Fatalf("TryApply error = %v, want ErrBusy", err)
+		}
+		shed++
+	}
+	if shed == 0 {
+		t.Fatal("no TryApply call was shed against a wedged shard")
+	}
+	st := svc.Stats()[0]
+	if st.Rejected != uint64(shed) {
+		t.Fatalf("Rejected = %d, want %d", st.Rejected, shed)
+	}
+	if st.QueueDepth > cfg.QueueLen {
+		t.Fatalf("queue depth %d exceeds QueueLen %d", st.QueueDepth, cfg.QueueLen)
+	}
+
+	// A blocking Apply against the full queue must record its wait once a
+	// slot frees up.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := svc.Apply(countEvent{1}); err == nil {
+			total++
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(gate) // release the worker; everything drains
+	wg.Wait()
+	if err := svc.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	st = svc.Stats()[0]
+	if st.EnqueueWaitNS == 0 {
+		t.Fatal("EnqueueWaitNS = 0 after a blocked Apply")
+	}
+	if got := svc.Result(); got != float64(total) {
+		t.Fatalf("Result = %v, want %v", got, total)
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

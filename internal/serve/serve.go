@@ -36,6 +36,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"rpai/internal/checkpoint"
 	"rpai/internal/engine"
@@ -45,6 +46,12 @@ import (
 // service has been closed. Every public entry point that needs a live service
 // reports the closed state this way; callers can test for it with errors.Is.
 var ErrClosed = errors.New("serve: service is closed")
+
+// ErrBusy is returned by TryApply when the owning shard's queue is full. It is
+// the serving layer's load-shed signal: callers that must not block (the wire
+// server's non-batched fast path, for example) surface it to the client
+// instead of queueing unboundedly.
+var ErrBusy = errors.New("serve: shard queue full")
 
 // Executor is the per-partition maintained state: the subset of
 // engine.Executor (and of the hand-written query executors in package
@@ -157,6 +164,12 @@ type ShardStats struct {
 	Flushed    uint64 // batches flushed (snapshot publications)
 	QueueDepth int    // events currently buffered in the input channel
 	Partitions int    // partitions owned
+	// EnqueueWaitNS is the cumulative nanoseconds Apply callers spent blocked
+	// on this shard's full queue — the backpressure admission control reacts
+	// to, surfaced end to end through the wire protocol's stats RPC.
+	EnqueueWaitNS uint64
+	// Rejected counts TryApply calls shed because the queue was full.
+	Rejected uint64
 }
 
 type shard[E any] struct {
@@ -166,6 +179,8 @@ type shard[E any] struct {
 	applied    atomic.Uint64
 	flushed    atomic.Uint64
 	partitions atomic.Int64
+	waitNS     atomic.Uint64
+	rejected   atomic.Uint64
 
 	// initWAL is the WAL opened by New before the worker starts (nil when
 	// durability is off or WALs are deferred until after recovery replay).
@@ -273,8 +288,25 @@ func closeWALs[E any](shards []*shard[E]) {
 	}
 }
 
+// normalizeVals canonicalizes the key columns in place so that values that
+// compare equal (or are all "not a number") share one bit pattern: -0 becomes
+// +0 and every NaN payload becomes the canonical quiet NaN. Without this,
+// hashVals and encodeKey would treat -0 and +0 (or two NaN variants) as
+// distinct partition keys and one logical partition could land on two shards.
+func normalizeVals(vals []float64) []float64 {
+	for i, v := range vals {
+		if v == 0 {
+			vals[i] = 0 // collapses -0 onto +0
+		} else if math.IsNaN(v) {
+			vals[i] = math.NaN() // canonical quiet NaN payload
+		}
+	}
+	return vals
+}
+
 // hashVals is FNV-1a over the IEEE-754 bits of the key columns: deterministic
-// across runs, so benchmark shard assignments are reproducible.
+// across runs, so benchmark shard assignments are reproducible. Callers pass
+// normalized keys (see normalizeVals).
 func hashVals(vals []float64) uint64 {
 	const (
 		offset = 14695981039346656037
@@ -291,7 +323,8 @@ func hashVals(vals []float64) uint64 {
 	return h
 }
 
-// encodeKey appends the canonical byte encoding of the key columns to b.
+// encodeKey appends the canonical byte encoding of the (normalized) key
+// columns to b.
 func encodeKey(b []byte, vals []float64) []byte {
 	for _, v := range vals {
 		b = binary.BigEndian.AppendUint64(b, math.Float64bits(v))
@@ -299,20 +332,53 @@ func encodeKey(b []byte, vals []float64) []byte {
 	return b
 }
 
-// Apply routes one event to its partition's shard. It blocks when the shard's
-// queue is full (natural backpressure) and returns ErrClosed after Close.
-func (s *Service[E]) Apply(e E) error {
+// route returns the shard owning e's partition.
+func (s *Service[E]) route(e E) *shard[E] {
 	var kb [4]float64
-	vals := s.cfg.Partition(e, kb[:0])
-	sh := s.shards[hashVals(vals)%uint64(len(s.shards))]
+	vals := normalizeVals(s.cfg.Partition(e, kb[:0]))
+	return s.shards[hashVals(vals)%uint64(len(s.shards))]
+}
+
+// Apply routes one event to its partition's shard. It blocks when the shard's
+// queue is full (natural backpressure, accounted in the shard's EnqueueWaitNS
+// counter) and returns ErrClosed after Close.
+func (s *Service[E]) Apply(e E) error {
+	sh := s.route(e)
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
 		return ErrClosed
 	}
-	sh.in <- item[E]{ev: e}
+	select {
+	case sh.in <- item[E]{ev: e}:
+	default:
+		// Slow path: the queue is full, so the send will block. Timing only
+		// this path keeps the uncontended Apply free of clock reads.
+		start := time.Now()
+		sh.in <- item[E]{ev: e}
+		sh.waitNS.Add(uint64(time.Since(start)))
+	}
 	s.mu.RUnlock()
 	return nil
+}
+
+// TryApply is the non-blocking Apply: when the owning shard's queue is full it
+// increments the shard's Rejected counter and returns ErrBusy instead of
+// waiting, so a front end can shed load while the queue depth stays bounded.
+func (s *Service[E]) TryApply(e E) error {
+	sh := s.route(e)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	select {
+	case sh.in <- item[E]{ev: e}:
+		return nil
+	default:
+		sh.rejected.Add(1)
+		return ErrBusy
+	}
 }
 
 // run is the shard worker: drain a batch, apply it (logging each event to
@@ -346,7 +412,7 @@ func (s *Service[E]) run(sh *shard[E]) {
 			syncs = append(syncs, it.sync)
 			return
 		}
-		keyBuf = s.cfg.Partition(it.ev, keyBuf[:0])
+		keyBuf = normalizeVals(s.cfg.Partition(it.ev, keyBuf[:0]))
 		byteBuf = encodeKey(byteBuf[:0], keyBuf)
 		p, ok := ws.parts[string(byteBuf)] // no alloc: compiler-optimized map access
 		if !ok {
@@ -456,11 +522,13 @@ func (s *Service[E]) Stats() []ShardStats {
 	out := make([]ShardStats, len(s.shards))
 	for i, sh := range s.shards {
 		out[i] = ShardStats{
-			Shard:      i,
-			Applied:    sh.applied.Load(),
-			Flushed:    sh.flushed.Load(),
-			QueueDepth: len(sh.in),
-			Partitions: int(sh.partitions.Load()),
+			Shard:         i,
+			Applied:       sh.applied.Load(),
+			Flushed:       sh.flushed.Load(),
+			QueueDepth:    len(sh.in),
+			Partitions:    int(sh.partitions.Load()),
+			EnqueueWaitNS: sh.waitNS.Load(),
+			Rejected:      sh.rejected.Load(),
 		}
 	}
 	return out
@@ -490,8 +558,10 @@ func (s *Service[E]) Drain() error {
 
 // Close stops accepting events, drains every queue, publishes the final
 // snapshots, flushes and closes the WALs, and waits for the shard workers to
-// exit. It returns the first shard's sticky durability error, if any. It is
-// idempotent only in the sense that a second call returns ErrClosed.
+// exit. It returns the sticky durability errors of every failed shard, joined
+// with errors.Join, so a multi-shard WAL failure is never truncated to the
+// first shard's report. It is idempotent only in the sense that a second call
+// returns ErrClosed.
 func (s *Service[E]) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -504,12 +574,13 @@ func (s *Service[E]) Close() error {
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
+	var errs []error
 	for _, sh := range s.shards {
 		if sh.werr != nil {
-			return fmt.Errorf("serve: shard %d durability: %w", sh.idx, sh.werr)
+			errs = append(errs, fmt.Errorf("serve: shard %d durability: %w", sh.idx, sh.werr))
 		}
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // Shards reports the shard count.

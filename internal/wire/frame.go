@@ -1,0 +1,62 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+var le = binary.LittleEndian
+
+// ErrCorruptFrame reports a torn or corrupted frame: a short header, a short
+// payload, an oversized length prefix, or a checksum mismatch. Either side
+// tears the connection down on it; the framing guarantees corruption is
+// detected, not decoded.
+var ErrCorruptFrame = errors.New("wire: torn or corrupt frame")
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// AppendFrame appends the framed payload ([len|crc32c|payload]) to buf and
+// returns the extended slice, so a request and its framing go out in one
+// write.
+func AppendFrame(buf, payload []byte) []byte {
+	buf = le.AppendUint32(buf, uint32(len(payload)))
+	buf = le.AppendUint32(buf, crc32.Checksum(payload, castagnoli))
+	return append(buf, payload...)
+}
+
+// WriteFrame frames payload and writes it to w in a single Write call.
+func WriteFrame(w io.Writer, payload []byte) error {
+	_, err := w.Write(AppendFrame(make([]byte, 0, 8+len(payload)), payload))
+	return err
+}
+
+// ReadFrame reads one frame from r, enforcing the max payload bound before
+// allocating. It returns io.EOF only at a clean frame boundary; every other
+// failure wraps ErrCorruptFrame.
+func ReadFrame(r io.Reader, max uint32) ([]byte, error) {
+	if max == 0 {
+		max = DefaultMaxFrame
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("%w: short header: %v", ErrCorruptFrame, err)
+	}
+	n := le.Uint32(hdr[0:4])
+	if n > max {
+		return nil, fmt.Errorf("%w: length %d exceeds limit %d", ErrCorruptFrame, n, max)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("%w: short payload: %v", ErrCorruptFrame, err)
+	}
+	if crc32.Checksum(payload, castagnoli) != le.Uint32(hdr[4:8]) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorruptFrame)
+	}
+	return payload, nil
+}

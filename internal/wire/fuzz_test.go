@@ -1,0 +1,131 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rpai/internal/engine"
+	"rpai/internal/serve"
+)
+
+// fuzzSeedFrames builds one valid frame per message type, the same frames the
+// committed corpus under testdata/fuzz/FuzzWireFrames seeds.
+func fuzzSeedFrames() [][]byte {
+	ev := engine.EncodeEvent(nil, engine.Insert(map[string]float64{"sym": 1, "price": 2, "volume": 3}))
+	bodies := []struct {
+		t    MsgType
+		body []byte
+	}{
+		{MsgHello, EncodeHello(nil, Hello{Version: Version, Session: [SessionIDLen]byte{1, 2, 3}})},
+		{MsgApply, ev},
+		{MsgApplyBatch, EncodeBatch(nil, 7, [][]byte{ev, ev})},
+		{MsgDrain, nil},
+		{MsgResult, nil},
+		{MsgResultGrouped, nil},
+		{MsgStats, nil},
+		{MsgCheckpoint, nil},
+		{MsgWelcome, EncodeWelcome(nil, Welcome{Version: Version, Shards: 4, Query: "vwap"})},
+		{MsgAck, EncodeAck(nil, 2)},
+		{MsgScalar, EncodeScalar(nil, 3.25)},
+		{MsgGrouped, EncodeGrouped(nil, []engine.GroupResult{{Key: []float64{1}, Value: 2}})},
+		{MsgStatsReply, EncodeStats(nil, Stats{Server: ServerStats{Accepted: 1}, Shards: []serve.ShardStats{{Shard: 0, Applied: 3}}})},
+		{MsgError, EncodeError(nil, CodeOverloaded, "busy")},
+	}
+	frames := make([][]byte, 0, len(bodies)+2)
+	for i, b := range bodies {
+		frames = append(frames, AppendFrame(nil, EncodeMsg(nil, b.t, uint64(i), b.body)))
+	}
+	// Two back-to-back frames in one input, and a bare corrupt header.
+	two := AppendFrame(nil, EncodeMsg(nil, MsgDrain, 1, nil))
+	two = AppendFrame(two, EncodeMsg(nil, MsgResult, 2, nil))
+	frames = append(frames, two, []byte{1, 0, 0, 0, 0xde, 0xad, 0xbe, 0xef, 0x00})
+	return frames
+}
+
+// FuzzWireFrames drives the full read path — frame, envelope, every body
+// decoder — over arbitrary bytes. The invariant is totality: decoders return
+// errors, they never panic, never over-read, and never allocate past the
+// frame bound.
+func FuzzWireFrames(f *testing.F) {
+	for _, frame := range fuzzSeedFrames() {
+		f.Add(frame)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for {
+			payload, err := ReadFrame(r, 1<<16)
+			if err != nil {
+				if err != io.EOF && !bytes.Contains([]byte(err.Error()), []byte("wire:")) {
+					t.Fatalf("unexpected error class: %v", err)
+				}
+				return
+			}
+			tp, _, body, err := DecodeMsg(payload)
+			if err != nil {
+				continue
+			}
+			switch tp {
+			case MsgHello:
+				DecodeHello(body)
+			case MsgApply:
+				engine.DecodeEvent(body)
+			case MsgApplyBatch:
+				if _, events, err := DecodeBatch(body); err == nil {
+					for _, ev := range events {
+						engine.DecodeEvent(ev)
+					}
+				}
+			case MsgWelcome:
+				DecodeWelcome(body)
+			case MsgAck:
+				DecodeAck(body)
+			case MsgScalar:
+				DecodeScalar(body)
+			case MsgGrouped:
+				DecodeGrouped(body)
+			case MsgStatsReply:
+				DecodeStats(body)
+			case MsgError:
+				DecodeError(body)
+			}
+		}
+	})
+}
+
+// TestWriteFuzzCorpus regenerates the committed seed corpus under
+// testdata/fuzz/FuzzWireFrames from fuzzSeedFrames. Run with
+// WRITE_FUZZ_CORPUS=1 after changing the protocol; skipped otherwise.
+func TestWriteFuzzCorpus(t *testing.T) {
+	if os.Getenv("WRITE_FUZZ_CORPUS") == "" {
+		t.Skip("set WRITE_FUZZ_CORPUS=1 to regenerate the seed corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzWireFrames")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, frame := range fuzzSeedFrames() {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", frame)
+		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestFuzzSeedsDecode keeps the committed seed corpus honest: every seed
+// frame must decode cleanly end to end.
+func TestFuzzSeedsDecode(t *testing.T) {
+	for i, frame := range fuzzSeedFrames()[:14] {
+		payload, err := ReadFrame(bytes.NewReader(frame), 0)
+		if err != nil {
+			t.Fatalf("seed %d: %v", i, err)
+		}
+		if _, _, _, err := DecodeMsg(payload); err != nil {
+			t.Fatalf("seed %d envelope: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,340 @@
+package wire
+
+import (
+	"fmt"
+	"math"
+
+	"rpai/internal/engine"
+	"rpai/internal/serve"
+)
+
+// This file holds the append-style encoders and bounds-checked decoders for
+// every message body. Encoders never fail; decoders return an error for any
+// truncated, oversized or inconsistent body and never panic on garbage — the
+// property FuzzWireFrames drives.
+
+// msgHeaderLen is the envelope prefix: uint8 type + uint64 request id.
+const msgHeaderLen = 9
+
+// EncodeMsg appends the message envelope (type, request id, body) to buf.
+func EncodeMsg(buf []byte, t MsgType, id uint64, body []byte) []byte {
+	buf = append(buf, byte(t))
+	buf = le.AppendUint64(buf, id)
+	return append(buf, body...)
+}
+
+// DecodeMsg splits a frame payload into its message type, request id and
+// body. The body aliases p.
+func DecodeMsg(p []byte) (MsgType, uint64, []byte, error) {
+	if len(p) < msgHeaderLen {
+		return 0, 0, nil, fmt.Errorf("wire: message envelope too short (%d bytes)", len(p))
+	}
+	return MsgType(p[0]), le.Uint64(p[1:9]), p[msgHeaderLen:], nil
+}
+
+// --- hello / welcome ---
+
+// Hello is the client half of the handshake.
+type Hello struct {
+	Version uint32
+	Session [SessionIDLen]byte
+}
+
+// EncodeHello appends the hello body to buf.
+func EncodeHello(buf []byte, h Hello) []byte {
+	buf = le.AppendUint32(buf, h.Version)
+	return append(buf, h.Session[:]...)
+}
+
+// DecodeHello parses a hello body.
+func DecodeHello(p []byte) (Hello, error) {
+	var h Hello
+	if len(p) != 4+SessionIDLen {
+		return h, fmt.Errorf("wire: hello body is %d bytes, want %d", len(p), 4+SessionIDLen)
+	}
+	h.Version = le.Uint32(p)
+	copy(h.Session[:], p[4:])
+	return h, nil
+}
+
+// Welcome is the server half of the handshake.
+type Welcome struct {
+	Version uint32
+	Shards  uint32
+	Query   string // human-readable description of the served query
+}
+
+// maxQueryDesc bounds the welcome's query string.
+const maxQueryDesc = 1 << 16
+
+// EncodeWelcome appends the welcome body to buf.
+func EncodeWelcome(buf []byte, w Welcome) []byte {
+	buf = le.AppendUint32(buf, w.Version)
+	buf = le.AppendUint32(buf, w.Shards)
+	q := w.Query
+	if len(q) > maxQueryDesc {
+		q = q[:maxQueryDesc]
+	}
+	buf = le.AppendUint32(buf, uint32(len(q)))
+	return append(buf, q...)
+}
+
+// DecodeWelcome parses a welcome body.
+func DecodeWelcome(p []byte) (Welcome, error) {
+	var w Welcome
+	if len(p) < 12 {
+		return w, fmt.Errorf("wire: welcome body too short (%d bytes)", len(p))
+	}
+	w.Version = le.Uint32(p)
+	w.Shards = le.Uint32(p[4:])
+	n := le.Uint32(p[8:])
+	if n > maxQueryDesc || int(n) != len(p)-12 {
+		return w, fmt.Errorf("wire: welcome query length %d inconsistent with body", n)
+	}
+	w.Query = string(p[12:])
+	return w, nil
+}
+
+// --- apply batch ---
+
+// maxBatchEvents bounds a single batch (the frame size bounds total bytes).
+const maxBatchEvents = 1 << 20
+
+// AppendBatchHeader appends the batch prefix (session sequence + event
+// count); the caller then appends each event with AppendBatchEvent. Seq 0
+// marks the batch unsequenced (applied with no dedup).
+func AppendBatchHeader(buf []byte, seq uint64, n uint32) []byte {
+	buf = le.AppendUint64(buf, seq)
+	return le.AppendUint32(buf, n)
+}
+
+// AppendBatchEvent appends one length-prefixed pre-encoded event.
+func AppendBatchEvent(buf, event []byte) []byte {
+	buf = le.AppendUint32(buf, uint32(len(event)))
+	return append(buf, event...)
+}
+
+// EncodeBatch builds a full batch body from pre-encoded events.
+func EncodeBatch(buf []byte, seq uint64, events [][]byte) []byte {
+	buf = AppendBatchHeader(buf, seq, uint32(len(events)))
+	for _, ev := range events {
+		buf = AppendBatchEvent(buf, ev)
+	}
+	return buf
+}
+
+// DecodeBatch splits a batch body into its sequence number and raw event
+// payloads (aliasing p).
+func DecodeBatch(p []byte) (seq uint64, events [][]byte, err error) {
+	if len(p) < 12 {
+		return 0, nil, fmt.Errorf("wire: batch body too short (%d bytes)", len(p))
+	}
+	seq = le.Uint64(p)
+	n := le.Uint32(p[8:])
+	if n > maxBatchEvents {
+		return 0, nil, fmt.Errorf("wire: batch of %d events exceeds limit", n)
+	}
+	p = p[12:]
+	events = make([][]byte, 0, min(int(n), 4096))
+	for i := uint32(0); i < n; i++ {
+		if len(p) < 4 {
+			return 0, nil, fmt.Errorf("wire: batch truncated at event %d", i)
+		}
+		l := le.Uint32(p)
+		if int(l) > len(p)-4 {
+			return 0, nil, fmt.Errorf("wire: batch event %d length %d overruns body", i, l)
+		}
+		events = append(events, p[4:4+l])
+		p = p[4+l:]
+	}
+	if len(p) != 0 {
+		return 0, nil, fmt.Errorf("wire: %d trailing bytes after batch", len(p))
+	}
+	return seq, events, nil
+}
+
+// --- ack / scalar ---
+
+// EncodeAck appends an ack body: the number of events applied (0 for a
+// deduplicated resend, a drain or a checkpoint).
+func EncodeAck(buf []byte, applied uint32) []byte {
+	return le.AppendUint32(buf, applied)
+}
+
+// DecodeAck parses an ack body.
+func DecodeAck(p []byte) (uint32, error) {
+	if len(p) != 4 {
+		return 0, fmt.Errorf("wire: ack body is %d bytes, want 4", len(p))
+	}
+	return le.Uint32(p), nil
+}
+
+// EncodeScalar appends a scalar result body.
+func EncodeScalar(buf []byte, v float64) []byte {
+	return le.AppendUint64(buf, math.Float64bits(v))
+}
+
+// DecodeScalar parses a scalar result body.
+func DecodeScalar(p []byte) (float64, error) {
+	if len(p) != 8 {
+		return 0, fmt.Errorf("wire: scalar body is %d bytes, want 8", len(p))
+	}
+	return math.Float64frombits(le.Uint64(p)), nil
+}
+
+// --- grouped results ---
+
+// maxGroupKey bounds a single group's key width.
+const maxGroupKey = 64
+
+// EncodeGrouped appends a grouped-result body.
+func EncodeGrouped(buf []byte, groups []engine.GroupResult) []byte {
+	buf = le.AppendUint32(buf, uint32(len(groups)))
+	for _, g := range groups {
+		buf = le.AppendUint32(buf, uint32(len(g.Key)))
+		for _, k := range g.Key {
+			buf = le.AppendUint64(buf, math.Float64bits(k))
+		}
+		buf = le.AppendUint64(buf, math.Float64bits(g.Value))
+	}
+	return buf
+}
+
+// DecodeGrouped parses a grouped-result body.
+func DecodeGrouped(p []byte) ([]engine.GroupResult, error) {
+	if len(p) < 4 {
+		return nil, fmt.Errorf("wire: grouped body too short (%d bytes)", len(p))
+	}
+	n := le.Uint32(p)
+	p = p[4:]
+	// Each group needs at least 4+8 bytes, so bound the count by the body.
+	if int64(n) > int64(len(p))/12 {
+		return nil, fmt.Errorf("wire: group count %d overruns body", n)
+	}
+	groups := make([]engine.GroupResult, 0, n)
+	for i := uint32(0); i < n; i++ {
+		if len(p) < 4 {
+			return nil, fmt.Errorf("wire: grouped body truncated at group %d", i)
+		}
+		kn := le.Uint32(p)
+		if kn > maxGroupKey || len(p) < int(4+kn*8+8) {
+			return nil, fmt.Errorf("wire: group %d key width %d overruns body", i, kn)
+		}
+		p = p[4:]
+		key := make([]float64, kn)
+		for j := range key {
+			key[j] = math.Float64frombits(le.Uint64(p))
+			p = p[8:]
+		}
+		groups = append(groups, engine.GroupResult{Key: key, Value: math.Float64frombits(le.Uint64(p))})
+		p = p[8:]
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes after groups", len(p))
+	}
+	return groups, nil
+}
+
+// --- stats ---
+
+// ServerStats are the daemon-level serving counters, the admission-control
+// half of the stats RPC (the per-shard half is serve.ShardStats).
+type ServerStats struct {
+	Accepted    uint64 // requests admitted past the limiter
+	Shed        uint64 // requests refused with CodeOverloaded
+	InFlight    uint64 // admission tokens currently held
+	ActiveConns uint64 // open client connections
+	Sessions    uint64 // tracked dedup sessions
+}
+
+// Stats is the full stats RPC payload.
+type Stats struct {
+	Server ServerStats
+	Shards []serve.ShardStats
+}
+
+// maxStatsShards bounds the decoded shard list.
+const maxStatsShards = 1 << 16
+
+// EncodeStats appends a stats-reply body.
+func EncodeStats(buf []byte, st Stats) []byte {
+	buf = le.AppendUint64(buf, st.Server.Accepted)
+	buf = le.AppendUint64(buf, st.Server.Shed)
+	buf = le.AppendUint64(buf, st.Server.InFlight)
+	buf = le.AppendUint64(buf, st.Server.ActiveConns)
+	buf = le.AppendUint64(buf, st.Server.Sessions)
+	buf = le.AppendUint32(buf, uint32(len(st.Shards)))
+	for _, s := range st.Shards {
+		buf = le.AppendUint32(buf, uint32(s.Shard))
+		buf = le.AppendUint64(buf, s.Applied)
+		buf = le.AppendUint64(buf, s.Flushed)
+		buf = le.AppendUint64(buf, uint64(s.QueueDepth))
+		buf = le.AppendUint64(buf, uint64(s.Partitions))
+		buf = le.AppendUint64(buf, s.EnqueueWaitNS)
+		buf = le.AppendUint64(buf, s.Rejected)
+	}
+	return buf
+}
+
+// DecodeStats parses a stats-reply body.
+func DecodeStats(p []byte) (Stats, error) {
+	var st Stats
+	if len(p) < 44 {
+		return st, fmt.Errorf("wire: stats body too short (%d bytes)", len(p))
+	}
+	st.Server = ServerStats{
+		Accepted:    le.Uint64(p),
+		Shed:        le.Uint64(p[8:]),
+		InFlight:    le.Uint64(p[16:]),
+		ActiveConns: le.Uint64(p[24:]),
+		Sessions:    le.Uint64(p[32:]),
+	}
+	n := le.Uint32(p[40:])
+	p = p[44:]
+	const per = 4 + 6*8
+	if n > maxStatsShards || int(n)*per != len(p) {
+		return st, fmt.Errorf("wire: stats shard count %d inconsistent with body", n)
+	}
+	st.Shards = make([]serve.ShardStats, n)
+	for i := range st.Shards {
+		st.Shards[i] = serve.ShardStats{
+			Shard:         int(le.Uint32(p)),
+			Applied:       le.Uint64(p[4:]),
+			Flushed:       le.Uint64(p[12:]),
+			QueueDepth:    int(le.Uint64(p[20:])),
+			Partitions:    int(le.Uint64(p[28:])),
+			EnqueueWaitNS: le.Uint64(p[36:]),
+			Rejected:      le.Uint64(p[44:]),
+		}
+		p = p[per:]
+	}
+	return st, nil
+}
+
+// --- error replies ---
+
+// maxErrMsg bounds an error reply's detail string.
+const maxErrMsg = 1 << 12
+
+// EncodeError appends an error body (code + detail message).
+func EncodeError(buf []byte, code Code, msg string) []byte {
+	if len(msg) > maxErrMsg {
+		msg = msg[:maxErrMsg]
+	}
+	buf = le.AppendUint16(buf, uint16(code))
+	buf = le.AppendUint32(buf, uint32(len(msg)))
+	return append(buf, msg...)
+}
+
+// DecodeError parses an error body.
+func DecodeError(p []byte) (Code, string, error) {
+	if len(p) < 6 {
+		return 0, "", fmt.Errorf("wire: error body too short (%d bytes)", len(p))
+	}
+	code := Code(le.Uint16(p))
+	n := le.Uint32(p[2:])
+	if n > maxErrMsg || int(n) != len(p)-6 {
+		return 0, "", fmt.Errorf("wire: error message length %d inconsistent with body", n)
+	}
+	return code, string(p[6:]), nil
+}

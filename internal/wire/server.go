@@ -1,0 +1,493 @@
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rpai/internal/engine"
+	"rpai/internal/serve"
+)
+
+// ServerConfig parameterizes the daemon. The zero value picks the defaults.
+type ServerConfig struct {
+	// MaxInFlight is the global admission limit: the number of work-carrying
+	// requests (apply, batch, drain, checkpoint) admitted but not yet
+	// completed, across all connections. Beyond it new work is shed with
+	// CodeOverloaded instead of queued (default 256). Read-only requests
+	// (result, stats) bypass the limiter so the server stays observable
+	// under overload.
+	MaxInFlight int
+	// PerConnQueue bounds the pipelined requests buffered per connection
+	// between its read loop and its worker (default 32). A full queue stops
+	// the read loop, pushing backpressure into TCP.
+	PerConnQueue int
+	// IdleTimeout is the per-frame read deadline (default 5m; 0 disables).
+	// A connection that sends nothing for longer is torn down.
+	IdleTimeout time.Duration
+	// WriteTimeout is the per-flush write deadline (default 30s; 0 disables).
+	WriteTimeout time.Duration
+	// MaxFrame bounds request frame payloads (default DefaultMaxFrame).
+	MaxFrame uint32
+	// MaxSessions caps the batch-dedup session table; beyond it the oldest
+	// session is evicted (default 4096).
+	MaxSessions int
+	// DataDir, when set, is the checkpoint directory MsgCheckpoint rotates
+	// into — normally the service's own Durable.Dir. Empty refuses the RPC.
+	DataDir string
+	// Query is the human-readable served-query description echoed in the
+	// welcome.
+	Query string
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 256
+	}
+	if c.PerConnQueue <= 0 {
+		c.PerConnQueue = 32
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 5 * time.Minute
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 30 * time.Second
+	}
+	if c.MaxFrame == 0 {
+		c.MaxFrame = DefaultMaxFrame
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 4096
+	}
+	return c
+}
+
+// session is one client session's batch-dedup state. Its mutex serializes
+// sequenced applies, so a batch resent over a new connection waits for the
+// original connection's in-flight application of the same batch and then
+// deduplicates against it.
+type session struct {
+	mu      sync.Mutex
+	lastSeq uint64
+}
+
+// Server is the TCP front door over a sharded serving Service: it speaks the
+// wire protocol, pipelines per connection, sheds load past the admission
+// limiter, and deduplicates sequenced batches per session.
+type Server struct {
+	svc *serve.Service[engine.Event]
+	cfg ServerConfig
+
+	tokens   chan struct{} // admission limiter; one token per in-flight work request
+	accepted atomic.Uint64
+	shed     atomic.Uint64
+
+	sessMu    sync.Mutex
+	sessions  map[[SessionIDLen]byte]*session
+	sessOrder [][SessionIDLen]byte // insertion order, for eviction
+
+	mu     sync.Mutex
+	lns    map[net.Listener]struct{}
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer returns a Server serving svc. The caller keeps ownership of svc:
+// after Close returns, drain and close the service to flush its WALs.
+func NewServer(svc *serve.Service[engine.Event], cfg ServerConfig) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		svc:      svc,
+		cfg:      cfg,
+		tokens:   make(chan struct{}, cfg.MaxInFlight),
+		sessions: make(map[[SessionIDLen]byte]*session),
+		lns:      make(map[net.Listener]struct{}),
+		conns:    make(map[net.Conn]struct{}),
+	}
+}
+
+// ListenAndServe listens on addr and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Close. It returns nil after a clean
+// shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrClosed
+	}
+	s.lns[ln] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.lns, ln)
+		s.mu.Unlock()
+	}()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			return nil
+		}
+		s.conns[nc] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handle(nc)
+	}
+}
+
+// Close stops the server gracefully: the listeners close first, every
+// connection's read loop is woken so no new requests are accepted, each
+// connection's already-admitted requests finish and their replies flush, and
+// Close returns once every handler has exited. The serving Service itself is
+// left running — the owner drains and closes it (flushing WALs) afterwards.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.closed = true
+	for ln := range s.lns {
+		ln.Close()
+	}
+	// Wake blocked readers; handlers then drain their queues and exit.
+	past := time.Now().Add(-time.Second)
+	for nc := range s.conns {
+		nc.SetReadDeadline(past)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// Stats returns the daemon-level counters.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	conns := uint64(len(s.conns))
+	s.mu.Unlock()
+	s.sessMu.Lock()
+	sessions := uint64(len(s.sessions))
+	s.sessMu.Unlock()
+	return ServerStats{
+		Accepted:    s.accepted.Load(),
+		Shed:        s.shed.Load(),
+		InFlight:    uint64(len(s.tokens)),
+		ActiveConns: conns,
+		Sessions:    sessions,
+	}
+}
+
+// session returns (creating if needed) the dedup state for a session id,
+// evicting the oldest session past the cap.
+func (s *Server) session(id [SessionIDLen]byte) *session {
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	if sess, ok := s.sessions[id]; ok {
+		return sess
+	}
+	for len(s.sessions) >= s.cfg.MaxSessions && len(s.sessOrder) > 0 {
+		old := s.sessOrder[0]
+		s.sessOrder = s.sessOrder[1:]
+		delete(s.sessions, old)
+	}
+	sess := &session{}
+	s.sessions[id] = sess
+	s.sessOrder = append(s.sessOrder, id)
+	return sess
+}
+
+// reqItem is one pipelined request handed from a connection's read loop to
+// its worker. A shed item carries no token and is answered with
+// CodeOverloaded without touching the service.
+type reqItem struct {
+	t     MsgType
+	id    uint64
+	body  []byte
+	token bool // holds an admission token, released after processing
+	shed  bool
+}
+
+// needsToken reports whether a request type is work-carrying and therefore
+// subject to admission control.
+func needsToken(t MsgType) bool {
+	switch t {
+	case MsgApply, MsgApplyBatch, MsgDrain, MsgCheckpoint:
+		return true
+	}
+	return false
+}
+
+// handle runs one connection: handshake, then a read loop feeding a bounded
+// queue and a worker writing replies strictly in request order.
+func (s *Server) handle(nc net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, nc)
+		s.mu.Unlock()
+		nc.Close()
+		s.wg.Done()
+	}()
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	br := bufio.NewReaderSize(nc, 64<<10)
+	bw := bufio.NewWriterSize(nc, 64<<10)
+
+	sess, err := s.handshake(nc, br, bw)
+	if err != nil {
+		return
+	}
+
+	work := make(chan reqItem, s.cfg.PerConnQueue)
+	var ww sync.WaitGroup
+	ww.Add(1)
+	go func() {
+		defer ww.Done()
+		s.worker(nc, bw, sess, work)
+	}()
+	defer ww.Wait()
+	defer close(work)
+
+	for {
+		if s.cfg.IdleTimeout > 0 {
+			nc.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		}
+		payload, err := ReadFrame(br, s.cfg.MaxFrame)
+		if err != nil {
+			return // EOF, deadline wake-up from Close, or corruption: tear down
+		}
+		t, id, body, err := DecodeMsg(payload)
+		if err != nil {
+			return
+		}
+		it := reqItem{t: t, id: id, body: body}
+		if needsToken(t) {
+			select {
+			case s.tokens <- struct{}{}:
+				it.token = true
+				s.accepted.Add(1)
+			default:
+				it.shed = true
+				s.shed.Add(1)
+			}
+		}
+		work <- it // bounded: blocks (and stops reading) when the worker lags
+	}
+}
+
+// handshake performs the versioned hello/welcome exchange.
+func (s *Server) handshake(nc net.Conn, br *bufio.Reader, bw *bufio.Writer) (*session, error) {
+	if s.cfg.IdleTimeout > 0 {
+		nc.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+	}
+	payload, err := ReadFrame(br, s.cfg.MaxFrame)
+	if err != nil {
+		return nil, err
+	}
+	t, id, body, err := DecodeMsg(payload)
+	if err != nil || t != MsgHello {
+		s.reply(nc, bw, MsgError, id, EncodeError(nil, CodeBadRequest, "expected hello"))
+		return nil, ErrBadRequest
+	}
+	h, err := DecodeHello(body)
+	if err != nil {
+		s.reply(nc, bw, MsgError, id, EncodeError(nil, CodeBadRequest, err.Error()))
+		return nil, ErrBadRequest
+	}
+	if h.Version != Version {
+		s.reply(nc, bw, MsgError, id, EncodeError(nil, CodeVersion,
+			fmt.Sprintf("server speaks version %d, client sent %d", Version, h.Version)))
+		return nil, ErrVersion
+	}
+	w := Welcome{Version: Version, Shards: uint32(s.svc.Shards()), Query: s.cfg.Query}
+	if err := s.reply(nc, bw, MsgWelcome, id, EncodeWelcome(nil, w)); err != nil {
+		return nil, err
+	}
+	return s.session(h.Session), nil
+}
+
+// reply writes one framed message and flushes it.
+func (s *Server) reply(nc net.Conn, bw *bufio.Writer, t MsgType, id uint64, body []byte) error {
+	if s.cfg.WriteTimeout > 0 {
+		nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	}
+	if err := WriteFrame(bw, EncodeMsg(make([]byte, 0, msgHeaderLen+len(body)), t, id, body)); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// worker processes a connection's queued requests in order, writing replies
+// through the buffered writer and flushing whenever the queue goes idle.
+// Closing the work channel drains the remaining items (their replies still go
+// out) and exits; hence graceful shutdown never drops an admitted request.
+func (s *Server) worker(nc net.Conn, bw *bufio.Writer, sess *session, work <-chan reqItem) {
+	flush := func() {
+		if s.cfg.WriteTimeout > 0 {
+			nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		}
+		bw.Flush()
+	}
+	for {
+		var it reqItem
+		var ok bool
+		select {
+		case it, ok = <-work:
+		default:
+			flush()
+			it, ok = <-work
+		}
+		if !ok {
+			flush()
+			return
+		}
+		t, body := s.process(sess, it)
+		if s.cfg.WriteTimeout > 0 {
+			nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		}
+		err := WriteFrame(bw, EncodeMsg(make([]byte, 0, msgHeaderLen+len(body)), t, it.id, body))
+		if it.token {
+			<-s.tokens
+		}
+		if err != nil {
+			// The connection is gone; keep draining items to release tokens.
+			for it = range work {
+				if it.token {
+					<-s.tokens
+				}
+			}
+			return
+		}
+	}
+}
+
+// process executes one request and returns the reply.
+func (s *Server) process(sess *session, it reqItem) (MsgType, []byte) {
+	if it.shed {
+		return MsgError, EncodeError(nil, CodeOverloaded, "admission limiter saturated")
+	}
+	switch it.t {
+	case MsgApply:
+		ev, err := engine.DecodeEvent(it.body)
+		if err != nil {
+			return MsgError, EncodeError(nil, CodeBadRequest, err.Error())
+		}
+		switch err := s.svc.TryApply(ev); {
+		case errors.Is(err, serve.ErrBusy):
+			s.shed.Add(1)
+			return MsgError, EncodeError(nil, CodeOverloaded, "shard queue full")
+		case errors.Is(err, serve.ErrClosed):
+			return MsgError, EncodeError(nil, CodeClosed, "")
+		case err != nil:
+			return MsgError, EncodeError(nil, CodeInternal, err.Error())
+		}
+		return MsgAck, EncodeAck(nil, 1)
+
+	case MsgApplyBatch:
+		return s.processBatch(sess, it.body)
+
+	case MsgDrain:
+		if err := s.svc.Drain(); err != nil {
+			return errReply(err)
+		}
+		return MsgAck, EncodeAck(nil, 0)
+
+	case MsgResult:
+		return MsgScalar, EncodeScalar(nil, s.svc.Result())
+
+	case MsgResultGrouped:
+		return MsgGrouped, EncodeGrouped(nil, s.svc.ResultGrouped())
+
+	case MsgStats:
+		return MsgStatsReply, EncodeStats(nil, Stats{Server: s.Stats(), Shards: s.svc.Stats()})
+
+	case MsgCheckpoint:
+		if s.cfg.DataDir == "" {
+			return MsgError, EncodeError(nil, CodeBadRequest, "server has no data dir")
+		}
+		if err := s.svc.Checkpoint(s.cfg.DataDir); err != nil {
+			return errReply(err)
+		}
+		return MsgAck, EncodeAck(nil, 0)
+	}
+	return MsgError, EncodeError(nil, CodeBadRequest, fmt.Sprintf("unknown request type %d", it.t))
+}
+
+// processBatch applies one (possibly sequenced) event batch. Sequenced
+// batches hold the session mutex across the dedup check and the applies, so
+// a resend racing the original's in-flight application serializes behind it
+// and then deduplicates.
+func (s *Server) processBatch(sess *session, body []byte) (MsgType, []byte) {
+	seq, raw, err := DecodeBatch(body)
+	if err != nil {
+		return MsgError, EncodeError(nil, CodeBadRequest, err.Error())
+	}
+	events := make([]engine.Event, len(raw))
+	for i, p := range raw {
+		if events[i], err = engine.DecodeEvent(p); err != nil {
+			return MsgError, EncodeError(nil, CodeBadRequest, fmt.Sprintf("event %d: %v", i, err))
+		}
+	}
+	if seq != 0 && sess != nil {
+		sess.mu.Lock()
+		defer sess.mu.Unlock()
+		if seq <= sess.lastSeq {
+			return MsgAck, EncodeAck(nil, 0) // duplicate resend: already applied
+		}
+		if seq > sess.lastSeq+1 {
+			return MsgError, EncodeError(nil, CodeSeqGap,
+				fmt.Sprintf("batch seq %d after %d", seq, sess.lastSeq))
+		}
+	}
+	for _, ev := range events {
+		if err := s.svc.Apply(ev); err != nil {
+			return errReply(err)
+		}
+	}
+	if seq != 0 && sess != nil {
+		sess.lastSeq = seq
+	}
+	return MsgAck, EncodeAck(nil, uint32(len(events)))
+}
+
+// errReply maps a service error onto a typed reply.
+func errReply(err error) (MsgType, []byte) {
+	switch {
+	case errors.Is(err, serve.ErrClosed):
+		return MsgError, EncodeError(nil, CodeClosed, "")
+	case errors.Is(err, io.EOF):
+		return MsgError, EncodeError(nil, CodeInternal, "unexpected EOF")
+	default:
+		return MsgError, EncodeError(nil, CodeInternal, err.Error())
+	}
+}

@@ -1,0 +1,500 @@
+package wire
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"rpai/internal/engine"
+	"rpai/internal/query"
+	"rpai/internal/serve"
+)
+
+// vwapSpec is Example 2.2, the per-partition query of the serving tests.
+func vwapSpec() *query.Query {
+	return &query.Query{
+		Agg: query.Mul(query.Col("price"), query.Col("volume")),
+		Preds: []query.Predicate{{
+			Left: query.ValSub(0.75, &query.Subquery{Kind: query.Sum, Of: query.Col("volume")}),
+			Op:   query.Lt,
+			Right: query.ValSub(1, &query.Subquery{
+				Kind:  query.Sum,
+				Of:    query.Col("volume"),
+				Where: &query.CorrPred{Inner: query.Col("price"), Op: query.Le, Outer: query.Col("price")},
+			}),
+		}},
+	}
+}
+
+// symEvents generates an insert/delete trace over "sym"-keyed partitions.
+func symEvents(seed int64, n, partitions int) []engine.Event {
+	rng := rand.New(rand.NewSource(seed))
+	var live []query.Tuple
+	out := make([]engine.Event, 0, n)
+	for i := 0; i < n; i++ {
+		if len(live) > 0 && rng.Float64() < 0.25 {
+			j := rng.Intn(len(live))
+			out = append(out, engine.Delete(live[j]))
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+			continue
+		}
+		t := query.Tuple{
+			"sym":    float64(rng.Intn(partitions)),
+			"price":  float64(rng.Intn(30) + 1),
+			"volume": float64(rng.Intn(20) + 1),
+		}
+		live = append(live, t)
+		out = append(out, engine.Insert(t))
+	}
+	return out
+}
+
+// startServer boots a Server over svc on a loopback listener and returns its
+// address. Cleanup closes the server, then the service.
+func startServer(t *testing.T, svc *serve.Service[engine.Event], cfg ServerConfig) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(svc, cfg)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		srv.Close()
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+		svc.Close()
+	})
+	return ln.Addr().String()
+}
+
+// rawConn is a frame-level test client: no pipelining, no reconnects, so the
+// tests control exactly what goes on the wire.
+type rawConn struct {
+	t      *testing.T
+	nc     net.Conn
+	nextID uint64
+}
+
+func dialRaw(t *testing.T, addr string, session byte) *rawConn {
+	t.Helper()
+	nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nc.Close() })
+	rc := &rawConn{t: t, nc: nc}
+	var sess [SessionIDLen]byte
+	sess[0] = session
+	rc.send(MsgHello, EncodeHello(nil, Hello{Version: Version, Session: sess}))
+	tp, _, body := rc.recv()
+	if tp != MsgWelcome {
+		t.Fatalf("handshake reply %s, want welcome", tp)
+	}
+	if _, err := DecodeWelcome(body); err != nil {
+		t.Fatal(err)
+	}
+	return rc
+}
+
+func (rc *rawConn) send(t MsgType, body []byte) uint64 {
+	rc.t.Helper()
+	id := rc.nextID
+	rc.nextID++
+	if err := WriteFrame(rc.nc, EncodeMsg(nil, t, id, body)); err != nil {
+		rc.t.Fatal(err)
+	}
+	return id
+}
+
+func (rc *rawConn) recv() (MsgType, uint64, []byte) {
+	rc.t.Helper()
+	rc.nc.SetReadDeadline(time.Now().Add(10 * time.Second))
+	payload, err := ReadFrame(rc.nc, 0)
+	if err != nil {
+		rc.t.Fatal(err)
+	}
+	t, id, body, err := DecodeMsg(payload)
+	if err != nil {
+		rc.t.Fatal(err)
+	}
+	return t, id, body
+}
+
+// errCode asserts the next reply is a MsgError with the given code.
+func (rc *rawConn) errCode(want Code) {
+	rc.t.Helper()
+	t, _, body := rc.recv()
+	if t != MsgError {
+		rc.t.Fatalf("reply %s, want error", t)
+	}
+	code, _, err := DecodeError(body)
+	if err != nil {
+		rc.t.Fatal(err)
+	}
+	if code != want {
+		rc.t.Fatalf("error code %d, want %d", code, want)
+	}
+}
+
+func encodeEvents(events []engine.Event) [][]byte {
+	out := make([][]byte, len(events))
+	for i, e := range events {
+		out[i] = engine.EncodeEvent(nil, e)
+	}
+	return out
+}
+
+// TestServerRoundtrip drives the full request catalogue over one loopback
+// connection and checks the networked results are bit-identical to an
+// in-process service fed the same trace.
+func TestServerRoundtrip(t *testing.T) {
+	q := vwapSpec()
+	events := symEvents(11, 2000, 17)
+
+	ref, err := serve.ForQuery(q, []string{"sym"}, serve.Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	for _, e := range events {
+		if err := ref.Apply(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ref.Drain(); err != nil {
+		t.Fatal(err)
+	}
+
+	svc, err := serve.ForQuery(q, []string{"sym"}, serve.Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := startServer(t, svc, ServerConfig{Query: "vwap"})
+	rc := dialRaw(t, addr, 1)
+
+	// One single apply, then the rest in sequenced batches of 256.
+	rc.send(MsgApply, engine.EncodeEvent(nil, events[0]))
+	if tp, _, _ := rc.recv(); tp != MsgAck {
+		t.Fatalf("apply reply %s, want ack", tp)
+	}
+	raw := encodeEvents(events[1:])
+	seq := uint64(0)
+	for i := 0; i < len(raw); i += 256 {
+		end := min(i+256, len(raw))
+		seq++
+		rc.send(MsgApplyBatch, EncodeBatch(nil, seq, raw[i:end]))
+		tp, _, body := rc.recv()
+		if tp != MsgAck {
+			t.Fatalf("batch reply %s, want ack", tp)
+		}
+		if n, _ := DecodeAck(body); n != uint32(end-i) {
+			t.Fatalf("batch ack %d, want %d", n, end-i)
+		}
+	}
+
+	// A duplicate resend of the last batch must ack 0 without re-applying.
+	last := raw[(len(raw)-1)/256*256:]
+	rc.send(MsgApplyBatch, EncodeBatch(nil, seq, last))
+	if tp, _, body := rc.recv(); tp != MsgAck {
+		t.Fatalf("dup batch reply %s, want ack", tp)
+	} else if n, _ := DecodeAck(body); n != 0 {
+		t.Fatalf("dup batch ack %d, want 0", n)
+	}
+	// A gap must be refused.
+	rc.send(MsgApplyBatch, EncodeBatch(nil, seq+2, last))
+	rc.errCode(CodeSeqGap)
+
+	rc.send(MsgDrain, nil)
+	if tp, _, _ := rc.recv(); tp != MsgAck {
+		t.Fatal("drain not acked")
+	}
+
+	rc.send(MsgResult, nil)
+	_, _, body := rc.recv()
+	got, err := DecodeScalar(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := ref.Result(); got != want {
+		t.Fatalf("networked Result = %v, want %v", got, want)
+	}
+
+	rc.send(MsgResultGrouped, nil)
+	_, _, body = rc.recv()
+	groups, err := DecodeGrouped(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.ResultGrouped()
+	if len(groups) != len(want) {
+		t.Fatalf("%d groups, want %d", len(groups), len(want))
+	}
+	for i := range groups {
+		if groups[i].Value != want[i].Value || groups[i].Key[0] != want[i].Key[0] {
+			t.Fatalf("group %d = %+v, want %+v", i, groups[i], want[i])
+		}
+	}
+
+	rc.send(MsgStats, nil)
+	_, _, body = rc.recv()
+	st, err := DecodeStats(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Server.ActiveConns != 1 || st.Server.Shed != 0 || len(st.Shards) != 4 {
+		t.Fatalf("unexpected stats %+v", st)
+	}
+	var applied uint64
+	for _, sh := range st.Shards {
+		applied += sh.Applied
+	}
+	if applied != uint64(len(events)) {
+		t.Fatalf("shards report %d applied, want %d", applied, len(events))
+	}
+}
+
+// gateExec wedges its shard: Apply blocks until the gate closes.
+type gateExec struct {
+	gate <-chan struct{}
+	n    float64
+}
+
+func (g *gateExec) Apply(engine.Event) { <-g.gate; g.n++ }
+func (g *gateExec) Result() float64    { return g.n }
+
+// gatedService builds a one-shard service whose executor blocks on gate.
+func gatedService(t *testing.T, gate <-chan struct{}, queueLen int) *serve.Service[engine.Event] {
+	t.Helper()
+	svc, err := serve.New(serve.Config[engine.Event]{
+		Shards:   1,
+		QueueLen: queueLen,
+		Partition: func(e engine.Event, buf []float64) []float64 {
+			return append(buf, e.Tuple["sym"])
+		},
+		New: func([]float64) serve.Executor[engine.Event] { return &gateExec{gate: gate} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+// TestServerOverloadSheds saturates the admission limiter through a wedged
+// shard and asserts the overload contract: work is shed with CodeOverloaded,
+// read-only requests still go through, and the stats RPC reports the shed
+// count, a bounded in-flight gauge and a bounded shard queue.
+func TestServerOverloadSheds(t *testing.T) {
+	gate := make(chan struct{})
+	const queueLen = 8
+	svc := gatedService(t, gate, queueLen)
+	addr := startServer(t, svc, ServerConfig{MaxInFlight: 2, PerConnQueue: 4})
+
+	ev := engine.EncodeEvent(nil, engine.Insert(query.Tuple{"sym": 1, "price": 2, "volume": 3}))
+	batch := EncodeBatch(nil, 0, [][]byte{ev})
+	// Enough events to fill the wedged shard's queue and block the batch
+	// apply inside the worker, so its admission token stays held.
+	var big [][]byte
+	for i := 0; i < 2*queueLen; i++ {
+		big = append(big, ev)
+	}
+	wedgeBatch := EncodeBatch(nil, 0, big)
+
+	// Wedge connection A: its first batch blocks inside the shard apply, the
+	// second occupies the remaining admission token while queued behind it.
+	wedge := dialRaw(t, addr, 2)
+	wedge.send(MsgApplyBatch, wedgeBatch)
+	wedge.send(MsgApplyBatch, batch)
+
+	// Wait until both tokens are actually held.
+	deadline := time.Now().Add(5 * time.Second)
+	probe := dialRaw(t, addr, 3)
+	for {
+		probe.send(MsgStats, nil)
+		_, _, body := probe.recv()
+		st, err := DecodeStats(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Server.InFlight == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("limiter never saturated: %+v", st.Server)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Work on connection B must now be shed immediately.
+	probe.send(MsgApplyBatch, batch)
+	probe.errCode(CodeOverloaded)
+	probe.send(MsgApply, ev)
+	probe.errCode(CodeOverloaded)
+	probe.send(MsgDrain, nil)
+	probe.errCode(CodeOverloaded)
+
+	// Reads bypass the limiter: the server stays observable while saturated.
+	probe.send(MsgResult, nil)
+	if tp, _, _ := probe.recv(); tp != MsgScalar {
+		t.Fatalf("result under overload replied %s", tp)
+	}
+	probe.send(MsgStats, nil)
+	_, _, body := probe.recv()
+	st, err := DecodeStats(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Server.Shed < 3 {
+		t.Fatalf("shed counter %d, want >= 3", st.Server.Shed)
+	}
+	if st.Server.InFlight > 2 {
+		t.Fatalf("in-flight %d exceeds limiter 2", st.Server.InFlight)
+	}
+	for _, sh := range st.Shards {
+		if sh.QueueDepth > queueLen {
+			t.Fatalf("shard queue depth %d exceeds bound %d", sh.QueueDepth, queueLen)
+		}
+	}
+
+	// Open the gate: the wedged batches complete and normal service resumes.
+	close(gate)
+	for i := 0; i < 2; i++ {
+		if tp, _, _ := wedge.recv(); tp != MsgAck {
+			t.Fatalf("wedged batch reply %s after gate opened", tp)
+		}
+	}
+	probe.send(MsgDrain, nil)
+	if tp, _, _ := probe.recv(); tp != MsgAck {
+		t.Fatal("drain after recovery not acked")
+	}
+}
+
+// TestServerVersionMismatch pins the handshake refusal.
+func TestServerVersionMismatch(t *testing.T) {
+	q := vwapSpec()
+	svc, err := serve.ForQuery(q, []string{"sym"}, serve.Options{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := startServer(t, svc, ServerConfig{})
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	hello := EncodeHello(nil, Hello{Version: Version + 7})
+	if err := WriteFrame(nc, EncodeMsg(nil, MsgHello, 0, hello)); err != nil {
+		t.Fatal(err)
+	}
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	payload, err := ReadFrame(nc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, _, body, err := DecodeMsg(payload)
+	if err != nil || tp != MsgError {
+		t.Fatalf("reply %s (err %v), want error", tp, err)
+	}
+	code, _, err := DecodeError(body)
+	if err != nil || code != CodeVersion {
+		t.Fatalf("code %d (err %v), want CodeVersion", code, err)
+	}
+}
+
+// TestServerSurvivesGarbage throws corrupt and hostile bytes at the server
+// and checks it tears those connections down without disturbing a well-
+// behaved one.
+func TestServerSurvivesGarbage(t *testing.T) {
+	q := vwapSpec()
+	svc, err := serve.ForQuery(q, []string{"sym"}, serve.Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := startServer(t, svc, ServerConfig{MaxFrame: 1 << 16})
+
+	send := func(raw []byte) {
+		t.Helper()
+		nc, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer nc.Close()
+		if _, err := nc.Write(raw); err != nil {
+			t.Fatal(err)
+		}
+		// The server must close the connection, not hang or crash.
+		nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+		buf := make([]byte, 1024)
+		for {
+			if _, err := nc.Read(buf); err != nil {
+				if errors.Is(err, io.EOF) {
+					return
+				}
+				var ne net.Error
+				if errors.As(err, &ne) && ne.Timeout() {
+					t.Fatal("server left garbage connection open")
+				}
+				return // reset is fine too
+			}
+		}
+	}
+
+	// Raw garbage, a hostile length prefix, a corrupted checksum, and a valid
+	// frame whose payload is not a message.
+	send([]byte("GET / HTTP/1.1\r\n\r\n"))
+	send([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3, 4})
+	frame := AppendFrame(nil, EncodeMsg(nil, MsgHello, 0, EncodeHello(nil, Hello{Version: Version})))
+	frame[len(frame)-1] ^= 0x40
+	send(frame)
+	send(AppendFrame(nil, []byte{9}))
+
+	// A well-behaved connection still gets full service.
+	rc := dialRaw(t, addr, 4)
+	rc.send(MsgResult, nil)
+	if tp, _, _ := rc.recv(); tp != MsgScalar {
+		t.Fatalf("healthy connection got %s", tp)
+	}
+}
+
+// TestServerCheckpointRPC triggers a checkpoint over the wire and recovers a
+// fresh service from it.
+func TestServerCheckpointRPC(t *testing.T) {
+	q := vwapSpec()
+	dir := t.TempDir()
+	events := symEvents(13, 600, 7)
+	svc, err := serve.ForQuery(q, []string{"sym"}, serve.Options{Shards: 2, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := startServer(t, svc, ServerConfig{DataDir: dir})
+	rc := dialRaw(t, addr, 5)
+	rc.send(MsgApplyBatch, EncodeBatch(nil, 1, encodeEvents(events)))
+	if tp, _, _ := rc.recv(); tp != MsgAck {
+		t.Fatal("batch not acked")
+	}
+	rc.send(MsgCheckpoint, nil)
+	if tp, _, _ := rc.recv(); tp != MsgAck {
+		t.Fatal("checkpoint not acked")
+	}
+	rc.send(MsgResult, nil)
+	_, _, body := rc.recv()
+	want, err := DecodeScalar(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := serve.RecoverForQuery(dir, q, []string{"sym"}, serve.Options{Shards: 3, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if got := rec.Result(); got != want {
+		t.Fatalf("recovered Result = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,171 @@
+// Package wire is the network protocol of the RPAI serving layer: the front
+// door that turns the in-process sharded service (internal/serve) into a
+// daemon external applications can feed change streams to and query — the
+// deployment shape DBToaster-style IVM and DBSP both presume.
+//
+// The protocol is binary, length-prefixed and CRC32C-checksummed, following
+// the checkpoint package's framing discipline:
+//
+//	frame := uint32 payloadLen | uint32 crc32c(payload) | payload
+//	payload := uint8 msgType | uint64 requestID | body
+//
+// Every multi-byte integer is little-endian. A reader that hits a short
+// header, a short payload, an oversized length prefix or a checksum mismatch
+// reports ErrCorruptFrame and the connection is torn down — a damaged frame
+// is always detected, never silently decoded.
+//
+// A connection opens with a versioned handshake: the client sends MsgHello
+// (protocol version plus a client-generated 16-byte session id) and the
+// server answers MsgWelcome (version, shard count, served query) or a typed
+// MsgError with CodeVersion. After the handshake the client may pipeline any
+// number of requests; the server replies strictly in request order per
+// connection, echoing each request's id.
+//
+// Sessions give batched applies exactly-once semantics across reconnects:
+// MsgApplyBatch carries a per-session sequence number, the server remembers
+// the session's last applied sequence, and a resent batch (after a killed
+// connection) is acknowledged without re-applying. Sequences must be applied
+// contiguously — a gap (an earlier batch was shed or lost) is refused with
+// CodeSeqGap and the client re-sends from its first unacknowledged batch.
+//
+// Overload is a first-class reply, not a queue: when the server's admission
+// limiter is saturated, work-carrying requests receive MsgError CodeOverloaded
+// immediately while read-only requests (result, stats) still go through, so
+// the system stays observable under load. See DESIGN.md section 5d for the
+// full message catalogue and the overload semantics.
+package wire
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Version is the protocol version exchanged in the hello/welcome handshake.
+// Servers refuse other versions with CodeVersion.
+const Version = 1
+
+// DefaultMaxFrame bounds a frame payload (8 MiB) unless overridden: large
+// enough for multi-thousand-event batches and wide grouped results, small
+// enough that a hostile length prefix cannot force a huge allocation.
+const DefaultMaxFrame = 8 << 20
+
+// SessionIDLen is the size of the client-generated session identifier.
+const SessionIDLen = 16
+
+// MsgType identifies a frame's message.
+type MsgType uint8
+
+// Request messages (client to server).
+const (
+	MsgHello         MsgType = 1 // handshake: version + session id
+	MsgApply         MsgType = 2 // single event, fire-with-ack, load-shed when the shard queue is full
+	MsgApplyBatch    MsgType = 3 // sequenced event batch (the bulk ingestion path)
+	MsgDrain         MsgType = 4 // barrier: ack after all prior events are applied and durable
+	MsgResult        MsgType = 5 // scalar result read
+	MsgResultGrouped MsgType = 6 // per-partition grouped result read
+	MsgStats         MsgType = 7 // server + per-shard serving counters
+	MsgCheckpoint    MsgType = 8 // trigger a checkpoint into the server's data dir
+)
+
+// Response messages (server to client).
+const (
+	MsgWelcome    MsgType = 9  // handshake reply: version, shards, query
+	MsgAck        MsgType = 10 // apply/batch/drain/checkpoint acknowledgement
+	MsgScalar     MsgType = 11 // scalar result
+	MsgGrouped    MsgType = 12 // grouped result
+	MsgStatsReply MsgType = 13 // stats payload
+	MsgError      MsgType = 14 // typed failure reply
+)
+
+func (t MsgType) String() string {
+	switch t {
+	case MsgHello:
+		return "hello"
+	case MsgApply:
+		return "apply"
+	case MsgApplyBatch:
+		return "apply-batch"
+	case MsgDrain:
+		return "drain"
+	case MsgResult:
+		return "result"
+	case MsgResultGrouped:
+		return "result-grouped"
+	case MsgStats:
+		return "stats"
+	case MsgCheckpoint:
+		return "checkpoint"
+	case MsgWelcome:
+		return "welcome"
+	case MsgAck:
+		return "ack"
+	case MsgScalar:
+		return "scalar"
+	case MsgGrouped:
+		return "grouped"
+	case MsgStatsReply:
+		return "stats-reply"
+	case MsgError:
+		return "error"
+	}
+	return fmt.Sprintf("msg(%d)", uint8(t))
+}
+
+// Code classifies a MsgError reply.
+type Code uint16
+
+const (
+	// CodeOverloaded: the admission limiter (or the owning shard's queue) is
+	// saturated; the request was shed without queueing. Retry after backoff.
+	CodeOverloaded Code = 1
+	// CodeClosed: the service is shutting down.
+	CodeClosed Code = 2
+	// CodeBadRequest: the request was syntactically or semantically invalid.
+	CodeBadRequest Code = 3
+	// CodeVersion: the hello's protocol version is unsupported.
+	CodeVersion Code = 4
+	// CodeSeqGap: a sequenced batch skipped ahead of the session's last
+	// applied sequence (an earlier batch was shed or lost); the client must
+	// re-send from its first unacknowledged batch.
+	CodeSeqGap Code = 5
+	// CodeInternal: an unexpected server-side failure.
+	CodeInternal Code = 6
+)
+
+// Typed sentinel errors for each reply code; clients match with errors.Is.
+var (
+	ErrOverloaded = errors.New("wire: server overloaded")
+	ErrClosed     = errors.New("wire: server is shutting down")
+	ErrBadRequest = errors.New("wire: bad request")
+	ErrVersion    = errors.New("wire: protocol version mismatch")
+	ErrSeqGap     = errors.New("wire: sequence gap")
+	ErrInternal   = errors.New("wire: internal server error")
+)
+
+// Err converts a reply code and detail message into a typed error wrapping
+// the matching sentinel.
+func (c Code) Err(msg string) error {
+	base := ErrInternal
+	switch c {
+	case CodeOverloaded:
+		base = ErrOverloaded
+	case CodeClosed:
+		base = ErrClosed
+	case CodeBadRequest:
+		base = ErrBadRequest
+	case CodeVersion:
+		base = ErrVersion
+	case CodeSeqGap:
+		base = ErrSeqGap
+	}
+	if msg == "" {
+		return base
+	}
+	return fmt.Errorf("%w: %s", base, msg)
+}
+
+// Transient reports whether a code is safe to retry after reconnect/backoff:
+// the request was provably not applied.
+func (c Code) Transient() bool {
+	return c == CodeOverloaded || c == CodeSeqGap
+}
