@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: test test-race bench experiments examples fuzz fuzz-smoke race recovery wire serve-demo lint
+.PHONY: test test-race bench bench-core experiments examples fuzz fuzz-smoke race recovery wire serve-demo lint
 
 test:
 	go build ./... && go vet ./... && go test ./...
@@ -13,6 +13,12 @@ race:
 
 bench:
 	go test -bench=. -benchmem ./...
+
+# Core-tree micro-benchmarks, pointer vs arena side by side (satellite of the
+# arena experiment; `rpaibench -exp arena` is the reportable version).
+bench-core:
+	go test -run '^$$' -bench 'BenchmarkTree(Put|Add|GetSum|Delete)' -benchmem \
+		-benchtime 200ms -count 3 ./internal/rpai/
 
 experiments:
 	go run ./cmd/rpaibench -exp all

@@ -3,16 +3,21 @@
 //
 // Usage:
 //
-//	rpaibench -exp table1|scaling|fig7|fig8|fig8d|fig9|all [flags]
+//	rpaibench -exp table1|scaling|fig7|fig8|fig8d|fig9|batch|latency|all [flags]
+//	rpaibench -exp serve|recovery|wire|arena [-quick] [flags]   # BENCH_*.json reports
+//	rpaibench -exp replay -trace book.csv [-query vwap]
 //
 // The default scales finish in minutes on a laptop; -full switches Figure 8
-// to the paper's 100k-event sweep.
+// to the paper's 100k-event sweep. Any experiment can be profiled with
+// -cpuprofile/-memprofile.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"rpai/internal/bench"
@@ -21,21 +26,50 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1, scaling, fig7, fig8, fig8d, fig9, batch, latency, serve, replay, recovery, wire, or all")
-		events  = flag.Int("events", 10000, "finance trace length for fig7")
-		sf      = flag.Float64("sf", 1, "TPC-H scale factor for fig7")
-		seed    = flag.Int64("seed", 1, "workload seed")
-		full    = flag.Bool("full", false, "run fig8 at paper scale (adds the 100k point)")
-		quick   = flag.Bool("quick", false, "shrink every experiment for a fast smoke run")
-		figNine = flag.Int("fig9-events", 4000, "trace length for fig9")
-		format  = flag.String("format", "text", "output format: text or csv")
-		trace   = flag.String("trace", "", "replay: order-book CSV trace file (as emitted by datagen)")
-		rQuery  = flag.String("query", "vwap", "replay: finance query to run over -trace")
-		srvOut  = flag.String("serve-out", "BENCH_serve.json", "serve: JSON report path (empty to skip the file)")
-		recOut  = flag.String("recovery-out", "BENCH_recovery.json", "recovery: JSON report path (empty to skip the file)")
-		wireOut = flag.String("wire-out", "BENCH_wire.json", "wire: JSON report path (empty to skip the file)")
+		exp      = flag.String("exp", "all", "experiment: table1, scaling, fig7, fig8, fig8d, fig9, batch, latency, serve, replay, recovery, wire, arena, or all")
+		events   = flag.Int("events", 10000, "finance trace length for fig7")
+		sf       = flag.Float64("sf", 1, "TPC-H scale factor for fig7")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		full     = flag.Bool("full", false, "run fig8 at paper scale (adds the 100k point)")
+		quick    = flag.Bool("quick", false, "shrink every experiment for a fast smoke run")
+		figNine  = flag.Int("fig9-events", 4000, "trace length for fig9")
+		format   = flag.String("format", "text", "output format: text or csv")
+		trace    = flag.String("trace", "", "replay: order-book CSV trace file (as emitted by datagen)")
+		rQuery   = flag.String("query", "vwap", "replay: finance query to run over -trace")
+		srvOut   = flag.String("serve-out", "BENCH_serve.json", "serve: JSON report path (empty to skip the file)")
+		recOut   = flag.String("recovery-out", "BENCH_recovery.json", "recovery: JSON report path (empty to skip the file)")
+		wireOut  = flag.String("wire-out", "BENCH_wire.json", "wire: JSON report path (empty to skip the file)")
+		arenaOut = flag.String("arena-out", "BENCH_arena.json", "arena: JSON report path (empty to skip the file)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rpaibench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "rpaibench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rpaibench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize up-to-date heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "rpaibench:", err)
+			}
+		}()
+	}
 	csvOut := *format == "csv"
 	if !csvOut && *format != "text" {
 		fmt.Fprintf(os.Stderr, "rpaibench: unknown format %q\n", *format)
@@ -237,6 +271,31 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("wrote %s\n", *wireOut)
+		}
+	}
+	if *exp == "arena" {
+		ran = true
+		cfg := bench.DefaultArena()
+		if *quick {
+			cfg = bench.QuickArena()
+		}
+		cfg.Seed = *seed
+		rep, err := bench.Arena(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rpaibench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(bench.FormatArena(rep))
+		if *arenaOut != "" {
+			data, err := bench.ArenaJSON(rep)
+			if err == nil {
+				err = os.WriteFile(*arenaOut, data, 0o644)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rpaibench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *arenaOut)
 		}
 	}
 	if run("fig9") {

@@ -21,6 +21,8 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -47,8 +49,19 @@ func main() {
 		maxInFlight  = flag.Int("max-inflight", 0, "admission limit for in-flight work requests (0: wire default)")
 		perConn      = flag.Int("per-conn", 0, "pipelined requests buffered per connection (0: wire default)")
 		idleTimeout  = flag.Duration("idle-timeout", 0, "per-frame read deadline (0: wire default)")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty: off)")
 	)
 	flag.Parse()
+	if *pprofAddr != "" {
+		go func() {
+			// The default mux already carries the /debug/pprof handlers via
+			// the side-effect import. Failure to bind is non-fatal: profiling
+			// is diagnostics, not service.
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "rpaiserver: pprof:", err)
+			}
+		}()
+	}
 
 	sql := *queryText
 	if *queryFile != "" {

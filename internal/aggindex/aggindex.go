@@ -6,6 +6,9 @@
 // index structure (the ablation axis of the paper's section 3):
 //
 //   - the binary RPAI tree (package rpai): O(log n) GetSum and ShiftKeys,
+//   - the arena RPAI tree (package rpai): the same tree laid out in a flat
+//     int32-indexed slab with a free list — identical semantics, no pointer
+//     chasing, no steady-state allocation,
 //   - the B-tree RPAI (package rpaibtree): same bounds, wider nodes,
 //   - the PAI map (package paimap): O(1) point ops, O(n) GetSum/ShiftKeys,
 //   - a sorted slice (this package): O(log n) search but O(n) updates,
@@ -61,7 +64,8 @@ type Index interface {
 type Kind string
 
 const (
-	KindRPAI    Kind = "rpai"    // balanced binary RPAI tree
+	KindRPAI    Kind = "rpai"    // balanced binary RPAI tree (pointer nodes)
+	KindArena   Kind = "arena"   // balanced binary RPAI tree in a flat arena
 	KindBTree   Kind = "btree"   // B-tree RPAI (paper section 3.2.5's closing note)
 	KindPAI     Kind = "pai"     // hash-based PAI map
 	KindSorted  Kind = "sorted"  // sorted-slice baseline
@@ -74,6 +78,8 @@ func New(kind Kind) Index {
 	switch kind {
 	case KindRPAI:
 		return rpai.New()
+	case KindArena:
+		return rpai.NewArena()
 	case KindBTree:
 		return rpaibtree.New()
 	case KindPAI:
@@ -87,7 +93,9 @@ func New(kind Kind) Index {
 }
 
 // Kinds lists all implementations, for conformance tests and ablations.
-func Kinds() []Kind { return []Kind{KindRPAI, KindBTree, KindPAI, KindSorted, KindFenwick} }
+func Kinds() []Kind {
+	return []Kind{KindRPAI, KindArena, KindBTree, KindPAI, KindSorted, KindFenwick}
+}
 
 // Sorted is the sorted-slice aggregate index: keys kept in ascending order
 // with parallel values. Lookups are binary searches; inserts, deletes and

@@ -1,0 +1,285 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"time"
+
+	"rpai/internal/aggindex"
+	"rpai/internal/queries"
+	"rpai/internal/rpai"
+	"rpai/internal/serve"
+	"rpai/internal/stream"
+)
+
+// ArenaConfig parameterizes the arena-vs-pointer experiment: the same RPAI
+// tree workload run against both representations at increasing key counts,
+// plus one end-to-end serving run per representation.
+type ArenaConfig struct {
+	// Sizes are the distinct-key counts to sweep.
+	Sizes []int `json:"sizes"`
+	// Ops is the number of mixed operations per size (after the build).
+	Ops int `json:"ops"`
+	// ServeEvents / ServePartitions / ServeShards configure the end-to-end
+	// serving comparison (0 events skips it).
+	ServeEvents     int   `json:"serve_events"`
+	ServePartitions int   `json:"serve_partitions"`
+	ServeShards     int   `json:"serve_shards"`
+	Seed            int64 `json:"seed"`
+}
+
+// DefaultArena returns the scales used for BENCH_arena.json.
+func DefaultArena() ArenaConfig {
+	return ArenaConfig{
+		Sizes:           []int{10000, 100000, 1000000},
+		Ops:             2000000,
+		ServeEvents:     150000,
+		ServePartitions: 8192,
+		ServeShards:     4,
+		Seed:            1,
+	}
+}
+
+// QuickArena shrinks the experiment for smoke runs.
+func QuickArena() ArenaConfig {
+	return ArenaConfig{
+		Sizes:           []int{10000},
+		Ops:             200000,
+		ServeEvents:     20000,
+		ServePartitions: 512,
+		ServeShards:     2,
+		Seed:            1,
+	}
+}
+
+// ArenaPoint is one measured cell: the steady-state operation mix on a
+// warmed tree of a given size, for one representation.
+type ArenaPoint struct {
+	Index string `json:"index"` // "rpai" (pointer) or "arena"
+	Keys  int    `json:"keys"`
+	Ops   int    `json:"ops"`
+	// The mix is 40% Put (update), 40% Add, 20% GetSum — the profile of
+	// streaming aggregate maintenance, where every event writes and reads
+	// are periodic query evaluations.
+	NsPerOp     float64 `json:"ns_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Speedup is ops/sec relative to the pointer tree at the same size.
+	Speedup float64 `json:"speedup,omitempty"`
+	// Checksum is the final Total(), cross-checked between representations.
+	Checksum float64 `json:"checksum"`
+}
+
+// ArenaServePoint is one end-to-end serving run with every executor's
+// aggregate index pinned to one representation.
+type ArenaServePoint struct {
+	Index        string  `json:"index"`
+	Events       int     `json:"events"`
+	Shards       int     `json:"shards"`
+	ElapsedMS    float64 `json:"elapsed_ms"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Speedup      float64 `json:"speedup,omitempty"`
+	Result       float64 `json:"result"`
+}
+
+// ArenaReport is the full experiment output serialized to BENCH_arena.json.
+type ArenaReport struct {
+	GoMaxProcs int               `json:"gomaxprocs"`
+	NumCPU     int               `json:"num_cpu"`
+	Config     ArenaConfig       `json:"config"`
+	Tree       []ArenaPoint      `json:"tree"`
+	Serve      []ArenaServePoint `json:"serve,omitempty"`
+}
+
+// arenaTreeOps is the subset of the tree API the mix exercises, implemented
+// by both representations.
+type arenaTreeOps interface {
+	Put(k, v float64)
+	Add(k, dv float64)
+	GetSum(k float64) float64
+	Total() float64
+}
+
+// Arena runs the representation comparison: for each size, build both trees
+// over the same keys, run the same mixed operation sequence, and record
+// throughput and allocations. It returns an error if the two representations
+// disagree on the final checksum — the benchmark doubles as a differential
+// test at sizes the unit tests never reach.
+func Arena(cfg ArenaConfig) (*ArenaReport, error) {
+	if len(cfg.Sizes) == 0 {
+		cfg = DefaultArena()
+	}
+	rep := &ArenaReport{GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(), Config: cfg}
+	for _, n := range cfg.Sizes {
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		keys := make([]float64, n)
+		for i := range keys {
+			keys[i] = float64(rng.Intn(n * 4))
+		}
+		var base ArenaPoint
+		for _, impl := range []struct {
+			name string
+			tree arenaTreeOps
+		}{
+			{"rpai", rpai.New()},
+			{"arena", rpai.NewArena()},
+		} {
+			p := arenaMix(impl.name, impl.tree, keys, cfg.Ops)
+			if impl.name == "rpai" {
+				base = p
+			} else {
+				p.Speedup = p.OpsPerSec / base.OpsPerSec
+				if p.Checksum != base.Checksum {
+					return nil, fmt.Errorf("bench: arena checksum diverged at %d keys: %g vs %g",
+						n, p.Checksum, base.Checksum)
+				}
+			}
+			rep.Tree = append(rep.Tree, p)
+		}
+	}
+	if cfg.ServeEvents > 0 {
+		points, err := arenaServe(cfg)
+		if err != nil {
+			return nil, err
+		}
+		rep.Serve = points
+	}
+	return rep, nil
+}
+
+// arenaMix builds the tree and times the steady-state mix as three
+// homogeneous phases over the same warmed tree — 40% Put, 40% Add, 20%
+// GetSum — the same way the BenchmarkTree* micro-benchmarks time each
+// operation. Phase loops keep the measured cost the trees' descent, not an
+// op-dispatch pattern; the reported ns/op is the op-count-weighted mean.
+func arenaMix(name string, t arenaTreeOps, keys []float64, ops int) ArenaPoint {
+	for _, k := range keys {
+		t.Put(k, 1)
+	}
+	n := len(keys)
+	ops -= ops % 5
+	putOps, addOps, sumOps := ops*2/5, ops*2/5, ops/5
+	var sink float64
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < putOps; i++ {
+		t.Put(keys[i%n], 2)
+	}
+	for i := 0; i < addOps; i++ {
+		t.Add(keys[i%n], 1)
+	}
+	for i := 0; i < sumOps; i++ {
+		sink += t.GetSum(keys[i%n])
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	_ = sink
+	return ArenaPoint{
+		Index:       name,
+		Keys:        len(keys),
+		Ops:         ops,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(ops),
+		OpsPerSec:   float64(ops) / elapsed.Seconds(),
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(ops),
+		Checksum:    t.Total(),
+	}
+}
+
+// arenaServe replays the order-book VWAP trace through the serving layer
+// twice, with every partition executor's aggregate index pinned to the
+// pointer tree and then to the arena, and cross-checks the drained results.
+func arenaServe(cfg ArenaConfig) ([]ArenaServePoint, error) {
+	events := FinanceTrace(cfg.ServeEvents, false, cfg.Seed)
+	var points []ArenaServePoint
+	for _, kind := range []aggindex.Kind{aggindex.KindRPAI, aggindex.KindArena} {
+		kind := kind
+		svc, err := serve.New(serve.Config[stream.Event]{
+			Shards: cfg.ServeShards,
+			Partition: func(e stream.Event, buf []float64) []float64 {
+				return append(buf, float64(e.Rec.ID%int64(cfg.ServePartitions)))
+			},
+			New: func([]float64) serve.Executor[stream.Event] {
+				return queries.NewVWAPWithIndex(kind)
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		for _, e := range events {
+			if err := svc.Apply(e); err != nil {
+				return nil, err
+			}
+		}
+		if err := svc.Drain(); err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		res := svc.Result()
+		if err := svc.Close(); err != nil {
+			return nil, err
+		}
+		p := ArenaServePoint{
+			Index:        string(kind),
+			Events:       len(events),
+			Shards:       cfg.ServeShards,
+			ElapsedMS:    float64(elapsed.Microseconds()) / 1e3,
+			EventsPerSec: float64(len(events)) / elapsed.Seconds(),
+			Result:       res,
+		}
+		if len(points) > 0 {
+			base := points[0]
+			p.Speedup = p.EventsPerSec / base.EventsPerSec
+			if res != base.Result {
+				return nil, fmt.Errorf("bench: serve result diverged between representations: %g vs %g",
+					res, base.Result)
+			}
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}
+
+// ArenaJSON serializes the report for BENCH_arena.json.
+func ArenaJSON(rep *ArenaReport) ([]byte, error) {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// FormatArena renders the report as aligned text tables.
+func FormatArena(rep *ArenaReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "arena vs pointer RPAI tree (GOMAXPROCS=%d, NumCPU=%d, mix 40%% Put / 40%% Add / 20%% GetSum)\n",
+		rep.GoMaxProcs, rep.NumCPU)
+	fmt.Fprintf(&b, "%-8s %10s %10s %10s %14s %12s %9s\n",
+		"index", "keys", "ops", "ns/op", "ops/sec", "allocs/op", "speedup")
+	for _, p := range rep.Tree {
+		speedup := ""
+		if p.Speedup > 0 {
+			speedup = fmt.Sprintf("%8.2fx", p.Speedup)
+		}
+		fmt.Fprintf(&b, "%-8s %10d %10d %10.1f %14.0f %12.4f %9s\n",
+			p.Index, p.Keys, p.Ops, p.NsPerOp, p.OpsPerSec, p.AllocsPerOp, speedup)
+	}
+	if len(rep.Serve) > 0 {
+		fmt.Fprintf(&b, "\nend-to-end serve (orderbook-vwap, %d shards)\n", rep.Config.ServeShards)
+		fmt.Fprintf(&b, "%-8s %10s %12s %14s %9s\n", "index", "events", "elapsed", "events/sec", "speedup")
+		for _, p := range rep.Serve {
+			speedup := ""
+			if p.Speedup > 0 {
+				speedup = fmt.Sprintf("%8.2fx", p.Speedup)
+			}
+			fmt.Fprintf(&b, "%-8s %10d %11.1fms %14.0f %9s\n",
+				p.Index, p.Events, p.ElapsedMS, p.EventsPerSec, speedup)
+		}
+	}
+	return b.String()
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"io"
 
 	"rpai/internal/aggindex"
 	"rpai/internal/fenwick"
@@ -18,7 +19,9 @@ import (
 //   - The RPAI tree has its own structural codec (rpai.Encode/Decode) that
 //     preserves the exact node layout — parent-relative keys, subtree sums,
 //     link colors — so a restored tree is bit-identical, not merely
-//     equivalent. Its stream is embedded length-prefixed because rpai.Decode
+//     equivalent. The pointer and arena representations share this codec
+//     byte-for-byte and therefore share one tag; decode always produces the
+//     arena form. The stream is embedded length-prefixed because the decoder
 //     buffers its reader and would otherwise over-read the enclosing stream.
 //   - Every other structure (treemaps, PAI maps, the sorted/fenwick/btree
 //     index baselines) is encoded as its canonical sorted entry list and
@@ -119,14 +122,13 @@ func (e *Encoder) Index(idx aggindex.Index) {
 	switch t := idx.(type) {
 	case *rpai.Tree:
 		e.U8(idxRPAI)
-		var buf bytes.Buffer
-		if e.err == nil {
-			if err := t.Encode(&buf); err != nil {
-				e.err = err
-				return
-			}
-		}
-		e.Bytes(buf.Bytes())
+		e.rpaiStream(t.Encode)
+	case *rpai.ArenaTree:
+		// The arena tree shares the pointer tree's structural codec
+		// byte-for-byte, so both encode under the same tag and snapshots
+		// restore across the two representations in either direction.
+		e.U8(idxRPAI)
+		e.rpaiStream(t.Encode)
 	case *rpaibtree.Tree:
 		e.U8(idxBTree)
 		e.indexEntries(idx)
@@ -144,6 +146,17 @@ func (e *Encoder) Index(idx aggindex.Index) {
 	}
 }
 
+func (e *Encoder) rpaiStream(encode func(io.Writer) error) {
+	var buf bytes.Buffer
+	if e.err == nil {
+		if err := encode(&buf); err != nil {
+			e.err = err
+			return
+		}
+	}
+	e.Bytes(buf.Bytes())
+}
+
 func (e *Encoder) indexEntries(idx aggindex.Index) {
 	e.U32(uint32(idx.Len()))
 	idx.Ascend(func(k, v float64) bool {
@@ -158,11 +171,14 @@ func (d *Decoder) Index() aggindex.Index {
 	var kind aggindex.Kind
 	switch tag := d.U8(); tag {
 	case idxRPAI:
+		// Restore into the arena representation regardless of which
+		// representation wrote the stream: the codecs are byte-identical,
+		// and executors hold the index behind the aggindex.Index interface.
 		b := d.Bytes()
 		if d.err != nil {
 			return nil
 		}
-		t, err := rpai.Decode(bytes.NewReader(b))
+		t, err := rpai.DecodeArena(bytes.NewReader(b))
 		if err != nil {
 			d.Fail(err)
 			return nil

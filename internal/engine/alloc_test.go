@@ -1,0 +1,39 @@
+package engine
+
+import (
+	"testing"
+
+	"rpai/internal/query"
+)
+
+// TestAllocGuardEventCodec pins the allocation contracts of the event codec:
+// once the destination buffer has grown, EncodeEvent is allocation-free for
+// tuples within the inline column bound, and an interning EventDecoder
+// allocates only the tuple map per event (each distinct column name is
+// allocated once, on first sight).
+func TestAllocGuardEventCodec(t *testing.T) {
+	ev := Insert(query.Tuple{"price": 101, "volume": 7, "broker": 3})
+	var buf []byte
+	buf = EncodeEvent(buf[:0], ev) // grow once before measuring
+
+	if got := testing.AllocsPerRun(200, func() {
+		buf = EncodeEvent(buf[:0], ev)
+	}); got > 0 {
+		t.Errorf("EncodeEvent allocates %.1f per op, want 0", got)
+	}
+
+	payload := append([]byte(nil), buf...)
+	var dec EventDecoder
+	if _, err := dec.Decode(payload); err != nil { // intern the column names
+		t.Fatal(err)
+	}
+	// The tuple map (header + bucket) is the only per-event allocation; the
+	// interned names and the decoder itself are shared across events.
+	if got := testing.AllocsPerRun(200, func() {
+		if _, err := dec.Decode(payload); err != nil {
+			t.Fatal(err)
+		}
+	}); got > 2 {
+		t.Errorf("EventDecoder.Decode allocates %.1f per op, want <= 2", got)
+	}
+}

@@ -39,6 +39,12 @@ func Insert(t query.Tuple) Event { return Event{X: 1, Tuple: t} }
 // Delete builds a deletion event retracting a previously inserted tuple.
 func Delete(t query.Tuple) Event { return Event{X: -1, Tuple: t} }
 
+// defaultIndexKind is the aggregate index every executor uses unless a
+// benchmark or ablation overrides it: the arena RPAI tree, which maintains
+// the same relative-key invariants as the pointer tree but in a flat slab
+// with no steady-state allocation.
+const defaultIndexKind = aggindex.KindArena
+
 // Executor incrementally maintains a query result over events.
 type Executor interface {
 	// Apply processes one event.
@@ -61,10 +67,10 @@ func New(q *query.Query) (Executor, error) {
 	}
 	if len(q.GroupBy) == 0 && len(q.Preds) == 1 {
 		if plan, ok := q.PlanAggIndex(); ok && plan.SubOp == query.Eq {
-			return newAggIndexExec(q, plan, aggindex.KindRPAI)
+			return newAggIndexExec(q, plan, defaultIndexKind)
 		}
 		if noNested(q) {
-			if rs, err := newRelState(RelSpec{Name: "R", Term: q.Agg, Pred: q.Preds[0]}, aggindex.KindRPAI); err == nil {
+			if rs, err := newRelState(RelSpec{Name: "R", Term: q.Agg, Pred: q.Preds[0]}, defaultIndexKind); err == nil {
 				return &relStateExec{rs: rs}, nil
 			}
 		}
@@ -503,7 +509,7 @@ func NewAggIndex(q *query.Query) (*AggIndexExec, error) {
 	if !ok {
 		return nil, fmt.Errorf("engine: query not eligible for the aggregate-index optimization: %s", q)
 	}
-	return newAggIndexExec(q, plan, aggindex.KindRPAI)
+	return newAggIndexExec(q, plan, defaultIndexKind)
 }
 
 func newAggIndexExec(q *query.Query, plan query.AggIndexPlan, kind aggindex.Kind) (*AggIndexExec, error) {

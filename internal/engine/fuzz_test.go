@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"rpai/internal/aggindex"
 	"rpai/internal/query"
 )
 
@@ -52,6 +53,12 @@ func FuzzEngineDifferential(f *testing.F) {
 		execs = append(execs, planned)
 		if ai, err := NewAggIndex(q); err == nil {
 			execs = append(execs, ai)
+			// NewAggIndex runs on the default (arena) index; pair it with a
+			// pointer-tree twin so every trace is also a differential test of
+			// the two RPAI representations behind identical executors.
+			if ptr, err := newAggIndexExec(q, ai.plan, aggindex.KindRPAI); err == nil {
+				execs = append(execs, ptr)
+			}
 		}
 		naive := execs[0].(*NaiveExec)
 		general := execs[1].(*GeneralExec)

@@ -370,7 +370,7 @@ type MultiAggIndexExec struct {
 // NewMultiAggIndex builds the incremental executor for a multi-relation
 // query, or reports why the query is outside the supported shape.
 func NewMultiAggIndex(q *MultiQuery) (*MultiAggIndexExec, error) {
-	return newMultiAggIndex(q, aggindex.KindRPAI)
+	return newMultiAggIndex(q, defaultIndexKind)
 }
 
 func newMultiAggIndex(q *MultiQuery, kind aggindex.Kind) (*MultiAggIndexExec, error) {

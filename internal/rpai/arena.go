@@ -1,0 +1,879 @@
+package rpai
+
+import (
+	"fmt"
+	"runtime"
+	"unsafe"
+)
+
+// ArenaTree is a Relative Partial Aggregate Index with the same semantics as
+// Tree, backed by a flat node slab instead of per-node heap allocations.
+//
+// Nodes live in a single []anode slice and refer to each other by int32
+// indices (nilIdx = -1 is the null link). Delete pushes the vacated slot onto
+// an intrusive free list (linked through the left field), and inserts pop
+// from that list before growing the slab, so steady-state churn — the
+// aggregate-maintenance workload of the paper, where every event adds and
+// removes entries — allocates nothing. The hot read/update paths (Get,
+// GetSum, GetSumLess, and Add/Put on an existing key) are iterative loops
+// with no recursion and no closure captures; structural inserts and deletes
+// reuse the recursive LLRB algorithms of Tree, ported index-for-index so the
+// balancing decisions, relative-key arithmetic and floating-point evaluation
+// order are bit-identical to the pointer tree. A snapshot taken from either
+// implementation restores into the other and re-encodes to the same bytes.
+//
+// The zero value is not usable; call NewArena.
+type ArenaTree struct {
+	nodes []anode
+	root  int32
+	free  int32 // head of the free list, linked through anode.left
+	freeN int32 // number of slots on the free list
+	// scratch backs extractRange during negative shifts so repeated shifts
+	// reuse one buffer.
+	scratch []entry
+}
+
+// anode is the arena form of node, exactly 64 bytes so indexing compiles to
+// a shift instead of a multiply and a node never straddles two cache lines.
+// key is relative to the parent's true key; minRel and maxRel are the
+// min/max true keys of the subtree expressed relative to this node's true
+// key (0 for a leaf).
+//
+// Where the pointer tree stores each node's own subtree sum, anode caches
+// the two child subtree sums (leftSum/rightSum, 0 for a missing child) and
+// derives its own as value + leftSum + rightSum — the exact evaluation order
+// node.update uses, so every derived sum is bit-identical to the pointer
+// tree's stored one. The payoff is locality: the GetSum/GetSumLess descent
+// (s += value + leftSum on right turns) and the bottom-up sum propagation
+// after Add/Put read only nodes already on the root-to-leaf path, never a
+// sibling's cache line.
+type anode struct {
+	key      float64
+	value    float64
+	leftSum  float64
+	rightSum float64
+	minRel   float64
+	maxRel   float64
+	left     int32
+	right    int32
+	size     int32
+	color    bool
+}
+
+const nilIdx = int32(-1)
+
+// anodeShift is the node size as a power of two; nodeAt relies on it. The
+// two zero-length array declarations are compile-time asserts that anode is
+// exactly 64 bytes — either direction of drift fails the build.
+const anodeShift = 6
+
+var (
+	_ [unsafe.Sizeof(anode{}) - (1 << anodeShift)]byte
+	_ [(1 << anodeShift) - unsafe.Sizeof(anode{})]byte
+)
+
+// nodeAt returns the node at index i without a bounds check. The descent
+// loops of the hot paths pay two checked slab accesses per level otherwise;
+// indices come only from the tree's own links, which the differential
+// fuzzers and Validate keep honest. i must be a live index (>= 0, < len).
+func (t *ArenaTree) nodeAt(i int32) *anode {
+	return (*anode)(unsafe.Add(unsafe.Pointer(unsafe.SliceData(t.nodes)), uintptr(i)<<anodeShift))
+}
+
+// NewArena returns an empty arena-backed RPAI tree.
+func NewArena() *ArenaTree { return &ArenaTree{root: nilIdx, free: nilIdx} }
+
+// Len reports the number of keys in the tree.
+func (t *ArenaTree) Len() int { return int(t.sizeOf(t.root)) }
+
+// Total returns the sum of all values in the tree, i.e. GetSum(+inf).
+func (t *ArenaTree) Total() float64 { return t.sumOf(t.root) }
+
+// Cap reports the slab capacity in nodes (live + free-listed). Intended for
+// tests and benchmarks asserting on allocation behaviour.
+func (t *ArenaTree) Cap() int { return len(t.nodes) }
+
+// FreeSlots reports the number of recycled slots awaiting reuse.
+func (t *ArenaTree) FreeSlots() int { return int(t.freeN) }
+
+func (t *ArenaTree) sizeOf(i int32) int32 {
+	if i < 0 {
+		return 0
+	}
+	return t.nodes[i].size
+}
+
+// sumOf returns the subtree sum rooted at i, derived from the cached child
+// sums with node.update's evaluation order.
+func (t *ArenaTree) sumOf(i int32) float64 {
+	if i < 0 {
+		return 0
+	}
+	n := &t.nodes[i]
+	return n.value + n.leftSum + n.rightSum
+}
+
+func (t *ArenaTree) isRed(i int32) bool { return i >= 0 && t.nodes[i].color == red }
+
+// alloc pops a slot off the free list, growing the slab only when the list is
+// empty, and initialises it as a red leaf holding (k, v).
+func (t *ArenaTree) alloc(k, v float64) int32 {
+	var i int32
+	if t.free >= 0 {
+		i = t.free
+		t.free = t.nodes[i].left
+		t.freeN--
+	} else {
+		t.nodes = append(t.nodes, anode{})
+		i = int32(len(t.nodes) - 1)
+	}
+	t.nodes[i] = anode{key: k, value: v, left: nilIdx, right: nilIdx, size: 1, color: red}
+	return i
+}
+
+// freeNode pushes slot i onto the free list. The slot is cleared so stale
+// float payloads cannot leak into a future Validate or Encode.
+func (t *ArenaTree) freeNode(i int32) {
+	t.nodes[i] = anode{left: t.free, right: nilIdx}
+	t.free = i
+	t.freeN++
+}
+
+// update recomputes size, leftSum, rightSum, minRel and maxRel from the
+// children, with the same evaluation order as node.update so results are
+// bit-identical.
+func (t *ArenaTree) update(h int32) {
+	n := &t.nodes[h]
+	n.size = 1 + t.sizeOf(n.left) + t.sizeOf(n.right)
+	n.leftSum = t.sumOf(n.left)
+	n.rightSum = t.sumOf(n.right)
+	n.minRel = 0
+	if n.left >= 0 {
+		l := &t.nodes[n.left]
+		n.minRel = l.key + l.minRel
+	}
+	n.maxRel = 0
+	if n.right >= 0 {
+		r := &t.nodes[n.right]
+		n.maxRel = r.key + r.maxRel
+	}
+}
+
+// rotateLeft rotates h's right child above h, re-expressing the stored
+// relative keys so that every true key is unchanged. Rotations never allocate,
+// so the node pointers taken here cannot be invalidated by slab growth.
+func (t *ArenaTree) rotateLeft(h int32) int32 {
+	x := t.nodes[h].right
+	hn, xn := &t.nodes[h], &t.nodes[x]
+	hk, xk := hn.key, xn.key
+	xn.key = hk + xk
+	hn.key = -xk
+	if xn.left >= 0 {
+		t.nodes[xn.left].key += xk
+	}
+	hn.right = xn.left
+	xn.left = h
+	xn.color = hn.color
+	hn.color = red
+	t.update(h)
+	t.update(x)
+	return x
+}
+
+// rotateRight rotates h's left child above h, preserving true keys.
+func (t *ArenaTree) rotateRight(h int32) int32 {
+	x := t.nodes[h].left
+	hn, xn := &t.nodes[h], &t.nodes[x]
+	hk, xk := hn.key, xn.key
+	xn.key = hk + xk
+	hn.key = -xk
+	if xn.right >= 0 {
+		t.nodes[xn.right].key += xk
+	}
+	hn.left = xn.right
+	xn.right = h
+	xn.color = hn.color
+	hn.color = red
+	t.update(h)
+	t.update(x)
+	return x
+}
+
+func (t *ArenaTree) flipColors(h int32) {
+	n := &t.nodes[h]
+	n.color = !n.color
+	t.nodes[n.left].color = !t.nodes[n.left].color
+	t.nodes[n.right].color = !t.nodes[n.right].color
+}
+
+func (t *ArenaTree) fixUp(h int32) int32 {
+	if t.isRed(t.nodes[h].right) && !t.isRed(t.nodes[h].left) {
+		h = t.rotateLeft(h)
+	}
+	if l := t.nodes[h].left; t.isRed(l) && t.isRed(t.nodes[l].left) {
+		h = t.rotateRight(h)
+	}
+	if t.isRed(t.nodes[h].left) && t.isRed(t.nodes[h].right) {
+		t.flipColors(h)
+	}
+	t.update(h)
+	return h
+}
+
+// Get returns the value stored under true key k and whether k is present.
+func (t *ArenaTree) Get(k float64) (float64, bool) {
+	i := t.root
+	for i >= 0 {
+		n := t.nodeAt(i)
+		switch {
+		case k < n.key:
+			k -= n.key
+			i = n.left
+		case k > n.key:
+			k -= n.key
+			i = n.right
+		default:
+			return n.value, true
+		}
+	}
+	return 0, false
+}
+
+// Contains reports whether true key k is present.
+func (t *ArenaTree) Contains(k float64) bool {
+	_, ok := t.Get(k)
+	return ok
+}
+
+// maxPathLen bounds the root-to-leaf path of the iterative fast paths. A
+// red-black tree holds height <= 2*log2(n+1); with int32 indices n < 2^31,
+// so 64 frames always suffice.
+const maxPathLen = 64
+
+// insert is the single-descent iterative form of put/add (set selects Put
+// semantics). It records the root-to-leaf path in a fixed stack, then either
+//
+//   - key found: mutate the value in place and recompute the subtree sums
+//     bottom-up. On an existing key the recursive insert's fixUp chain
+//     performs no rotations or color flips (a settled LLRB has no
+//     right-leaning or doubled red links) and size/minRel/maxRel are
+//     unchanged, so recomputing sum with update's exact evaluation order
+//     yields bit-identical state while touching nothing else; or
+//   - key absent: attach a fresh red leaf and unwind the path through fixUp,
+//     reattaching each (possibly rotated) subtree root to its parent — the
+//     same calls the recursive insert makes, in the same order.
+//
+// Neither branch recurses or captures a closure; the found branch and the
+// free-list-served absent branch allocate nothing.
+func (t *ArenaTree) insert(k, v float64, set bool) {
+	if t.root < 0 {
+		t.root = t.alloc(k, v)
+		t.nodes[t.root].color = black
+		return
+	}
+	var path [maxPathLen]int32
+	var dirs [maxPathLen]bool // true: path[d+1] hangs off path[d].right
+	var touch float64         // see arenaTouchSink
+	depth := 0
+	i := t.root
+	for {
+		if depth == maxPathLen {
+			// Unreachable for any slab that fits in memory (LLRB height is
+			// at most 2*log2(n+1) <= 64 for n < 2^31); kept as a defensive
+			// fallback to the recursive insert.
+			if set {
+				t.root = t.put(t.root, k, v)
+			} else {
+				t.root = t.add(t.root, k, v)
+			}
+			t.nodes[t.root].color = black
+			return
+		}
+		n := t.nodeAt(i)
+		l, r := n.left, n.right
+		// Touch both children before the comparison resolves (see GetSum).
+		if l >= 0 {
+			touch += t.nodes[l].key
+		}
+		if r >= 0 {
+			touch += t.nodes[r].key
+		}
+		if k < n.key {
+			path[depth], dirs[depth] = i, false
+			depth++
+			k -= n.key
+			if l < 0 {
+				c := t.alloc(k, v)
+				t.nodes[i].left = c
+				break
+			}
+			i = l
+		} else if k > n.key {
+			path[depth], dirs[depth] = i, true
+			depth++
+			k -= n.key
+			if r < 0 {
+				c := t.alloc(k, v)
+				t.nodes[i].right = c
+				break
+			}
+			i = r
+		} else {
+			if set {
+				n.value = v
+			} else {
+				n.value += v
+			}
+			s := n.value + n.leftSum + n.rightSum
+			// Propagate the fresh sum upward. Each ancestor caches both
+			// child sums and the on-path child's fresh sum is in s, so the
+			// whole unwind touches only the path nodes the descent just
+			// loaded; the adds run in update's order (value, left, right),
+			// keeping the floats bit-identical to a full recompute.
+			for d := depth - 1; d >= 0; d-- {
+				m := t.nodeAt(path[d])
+				if dirs[d] {
+					m.rightSum = s
+					s = m.value + m.leftSum + s
+				} else {
+					m.leftSum = s
+					s = m.value + s + m.rightSum
+				}
+			}
+			runtime.KeepAlive(touch)
+			return
+		}
+	}
+	runtime.KeepAlive(touch)
+	for d := depth - 1; d >= 0; d-- {
+		h := t.fixUp(path[d])
+		switch {
+		case d == 0:
+			t.root = h
+		case dirs[d-1]:
+			t.nodes[path[d-1]].right = h
+		default:
+			t.nodes[path[d-1]].left = h
+		}
+	}
+	t.nodes[t.root].color = black
+}
+
+// Put stores v under key k, replacing any existing value.
+func (t *ArenaTree) Put(k, v float64) {
+	checkKey(k)
+	t.insert(k, v, true)
+}
+
+func (t *ArenaTree) put(h int32, k, v float64) int32 {
+	if h < 0 {
+		return t.alloc(k, v)
+	}
+	// Child calls can grow the slab, so child results are re-assigned through
+	// t.nodes[h] rather than a pointer held across the call.
+	hk := t.nodes[h].key
+	switch {
+	case k < hk:
+		l := t.put(t.nodes[h].left, k-hk, v)
+		t.nodes[h].left = l
+	case k > hk:
+		r := t.put(t.nodes[h].right, k-hk, v)
+		t.nodes[h].right = r
+	default:
+		t.nodes[h].value = v
+	}
+	return t.fixUp(h)
+}
+
+// Add adds dv to the value stored under k, inserting k with value dv if
+// absent. Zero-valued entries remain present; use Delete to drop a key.
+func (t *ArenaTree) Add(k, dv float64) {
+	checkKey(k)
+	t.insert(k, dv, false)
+}
+
+func (t *ArenaTree) add(h int32, k, dv float64) int32 {
+	if h < 0 {
+		return t.alloc(k, dv)
+	}
+	hk := t.nodes[h].key
+	switch {
+	case k < hk:
+		l := t.add(t.nodes[h].left, k-hk, dv)
+		t.nodes[h].left = l
+	case k > hk:
+		r := t.add(t.nodes[h].right, k-hk, dv)
+		t.nodes[h].right = r
+	default:
+		t.nodes[h].value += dv
+	}
+	return t.fixUp(h)
+}
+
+// Delete removes key k and reports whether it was present. The vacated slot
+// goes onto the free list for reuse by a later insert.
+func (t *ArenaTree) Delete(k float64) bool {
+	if !t.Contains(k) {
+		return false
+	}
+	t.root = t.del(t.root, k)
+	if t.root >= 0 {
+		t.nodes[t.root].color = black
+	}
+	return true
+}
+
+func (t *ArenaTree) moveRedLeft(h int32) int32 {
+	t.flipColors(h)
+	if r := t.nodes[h].right; t.isRed(t.nodes[r].left) {
+		t.nodes[h].right = t.rotateRight(r)
+		h = t.rotateLeft(h)
+		t.flipColors(h)
+	}
+	return h
+}
+
+func (t *ArenaTree) moveRedRight(h int32) int32 {
+	t.flipColors(h)
+	if l := t.nodes[h].left; t.isRed(t.nodes[l].left) {
+		h = t.rotateRight(h)
+		t.flipColors(h)
+	}
+	return h
+}
+
+func (t *ArenaTree) deleteMin(h int32) int32 {
+	if t.nodes[h].left < 0 {
+		t.freeNode(h)
+		return nilIdx
+	}
+	if l := t.nodes[h].left; !t.isRed(l) && !t.isRed(t.nodes[l].left) {
+		h = t.moveRedLeft(h)
+	}
+	l := t.deleteMin(t.nodes[h].left)
+	t.nodes[h].left = l
+	return t.fixUp(h)
+}
+
+// minOffset returns the offset of the minimum node's true key from the
+// parent frame of h (i.e. the sum of stored keys down the left spine,
+// including h's own), together with that node's value.
+func (t *ArenaTree) minOffset(h int32) (off, value float64) {
+	off = t.nodes[h].key
+	for t.nodes[h].left >= 0 {
+		h = t.nodes[h].left
+		off += t.nodes[h].key
+	}
+	return off, t.nodes[h].value
+}
+
+func (t *ArenaTree) del(h int32, k float64) int32 {
+	if k < t.nodes[h].key {
+		if l := t.nodes[h].left; !t.isRed(l) && !t.isRed(t.nodes[l].left) {
+			h = t.moveRedLeft(h)
+		}
+		l := t.del(t.nodes[h].left, k-t.nodes[h].key)
+		t.nodes[h].left = l
+	} else {
+		if t.isRed(t.nodes[h].left) {
+			h = t.rotateRight(h)
+		}
+		if k == t.nodes[h].key && t.nodes[h].right < 0 {
+			t.freeNode(h)
+			return nilIdx
+		}
+		if r := t.nodes[h].right; !t.isRed(r) && !t.isRed(t.nodes[r].left) {
+			h = t.moveRedRight(h)
+		}
+		if k == t.nodes[h].key {
+			// Replace h's entry with its successor (the minimum of the right
+			// subtree), then delete that minimum. With relative keys the
+			// successor's offset from h's parent frame is h.key plus the path
+			// sum into the right subtree; moving h's key re-bases both
+			// children's frames, so their stored keys are compensated.
+			n := &t.nodes[h]
+			off, v := t.minOffset(n.right)
+			succOff := n.key + off // successor true key in h's parent frame
+			shift := succOff - n.key
+			n.key = succOff
+			n.value = v
+			if n.left >= 0 {
+				t.nodes[n.left].key -= shift
+			}
+			t.nodes[n.right].key -= shift
+			r := t.deleteMin(n.right)
+			t.nodes[h].right = r
+		} else {
+			r := t.del(t.nodes[h].right, k-t.nodes[h].key)
+			t.nodes[h].right = r
+		}
+	}
+	return t.fixUp(h)
+}
+
+// Min returns the smallest true key, or ok=false if the tree is empty.
+func (t *ArenaTree) Min() (float64, bool) {
+	if t.root < 0 {
+		return 0, false
+	}
+	n := &t.nodes[t.root]
+	return n.key + n.minRel, true
+}
+
+// Max returns the largest true key, or ok=false if the tree is empty.
+func (t *ArenaTree) Max() (float64, bool) {
+	if t.root < 0 {
+		return 0, false
+	}
+	n := &t.nodes[t.root]
+	return n.key + n.maxRel, true
+}
+
+// GetSum returns the sum of values over all entries with key <= k
+// (paper section 3.1, Figure 3).
+func (t *ArenaTree) GetSum(k float64) float64 {
+	var s, touch float64
+	i := t.root
+	for i >= 0 {
+		n := t.nodeAt(i)
+		l, r := n.left, n.right
+		// Touch both children before the comparison resolves: the slab
+		// index makes the line address available immediately, so the side
+		// the descent takes is already in flight even when the branch
+		// mispredicts.
+		if l >= 0 {
+			touch += t.nodes[l].key
+		}
+		if r >= 0 {
+			touch += t.nodes[r].key
+		}
+		if k < n.key {
+			k -= n.key
+			i = l
+		} else {
+			s += n.value + n.leftSum
+			k -= n.key
+			i = r
+		}
+	}
+	runtime.KeepAlive(touch)
+	return s
+}
+
+// GetSumLess returns the sum of values over all entries with key < k.
+func (t *ArenaTree) GetSumLess(k float64) float64 {
+	var s, touch float64
+	i := t.root
+	for i >= 0 {
+		n := t.nodeAt(i)
+		l, r := n.left, n.right
+		if l >= 0 {
+			touch += t.nodes[l].key
+		}
+		if r >= 0 {
+			touch += t.nodes[r].key
+		}
+		if k <= n.key {
+			k -= n.key
+			i = l
+		} else {
+			s += n.value + n.leftSum
+			k -= n.key
+			i = r
+		}
+	}
+	runtime.KeepAlive(touch)
+	return s
+}
+
+// SuffixSum returns the sum of values over all entries with key >= k.
+func (t *ArenaTree) SuffixSum(k float64) float64 { return t.Total() - t.GetSumLess(k) }
+
+// SuffixSumGreater returns the sum of values over all entries with key > k.
+func (t *ArenaTree) SuffixSumGreater(k float64) float64 { return t.Total() - t.GetSum(k) }
+
+// ShiftKeys shifts every key strictly greater than k by d. d may be negative;
+// see the package comment of Tree for the cost model.
+func (t *ArenaTree) ShiftKeys(k, d float64) { t.shift(k, d, false) }
+
+// ShiftKeysInclusive shifts every key greater than or equal to k by d.
+func (t *ArenaTree) ShiftKeysInclusive(k, d float64) { t.shift(k, d, true) }
+
+func (t *ArenaTree) shift(k, d float64, inclusive bool) {
+	checkKey(d)
+	if t.root < 0 || d == 0 {
+		return
+	}
+	if d < 0 {
+		// As in Tree.shift: extract the keys in (k, k-d] (or [k, k-d]) whose
+		// shifted position would land in the unshifted region, apply the pure
+		// relative shift, and re-insert the extracted entries merged at their
+		// shifted positions. The re-inserts draw from the slots the extraction
+		// just freed, so negative shifts allocate nothing at steady state.
+		moved := t.extractRange(k, k-d, inclusive)
+		t.shiftRel(t.root, k, d, inclusive)
+		for _, e := range moved {
+			t.Add(e.key+d, e.value)
+		}
+		t.scratch = moved[:0]
+		return
+	}
+	t.shiftRel(t.root, k, d, inclusive)
+}
+
+// shiftRel is the arena form of the package-level shiftRel (the paper's
+// Algorithm 1): a single root-to-leaf descent that shifts all qualifying keys
+// via relative-key updates. It never allocates, so node pointers are stable.
+func (t *ArenaTree) shiftRel(i int32, k, d float64, inclusive bool) {
+	if i < 0 {
+		return
+	}
+	n := &t.nodes[i]
+	qualifies := k < n.key || (inclusive && k == n.key)
+	if qualifies {
+		t.shiftRel(n.left, k-n.key, d, inclusive)
+		n.key += d
+		if n.left >= 0 {
+			t.nodes[n.left].key -= d
+		}
+	} else {
+		t.shiftRel(n.right, k-n.key, d, inclusive)
+	}
+	t.update(i)
+}
+
+// extractRange removes and returns all entries with key in (lo, hi], or
+// [lo, hi] when inclusive is true. The returned slice aliases t.scratch and
+// is only valid until the next shift.
+func (t *ArenaTree) extractRange(lo, hi float64, inclusive bool) []entry {
+	out := t.scratch[:0]
+	t.collectRange(t.root, 0, lo, hi, inclusive, &out)
+	for _, e := range out {
+		t.Delete(e.key)
+	}
+	return out
+}
+
+// collectRange appends entries with true key in the range to out. base is the
+// accumulated offset of i's parent frame.
+func (t *ArenaTree) collectRange(i int32, base, lo, hi float64, inclusive bool, out *[]entry) {
+	if i < 0 {
+		return
+	}
+	n := &t.nodes[i]
+	k := base + n.key
+	aboveLo := lo < k || (inclusive && lo == k)
+	if aboveLo {
+		t.collectRange(n.left, k, lo, hi, inclusive, out)
+		if k <= hi {
+			*out = append(*out, entry{k, t.nodes[i].value})
+		}
+	}
+	if k <= hi {
+		t.collectRange(t.nodes[i].right, k, lo, hi, inclusive, out)
+	}
+}
+
+// Ascend calls fn for each entry in increasing key order until fn returns
+// false.
+func (t *ArenaTree) Ascend(fn func(k, v float64) bool) { t.ascend(t.root, 0, fn) }
+
+func (t *ArenaTree) ascend(i int32, base float64, fn func(k, v float64) bool) bool {
+	if i < 0 {
+		return true
+	}
+	n := &t.nodes[i]
+	k := base + n.key
+	if !t.ascend(n.left, k, fn) {
+		return false
+	}
+	if !fn(k, n.value) {
+		return false
+	}
+	return t.ascend(n.right, k, fn)
+}
+
+// Keys returns all true keys in increasing order. O(n); intended for tests.
+func (t *ArenaTree) Keys() []float64 {
+	out := make([]float64, 0, t.Len())
+	t.Ascend(func(k, _ float64) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}
+
+// Rank returns the number of entries with key <= k.
+func (t *ArenaTree) Rank(k float64) int {
+	var c int32
+	i := t.root
+	for i >= 0 {
+		n := &t.nodes[i]
+		if k < n.key {
+			k -= n.key
+			i = n.left
+		} else {
+			c += 1 + t.sizeOf(n.left)
+			k -= n.key
+			i = n.right
+		}
+	}
+	return int(c)
+}
+
+// Kth returns the i-th smallest key (0-based) and its value. ok is false
+// when i is out of range. O(log n) via the size augmentation.
+func (t *ArenaTree) Kth(i int) (key, value float64, ok bool) {
+	if i < 0 || i >= t.Len() {
+		return 0, 0, false
+	}
+	h := t.root
+	var base float64
+	for {
+		n := &t.nodes[h]
+		ls := int(t.sizeOf(n.left))
+		switch {
+		case i < ls:
+			base += n.key
+			h = n.left
+		case i == ls:
+			return base + n.key, n.value, true
+		default:
+			i -= ls + 1
+			base += n.key
+			h = n.right
+		}
+	}
+}
+
+// Higher returns the smallest key strictly greater than k.
+func (t *ArenaTree) Higher(k float64) (float64, bool) {
+	var best float64
+	found := false
+	i := t.root
+	var base float64
+	for i >= 0 {
+		n := &t.nodes[i]
+		cur := base + n.key
+		if cur > k {
+			best, found = cur, true
+			base = cur
+			i = n.left
+		} else {
+			base = cur
+			i = n.right
+		}
+	}
+	return best, found
+}
+
+// Lower returns the largest key strictly less than k.
+func (t *ArenaTree) Lower(k float64) (float64, bool) {
+	var best float64
+	found := false
+	i := t.root
+	var base float64
+	for i >= 0 {
+		n := &t.nodes[i]
+		cur := base + n.key
+		if cur < k {
+			best, found = cur, true
+			base = cur
+			i = n.right
+		} else {
+			base = cur
+			i = n.left
+		}
+	}
+	return best, found
+}
+
+// Validate checks the BST order of true keys, the LLRB shape invariants, the
+// augmented size/sum/minRel/maxRel fields and the slab accounting (live nodes
+// plus free-listed slots cover the arena exactly). Intended for tests.
+func (t *ArenaTree) Validate() error {
+	if int(t.sizeOf(t.root))+int(t.freeN) != len(t.nodes) {
+		return fmt.Errorf("rpai: arena accounting: %d live + %d free != %d slots",
+			t.sizeOf(t.root), t.freeN, len(t.nodes))
+	}
+	var freeWalk int32
+	for i := t.free; i >= 0; i = t.nodes[i].left {
+		freeWalk++
+		if freeWalk > int32(len(t.nodes)) {
+			return fmt.Errorf("rpai: arena free list cycles")
+		}
+	}
+	if freeWalk != t.freeN {
+		return fmt.Errorf("rpai: arena free list holds %d slots, counter says %d", freeWalk, t.freeN)
+	}
+	if t.root < 0 {
+		return nil
+	}
+	if t.isRed(t.root) {
+		return fmt.Errorf("rpai: root is red")
+	}
+	_, err := t.validate(t.root, 0)
+	return err
+}
+
+func (t *ArenaTree) validate(i int32, base float64) (blackHeight int, err error) {
+	if i < 0 {
+		return 1, nil
+	}
+	n := &t.nodes[i]
+	k := base + n.key
+	if t.isRed(n.right) {
+		return 0, fmt.Errorf("rpai: right-leaning red link at key %v", k)
+	}
+	if n.color == red && t.isRed(n.left) {
+		return 0, fmt.Errorf("rpai: two consecutive red links at key %v", k)
+	}
+	if n.left >= 0 {
+		l := &t.nodes[n.left]
+		if k+l.key+l.maxRel >= k {
+			return 0, fmt.Errorf("rpai: BST order violated left of key %v", k)
+		}
+	}
+	if n.right >= 0 {
+		r := &t.nodes[n.right]
+		if k+r.key+r.minRel <= k {
+			return 0, fmt.Errorf("rpai: BST order violated right of key %v", k)
+		}
+	}
+	lh, err := t.validate(n.left, k)
+	if err != nil {
+		return 0, err
+	}
+	rh, err := t.validate(n.right, k)
+	if err != nil {
+		return 0, err
+	}
+	if lh != rh {
+		return 0, fmt.Errorf("rpai: black height mismatch at key %v (%d vs %d)", k, lh, rh)
+	}
+	if n.size != 1+t.sizeOf(n.left)+t.sizeOf(n.right) {
+		return 0, fmt.Errorf("rpai: size mismatch at key %v", k)
+	}
+	if n.leftSum != t.sumOf(n.left) {
+		return 0, fmt.Errorf("rpai: leftSum mismatch at key %v: have %v want %v", k, n.leftSum, t.sumOf(n.left))
+	}
+	if n.rightSum != t.sumOf(n.right) {
+		return 0, fmt.Errorf("rpai: rightSum mismatch at key %v: have %v want %v", k, n.rightSum, t.sumOf(n.right))
+	}
+	wantMin, wantMax := 0.0, 0.0
+	if n.left >= 0 {
+		l := &t.nodes[n.left]
+		wantMin = l.key + l.minRel
+	}
+	if n.right >= 0 {
+		r := &t.nodes[n.right]
+		wantMax = r.key + r.maxRel
+	}
+	if n.minRel != wantMin || n.maxRel != wantMax {
+		return 0, fmt.Errorf("rpai: min/max mismatch at key %v", k)
+	}
+	if n.color == black {
+		blackHeight = 1
+	}
+	return blackHeight + lh, nil
+}

@@ -1,0 +1,139 @@
+package rpai
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Encode writes the same structural snapshot stream as Tree.Encode: magic,
+// version, node count, then a preorder walk of (flags, relative key, value).
+// Because the arena tree maintains bit-identical structure to the pointer
+// tree, a snapshot taken from either implementation re-encodes to the same
+// bytes, and Decode/DecodeArena restore across implementations freely.
+func (t *ArenaTree) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(encodeMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(encodeVersion)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(t.Len())); err != nil {
+		return err
+	}
+	if err := t.encodeANode(bw, t.root); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func (t *ArenaTree) encodeANode(w *bufio.Writer, i int32) error {
+	if i < 0 {
+		return nil
+	}
+	n := &t.nodes[i]
+	var flags byte
+	if n.left >= 0 {
+		flags |= flagLeft
+	}
+	if n.right >= 0 {
+		flags |= flagRight
+	}
+	if n.color == red {
+		flags |= flagRed
+	}
+	if err := w.WriteByte(flags); err != nil {
+		return err
+	}
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[0:], math.Float64bits(n.key))
+	binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(n.value))
+	if _, err := w.Write(buf[:]); err != nil {
+		return err
+	}
+	if err := t.encodeANode(w, n.left); err != nil {
+		return err
+	}
+	return t.encodeANode(w, t.nodes[i].right)
+}
+
+// DecodeArena reads a snapshot written by Tree.Encode or ArenaTree.Encode and
+// restores it into an arena tree. The augmented fields are recomputed and the
+// result is validated, so a corrupted stream is reported rather than silently
+// accepted.
+func DecodeArena(r io.Reader) (*ArenaTree, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(encodeMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("rpai: reading snapshot header: %w", err)
+	}
+	if string(magic) != encodeMagic {
+		return nil, fmt.Errorf("rpai: bad snapshot magic %q", magic)
+	}
+	var version, count uint32
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, err
+	}
+	if version != encodeVersion {
+		return nil, fmt.Errorf("rpai: unsupported snapshot version %d", version)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, err
+	}
+	t := NewArena()
+	if count > 0 {
+		t.nodes = make([]anode, 0, count)
+	}
+	d := arenaDecoder{r: br, t: t}
+	root, err := d.node(int(count) > 0)
+	if err != nil {
+		return nil, err
+	}
+	t.root = root
+	if t.Len() != int(count) {
+		return nil, fmt.Errorf("rpai: snapshot node count mismatch: header %d, stream %d", count, t.Len())
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("rpai: snapshot fails validation: %w", err)
+	}
+	return t, nil
+}
+
+type arenaDecoder struct {
+	r *bufio.Reader
+	t *ArenaTree
+}
+
+func (d *arenaDecoder) node(present bool) (int32, error) {
+	if !present {
+		return nilIdx, nil
+	}
+	flags, err := d.r.ReadByte()
+	if err != nil {
+		return nilIdx, fmt.Errorf("rpai: truncated snapshot: %w", err)
+	}
+	var buf [16]byte
+	if _, err := io.ReadFull(d.r, buf[:]); err != nil {
+		return nilIdx, fmt.Errorf("rpai: truncated snapshot: %w", err)
+	}
+	i := d.t.alloc(
+		math.Float64frombits(binary.LittleEndian.Uint64(buf[0:])),
+		math.Float64frombits(binary.LittleEndian.Uint64(buf[8:])),
+	)
+	d.t.nodes[i].color = flags&flagRed != 0
+	l, err := d.node(flags&flagLeft != 0)
+	if err != nil {
+		return nilIdx, err
+	}
+	d.t.nodes[i].left = l
+	r, err := d.node(flags&flagRight != 0)
+	if err != nil {
+		return nilIdx, err
+	}
+	d.t.nodes[i].right = r
+	d.t.update(i)
+	return i, nil
+}

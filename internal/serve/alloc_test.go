@@ -1,0 +1,56 @@
+package serve
+
+import (
+	"testing"
+
+	"rpai/internal/engine"
+)
+
+type sumExec struct{ total float64 }
+
+func (s *sumExec) Apply(e engine.Event) { s.total += e.X * e.Tuple["v"] }
+func (s *sumExec) Result() float64      { return s.total }
+
+// TestAllocGuardApply bounds the steady-state per-event cost of the serving
+// pipeline: partition-key extraction, shard routing, the worker's apply loop
+// and the snapshot refresh. The ceiling is deliberately generous — the guard
+// exists to catch a regression that starts allocating per event inside the
+// ingest path (a lost scratch buffer, an escaping closure), not to pin an
+// exact count: refresh cost depends on how the worker's batching interleaves
+// with the producer.
+func TestAllocGuardApply(t *testing.T) {
+	svc, err := New(Config[engine.Event]{
+		Shards: 1,
+		Partition: func(e engine.Event, buf []float64) []float64 {
+			return append(buf, e.Tuple["g"])
+		},
+		New: func([]float64) Executor[engine.Event] { return &sumExec{} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	tup := engine.Insert(map[string]float64{"g": 1, "v": 2})
+	// Warm up: create the partition and grow the worker's scratch buffers.
+	for i := 0; i < 256; i++ {
+		if err := svc.Apply(tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := svc.Drain(); err != nil {
+		t.Fatal(err)
+	}
+
+	const ceiling = 8.0
+	if got := testing.AllocsPerRun(500, func() {
+		if err := svc.Apply(tup); err != nil {
+			t.Fatal(err)
+		}
+	}); got > ceiling {
+		t.Errorf("Service.Apply allocates %.1f per event, ceiling %.0f", got, ceiling)
+	}
+	if err := svc.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -28,11 +28,15 @@ type Options struct {
 // into the serving layer's persistence hooks. It is always installed, so any
 // engine-backed service can Checkpoint; Dir decides whether WALs are kept.
 func engineDurable(q *query.Query, opt Options) *Durable[engine.Event] {
+	// WAL replay is sequential (Recover walks shards one at a time), so one
+	// interning decoder serves the whole recovery: each distinct column name
+	// is allocated once for the entire replay instead of once per event.
+	var dec engine.EventDecoder
 	return &Durable[engine.Event]{
 		Dir:          opt.Dir,
 		CompactEvery: opt.CompactEvery,
 		EncodeEvent:  engine.EncodeEvent,
-		DecodeEvent:  engine.DecodeEvent,
+		DecodeEvent:  dec.Decode,
 		Snapshot: func(w io.Writer, _ []float64, ex Executor[engine.Event]) error {
 			s, ok := ex.(engine.Snapshotter)
 			if !ok {

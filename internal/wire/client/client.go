@@ -316,6 +316,8 @@ type conn struct {
 	seq    uint64 // last assigned batch sequence for this session
 	nextID uint64
 	timer  *time.Timer
+
+	wbuf []byte // frame-encode scratch, owned by the exchange goroutine
 }
 
 func newConn(c *Client, idx int) *conn {
@@ -525,7 +527,8 @@ func (cn *conn) write(nc net.Conn, cl *call) error {
 	cl.id = cn.nextID
 	cn.nextID++
 	cl.sentAt = time.Now()
-	return wire.WriteFrame(nc, wire.EncodeMsg(make([]byte, 0, 9+len(cl.body)), cl.t, cl.id, cl.body))
+	cn.wbuf = wire.EncodeMsg(cn.wbuf[:0], cl.t, cl.id, cl.body)
+	return wire.WriteFrame(nc, cn.wbuf)
 }
 
 // exchange drives one live socket. It returns true to reconnect (transient

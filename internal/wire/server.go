@@ -237,6 +237,19 @@ type reqItem struct {
 	shed  bool
 }
 
+// connScratch holds one connection's reusable buffers: the frame-encode
+// scratch, a reply-body scratch for the hot request types, the decoded-batch
+// event slice, and a column-interning event decoder. A connection's requests
+// are processed by a single worker strictly in order and every reply is
+// written before the next request is taken, so the scratch needs no locking
+// and no copy-out.
+type connScratch struct {
+	frame  []byte
+	body   []byte
+	events []engine.Event
+	dec    engine.EventDecoder
+}
+
 // needsToken reports whether a request type is work-carrying and therefore
 // subject to admission control.
 func needsToken(t MsgType) bool {
@@ -352,6 +365,7 @@ func (s *Server) reply(nc net.Conn, bw *bufio.Writer, t MsgType, id uint64, body
 // Closing the work channel drains the remaining items (their replies still go
 // out) and exits; hence graceful shutdown never drops an admitted request.
 func (s *Server) worker(nc net.Conn, bw *bufio.Writer, sess *session, work <-chan reqItem) {
+	cs := &connScratch{}
 	flush := func() {
 		if s.cfg.WriteTimeout > 0 {
 			nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
@@ -371,11 +385,12 @@ func (s *Server) worker(nc net.Conn, bw *bufio.Writer, sess *session, work <-cha
 			flush()
 			return
 		}
-		t, body := s.process(sess, it)
+		t, body := s.process(cs, sess, it)
 		if s.cfg.WriteTimeout > 0 {
 			nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
 		}
-		err := WriteFrame(bw, EncodeMsg(make([]byte, 0, msgHeaderLen+len(body)), t, it.id, body))
+		cs.frame = EncodeMsg(cs.frame[:0], t, it.id, body)
+		err := WriteFrame(bw, cs.frame)
 		if it.token {
 			<-s.tokens
 		}
@@ -391,14 +406,16 @@ func (s *Server) worker(nc net.Conn, bw *bufio.Writer, sess *session, work <-cha
 	}
 }
 
-// process executes one request and returns the reply.
-func (s *Server) process(sess *session, it reqItem) (MsgType, []byte) {
+// process executes one request and returns the reply. Replies on the hot
+// paths (acks, scalar results) are built in cs.body; error replies are cold
+// and allocate.
+func (s *Server) process(cs *connScratch, sess *session, it reqItem) (MsgType, []byte) {
 	if it.shed {
 		return MsgError, EncodeError(nil, CodeOverloaded, "admission limiter saturated")
 	}
 	switch it.t {
 	case MsgApply:
-		ev, err := engine.DecodeEvent(it.body)
+		ev, err := cs.dec.Decode(it.body)
 		if err != nil {
 			return MsgError, EncodeError(nil, CodeBadRequest, err.Error())
 		}
@@ -411,10 +428,11 @@ func (s *Server) process(sess *session, it reqItem) (MsgType, []byte) {
 		case err != nil:
 			return MsgError, EncodeError(nil, CodeInternal, err.Error())
 		}
-		return MsgAck, EncodeAck(nil, 1)
+		cs.body = EncodeAck(cs.body[:0], 1)
+		return MsgAck, cs.body
 
 	case MsgApplyBatch:
-		return s.processBatch(sess, it.body)
+		return s.processBatch(cs, sess, it.body)
 
 	case MsgDrain:
 		if err := s.svc.Drain(); err != nil {
@@ -423,7 +441,8 @@ func (s *Server) process(sess *session, it reqItem) (MsgType, []byte) {
 		return MsgAck, EncodeAck(nil, 0)
 
 	case MsgResult:
-		return MsgScalar, EncodeScalar(nil, s.svc.Result())
+		cs.body = EncodeScalar(cs.body[:0], s.svc.Result())
+		return MsgScalar, cs.body
 
 	case MsgResultGrouped:
 		return MsgGrouped, EncodeGrouped(nil, s.svc.ResultGrouped())
@@ -447,17 +466,22 @@ func (s *Server) process(sess *session, it reqItem) (MsgType, []byte) {
 // batches hold the session mutex across the dedup check and the applies, so
 // a resend racing the original's in-flight application serializes behind it
 // and then deduplicates.
-func (s *Server) processBatch(sess *session, body []byte) (MsgType, []byte) {
+func (s *Server) processBatch(cs *connScratch, sess *session, body []byte) (MsgType, []byte) {
 	seq, raw, err := DecodeBatch(body)
 	if err != nil {
 		return MsgError, EncodeError(nil, CodeBadRequest, err.Error())
 	}
-	events := make([]engine.Event, len(raw))
+	events := cs.events[:0]
 	for i, p := range raw {
-		if events[i], err = engine.DecodeEvent(p); err != nil {
+		ev, err := cs.dec.Decode(p)
+		if err != nil {
 			return MsgError, EncodeError(nil, CodeBadRequest, fmt.Sprintf("event %d: %v", i, err))
 		}
+		events = append(events, ev)
 	}
+	// The service consumes events synchronously in Apply, so the slice (not
+	// the tuples) is safe to reuse for the next batch.
+	cs.events = events
 	if seq != 0 && sess != nil {
 		sess.mu.Lock()
 		defer sess.mu.Unlock()
@@ -477,7 +501,8 @@ func (s *Server) processBatch(sess *session, body []byte) (MsgType, []byte) {
 	if seq != 0 && sess != nil {
 		sess.lastSeq = seq
 	}
-	return MsgAck, EncodeAck(nil, uint32(len(events)))
+	cs.body = EncodeAck(cs.body[:0], uint32(len(events)))
+	return MsgAck, cs.body
 }
 
 // errReply maps a service error onto a typed reply.
