@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: test test-race bench bench-core experiments examples fuzz fuzz-smoke race recovery wire serve-demo lint
+.PHONY: test test-race bench bench-core batch experiments examples fuzz fuzz-smoke race recovery wire serve-demo lint
 
 test:
 	go build ./... && go vet ./... && go test ./...
@@ -23,6 +23,13 @@ bench-core:
 experiments:
 	go run ./cmd/rpaibench -exp all
 
+# Batch-native ingest: the ApplyBatch sweep across strategies and batch
+# sizes, the equivalence fuzz target, and the alloc guards (CI's batch job).
+batch:
+	go test -race -run 'ApplyBatch|Batch' -fuzz FuzzBatchEquivalence -fuzztime 10s ./internal/engine/
+	go test -race -run 'ApplyBatch|BatchSize|AllocGuard' ./internal/serve/
+	go run ./cmd/rpaibench -exp batch -quick -batch-out ""
+
 examples:
 	go run ./examples/quickstart
 	go run ./examples/vwap
@@ -36,6 +43,7 @@ examples:
 fuzz:
 	go test -fuzz FuzzTreeOps -fuzztime 30s ./internal/rpai/
 	go test -fuzz FuzzEngineDifferential -fuzztime 30s ./internal/engine/
+	go test -fuzz FuzzBatchEquivalence -fuzztime 30s ./internal/engine/
 	go test -fuzz FuzzSnapshotRoundTrip -fuzztime 30s ./internal/engine/
 	go test -fuzz FuzzWALRecords -fuzztime 30s ./internal/checkpoint/
 	go test -fuzz FuzzBTreeVsBinary -fuzztime 30s ./internal/rpaibtree/
@@ -46,6 +54,7 @@ fuzz:
 fuzz-smoke:
 	go test -fuzz FuzzTreeOps -fuzztime 10s -run '^$$' ./internal/rpai/
 	go test -fuzz FuzzEngineDifferential -fuzztime 10s -run '^$$' ./internal/engine/
+	go test -fuzz FuzzBatchEquivalence -fuzztime 10s -run '^$$' ./internal/engine/
 	go test -fuzz FuzzSnapshotRoundTrip -fuzztime 10s -run '^$$' ./internal/engine/
 	go test -fuzz FuzzWALRecords -fuzztime 10s -run '^$$' ./internal/checkpoint/
 	go test -fuzz FuzzWireFrames -fuzztime 10s -run '^$$' ./internal/wire/

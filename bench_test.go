@@ -294,10 +294,10 @@ func BenchmarkAblation_VWAP_BTree(b *testing.B)   { benchVWAPKind(b, aggindex.Ki
 // Mini-batch cadence benchmarks (the intro's mini-batch use case): the same
 // trace with the result read once per event vs once per 100 events.
 func benchBatch(b *testing.B, sys bench.System, batch int) {
-	cfg := bench.BatchConfig{Query: "vwap", Events: 2000, BatchSizes: []int{batch}, Seed: 1}
+	cfg := bench.CadenceConfig{Query: "vwap", Events: 2000, BatchSizes: []int{batch}, Seed: 1}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		bench.Batch(cfg)
+		bench.Cadence(cfg)
 	}
 }
 

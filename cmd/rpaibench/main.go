@@ -3,8 +3,8 @@
 //
 // Usage:
 //
-//	rpaibench -exp table1|scaling|fig7|fig8|fig8d|fig9|batch|latency|all [flags]
-//	rpaibench -exp serve|recovery|wire|arena [-quick] [flags]   # BENCH_*.json reports
+//	rpaibench -exp table1|scaling|fig7|fig8|fig8d|fig9|cadence|latency|all [flags]
+//	rpaibench -exp serve|recovery|wire|arena|batch [-quick] [flags]   # BENCH_*.json reports
 //	rpaibench -exp replay -trace book.csv [-query vwap]
 //
 // The default scales finish in minutes on a laptop; -full switches Figure 8
@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1, scaling, fig7, fig8, fig8d, fig9, batch, latency, serve, replay, recovery, wire, arena, or all")
+		exp      = flag.String("exp", "all", "experiment: table1, scaling, fig7, fig8, fig8d, fig9, cadence, latency, serve, replay, recovery, wire, arena, batch, or all")
 		events   = flag.Int("events", 10000, "finance trace length for fig7")
 		sf       = flag.Float64("sf", 1, "TPC-H scale factor for fig7")
 		seed     = flag.Int64("seed", 1, "workload seed")
@@ -40,6 +40,7 @@ func main() {
 		recOut   = flag.String("recovery-out", "BENCH_recovery.json", "recovery: JSON report path (empty to skip the file)")
 		wireOut  = flag.String("wire-out", "BENCH_wire.json", "wire: JSON report path (empty to skip the file)")
 		arenaOut = flag.String("arena-out", "BENCH_arena.json", "arena: JSON report path (empty to skip the file)")
+		batchOut = flag.String("batch-out", "BENCH_batch.json", "batch: JSON report path (empty to skip the file)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -145,18 +146,18 @@ func main() {
 			fmt.Println()
 		}
 	}
-	if run("batch") {
+	if run("cadence") {
 		ran = true
-		cfg := bench.DefaultBatch()
+		cfg := bench.DefaultCadence()
 		if *quick {
 			cfg.Events = 2000
 		}
 		cfg.Seed = *seed
-		points := bench.Batch(cfg)
+		points := bench.Cadence(cfg)
 		if csvOut {
-			fmt.Print(bench.BatchCSV(cfg.Query, points))
+			fmt.Print(bench.CadenceCSV(cfg.Query, points))
 		} else {
-			fmt.Print(bench.FormatBatch(cfg.Query, points))
+			fmt.Print(bench.FormatCadence(cfg.Query, points))
 			fmt.Println()
 		}
 	}
@@ -271,6 +272,31 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("wrote %s\n", *wireOut)
+		}
+	}
+	if *exp == "batch" {
+		ran = true
+		cfg := bench.DefaultBatchNative()
+		if *quick {
+			cfg = bench.QuickBatchNative()
+		}
+		cfg.Seed = *seed
+		rep, err := bench.BatchNative(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rpaibench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(bench.FormatBatchNative(rep))
+		if *batchOut != "" {
+			data, err := bench.BatchNativeJSON(rep)
+			if err == nil {
+				err = os.WriteFile(*batchOut, data, 0o644)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rpaibench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *batchOut)
 		}
 	}
 	if *exp == "arena" {

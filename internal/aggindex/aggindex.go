@@ -97,6 +97,23 @@ func Kinds() []Kind {
 	return []Kind{KindRPAI, KindArena, KindBTree, KindPAI, KindSorted, KindFenwick}
 }
 
+// AddMany applies Add(e.Key, e.Value) for each entry in order, dispatching to
+// the index's batched bulk path when it has one. The result is bit-identical
+// to the sequential Adds for every implementation; the batched paths only
+// amortize descent and sum-propagation work (see rpai.AddMany).
+func AddMany(ix Index, entries []rpai.Entry) {
+	switch t := ix.(type) {
+	case *rpai.ArenaTree:
+		t.AddMany(entries)
+	case *rpai.Tree:
+		t.AddMany(entries)
+	default:
+		for _, e := range entries {
+			ix.Add(e.Key, e.Value)
+		}
+	}
+}
+
 // Sorted is the sorted-slice aggregate index: keys kept in ascending order
 // with parallel values. Lookups are binary searches; inserts, deletes and
 // shifts move O(n) elements.

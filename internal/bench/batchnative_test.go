@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestBatchNativeSweepConsistent runs the batch-native sweep at toy scale:
+// BatchNative itself enforces that every batch size reproduces batch size
+// 1's result bit for bit per strategy, so this test's job is to check the
+// sweep completes, covers every strategy, and serializes. Speedups are
+// machine-dependent and deliberately not asserted (BENCH_batch.json records
+// the measured run).
+func TestBatchNativeSweepConsistent(t *testing.T) {
+	cfg := BatchNativeConfig{
+		Events:     2000,
+		BatchSizes: []int{1, 16},
+		Partitions: 64,
+		Shards:     2,
+		Seed:       1,
+	}
+	rep, err := BatchNative(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Sweep) != 6 {
+		t.Fatalf("sweep cells = %d, want 6", len(rep.Sweep))
+	}
+	strategies := map[string]int{}
+	for _, p := range rep.Sweep {
+		strategies[p.Strategy]++
+		if p.EventsPerSec <= 0 || p.Events != cfg.Events {
+			t.Fatalf("%s @ batch %d: degenerate counters %+v", p.Strategy, p.Batch, p)
+		}
+	}
+	for _, s := range []string{"general", "aggindex-rpai", "aggindex-arena"} {
+		if strategies[s] != 2 {
+			t.Fatalf("strategy coverage: %v", strategies)
+		}
+	}
+	data, err := BatchNativeJSON(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back BatchNativeReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Sweep) != len(rep.Sweep) {
+		t.Fatalf("round-trip lost cells: %d vs %d", len(back.Sweep), len(rep.Sweep))
+	}
+	out := FormatBatchNative(rep)
+	if out == "" {
+		t.Fatal("empty FormatBatchNative output")
+	}
+}

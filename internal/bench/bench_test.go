@@ -180,9 +180,9 @@ func TestEQ1Runner(t *testing.T) {
 	}
 }
 
-func TestBatchExperiment(t *testing.T) {
-	cfg := BatchConfig{Query: "vwap", Events: 400, BatchSizes: []int{1, 100}, Seed: 1}
-	points := Batch(cfg)
+func TestCadenceExperiment(t *testing.T) {
+	cfg := CadenceConfig{Query: "vwap", Events: 400, BatchSizes: []int{1, 100}, Seed: 1}
+	points := Cadence(cfg)
 	if len(points) != 4 {
 		t.Fatalf("points = %d", len(points))
 	}
@@ -197,9 +197,9 @@ func TestBatchExperiment(t *testing.T) {
 	if byKey["toaster/100"] >= byKey["toaster/1"] {
 		t.Fatalf("batching did not reduce toaster time: %v vs %v", byKey["toaster/100"], byKey["toaster/1"])
 	}
-	out := FormatBatch(cfg.Query, points)
+	out := FormatCadence(cfg.Query, points)
 	if !strings.Contains(out, "batch") {
-		t.Fatalf("FormatBatch output:\n%s", out)
+		t.Fatalf("FormatCadence output:\n%s", out)
 	}
 }
 
@@ -243,7 +243,7 @@ func TestCSVEmitters(t *testing.T) {
 		{"fig8d", Fig8dCSV(Fig8d(Fig8dConfig{Scales: []float64{0.01}, Seed: 1})), "scale,skewed"},
 		{"fig9", Fig9CSV(Fig9(Fig9Config{Events: 120, SampleEvery: 60, NaiveCap: 60, NQ2NaiveCap: 60, Seed: 1})), "query,system,processed"},
 		{"scaling", ScalingCSV(MeasureScaling(ScalingConfig{SmallN: 50, LargeN: 100, Seed: 1})), "query,system,small_n"},
-		{"batch", BatchCSV("vwap", Batch(BatchConfig{Query: "vwap", Events: 100, BatchSizes: []int{1}, Seed: 1})), "query,system,batch"},
+		{"cadence", CadenceCSV("vwap", Cadence(CadenceConfig{Query: "vwap", Events: 100, BatchSizes: []int{1}, Seed: 1})), "query,system,batch"},
 		{"latency", LatencyCSV("vwap", Latency(LatencyConfig{Query: "vwap", Events: 100, Seed: 1, WarmUp: 10})), "query,system,p50_s"},
 	}
 	for _, c := range checks {

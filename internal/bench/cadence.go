@@ -6,14 +6,14 @@ import (
 	"rpai/internal/queries"
 )
 
-// BatchConfig parameterizes the mini-batch experiment: the paper's
+// CadenceConfig parameterizes the refresh-cadence experiment: the paper's
 // introduction motivates incremental processing both for per-event refresh
 // and for mini-batched evaluation; this experiment measures how the refresh
 // cadence shifts the balance between the systems. DBToaster-style executors
 // pay most of their cost in the result recomputation, so large batches
 // amortize it; the RPAI executors pay O(log n) in Apply and O(log n) in
 // Result, so their total barely depends on the cadence.
-type BatchConfig struct {
+type CadenceConfig struct {
 	// Query is the finance query to replay.
 	Query string
 	// Events is the trace length.
@@ -23,24 +23,24 @@ type BatchConfig struct {
 	Seed       int64
 }
 
-// DefaultBatch measures VWAP at cadences 1-1000 over a 10k-event trace.
-func DefaultBatch() BatchConfig {
-	return BatchConfig{Query: "vwap", Events: 10000, BatchSizes: []int{1, 10, 100, 1000}, Seed: 1}
+// DefaultCadence measures VWAP at cadences 1-1000 over a 10k-event trace.
+func DefaultCadence() CadenceConfig {
+	return CadenceConfig{Query: "vwap", Events: 10000, BatchSizes: []int{1, 10, 100, 1000}, Seed: 1}
 }
 
-// BatchPoint is one (system, batch size) measurement.
-type BatchPoint struct {
+// CadencePoint is one (system, batch size) measurement.
+type CadencePoint struct {
 	System  System
 	Batch   int
 	Elapsed time.Duration
 }
 
-// Batch replays the query under Toaster and RPAI, reading the result once
+// Cadence replays the query under Toaster and RPAI, reading the result once
 // per batch instead of once per event.
-func Batch(cfg BatchConfig) []BatchPoint {
+func Cadence(cfg CadenceConfig) []CadencePoint {
 	bothSides := cfg.Query == "mst" || cfg.Query == "psp"
 	events := FinanceTrace(cfg.Events, bothSides, cfg.Seed)
-	var out []BatchPoint
+	var out []CadencePoint
 	for _, sys := range []System{SysToaster, SysRPAI} {
 		for _, bs := range cfg.BatchSizes {
 			ex := queries.NewBids(cfg.Query, sys.strategy())
@@ -52,7 +52,7 @@ func Batch(cfg BatchConfig) []BatchPoint {
 				}
 			}
 			ex.Result()
-			out = append(out, BatchPoint{System: sys, Batch: bs, Elapsed: time.Since(start)})
+			out = append(out, CadencePoint{System: sys, Batch: bs, Elapsed: time.Since(start)})
 		}
 	}
 	return out

@@ -67,8 +67,8 @@ func ScalingCSV(rows []ScalingRow) string {
 	return b.String()
 }
 
-// BatchCSV renders the mini-batch experiment as CSV.
-func BatchCSV(query string, points []BatchPoint) string {
+// CadenceCSV renders the refresh-cadence experiment as CSV.
+func CadenceCSV(query string, points []CadencePoint) string {
 	var b strings.Builder
 	b.WriteString("query,system,batch,seconds\n")
 	for _, p := range points {

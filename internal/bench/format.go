@@ -148,8 +148,8 @@ func mark(b bool) string {
 	return "no"
 }
 
-// FormatBatch renders the mini-batch experiment.
-func FormatBatch(query string, points []BatchPoint) string {
+// FormatCadence renders the refresh-cadence experiment.
+func FormatCadence(query string, points []CadencePoint) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Mini-batch refresh cadence (%s): total time per trace\n", query)
 	fmt.Fprintf(&b, "%-8s %14s %14s\n", "batch", "toaster", "rpai")

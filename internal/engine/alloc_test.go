@@ -6,6 +6,50 @@ import (
 	"rpai/internal/query"
 )
 
+// TestAllocGuardApplyBatch pins the batched steady state: once an executor's
+// indexes, maps and scratch buffers have seen the working set, replaying a
+// balanced insert/delete batch allocates nothing — for both aggregate-index
+// shapes the planner emits (the arena-tree range-shift executor and the
+// PAI-map point-move executor with its deferred move buffer).
+func TestAllocGuardApplyBatch(t *testing.T) {
+	for _, spec := range []struct {
+		name string
+		q    *query.Query
+	}{
+		{"vwap-arena", vwapSpec()},
+		{"eq1-pai", eq1Spec()},
+	} {
+		ex, err := New(spec.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bx, ok := ex.(BatchExecutor)
+		if !ok {
+			t.Fatalf("%s: %T does not implement BatchExecutor", spec.name, ex)
+		}
+		// Warm state: a resident copy of every tuple keeps each key level
+		// alive across the measured batch's retractions.
+		tuples := make([]query.Tuple, 32)
+		for i := range tuples {
+			tuples[i] = query.Tuple{
+				"price":  float64(i%8 + 1),
+				"volume": float64(i%5 + 1),
+				"a":      float64(i%6 + 1),
+				"b":      float64(i%4 + 1),
+			}
+			bx.Apply(Insert(tuples[i]))
+		}
+		batch := make([]Event, 0, 2*len(tuples))
+		for _, tu := range tuples {
+			batch = append(batch, Insert(tu), Delete(tu))
+		}
+		bx.ApplyBatch(batch) // warm scratch buffers, slabs and map buckets
+		if got := testing.AllocsPerRun(200, func() { bx.ApplyBatch(batch) }); got > 0 {
+			t.Errorf("%s: ApplyBatch allocates %.1f per batch, want 0", spec.name, got)
+		}
+	}
+}
+
 // TestAllocGuardEventCodec pins the allocation contracts of the event codec:
 // once the destination buffer has grown, EncodeEvent is allocation-free for
 // tuples within the inline column bound, and an interning EventDecoder

@@ -1,0 +1,215 @@
+package engine
+
+// Batch-native execution. Every executor accepts a whole slice of events at
+// once via ApplyBatch and is free to amortize per-event overhead — group-key
+// projection, map lookups, aggregate-index descents — across the batch, under
+// one contract: the final state (and therefore every subsequent Result /
+// ResultGrouped) is BIT-IDENTICAL to applying the same events one at a time
+// in order. Floating-point evaluation order is part of that contract, so the
+// batched paths never coalesce same-key deltas into one float addition and
+// never reorder operations on the same structure; they only skip redundant
+// recomputation (identical group keys, repeated relation lookups) and defer
+// writes to structures that are provably not read again within the batch
+// (the equality plan's PAI point moves). FuzzBatchEquivalence enforces the
+// contract differentially at random batch boundaries.
+
+import (
+	"math"
+
+	"rpai/internal/paimap"
+	"rpai/internal/query"
+)
+
+// BatchExecutor is an Executor with a native bulk path. ApplyBatch(events)
+// leaves exactly the state of `for _, e := range events { Apply(e) }`, bit
+// for bit; implementations only amortize work, never change results. All
+// engine executors implement it.
+type BatchExecutor interface {
+	Executor
+	// ApplyBatch processes events in order as one batch.
+	ApplyBatch(events []Event)
+}
+
+// MultiBatchExecutor is the multi-relation analogue of BatchExecutor.
+type MultiBatchExecutor interface {
+	MultiExecutor
+	// ApplyBatch processes events in order as one batch.
+	ApplyBatch(events []MultiEvent)
+}
+
+// ApplyAll feeds events through the executor's batched path when it has one,
+// falling back to an Apply loop otherwise. Results are identical either way.
+func ApplyAll(ex Executor, events []Event) {
+	if bx, ok := ex.(BatchExecutor); ok {
+		bx.ApplyBatch(events)
+		return
+	}
+	for i := range events {
+		ex.Apply(events[i])
+	}
+}
+
+// ApplyBatch implements BatchExecutor: the live slice is grown once for all
+// of the batch's insertions instead of reallocating along the append path.
+func (n *NaiveExec) ApplyBatch(events []Event) {
+	grow := 0
+	for i := range events {
+		if events[i].X > 0 {
+			grow++
+		}
+	}
+	if need := len(n.live) + grow; need > cap(n.live) {
+		live := make([]query.Tuple, len(n.live), need)
+		copy(live, n.live)
+		n.live = live
+	}
+	for i := range events {
+		n.Apply(events[i])
+	}
+}
+
+// ApplyBatch implements BatchExecutor. Event streams are bursty in their
+// group key — a partition's drain is often one ticker, one group — so the
+// group-key projection (float formatting plus a map lookup) is cached across
+// consecutive events that project to the same column values. The cache
+// compares raw float bits per column: distinct bit patterns (including -0
+// vs +0, which format differently) always miss and recompute, so a hit
+// reuses only work that would have produced the same key string and the
+// same *group.
+func (g *GeneralExec) ApplyBatch(events []Event) {
+	var (
+		lastKey string
+		lastGr  *group
+	)
+	for i := range events {
+		e := &events[i]
+		for _, st := range g.subs {
+			st.apply(e.Tuple, e.X)
+		}
+		if lastGr == nil || !sameProjection(g.groupCols, e.Tuple, lastGr.vals) {
+			key, vals := g.groupKey(e.Tuple)
+			gr := g.groups[key]
+			if gr == nil {
+				gr = &group{vals: vals}
+				g.groups[key] = gr
+			}
+			lastKey, lastGr = key, gr
+		}
+		lastGr.agg += e.X * g.q.Agg.Eval(e.Tuple)
+		lastGr.cnt += e.X
+		if lastGr.cnt == 0 {
+			delete(g.groups, lastKey)
+			lastGr = nil
+		}
+	}
+}
+
+// sameProjection reports whether projecting cols from t yields exactly vals,
+// comparing bit patterns so NaNs compare by payload and signed zeros are
+// distinct (groupProjection formats them differently).
+func sameProjection(cols []string, t query.Tuple, vals []float64) bool {
+	for i, c := range cols {
+		if math.Float64bits(t[c]) != math.Float64bits(vals[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// ApplyBatch implements BatchExecutor for the single-relation inequality
+// executor: a straight loop over the relation state (the per-event work is
+// already O(log n) index maintenance with nothing batch-amortizable that
+// would preserve float evaluation order).
+func (ex *relStateExec) ApplyBatch(events []Event) {
+	rs := ex.rs
+	for i := range events {
+		rs.apply(events[i].Tuple, events[i].X)
+	}
+}
+
+// ApplyBatch implements BatchExecutor. Equality plans on the PAI map run the
+// fused batched path; inequality plans fall back to the per-event range
+// shifts, whose key arithmetic depends on the index state after every event.
+func (ex *AggIndexExec) ApplyBatch(events []Event) {
+	if ex.plan.SubOp == query.Eq {
+		if pm, ok := ex.agg.(*paimap.Map); ok {
+			ex.applyEqBatch(pm, events)
+			return
+		}
+	}
+	for i := range events {
+		ex.Apply(events[i])
+	}
+}
+
+// applyEqBatch is the batched equality path. Per event it performs exactly
+// Apply's bookkeeping on thr/byKey/cntAt/groups, but the two aggregate-index
+// writes — Add(oldKey, -grpVal) with its delete-if-zero (the fused
+// paimap.Take) followed by Add(newKey, grpVal+av) — are buffered as one
+// paimap.MoveOp and flushed in order at the end of the batch. That deferral
+// is sound because Apply never reads the aggregate index (only Result does),
+// and bit-identical because MoveMany replays the identical map operations in
+// the identical order; `v - dv` is IEEE-identical to `v + (-dv)`. An event
+// that empties its level (cnt reaching zero) issues only the retraction, in
+// order: the buffer is flushed first, then the bare Take.
+func (ex *AggIndexExec) applyEqBatch(pm *paimap.Map, events []Event) {
+	moves := ex.moveBuf[:0]
+	for i := range events {
+		e := &events[i]
+		t, x := e.Tuple, e.X
+		if ex.thr != nil {
+			ex.thr.apply(t, x)
+		}
+		w := ex.contribution(t)
+		k := t[ex.plan.KeyCol]
+		av := x * ex.q.Agg.Eval(t)
+		oldKey, _ := ex.byKey.Get(k)
+		grpVal := ex.groupValue(k)
+		ex.byKey.Add(k, x*w)
+		ex.cntAt[k] += x
+		if ex.cntAt[k] == 0 {
+			delete(ex.cntAt, k)
+			ex.byKey.Delete(k)
+			ex.dropGroup(k)
+			pm.MoveMany(moves)
+			moves = moves[:0]
+			pm.Take(oldKey, grpVal)
+			continue
+		}
+		ex.setGroup(k, grpVal+av)
+		newKey, _ := ex.byKey.Get(k)
+		moves = append(moves, paimap.MoveOp{From: oldKey, Take: grpVal, To: newKey, Put: grpVal + av})
+	}
+	pm.MoveMany(moves)
+	ex.moveBuf = moves[:0]
+}
+
+// ApplyBatch implements MultiBatchExecutor. Batches drained from a partition
+// are usually runs of events on the same relation, so the relation-map lookup
+// is cached across consecutive same-relation events.
+func (ex *MultiAggIndexExec) ApplyBatch(events []MultiEvent) {
+	var (
+		rs      *relState
+		lastRel string
+	)
+	for i := range events {
+		e := &events[i]
+		if rs == nil || e.Rel != lastRel {
+			var ok bool
+			rs, ok = ex.rels[e.Rel]
+			if !ok {
+				panic("engine: event for unknown relation " + e.Rel)
+			}
+			lastRel = e.Rel
+		}
+		rs.apply(e.Tuple, e.X)
+	}
+}
+
+// ApplyBatch implements MultiBatchExecutor for the re-evaluation oracle: a
+// plain loop, since all cost sits in Result's rescans.
+func (ex *MultiNaiveExec) ApplyBatch(events []MultiEvent) {
+	for i := range events {
+		ex.Apply(events[i])
+	}
+}

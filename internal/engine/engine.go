@@ -22,6 +22,7 @@ import (
 	"sort"
 
 	"rpai/internal/aggindex"
+	"rpai/internal/paimap"
 	"rpai/internal/query"
 	"rpai/internal/treemap"
 )
@@ -62,15 +63,22 @@ type Executor interface {
 // returns an error for queries outside the maintainable fragment (section
 // 4.2.5).
 func New(q *query.Query) (Executor, error) {
+	return NewWithIndexKind(q, defaultIndexKind)
+}
+
+// NewWithIndexKind is New with the aggregate-index representation pinned,
+// for ablations and benchmarks that compare index structures (e.g. the
+// pointer RPAI tree against the arena) on otherwise identical plans.
+func NewWithIndexKind(q *query.Query, kind aggindex.Kind) (Executor, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
 	if len(q.GroupBy) == 0 && len(q.Preds) == 1 {
 		if plan, ok := q.PlanAggIndex(); ok && plan.SubOp == query.Eq {
-			return newAggIndexExec(q, plan, defaultIndexKind)
+			return newAggIndexExec(q, plan, kind)
 		}
 		if noNested(q) {
-			if rs, err := newRelState(RelSpec{Name: "R", Term: q.Agg, Pred: q.Preds[0]}, defaultIndexKind); err == nil {
+			if rs, err := newRelState(RelSpec{Name: "R", Term: q.Agg, Pred: q.Preds[0]}, kind); err == nil {
 				return &relStateExec{rs: rs}, nil
 			}
 		}
@@ -500,6 +508,9 @@ type AggIndexExec struct {
 	// groups tracks, for equality plans, each level's summed outer
 	// aggregate (the portion to move between index keys).
 	groups map[float64]float64
+	// moveBuf backs the deferred point moves of the batched equality path
+	// (see applyEqBatch) so steady-state batches allocate nothing.
+	moveBuf []paimap.MoveOp
 }
 
 // NewAggIndex returns the aggregate-index executor for an eligible query, or

@@ -60,6 +60,48 @@ func (p *Map) Delete(k float64) bool {
 	return true
 }
 
+// Take subtracts dv from the value under k and drops the key if the result
+// is exactly zero. It is the fused form of the retraction sequence
+//
+//	p.Add(k, -dv); if v, ok := p.Get(k); ok && v == 0 { p.Delete(k) }
+//
+// in one map access instead of three. v-dv and v+(-dv) are the same IEEE
+// operation, so the stored (or dropped) value is bit-identical to the
+// sequence it replaces.
+func (p *Map) Take(k, dv float64) {
+	v := p.m[k] - dv
+	if v == 0 {
+		delete(p.m, k)
+		return
+	}
+	p.m[k] = v
+}
+
+// Move is the batched point move of an equality-correlated aggregate update
+// (paper Example 2.1): retract take from the from key — dropping it when it
+// zeroes out — and add put under the to key. Equivalent to
+// Take(from, take) followed by Add(to, put).
+func (p *Map) Move(from, take, to, put float64) {
+	p.Take(from, take)
+	p.m[to] += put
+}
+
+// MoveOp is one deferred Move, the element of MoveMany.
+type MoveOp struct {
+	From, Take float64
+	To, Put    float64
+}
+
+// MoveMany applies a sequence of Moves in order. Callers that compute their
+// point moves from state outside the map can buffer them per batch and flush
+// once; order is preserved, so the final map is bit-identical to issuing the
+// Moves individually.
+func (p *Map) MoveMany(ops []MoveOp) {
+	for _, op := range ops {
+		p.Move(op.From, op.Take, op.To, op.Put)
+	}
+}
+
 // GetSum returns the sum of values over entries with key <= k, by scanning
 // all keys (paper section 2.2.3: O(n) for PAI maps).
 func (p *Map) GetSum(k float64) float64 {

@@ -1,6 +1,7 @@
 package paimap
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 	"testing"
@@ -169,4 +170,91 @@ func equal(a, b []float64) bool {
 		}
 	}
 	return true
+}
+
+// TestTakeMatchesRetractionSequence pins Take as the fused, bit-identical
+// form of Add(k, -dv) + delete-if-zero, including the exact-zero drop and
+// the absent-key case.
+func TestTakeMatchesRetractionSequence(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	fused, seq := New(), New()
+	for i := 0; i < 5000; i++ {
+		k := float64(rng.Intn(40))
+		dv := float64(rng.Intn(7)-3) + rng.Float64()
+		if rng.Intn(3) == 0 {
+			fused.Add(k, dv)
+			seq.Add(k, dv)
+			continue
+		}
+		fused.Take(k, dv)
+		seq.Add(k, -dv)
+		if v, ok := seq.Get(k); ok && v == 0 {
+			seq.Delete(k)
+		}
+		if fused.Len() != seq.Len() {
+			t.Fatalf("step %d: Len %d vs %d", i, fused.Len(), seq.Len())
+		}
+	}
+	for _, k := range seq.Keys() {
+		fv, ok := fused.Get(k)
+		sv, _ := seq.Get(k)
+		if !ok || math.Float64bits(fv) != math.Float64bits(sv) {
+			t.Fatalf("key %v: fused %v (present %v), sequential %v", k, fv, ok, sv)
+		}
+	}
+	// Exact-zero retraction drops the key; near-zero does not.
+	p := New()
+	p.Add(1, 2.5)
+	p.Take(1, 2.5)
+	if p.Contains(1) {
+		t.Fatal("Take left an exactly-zeroed key")
+	}
+	tenth, fifth := 0.1, 0.2 // variables so the sum rounds at runtime
+	p.Add(2, tenth+fifth)
+	p.Take(2, 0.3) // 0.1+0.2 != 0.3 in floats: the residue must survive
+	if !p.Contains(2) {
+		t.Fatal("Take dropped a key with a non-zero float residue")
+	}
+}
+
+// TestMoveAndMoveMany pin the point-move against its unfused sequence.
+func TestMoveAndMoveMany(t *testing.T) {
+	fused, seq := New(), New()
+	ops := []MoveOp{
+		{From: 10, Take: 4, To: 12, Put: 5},
+		{From: 12, Take: 5, To: 10, Put: 4},
+		{From: 3, Take: 0, To: 3, Put: 1}, // self-move on an absent key
+		{From: 10, Take: 4, To: 12, Put: 9},
+	}
+	fused.Add(10, 4)
+	seq.Add(10, 4)
+	for _, op := range ops {
+		fused.Move(op.From, op.Take, op.To, op.Put)
+		seq.Add(op.From, -op.Take)
+		if v, ok := seq.Get(op.From); ok && v == 0 {
+			seq.Delete(op.From)
+		}
+		seq.Add(op.To, op.Put)
+	}
+	if fused.Len() != seq.Len() || !equal(fused.Keys(), seq.Keys()) {
+		t.Fatalf("Move diverged: keys %v vs %v", fused.Keys(), seq.Keys())
+	}
+	for _, k := range seq.Keys() {
+		fv, _ := fused.Get(k)
+		sv, _ := seq.Get(k)
+		if math.Float64bits(fv) != math.Float64bits(sv) {
+			t.Fatalf("key %v: %v vs %v", k, fv, sv)
+		}
+	}
+
+	many, oneByOne := New(), New()
+	many.Add(10, 4)
+	oneByOne.Add(10, 4)
+	many.MoveMany(ops)
+	for _, op := range ops {
+		oneByOne.Move(op.From, op.Take, op.To, op.Put)
+	}
+	if !equal(many.Keys(), oneByOne.Keys()) {
+		t.Fatalf("MoveMany diverged: keys %v vs %v", many.Keys(), oneByOne.Keys())
+	}
 }

@@ -30,7 +30,7 @@ type ArenaTree struct {
 	freeN int32 // number of slots on the free list
 	// scratch backs extractRange during negative shifts so repeated shifts
 	// reuse one buffer.
-	scratch []entry
+	scratch []Entry
 }
 
 // anode is the arena form of node, exactly 64 bytes so indexing compiles to
@@ -612,9 +612,10 @@ func (t *ArenaTree) shift(k, d float64, inclusive bool) {
 		// just freed, so negative shifts allocate nothing at steady state.
 		moved := t.extractRange(k, k-d, inclusive)
 		t.shiftRel(t.root, k, d, inclusive)
-		for _, e := range moved {
-			t.Add(e.key+d, e.value)
+		for i := range moved {
+			moved[i].Key += d
 		}
+		t.AddMany(moved)
 		t.scratch = moved[:0]
 		return
 	}
@@ -645,18 +646,18 @@ func (t *ArenaTree) shiftRel(i int32, k, d float64, inclusive bool) {
 // extractRange removes and returns all entries with key in (lo, hi], or
 // [lo, hi] when inclusive is true. The returned slice aliases t.scratch and
 // is only valid until the next shift.
-func (t *ArenaTree) extractRange(lo, hi float64, inclusive bool) []entry {
+func (t *ArenaTree) extractRange(lo, hi float64, inclusive bool) []Entry {
 	out := t.scratch[:0]
 	t.collectRange(t.root, 0, lo, hi, inclusive, &out)
 	for _, e := range out {
-		t.Delete(e.key)
+		t.Delete(e.Key)
 	}
 	return out
 }
 
 // collectRange appends entries with true key in the range to out. base is the
 // accumulated offset of i's parent frame.
-func (t *ArenaTree) collectRange(i int32, base, lo, hi float64, inclusive bool, out *[]entry) {
+func (t *ArenaTree) collectRange(i int32, base, lo, hi float64, inclusive bool, out *[]Entry) {
 	if i < 0 {
 		return
 	}
@@ -666,7 +667,7 @@ func (t *ArenaTree) collectRange(i int32, base, lo, hi float64, inclusive bool, 
 	if aboveLo {
 		t.collectRange(n.left, k, lo, hi, inclusive, out)
 		if k <= hi {
-			*out = append(*out, entry{k, t.nodes[i].value})
+			*out = append(*out, Entry{k, t.nodes[i].value})
 		}
 	}
 	if k <= hi {

@@ -419,9 +419,10 @@ func (t *Tree) shift(k, d float64, inclusive bool) {
 		// makes at most two keys equal, so m is at most 1 in that setting).
 		moved := t.extractRange(k, k-d, inclusive)
 		shiftRel(t.root, k, d, inclusive)
-		for _, e := range moved {
-			t.Add(e.key+d, e.value)
+		for i := range moved {
+			moved[i].Key += d
 		}
+		t.AddMany(moved)
 		return
 	}
 	shiftRel(t.root, k, d, inclusive)
@@ -448,25 +449,20 @@ func shiftRel(n *node, k, d float64, inclusive bool) {
 	n.update()
 }
 
-type entry struct {
-	key   float64
-	value float64
-}
-
 // extractRange removes and returns all entries with key in (lo, hi], or
 // [lo, hi] when inclusive is true. hi >= lo is required.
-func (t *Tree) extractRange(lo, hi float64, inclusive bool) []entry {
-	var out []entry
+func (t *Tree) extractRange(lo, hi float64, inclusive bool) []Entry {
+	var out []Entry
 	collectRange(t.root, 0, lo, hi, inclusive, &out)
 	for _, e := range out {
-		t.Delete(e.key)
+		t.Delete(e.Key)
 	}
 	return out
 }
 
 // collectRange appends entries with true key in the range to out. base is the
 // accumulated offset of n's parent frame.
-func collectRange(n *node, base, lo, hi float64, inclusive bool, out *[]entry) {
+func collectRange(n *node, base, lo, hi float64, inclusive bool, out *[]Entry) {
 	if n == nil {
 		return
 	}
@@ -475,7 +471,7 @@ func collectRange(n *node, base, lo, hi float64, inclusive bool, out *[]entry) {
 	if aboveLo {
 		collectRange(n.left, k, lo, hi, inclusive, out)
 		if k <= hi {
-			*out = append(*out, entry{k, n.value})
+			*out = append(*out, Entry{k, n.value})
 		}
 	}
 	if k <= hi {

@@ -54,3 +54,56 @@ func TestAllocGuardApply(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func (s *sumExec) ApplyBatch(events []engine.Event) {
+	for i := range events {
+		s.Apply(events[i])
+	}
+}
+
+// TestAllocGuardApplyBatch bounds the steady-state per-batch cost of the
+// batched ingest path: the pooled batch box, the single-shard fast path, the
+// worker's per-partition buffering and one snapshot refresh. The ceiling is
+// per batch of 64 events — the point of batching is that this cost no longer
+// scales with the event count, so a regression that allocates per event blows
+// through it immediately.
+func TestAllocGuardApplyBatch(t *testing.T) {
+	svc, err := New(Config[engine.Event]{
+		Shards: 1,
+		Partition: func(e engine.Event, buf []float64) []float64 {
+			return append(buf, e.Tuple["g"])
+		},
+		New: func([]float64) Executor[engine.Event] { return &sumExec{} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	batch := make([]engine.Event, 64)
+	for i := range batch {
+		batch[i] = engine.Insert(map[string]float64{"g": 1, "v": float64(i)})
+	}
+	// Warm up: create the partition, grow the worker's pend buffer and seed
+	// the batch-box pool.
+	for i := 0; i < 8; i++ {
+		if err := svc.ApplyBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := svc.Drain(); err != nil {
+		t.Fatal(err)
+	}
+
+	const ceiling = 16.0
+	if got := testing.AllocsPerRun(200, func() {
+		if err := svc.ApplyBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	}); got > ceiling {
+		t.Errorf("Service.ApplyBatch allocates %.1f per 64-event batch, ceiling %.0f", got, ceiling)
+	}
+	if err := svc.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"math/rand"
+	"testing"
+
+	"rpai/internal/engine"
+)
+
+// chunkEvents cuts events into consecutive chunks of 1..max events.
+func chunkEvents(events []engine.Event, rng *rand.Rand, max int) [][]engine.Event {
+	var out [][]engine.Event
+	for len(events) > 0 {
+		n := 1 + rng.Intn(max)
+		if n > len(events) {
+			n = len(events)
+		}
+		out = append(out, events[:n:n])
+		events = events[n:]
+	}
+	return out
+}
+
+// TestApplyBatchMatchesApply is the serving-layer batching contract: feeding
+// a trace through ApplyBatch in arbitrary chunks leaves exactly the state of
+// feeding it event by event through Apply, for any shard count. Chunks are
+// staged through a reused scratch slice that is overwritten between calls,
+// pinning the documented copy semantics (the service must not retain the
+// caller's slice).
+func TestApplyBatchMatchesApply(t *testing.T) {
+	q := vwapSpec()
+	events := symEvents(11, 3000, 17)
+	want := serialReference(t, q, events)
+	for _, shards := range []int{1, 3, 4} {
+		for _, max := range []int{1, 7, 64, 300} {
+			svc, err := ForQuery(q, []string{"sym"}, Options{Shards: shards, BatchSize: 32, QueueLen: 256})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(int64(shards*1000 + max)))
+			var scratch []engine.Event
+			for _, chunk := range chunkEvents(events, rng, max) {
+				scratch = append(scratch[:0], chunk...)
+				if err := svc.ApplyBatch(scratch); err != nil {
+					t.Fatal(err)
+				}
+				// Overwrite the scratch storage; the service must have copied.
+				for i := range scratch {
+					scratch[i] = engine.Event{}
+				}
+			}
+			if err := svc.Drain(); err != nil {
+				t.Fatal(err)
+			}
+			requireSameGroups(t, "batched", groupedMap(svc), want)
+			if err := svc.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestApplyBatchDurableRecovery drives a durable service exclusively through
+// ApplyBatch — so WAL records are genuinely multi-event group commits — and
+// checks recovery replays the framed batches back to the same state.
+func TestApplyBatchDurableRecovery(t *testing.T) {
+	q := vwapSpec()
+	events := symEvents(29, 1500, 9)
+	dir := t.TempDir()
+	svc, err := ForQuery(q, []string{"sym"}, Options{Shards: 2, BatchSize: 32, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(29))
+	for _, chunk := range chunkEvents(events, rng, 48) {
+		if err := svc.ApplyBatch(chunk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := svc.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := RecoverForQuery(dir, q, []string{"sym"}, Options{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameGroups(t, "recovered", groupedMap(rec), serialReference(t, q, events))
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestApplyBatchEdgeCases covers the trivial paths: an empty batch is a no-op
+// and a batch after Close is rejected like Apply.
+func TestApplyBatchEdgeCases(t *testing.T) {
+	svc, err := ForQuery(vwapSpec(), []string{"sym"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.ApplyBatch(nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ev := engine.Insert(map[string]float64{"sym": 1, "price": 2, "volume": 3})
+	if err := svc.ApplyBatch([]engine.Event{ev}); err != ErrClosed {
+		t.Fatalf("ApplyBatch after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestBatchSizeConfig pins the BatchSize contract: negative values are
+// rejected, zero selects the default of 64, and the effective value is
+// surfaced per shard in ShardStats.
+func TestBatchSizeConfig(t *testing.T) {
+	if _, err := ForQuery(vwapSpec(), []string{"sym"}, Options{BatchSize: -1}); err == nil {
+		t.Fatal("negative BatchSize accepted")
+	}
+	for _, tc := range []struct{ in, want int }{{0, 64}, {16, 16}} {
+		svc, err := ForQuery(vwapSpec(), []string{"sym"}, Options{Shards: 2, BatchSize: tc.in})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, st := range svc.Stats() {
+			if st.BatchSize != tc.want {
+				t.Fatalf("BatchSize %d: shard %d surfaces %d, want %d", tc.in, st.Shard, st.BatchSize, tc.want)
+			}
+		}
+		if err := svc.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"os"
@@ -309,7 +310,9 @@ func loadGen[E any](dir string, gen uint64, d *Durable[E]) ([]recoveredShard[E],
 				return nil, fmt.Errorf("generation %d shard %d partition %v: %w", gen, i, p.Key, err)
 			}
 			key := append([]float64(nil), p.Key...)
-			out[i].parts = append(out[i].parts, &partition[E]{vals: key, ex: ex, last: ex.Result()})
+			np := newPartition(key, ex)
+			np.last = ex.Result()
+			out[i].parts = append(out[i].parts, np)
 		}
 	}
 	return out, nil
@@ -407,12 +410,17 @@ func Recover[E any](dir string, cfg Config[E]) (*Service[E], error) {
 		if rs.walPath == "" {
 			continue
 		}
-		if _, _, err := checkpoint.ReadWAL(rs.walPath, func(p []byte) error {
-			ev, err := d.DecodeEvent(p)
-			if err != nil {
-				return err
-			}
-			return svc.Apply(ev)
+		if _, _, err := checkpoint.ReadWAL(rs.walPath, func(rec []byte) error {
+			// Each WAL record is one group-committed batch: the batch's events
+			// concatenated with u32 length prefixes. Replaying them through
+			// Apply in frame order reproduces the original event order.
+			return forEachWALEvent(rec, func(p []byte) error {
+				ev, err := d.DecodeEvent(p)
+				if err != nil {
+					return err
+				}
+				return svc.Apply(ev)
+			})
 		}); err != nil {
 			return fail(fmt.Errorf("serve: replaying shard %d WAL: %w", i, err))
 		}
@@ -429,4 +437,27 @@ func Recover[E any](dir string, cfg Config[E]) (*Service[E], error) {
 		}
 	}
 	return svc, nil
+}
+
+// forEachWALEvent walks one group-committed WAL record — a concatenation of
+// u32-little-endian-length-prefixed event encodings — and calls fn on each
+// event payload in order. A truncated frame is an error: the WAL writer's own
+// record checksums make a torn record unreadable as a unit, so a bad frame
+// inside a readable record indicates corruption, not a torn tail.
+func forEachWALEvent(rec []byte, fn func(p []byte) error) error {
+	for len(rec) > 0 {
+		if len(rec) < 4 {
+			return fmt.Errorf("serve: truncated WAL batch frame header (%d bytes left)", len(rec))
+		}
+		n := binary.LittleEndian.Uint32(rec)
+		rec = rec[4:]
+		if uint64(n) > uint64(len(rec)) {
+			return fmt.Errorf("serve: WAL batch frame length %d exceeds record remainder %d", n, len(rec))
+		}
+		if err := fn(rec[:n]); err != nil {
+			return err
+		}
+		rec = rec[n:]
+	}
+	return nil
 }

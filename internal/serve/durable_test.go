@@ -171,11 +171,14 @@ func TestAutoCompaction(t *testing.T) {
 		if h, _, err := checkpoint.ReadSnapshotFile(checkpoint.SnapPath(dir, 1, i)); err == nil && h.Seq >= 1 {
 			rotated = true
 		}
-		_, n, err := checkpoint.ReadWAL(checkpoint.WALPath(dir, 1, i), func([]byte) error { return nil })
+		// Count events, not records: each record is a group-committed batch
+		// of length-prefixed event frames.
+		_, _, err := checkpoint.ReadWAL(checkpoint.WALPath(dir, 1, i), func(rec []byte) error {
+			return forEachWALEvent(rec, func([]byte) error { walEvents++; return nil })
+		})
 		if err != nil {
 			t.Fatal(err)
 		}
-		walEvents += n
 	}
 	if !rotated {
 		t.Fatal("no shard rotated a snapshot despite CompactEvery")
@@ -211,14 +214,18 @@ func TestTornWALTailRecovery(t *testing.T) {
 	if err := os.Truncate(path, info.Size()-7); err != nil {
 		t.Fatal(err)
 	}
+	// A record that survives truncation is a whole group-committed batch;
+	// unpack its event frames in order.
 	var surviving []engine.Event
-	if _, _, err := checkpoint.ReadWAL(path, func(p []byte) error {
-		ev, err := engine.DecodeEvent(p)
-		if err != nil {
-			return err
-		}
-		surviving = append(surviving, ev)
-		return nil
+	if _, _, err := checkpoint.ReadWAL(path, func(rec []byte) error {
+		return forEachWALEvent(rec, func(p []byte) error {
+			ev, err := engine.DecodeEvent(p)
+			if err != nil {
+				return err
+			}
+			surviving = append(surviving, ev)
+			return nil
+		})
 	}); err != nil {
 		t.Fatal(err)
 	}

@@ -12,8 +12,13 @@ import (
 // Options configures ForQuery; the zero value picks the Config defaults and
 // keeps the service in-memory only.
 type Options struct {
-	Shards    int
-	QueueLen  int
+	Shards   int
+	QueueLen int
+	// BatchSize bounds how many queued events a shard drains into one batch
+	// before refreshing results, publishing a snapshot and (when durable)
+	// group-committing the batch to its WAL. 0 selects the default of 64;
+	// negative values are rejected. The effective value is surfaced per shard
+	// in ShardStats.BatchSize.
 	BatchSize int
 	// Dir, when set, makes the service durable: applied events are logged to
 	// per-shard WALs under Dir, Checkpoint(Dir) rotates generations, and

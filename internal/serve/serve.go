@@ -63,6 +63,17 @@ type Executor[E any] interface {
 	Result() float64
 }
 
+// BatchExecutor is an Executor with a native bulk path (engine.BatchExecutor
+// seen through the serving layer's event type). ApplyBatch must leave exactly
+// the state an Apply loop over the same events leaves — shard workers hand
+// each partition its drained events in one call, so an implementation that
+// reordered float operations would change served results.
+type BatchExecutor[E any] interface {
+	Executor[E]
+	// ApplyBatch processes events in order as one batch.
+	ApplyBatch(events []E)
+}
+
 // Config parameterizes a Service.
 type Config[E any] struct {
 	// Shards is the number of worker goroutines (default 1). Partitions are
@@ -71,9 +82,12 @@ type Config[E any] struct {
 	Shards int
 	// QueueLen is the per-shard input channel buffer (default 1024 events).
 	QueueLen int
-	// BatchSize bounds how many queued events a shard applies before it
-	// republishes its snapshot (default 64). Larger batches amortize the
-	// snapshot publication; smaller ones tighten read freshness.
+	// BatchSize bounds how many queued events a shard drains into one batch
+	// before it applies them, republishes its snapshot and group-commits the
+	// WAL. The zero value selects the default of 64; negative values are
+	// rejected by New. Larger batches amortize executor dispatch, snapshot
+	// publication and the WAL flush; smaller ones tighten read freshness.
+	// The effective value is surfaced per shard in ShardStats.BatchSize.
 	BatchSize int
 	// Partition appends the event's partition key columns to buf and returns
 	// the extended slice (append-style, so steady-state routing does not
@@ -91,10 +105,11 @@ type Config[E any] struct {
 // restored. Snapshot/Restore are required for Checkpoint and Recover;
 // EncodeEvent/DecodeEvent and Dir are additionally required for WAL logging.
 type Durable[E any] struct {
-	// Dir, when non-empty, is the live checkpoint directory: every applied
-	// event is appended to the owning shard's WAL under Dir and flushed once
-	// per batch — after Drain returns, all acknowledged events survive a
-	// process crash. Checkpoint(Dir) rotates the WALs into a fresh snapshot
+	// Dir, when non-empty, is the live checkpoint directory: each batch a
+	// shard applies is group-committed to its WAL under Dir as a single
+	// record (the batch's events concatenated with u32 length prefixes)
+	// followed by one flush — after Drain returns, all acknowledged events
+	// survive a process crash. Checkpoint(Dir) rotates the WALs into a fresh snapshot
 	// generation. When Dir is empty no WAL is kept; Checkpoint still exports
 	// consistent snapshots to any directory.
 	Dir string
@@ -112,13 +127,22 @@ type Durable[E any] struct {
 	Restore func(r io.Reader, key []float64) (Executor[E], error)
 }
 
-// item is one queue entry: an event, a drain barrier when sync is set, or a
-// control request when ctl is set. Control requests run on the shard's worker
-// goroutine, giving them exclusive access to the shard state without locks.
+// item is one queue entry: an event, a whole pre-routed batch of events when
+// batch is set, a drain barrier when sync is set, or a control request when
+// ctl is set. Control requests run on the shard's worker goroutine, giving
+// them exclusive access to the shard state without locks.
 type item[E any] struct {
-	ev   E
-	sync chan<- struct{}
-	ctl  *ctl[E]
+	ev    E
+	batch *batchBox[E]
+	sync  chan<- struct{}
+	ctl   *ctl[E]
+}
+
+// batchBox carries one shard's slice of an ApplyBatch call through the queue.
+// Boxes are pooled: the worker returns them after unpacking, so steady-state
+// batch ingest reuses the same backing arrays.
+type batchBox[E any] struct {
+	events []E
 }
 
 // ctl is a control request executed inline by a shard worker (checkpoint
@@ -141,12 +165,38 @@ type workerState[E any] struct {
 }
 
 // partition is one partition owned by a shard: its executor plus the cached
-// result the snapshots are built from.
+// result the snapshots are built from. pend buffers the current batch's
+// events for this partition so the whole run is handed to the executor's
+// ApplyBatch in one call.
 type partition[E any] struct {
 	vals  []float64 // partition key values (immutable, shared with snapshots)
 	ex    Executor[E]
+	bex   BatchExecutor[E] // ex's native batched path, nil if it has none
+	pend  []E              // events buffered for the in-progress batch
 	last  float64
 	dirty bool
+}
+
+// newPartition wraps an executor, capturing its batched path once so the hot
+// loop dispatches without a per-batch type assertion.
+func newPartition[E any](vals []float64, ex Executor[E]) *partition[E] {
+	p := &partition[E]{vals: vals, ex: ex}
+	p.bex, _ = ex.(BatchExecutor[E])
+	return p
+}
+
+// applyPend feeds the partition's buffered events to its executor — one
+// ApplyBatch call when the executor is batch-native, an Apply loop otherwise
+// (identical results either way; see BatchExecutor).
+func (p *partition[E]) applyPend() {
+	if p.bex != nil {
+		p.bex.ApplyBatch(p.pend)
+	} else {
+		for i := range p.pend {
+			p.ex.Apply(p.pend[i])
+		}
+	}
+	p.pend = p.pend[:0]
 }
 
 // Snapshot is one shard's published state: the per-partition results as of
@@ -170,6 +220,9 @@ type ShardStats struct {
 	EnqueueWaitNS uint64
 	// Rejected counts TryApply calls shed because the queue was full.
 	Rejected uint64
+	// BatchSize is the shard's effective drain bound: Config.BatchSize after
+	// defaulting (64 when the config left it zero).
+	BatchSize int
 }
 
 type shard[E any] struct {
@@ -196,6 +249,10 @@ type shard[E any] struct {
 type Service[E any] struct {
 	cfg    Config[E]
 	shards []*shard[E]
+
+	// batchPool recycles the boxes ApplyBatch ships batches in; workers
+	// return them after unpacking.
+	batchPool sync.Pool
 
 	mu     sync.RWMutex // guards closed vs. in-flight Apply/Drain sends
 	closed bool
@@ -224,7 +281,10 @@ func newService[E any](cfg Config[E], deferWAL bool) (*Service[E], error) {
 	if cfg.QueueLen <= 0 {
 		cfg.QueueLen = 1024
 	}
-	if cfg.BatchSize <= 0 {
+	if cfg.BatchSize < 0 {
+		return nil, fmt.Errorf("serve: Config.BatchSize must not be negative (got %d)", cfg.BatchSize)
+	}
+	if cfg.BatchSize == 0 {
 		cfg.BatchSize = 64
 	}
 	if d := cfg.Durable; d != nil && d.Dir != "" {
@@ -339,6 +399,18 @@ func (s *Service[E]) route(e E) *shard[E] {
 	return s.shards[hashVals(vals)%uint64(len(s.shards))]
 }
 
+// send enqueues it on sh, accounting backpressure stalls: the fast path is a
+// non-blocking send, and only the full-queue path reads the clock.
+func (s *Service[E]) send(sh *shard[E], it item[E]) {
+	select {
+	case sh.in <- it:
+	default:
+		start := time.Now()
+		sh.in <- it
+		sh.waitNS.Add(uint64(time.Since(start)))
+	}
+}
+
 // Apply routes one event to its partition's shard. It blocks when the shard's
 // queue is full (natural backpressure, accounted in the shard's EnqueueWaitNS
 // counter) and returns ErrClosed after Close.
@@ -349,17 +421,62 @@ func (s *Service[E]) Apply(e E) error {
 		s.mu.RUnlock()
 		return ErrClosed
 	}
-	select {
-	case sh.in <- item[E]{ev: e}:
-	default:
-		// Slow path: the queue is full, so the send will block. Timing only
-		// this path keeps the uncontended Apply free of clock reads.
-		start := time.Now()
-		sh.in <- item[E]{ev: e}
-		sh.waitNS.Add(uint64(time.Since(start)))
+	s.send(sh, item[E]{ev: e})
+	s.mu.RUnlock()
+	return nil
+}
+
+// ApplyBatch routes a whole batch in one pass: events are split by owning
+// shard into pooled boxes (copied, so the caller may reuse its slice — the
+// wire server decodes batches into per-connection scratch) and each shard
+// receives its run as a single queue item, which its worker unpacks straight
+// into the partitions' pending buffers. Per-shard event order is the slice
+// order, exactly as if Apply had been called event by event. Blocks like
+// Apply when a shard queue is full; returns ErrClosed after Close.
+func (s *Service[E]) ApplyBatch(events []E) error {
+	if len(events) == 0 {
+		return nil
+	}
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return ErrClosed
+	}
+	if len(s.shards) == 1 {
+		box := s.getBox()
+		box.events = append(box.events, events...)
+		s.send(s.shards[0], item[E]{batch: box})
+		s.mu.RUnlock()
+		return nil
+	}
+	boxes := make([]*batchBox[E], len(s.shards))
+	var kb [4]float64
+	for i := range events {
+		vals := normalizeVals(s.cfg.Partition(events[i], kb[:0]))
+		idx := hashVals(vals) % uint64(len(s.shards))
+		b := boxes[idx]
+		if b == nil {
+			b = s.getBox()
+			boxes[idx] = b
+		}
+		b.events = append(b.events, events[i])
+	}
+	for i, b := range boxes {
+		if b != nil {
+			s.send(s.shards[i], item[E]{batch: b})
+		}
 	}
 	s.mu.RUnlock()
 	return nil
+}
+
+// getBox returns an empty pooled batch box.
+func (s *Service[E]) getBox() *batchBox[E] {
+	if b, ok := s.batchPool.Get().(*batchBox[E]); ok {
+		b.events = b.events[:0]
+		return b
+	}
+	return &batchBox[E]{}
 }
 
 // TryApply is the non-blocking Apply: when the owning shard's queue is full it
@@ -381,10 +498,14 @@ func (s *Service[E]) TryApply(e E) error {
 	}
 }
 
-// run is the shard worker: drain a batch, apply it (logging each event to
-// the WAL when durability is on), refresh the touched partitions, publish
-// the snapshot, flush the WAL, release any drain barriers — in that order,
-// so a released Drain implies the acknowledged events are in the log.
+// run is the shard worker: drain a batch, buffer its events per partition,
+// hand each touched partition its run via ApplyBatch, group-commit the batch
+// to the WAL (one record, one flush), refresh the touched partitions,
+// publish the snapshot, release any drain barriers — in that order, so a
+// released Drain implies the acknowledged events are in the log. Control
+// requests and drain barriers terminate the in-progress batch: the worker
+// commits everything queued before them, then serves them, preserving the
+// FIFO semantics recovery and checkpointing rely on.
 func (s *Service[E]) run(sh *shard[E]) {
 	defer s.wg.Done()
 	ws := &workerState[E]{idx: sh.idx, parts: make(map[string]*partition[E]), wal: sh.initWAL, gen: 1}
@@ -403,30 +524,25 @@ func (s *Service[E]) run(sh *shard[E]) {
 		byteBuf []byte
 		walBuf  []byte
 	)
-	apply := func(it item[E]) {
-		if it.ctl != nil {
-			it.ctl.done <- it.ctl.fn(ws)
-			return
-		}
-		if it.sync != nil {
-			syncs = append(syncs, it.sync)
-			return
-		}
-		keyBuf = normalizeVals(s.cfg.Partition(it.ev, keyBuf[:0]))
+	enqueue := func(e E) {
+		keyBuf = normalizeVals(s.cfg.Partition(e, keyBuf[:0]))
 		byteBuf = encodeKey(byteBuf[:0], keyBuf)
 		p, ok := ws.parts[string(byteBuf)] // no alloc: compiler-optimized map access
 		if !ok {
 			vals := append([]float64(nil), keyBuf...)
-			p = &partition[E]{vals: vals, ex: s.cfg.New(vals)}
+			p = newPartition(vals, s.cfg.New(vals))
 			ws.parts[string(byteBuf)] = p
 			sh.partitions.Store(int64(len(ws.parts)))
 		}
-		p.ex.Apply(it.ev)
+		p.pend = append(p.pend, e)
 		if ws.wal != nil && ws.err == nil {
-			walBuf = s.cfg.Durable.EncodeEvent(walBuf[:0], it.ev)
-			if err := ws.wal.Append(walBuf); err != nil {
-				ws.err = err
-			}
+			// Group commit: frame the event into the batch record (u32 length
+			// prefix + encoding); the record is appended and flushed once per
+			// batch in commit.
+			off := len(walBuf)
+			walBuf = append(walBuf, 0, 0, 0, 0)
+			walBuf = s.cfg.Durable.EncodeEvent(walBuf, e)
+			binary.LittleEndian.PutUint32(walBuf[off:], uint32(len(walBuf)-off-4))
 			ws.pending++
 		}
 		if !p.dirty {
@@ -435,32 +551,18 @@ func (s *Service[E]) run(sh *shard[E]) {
 		}
 		sh.applied.Add(1)
 	}
-	for it := range sh.in {
-		apply(it)
-		// Greedily drain up to BatchSize queued events before refreshing.
-		n := 1
-		for n < s.cfg.BatchSize {
-			select {
-			case it2, ok := <-sh.in:
-				if !ok {
-					break
-				}
-				apply(it2)
-				n++
-				continue
-			default:
-			}
-			break
-		}
+	commit := func() {
 		for _, p := range dirty {
+			p.applyPend()
 			p.last = p.ex.Result()
 			p.dirty = false
 		}
 		dirty = dirty[:0]
 		// Publish a fresh immutable snapshot of every partition this shard
 		// owns. This full walk is the price of lock-free consistent reads;
-		// its cost shrinks with the shard count, which is what the serve
-		// benchmark measures on top of multi-core parallelism.
+		// its cost shrinks with the shard count and amortizes with the batch
+		// size, which is what the serve benchmarks measure on top of
+		// multi-core parallelism.
 		snap := &Snapshot{Groups: make([]engine.GroupResult, 0, len(ws.parts))}
 		for _, p := range ws.parts {
 			snap.Groups = append(snap.Groups, engine.GroupResult{Key: p.vals, Value: p.last})
@@ -469,14 +571,18 @@ func (s *Service[E]) run(sh *shard[E]) {
 		sh.snap.Store(snap)
 		sh.flushed.Add(1)
 		if ws.wal != nil && ws.err == nil {
-			if err := ws.wal.Flush(); err != nil {
-				ws.err = err
+			if len(walBuf) > 0 {
+				if err := ws.wal.Append(walBuf); err != nil {
+					ws.err = err
+				}
+			}
+			if ws.err == nil {
+				if err := ws.wal.Flush(); err != nil {
+					ws.err = err
+				}
 			}
 		}
-		for _, c := range syncs {
-			close(c)
-		}
-		syncs = syncs[:0]
+		walBuf = walBuf[:0]
 		// Bound replay work: rotate the shard's snapshot once the WAL has
 		// accumulated CompactEvery events since the last rotation.
 		if d := s.cfg.Durable; ws.wal != nil && ws.err == nil && d.CompactEvery > 0 && ws.pending >= d.CompactEvery {
@@ -484,6 +590,50 @@ func (s *Service[E]) run(sh *shard[E]) {
 				ws.err = err
 			}
 		}
+	}
+	for it := range sh.in {
+		n, stop := 0, false
+		handle := func(it item[E]) {
+			switch {
+			case it.ctl != nil:
+				// Commit queued work first so the control request observes
+				// (and checkpoints) fully applied state, then stop: the next
+				// loop iteration starts a fresh batch.
+				commit()
+				it.ctl.done <- it.ctl.fn(ws)
+				stop = true
+			case it.sync != nil:
+				syncs = append(syncs, it.sync)
+				stop = true
+			case it.batch != nil:
+				for i := range it.batch.events {
+					enqueue(it.batch.events[i])
+				}
+				n += len(it.batch.events)
+				s.batchPool.Put(it.batch)
+			default:
+				enqueue(it.ev)
+				n++
+			}
+		}
+		handle(it)
+	drain:
+		for !stop && n < s.cfg.BatchSize {
+			select {
+			case it2, ok := <-sh.in:
+				if !ok {
+					break drain
+				}
+				handle(it2)
+			default:
+				break drain
+			}
+		}
+		commit()
+		for _, c := range syncs {
+			close(c)
+		}
+		syncs = syncs[:0]
 	}
 }
 
@@ -529,6 +679,7 @@ func (s *Service[E]) Stats() []ShardStats {
 			Partitions:    int(sh.partitions.Load()),
 			EnqueueWaitNS: sh.waitNS.Load(),
 			Rejected:      sh.rejected.Load(),
+			BatchSize:     s.cfg.BatchSize,
 		}
 	}
 	return out

@@ -272,6 +272,7 @@ func EncodeStats(buf []byte, st Stats) []byte {
 		buf = le.AppendUint64(buf, uint64(s.Partitions))
 		buf = le.AppendUint64(buf, s.EnqueueWaitNS)
 		buf = le.AppendUint64(buf, s.Rejected)
+		buf = le.AppendUint64(buf, uint64(s.BatchSize))
 	}
 	return buf
 }
@@ -291,7 +292,7 @@ func DecodeStats(p []byte) (Stats, error) {
 	}
 	n := le.Uint32(p[40:])
 	p = p[44:]
-	const per = 4 + 6*8
+	const per = 4 + 7*8
 	if n > maxStatsShards || int(n)*per != len(p) {
 		return st, fmt.Errorf("wire: stats shard count %d inconsistent with body", n)
 	}
@@ -305,6 +306,7 @@ func DecodeStats(p []byte) (Stats, error) {
 			Partitions:    int(le.Uint64(p[28:])),
 			EnqueueWaitNS: le.Uint64(p[36:]),
 			Rejected:      le.Uint64(p[44:]),
+			BatchSize:     int(le.Uint64(p[52:])),
 		}
 		p = p[per:]
 	}

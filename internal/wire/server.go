@@ -479,8 +479,9 @@ func (s *Server) processBatch(cs *connScratch, sess *session, body []byte) (MsgT
 		}
 		events = append(events, ev)
 	}
-	// The service consumes events synchronously in Apply, so the slice (not
-	// the tuples) is safe to reuse for the next batch.
+	// ApplyBatch copies the events into pooled per-shard buffers before
+	// returning, so the slice (not the tuples) is safe to reuse for the next
+	// batch.
 	cs.events = events
 	if seq != 0 && sess != nil {
 		sess.mu.Lock()
@@ -493,10 +494,11 @@ func (s *Server) processBatch(cs *connScratch, sess *session, body []byte) (MsgT
 				fmt.Sprintf("batch seq %d after %d", seq, sess.lastSeq))
 		}
 	}
-	for _, ev := range events {
-		if err := s.svc.Apply(ev); err != nil {
-			return errReply(err)
-		}
+	// Hand the whole decoded batch to the service's batched ingest: it is
+	// routed shard by shard and applied through the executors' native
+	// ApplyBatch paths, with results bit-identical to per-event Apply.
+	if err := s.svc.ApplyBatch(events); err != nil {
+		return errReply(err)
 	}
 	if seq != 0 && sess != nil {
 		sess.lastSeq = seq

@@ -298,18 +298,31 @@ func TestServerOverloadSheds(t *testing.T) {
 
 	ev := engine.EncodeEvent(nil, engine.Insert(query.Tuple{"sym": 1, "price": 2, "volume": 3}))
 	batch := EncodeBatch(nil, 0, [][]byte{ev})
-	// Enough events to fill the wedged shard's queue and block the batch
-	// apply inside the worker, so its admission token stays held.
-	var big [][]byte
-	for i := 0; i < 2*queueLen; i++ {
-		big = append(big, ev)
-	}
-	wedgeBatch := EncodeBatch(nil, 0, big)
 
-	// Wedge connection A: its first batch blocks inside the shard apply, the
-	// second occupies the remaining admission token while queued behind it.
+	// Wedge the shard directly: the worker drains its first batch and blocks
+	// applying it, and the queue behind it fills until admission reports
+	// busy. The double-check tolerates the startup race where TryApply sees
+	// a full queue that the worker is still about to drain.
+	wedgeEv := engine.Insert(query.Tuple{"sym": 1, "price": 2, "volume": 3})
+	for {
+		err := svc.TryApply(wedgeEv)
+		if errors.Is(err, serve.ErrBusy) {
+			time.Sleep(time.Millisecond)
+			if errors.Is(svc.TryApply(wedgeEv), serve.ErrBusy) {
+				break
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Connection A's batches block enqueueing onto the full shard — the
+	// first inside ApplyBatch, the second queued behind it — so both
+	// admission tokens stay held.
 	wedge := dialRaw(t, addr, 2)
-	wedge.send(MsgApplyBatch, wedgeBatch)
+	wedge.send(MsgApplyBatch, batch)
 	wedge.send(MsgApplyBatch, batch)
 
 	// Wait until both tokens are actually held.

@@ -41,8 +41,9 @@ import (
 )
 
 // Version is the protocol version exchanged in the hello/welcome handshake.
-// Servers refuse other versions with CodeVersion.
-const Version = 1
+// Servers refuse other versions with CodeVersion. Version 2 added the
+// per-shard BatchSize field to the stats reply.
+const Version = 2
 
 // DefaultMaxFrame bounds a frame payload (8 MiB) unless overridden: large
 // enough for multi-thousand-event batches and wide grouped results, small
