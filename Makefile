@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: test test-race bench bench-core batch experiments examples fuzz fuzz-smoke race recovery wire serve-demo lint
+.PHONY: test test-race bench bench-core batch experiments examples fuzz fuzz-smoke race recovery wire fanout serve-demo lint
 
 test:
 	go build ./... && go vet ./... && go test ./...
@@ -49,6 +49,7 @@ fuzz:
 	go test -fuzz FuzzBTreeVsBinary -fuzztime 30s ./internal/rpaibtree/
 	go test -fuzz FuzzParse -fuzztime 30s ./internal/sqlparse/
 	go test -fuzz FuzzWireFrames -fuzztime 30s ./internal/wire/
+	go test -fuzz FuzzSubscriptionDeltas -fuzztime 30s ./internal/serve/
 
 # The 10-second smoke CI runs on every push.
 fuzz-smoke:
@@ -72,6 +73,16 @@ wire:
 	go build ./cmd/rpaiserver
 	go test -race ./internal/wire/...
 	go run ./cmd/rpaibench -exp wire -quick -wire-out ""
+
+# The read fan-out surface: subscription/replica/read-only tests under
+# -race, the subscription and wire fuzz smokes, and the push-vs-pull
+# experiment at quick scale (CI's fanout job).
+fanout:
+	go test -race -run 'Subscri|Delta|Replica|ReadOnly|Downgrade|Version|Tail|View' \
+		./internal/serve/ ./internal/wire/... ./internal/checkpoint/
+	go test -fuzz FuzzSubscriptionDeltas -fuzztime 10s -run '^$$' ./internal/serve/
+	go test -fuzz FuzzWireFrames -fuzztime 10s -run '^$$' ./internal/wire/
+	go run ./cmd/rpaibench -exp fanout -quick -fanout-out ""
 
 # Boot a durable rpaiserver on :7411 with the VWAP decile query, partitioned
 # by symbol, and run the in-process demo against a loopback server.

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	rpaibench -exp table1|scaling|fig7|fig8|fig8d|fig9|cadence|latency|all [flags]
-//	rpaibench -exp serve|recovery|wire|arena|batch [-quick] [flags]   # BENCH_*.json reports
+//	rpaibench -exp serve|recovery|wire|arena|batch|fanout [-quick] [flags]   # BENCH_*.json reports
 //	rpaibench -exp replay -trace book.csv [-query vwap]
 //
 // The default scales finish in minutes on a laptop; -full switches Figure 8
@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1, scaling, fig7, fig8, fig8d, fig9, cadence, latency, serve, replay, recovery, wire, arena, batch, or all")
+		exp      = flag.String("exp", "all", "experiment: table1, scaling, fig7, fig8, fig8d, fig9, cadence, latency, serve, replay, recovery, wire, arena, batch, fanout, or all")
 		events   = flag.Int("events", 10000, "finance trace length for fig7")
 		sf       = flag.Float64("sf", 1, "TPC-H scale factor for fig7")
 		seed     = flag.Int64("seed", 1, "workload seed")
@@ -41,6 +41,7 @@ func main() {
 		wireOut  = flag.String("wire-out", "BENCH_wire.json", "wire: JSON report path (empty to skip the file)")
 		arenaOut = flag.String("arena-out", "BENCH_arena.json", "arena: JSON report path (empty to skip the file)")
 		batchOut = flag.String("batch-out", "BENCH_batch.json", "batch: JSON report path (empty to skip the file)")
+		fanOut   = flag.String("fanout-out", "BENCH_fanout.json", "fanout: JSON report path (empty to skip the file)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -297,6 +298,31 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("wrote %s\n", *batchOut)
+		}
+	}
+	if *exp == "fanout" {
+		ran = true
+		cfg := bench.DefaultFanout()
+		if *quick {
+			cfg = bench.QuickFanout()
+		}
+		cfg.Seed = *seed
+		rep, err := bench.Fanout(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rpaibench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(bench.FormatFanout(rep))
+		if *fanOut != "" {
+			data, err := bench.FanoutJSON(rep)
+			if err == nil {
+				err = os.WriteFile(*fanOut, data, 0o644)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rpaibench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *fanOut)
 		}
 	}
 	if *exp == "arena" {

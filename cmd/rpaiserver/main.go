@@ -8,10 +8,18 @@
 // WALs, checkpoints rotate generations, and a restart recovers from the
 // directory before accepting connections.
 //
+// With -replica the daemon is a read replica instead: it boots from the
+// primary's checkpoint directory, tails the primary's per-shard WALs applying
+// group-committed batches as they land, and serves reads and subscriptions
+// while shedding every write with CodeReadOnly. The directory must be shared
+// with (or mirrored from) the primary; -data is ignored in replica mode.
+//
 // Usage:
 //
 //	rpaiserver -addr :7411 -partition sym -data /var/lib/rpai \
 //	  -query "SELECT Sum(b.price * b.volume) FROM bids b WHERE 0.75 * (SELECT Sum(b1.volume) FROM bids b1) < (SELECT Sum(b2.volume) FROM bids b2 WHERE b2.price <= b.price)"
+//
+//	rpaiserver -addr :7412 -partition sym -replica /var/lib/rpai -query "..."
 //
 // Clients connect with internal/wire/client, or any implementation of the
 // framing in DESIGN.md section 5d.
@@ -45,6 +53,8 @@ func main() {
 		queueLen     = flag.Int("queue", 0, "per-shard queue length (0: serve default)")
 		batch        = flag.Int("batch", 0, "per-shard apply batch size (0: serve default)")
 		dataDir      = flag.String("data", "", "checkpoint/WAL directory; enables durability and boot-time recovery")
+		replicaDir   = flag.String("replica", "", "serve as a read replica tailing this primary data directory (sheds writes)")
+		replicaPoll  = flag.Duration("replica-poll", 0, "replica WAL tail polling interval (0: serve default)")
 		compactEvery = flag.Int("compact-every", 0, "auto-compact a shard's WAL after this many events (0: off)")
 		maxInFlight  = flag.Int("max-inflight", 0, "admission limit for in-flight work requests (0: wire default)")
 		perConn      = flag.Int("per-conn", 0, "pipelined requests buffered per connection (0: wire default)")
@@ -92,6 +102,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *replicaDir != "" && *dataDir != "" {
+		fmt.Fprintln(os.Stderr, "rpaiserver: -replica and -data are mutually exclusive (a replica keeps no WALs of its own)")
+		os.Exit(2)
+	}
 	opt := serve.Options{
 		Shards:       *shards,
 		QueueLen:     *queueLen,
@@ -100,10 +114,21 @@ func main() {
 		CompactEvery: *compactEvery,
 	}
 
-	// With a data directory holding a manifest, resume from it; otherwise
-	// start fresh (logging into the directory if one was given).
+	// Replica mode: boot from the primary's checkpoint directory and keep
+	// tailing its WALs; the wire server sheds writes. Otherwise, with a data
+	// directory holding a manifest, resume from it; else start fresh (logging
+	// into the directory if one was given).
 	var svc *serve.Service[engine.Event]
-	if *dataDir != "" {
+	var replica *serve.Replica[engine.Event]
+	if *replicaDir != "" {
+		replica, err = serve.ReplicaForQuery(*replicaDir, q, partitionBy, opt, *replicaPoll)
+		if err != nil {
+			fatal(fmt.Errorf("replicating %s: %w", *replicaDir, err))
+		}
+		svc = replica.Service()
+		fmt.Printf("rpaiserver: read replica tailing %s (generation %d)\n", *replicaDir, replica.Generation())
+	}
+	if svc == nil && *dataDir != "" {
 		if _, merr := checkpoint.ReadManifest(*dataDir); merr == nil {
 			svc, err = serve.RecoverForQuery(*dataDir, q, partitionBy, opt)
 			if err != nil {
@@ -124,6 +149,7 @@ func main() {
 		IdleTimeout:  *idleTimeout,
 		DataDir:      *dataDir,
 		Query:        q.String(),
+		ReadOnly:     replica != nil,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -150,11 +176,19 @@ func main() {
 			fatal(err)
 		}
 	}
-	if err := svc.Drain(); err != nil {
-		fatal(err)
-	}
-	if err := svc.Close(); err != nil {
-		fatal(err)
+	if replica != nil {
+		// Replica shutdown: stop the tailer; it closes the service (no WALs
+		// to flush). A sticky tail error is worth surfacing on the way out.
+		if err := replica.Close(); err != nil {
+			fatal(err)
+		}
+	} else {
+		if err := svc.Drain(); err != nil {
+			fatal(err)
+		}
+		if err := svc.Close(); err != nil {
+			fatal(err)
+		}
 	}
 	fmt.Println("rpaiserver: clean shutdown")
 }

@@ -1,0 +1,153 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// WALTail incrementally reads a WAL that another process (or goroutine) is
+// still appending to — the file-tail replication substrate read replicas are
+// built on. Appends to a WAL are strictly sequential, so the byte range that
+// can be incomplete at any instant is a suffix: a record that fails to read
+// is either an in-progress append (retry later, ErrNoRecord), the WAL being
+// recreated in place by a snapshot rotation (ErrTailRotated — reopen and
+// rebase from the newest snapshot), or genuine corruption (ErrCorrupt).
+//
+// All reads go through ReadAt with an explicitly tracked offset, so a torn
+// read never advances the cursor: after ErrNoRecord the next call retries the
+// same record and returns it once its bytes are complete.
+
+// ErrNoRecord reports that the WAL ends mid-record: the tail is torn because
+// the writer is still appending (or a copy was cut short). The caller retries
+// after the writer makes progress.
+var ErrNoRecord = errors.New("checkpoint: no complete record at WAL tail")
+
+// ErrTailRotated reports that the WAL file was recreated under the tail — a
+// snapshot rotation truncated it in place and started a new sequence. The
+// caller must discard the tail and rebase from the newest snapshot.
+var ErrTailRotated = errors.New("checkpoint: WAL rotated under tail")
+
+// WALTail is a cursor over one shard WAL. Not safe for concurrent use.
+type WALTail struct {
+	f   *os.File
+	h   Header
+	off int64 // file offset of the next unread record
+}
+
+// OpenWALTail opens a WAL for tailing and reads its header. A file whose
+// magic or header record is still incomplete returns ErrNoRecord (the writer
+// is mid-create; retry); a missing file returns the os error.
+func OpenWALTail(path string) (*WALTail, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	magic := make([]byte, len(walMagic))
+	if _, err := f.ReadAt(magic, 0); err != nil {
+		f.Close()
+		if isShortRead(err) {
+			return nil, ErrNoRecord
+		}
+		return nil, err
+	}
+	if string(magic) != walMagic {
+		f.Close()
+		return nil, fmt.Errorf("%w: bad WAL magic %q", ErrCorrupt, magic)
+	}
+	payload, off, err := readRecordAt(f, int64(len(walMagic)))
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	h, err := decodeHeader(payload)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &WALTail{f: f, h: h, off: off}, nil
+}
+
+// Header returns the WAL's header (generation, sequence, shard).
+func (t *WALTail) Header() Header { return t.h }
+
+// Offset returns the file offset of the next unread record.
+func (t *WALTail) Offset() int64 { return t.off }
+
+// Next returns the next complete record's payload. ErrNoRecord means the
+// tail is torn mid-record — call again once the writer has flushed more.
+// ErrTailRotated means the file was recreated in place; the cursor is dead
+// and the caller rebases. Any other error wraps ErrCorrupt.
+func (t *WALTail) Next() ([]byte, error) {
+	payload, next, err := readRecordAt(t.f, t.off)
+	if err == nil {
+		t.off = next
+		return payload, nil
+	}
+	if t.rotated() {
+		return nil, ErrTailRotated
+	}
+	return nil, err
+}
+
+// Close releases the underlying file.
+func (t *WALTail) Close() error { return t.f.Close() }
+
+// rotated distinguishes an in-place WAL recreation from a torn tail or
+// corruption: the file shrank below the cursor, or its header record no
+// longer matches the one the tail was opened against.
+func (t *WALTail) rotated() bool {
+	st, err := t.f.Stat()
+	if err != nil || st.Size() < t.off {
+		return true
+	}
+	magic := make([]byte, len(walMagic))
+	if _, err := t.f.ReadAt(magic, 0); err != nil || string(magic) != walMagic {
+		return true
+	}
+	payload, _, err := readRecordAt(t.f, int64(len(walMagic)))
+	if err != nil {
+		// The header is unreadable but the file did not shrink: that is
+		// corruption at the head, not a rotation.
+		return false
+	}
+	h, err := decodeHeader(payload)
+	if err != nil {
+		return true
+	}
+	return h != t.h
+}
+
+// readRecordAt reads one framed record at off without moving any file
+// cursor, returning the payload and the offset one past the record. A read
+// that runs off the end of the file maps to ErrNoRecord.
+func readRecordAt(f *os.File, off int64) ([]byte, int64, error) {
+	var hdr [8]byte
+	if _, err := f.ReadAt(hdr[:], off); err != nil {
+		if isShortRead(err) {
+			return nil, 0, ErrNoRecord
+		}
+		return nil, 0, err
+	}
+	n := le.Uint32(hdr[0:4])
+	if n > MaxRecord {
+		return nil, 0, fmt.Errorf("%w: length %d exceeds limit", ErrCorrupt, n)
+	}
+	payload := make([]byte, n)
+	if _, err := f.ReadAt(payload, off+8); err != nil {
+		if isShortRead(err) {
+			return nil, 0, ErrNoRecord
+		}
+		return nil, 0, err
+	}
+	if crc32.Checksum(payload, castagnoli) != le.Uint32(hdr[4:8]) {
+		return nil, 0, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	return payload, off + 8 + int64(n), nil
+}
+
+func isShortRead(err error) bool {
+	return err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF)
+}

@@ -1,0 +1,250 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// buildTailWAL writes a WAL with n records of varying sizes and returns its
+// full byte image plus the record payloads.
+func buildTailWAL(t *testing.T, path string, h Header, n int) ([]byte, [][]byte) {
+	t.Helper()
+	w, err := CreateWAL(path, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs [][]byte
+	for i := 0; i < n; i++ {
+		rec := bytes.Repeat([]byte{byte(i + 1)}, 1+i*7)
+		recs = append(recs, rec)
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return full, recs
+}
+
+// TestWALTailTornMatrix cuts a WAL at every byte offset and checks the tail
+// reader's contract at each cut: it returns exactly the complete-record
+// prefix, reports ErrNoRecord at the torn tail (never a payload, never
+// corruption), and — once the remaining bytes are appended — resumes from the
+// same cursor and delivers every remaining record.
+func TestWALTailTornMatrix(t *testing.T) {
+	dir := t.TempDir()
+	h := Header{Gen: 3, Seq: 1, Shard: 0, ShardCount: 1}
+	full, recs := buildTailWAL(t, filepath.Join(dir, "full.wal"), h, 6)
+	for cut := 0; cut <= len(full); cut++ {
+		path := filepath.Join(dir, fmt.Sprintf("cut-%d.wal", cut))
+		if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		tail, err := OpenWALTail(path)
+		if err != nil {
+			if !errors.Is(err, ErrNoRecord) {
+				t.Fatalf("cut %d: open: %v", cut, err)
+			}
+			// Header still torn: appending the rest must make it openable.
+			appendBytes(t, path, full[cut:])
+			if tail, err = OpenWALTail(path); err != nil {
+				t.Fatalf("cut %d: reopen after completing header: %v", cut, err)
+			}
+			drainAll(t, tail, recs, 0, cut)
+			tail.Close()
+			continue
+		}
+		if got := tail.Header(); got != h {
+			t.Fatalf("cut %d: header %+v, want %+v", cut, got, h)
+		}
+		got := 0
+		for {
+			p, err := tail.Next()
+			if errors.Is(err, ErrNoRecord) {
+				break
+			}
+			if err != nil {
+				t.Fatalf("cut %d: record %d: %v", cut, got, err)
+			}
+			if !bytes.Equal(p, recs[got]) {
+				t.Fatalf("cut %d: record %d mismatch", cut, got)
+			}
+			got++
+		}
+		// Exactly the records whose bytes are fully inside the prefix.
+		if want := completeRecords(full, cut, len(recs)); got != want {
+			t.Fatalf("cut %d: read %d records, want %d", cut, got, want)
+		}
+		appendBytes(t, path, full[cut:])
+		drainAll(t, tail, recs, got, cut)
+		tail.Close()
+	}
+}
+
+// completeRecords counts how many records end at or before offset cut.
+func completeRecords(full []byte, cut, n int) int {
+	off := len(walMagic)
+	// skip the header record
+	off += 8 + int(le.Uint32(full[off:]))
+	count := 0
+	for i := 0; i < n; i++ {
+		off += 8 + int(le.Uint32(full[off:]))
+		if off <= cut {
+			count++
+		}
+	}
+	return count
+}
+
+func appendBytes(t *testing.T, path string, b []byte) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func drainAll(t *testing.T, tail *WALTail, recs [][]byte, from, cut int) {
+	t.Helper()
+	for i := from; i < len(recs); i++ {
+		p, err := tail.Next()
+		if err != nil {
+			t.Fatalf("cut %d: record %d after append: %v", cut, i, err)
+		}
+		if !bytes.Equal(p, recs[i]) {
+			t.Fatalf("cut %d: record %d mismatch after append", cut, i)
+		}
+	}
+	if _, err := tail.Next(); !errors.Is(err, ErrNoRecord) {
+		t.Fatalf("cut %d: want ErrNoRecord at end, got %v", cut, err)
+	}
+}
+
+// TestWALTailLiveAppend interleaves writer appends with tail reads against
+// the same file, the replica's steady-state shape.
+func TestWALTailLiveAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "live.wal")
+	h := Header{Gen: 1, Seq: 0, Shard: 2, ShardCount: 4}
+	w, err := CreateWAL(path, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	tail, err := OpenWALTail(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tail.Close()
+	if _, err := tail.Next(); !errors.Is(err, ErrNoRecord) {
+		t.Fatalf("empty WAL: want ErrNoRecord, got %v", err)
+	}
+	for i := 0; i < 50; i++ {
+		rec := bytes.Repeat([]byte{byte(i)}, 1+i%13)
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		p, err := tail.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !bytes.Equal(p, rec) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+	if _, err := tail.Next(); !errors.Is(err, ErrNoRecord) {
+		t.Fatalf("drained WAL: want ErrNoRecord, got %v", err)
+	}
+}
+
+// TestWALTailRotation recreates the WAL in place — what a snapshot rotation
+// does — and checks the tail reports ErrTailRotated instead of corruption,
+// both when the cursor is past the new file's size and when the new file has
+// grown over it.
+func TestWALTailRotation(t *testing.T) {
+	for _, grow := range []bool{false, true} {
+		path := filepath.Join(t.TempDir(), "rot.wal")
+		buildTailWAL(t, path, Header{Gen: 1, Seq: 0, Shard: 0, ShardCount: 1}, 5)
+		tail, err := OpenWALTail(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			if _, err := tail.Next(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Rotate: same path, next sequence (CreateWAL truncates in place).
+		w, err := CreateWAL(path, Header{Gen: 1, Seq: 1, Shard: 0, ShardCount: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if grow {
+			// Push the new WAL past the old cursor so the tail reads garbage
+			// instead of hitting EOF — it must still detect the rotation.
+			for i := 0; i < 20; i++ {
+				if err := w.Append(bytes.Repeat([]byte{7}, 31)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := w.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := tail.Next(); !errors.Is(err, ErrTailRotated) {
+			t.Fatalf("grow=%v: want ErrTailRotated, got %v", grow, err)
+		}
+		tail.Close()
+		w.Close()
+		// Reopening picks up the new sequence.
+		nt, err := OpenWALTail(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nt.Header().Seq != 1 {
+			t.Fatalf("grow=%v: reopened header seq %d, want 1", grow, nt.Header().Seq)
+		}
+		nt.Close()
+	}
+}
+
+// TestWALTailCorrupt flips a byte inside a committed record: the tail must
+// report corruption, not ErrNoRecord and not a rotation.
+func TestWALTailCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.wal")
+	full, _ := buildTailWAL(t, path, Header{Gen: 1, Seq: 0, Shard: 0, ShardCount: 1}, 3)
+	full[len(full)-1] ^= 0xff
+	if err := os.WriteFile(path, full, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tail, err := OpenWALTail(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tail.Close()
+	for i := 0; i < 2; i++ {
+		if _, err := tail.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tail.Next(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+}

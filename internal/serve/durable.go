@@ -186,9 +186,12 @@ func walHeader(path string) (checkpoint.Header, error) {
 
 // recoveredShard is one shard of a checkpoint generation as loaded from
 // disk: its restored partition executors plus the WAL to replay, if any.
+// seq is the snapshot sequence the state corresponds to (0 when the shard is
+// carried by a fresh WAL alone) — the alignment point WAL tailing resumes at.
 type recoveredShard[E any] struct {
 	parts   []*partition[E]
 	walPath string
+	seq     uint64
 }
 
 // scanGens lists the generations present in a checkpoint directory, highest
@@ -289,6 +292,7 @@ func loadGen[E any](dir string, gen uint64, d *Durable[E]) ([]recoveredShard[E],
 			if seq > su.h.Seq {
 				return nil, fmt.Errorf("generation %d shard %d: WAL seq %d ahead of snapshot seq %d", gen, i, seq, su.h.Seq)
 			}
+			out[i].seq = su.h.Seq
 			if seq == su.h.Seq {
 				out[i].walPath = checkpoint.WALPath(dir, gen, i)
 			}
@@ -296,6 +300,7 @@ func loadGen[E any](dir string, gen uint64, d *Durable[E]) ([]recoveredShard[E],
 			// snapshot already contains everything it holds.
 		case haveSnap:
 			// Snapshot alone carries the shard.
+			out[i].seq = su.h.Seq
 		case haveWAL:
 			if seq != 0 {
 				return nil, fmt.Errorf("generation %d shard %d: WAL seq %d but no snapshot", gen, i, seq)
@@ -394,11 +399,11 @@ func Recover[E any](dir string, cfg Config[E]) (*Service[E], error) {
 		list := list
 		if err := svc.control(i, func(ws *workerState[E]) error {
 			for _, p := range list {
-				k := string(encodeKey(nil, p.vals))
-				if _, dup := ws.parts[k]; dup {
+				p.ekey = string(encodeKey(nil, p.vals))
+				if _, dup := ws.parts[p.ekey]; dup {
 					return fmt.Errorf("serve: duplicate partition %v in checkpoint", p.vals)
 				}
-				ws.parts[k] = p
+				ws.parts[p.ekey] = p
 			}
 			svc.shards[ws.idx].partitions.Store(int64(len(ws.parts)))
 			return nil

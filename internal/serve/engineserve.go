@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"rpai/internal/engine"
 	"rpai/internal/query"
@@ -111,4 +112,16 @@ func RecoverForQuery(dir string, q *query.Query, partitionBy []string, opt Optio
 		return nil, err
 	}
 	return Recover(dir, cfg)
+}
+
+// ReplicaForQuery boots a read replica tailing the primary ForQuery service
+// whose data directory is dir. The query and partition columns must match
+// the primary's; opt.Dir is ignored (replicas keep no WALs of their own).
+// poll is the WAL tail polling interval (0 selects ReplicaPollDefault).
+func ReplicaForQuery(dir string, q *query.Query, partitionBy []string, opt Options, poll time.Duration) (*Replica[engine.Event], error) {
+	cfg, err := engineConfig(q, partitionBy, opt)
+	if err != nil {
+		return nil, err
+	}
+	return NewReplica(dir, cfg, poll)
 }

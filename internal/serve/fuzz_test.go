@@ -1,0 +1,192 @@
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rpai/internal/aggindex"
+	"rpai/internal/engine"
+	"rpai/internal/query"
+)
+
+// subFuzzService builds a one-query sharded service whose per-partition
+// executors run on the chosen RPAI representation, with BatchSize 1 so every
+// applied event is its own commit and publication — the densest possible
+// delta stream for a fuzzed subscriber to reconstruct.
+func subFuzzService(t *testing.T, q *query.Query, shards int, kind aggindex.Kind) *Service[engine.Event] {
+	t.Helper()
+	svc, err := New(Config[engine.Event]{
+		Shards:    shards,
+		BatchSize: 1,
+		Partition: func(e engine.Event, buf []float64) []float64 {
+			return append(buf, e.Tuple["sym"])
+		},
+		New: func([]float64) Executor[engine.Event] {
+			ex, err := engine.NewWithIndexKind(q, kind)
+			if err != nil {
+				// Unreachable: the same query planned successfully up front.
+				panic("serve fuzz: " + err.Error())
+			}
+			return ex
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+// subFuzzSeeds builds the committed seed corpus for FuzzSubscriptionDeltas.
+// The input layout is shared with the engine's FuzzEngineDifferential — a
+// shape byte, an 8-byte seed, then op/b1/b2 event triples — so adversarial
+// traces found by one fuzzer can be replayed through the other. Here the
+// shape byte selects the shard count and the RPAI representation instead of
+// the query (the serving layer is query-agnostic; the executors are not the
+// surface under test).
+func subFuzzSeeds() [][]byte {
+	trace := []byte{
+		1, 5, 9, 1, 5, 3, 1, 17, 28, 1, 5, 9, 0, 0, 1, 1, 200, 100,
+		1, 39, 29, 0, 0, 0, 1, 5, 9, 1, 12, 12, 0, 0, 2, 1, 1, 1,
+		2, 7, 13, 1, 9, 9, 0, 1, 0, 2, 21, 34, 1, 3, 27, 0, 0, 1,
+	}
+	var seeds [][]byte
+	for shape := byte(0); shape < 4; shape++ {
+		seeds = append(seeds, append([]byte{shape, 0, 0, 0, 0, 0, 0, 0, 77}, trace...))
+	}
+	return seeds
+}
+
+// FuzzSubscriptionDeltas is the subscription half of the differential fuzz
+// suite: a random insert/delete stream with random publish boundaries and
+// random subscriber attach/detach/resume churn, on one or two shards, over
+// both RPAI representations (arena and pointer tree). The invariant is the
+// replay-equals-pull contract: at every drained boundary the subscriber's
+// view, reconstructed from delta frames alone, is bit-identical to what
+// ResultGrouped returns at the same shard versions.
+func FuzzSubscriptionDeltas(f *testing.F) {
+	for _, s := range subFuzzSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 9 {
+			return
+		}
+		shape := data[0]
+		kind := aggindex.KindArena
+		if shape&1 == 1 {
+			kind = aggindex.KindRPAI
+		}
+		shards := 1 + int(shape>>1)%2
+		q := vwapSpec()
+		svc := subFuzzService(t, q, shards, kind)
+		defer svc.Close()
+
+		rng := rand.New(rand.NewSource(int64(binary.BigEndian.Uint64(data[1:9]))))
+		sub, err := svc.Subscribe(SubOptions{Buffer: 1024})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { sub.Close() }()
+		view := NewView()
+
+		// sync is a publish boundary: quiesce, catch the view up on frames
+		// alone, and hold it to the pulled grouped results bit for bit.
+		sync := func(what string) {
+			t.Helper()
+			if err := svc.Drain(); err != nil {
+				t.Fatal(err)
+			}
+			syncView(t, view, sub, svc.ShardVersions())
+			if got, want := view.Grouped(), svc.ResultGrouped(); !groupsIdentical(got, want) {
+				t.Fatalf("%s: replayed view != pulled results:\n got %v\nwant %v", what, got, want)
+			}
+		}
+
+		var live []query.Tuple
+		events := 0
+		for i := 9; i+2 < len(data) && events < 200; i += 3 {
+			op, b1, b2 := data[i], data[i+1], data[i+2]
+			var e engine.Event
+			if op%4 == 0 && len(live) > 0 {
+				j := (int(b1)<<8 | int(b2)) % len(live)
+				e = engine.Delete(live[j])
+				live[j] = live[len(live)-1]
+				live = live[:len(live)-1]
+			} else {
+				tup := query.Tuple{
+					"sym":    float64(b1%5 + 1),
+					"price":  float64(b2%40 + 1),
+					"volume": float64((b1^b2)%30 + 1),
+				}
+				live = append(live, tup)
+				e = engine.Insert(tup)
+			}
+			if err := svc.Apply(e); err != nil {
+				t.Fatal(err)
+			}
+			events++
+
+			if op%5 == 2 {
+				sync("trace boundary")
+			}
+			if rng.Intn(10) == 0 {
+				switch rng.Intn(3) {
+				case 0:
+					// Cold reattach: a fresh subscriber must be reseeded with
+					// Full frames and reconstruct from scratch.
+					sub.Close()
+					view = NewView()
+					if sub, err = svc.Subscribe(SubOptions{Buffer: 1024}); err != nil {
+						t.Fatal(err)
+					}
+				case 1:
+					// Resume: reattach quoting the view's coordinates. The
+					// service either continues the delta stream (view state
+					// provably current) or reseeds — the view absorbs both.
+					sub.Close()
+					sub, err = svc.Subscribe(SubOptions{
+						Buffer:      1024,
+						Resume:      view.Versions(),
+						ResumeEpoch: svc.Epoch(),
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+				case 2:
+					// A transient second subscriber attaches and detaches
+					// immediately; it must never disturb the primary stream.
+					s2, err := svc.Subscribe(SubOptions{Buffer: 1})
+					if err != nil {
+						t.Fatal(err)
+					}
+					s2.Close()
+				}
+			}
+		}
+		sync("final")
+	})
+}
+
+// TestWriteSubscriptionFuzzCorpus regenerates the committed seed corpus under
+// testdata/fuzz/FuzzSubscriptionDeltas from subFuzzSeeds. Run with
+// WRITE_FUZZ_CORPUS=1 after changing the input layout; skipped otherwise.
+func TestWriteSubscriptionFuzzCorpus(t *testing.T) {
+	if os.Getenv("WRITE_FUZZ_CORPUS") == "" {
+		t.Skip("set WRITE_FUZZ_CORPUS=1 to regenerate the seed corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzSubscriptionDeltas")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, seed := range subFuzzSeeds() {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", seed)
+		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

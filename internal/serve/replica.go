@@ -1,0 +1,316 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rpai/internal/checkpoint"
+)
+
+// Replica is a read-only follower of a primary Service's checkpoint
+// directory. It boots from the newest complete snapshot generation, then
+// tails the primary's per-shard RPWL WALs, applying each group-committed
+// batch record through ApplyBatch — so every state the replica ever publishes
+// is a batch-boundary prefix of the primary's history. When the primary
+// rotates a WAL (auto-compaction or Checkpoint), the replica rebases: it
+// reloads the newest on-disk snapshots, swaps them in wholesale, and pushes
+// Full frames to its subscribers, because a truncated WAL may have carried
+// records the tail never saw. State only moves forward across a rebase — the
+// rotated snapshot contains everything the rotated-away WAL held.
+//
+// Reads (Service().Result, ResultGrouped, Subscribe) are served from the
+// replica's own shards; writes must not be sent to the embedded service —
+// the wire layer fronts replicas in read-only mode and sheds writes with a
+// typed error.
+type Replica[E any] struct {
+	svc  *Service[E]
+	dir  string
+	d    *Durable[E]
+	poll time.Duration
+
+	applied atomic.Uint64 // WAL batch records applied since boot
+	rebases atomic.Uint64 // snapshot rebases performed (including boot)
+	gen     atomic.Uint64 // generation currently tailed
+
+	mu    sync.Mutex
+	err   error // sticky tailer error (corruption, decode failure)
+	tails []*tailState
+
+	quit chan struct{}
+	done chan struct{}
+}
+
+// tailState is the replica's cursor over one primary shard's WAL.
+type tailState struct {
+	shard int
+	seq   uint64 // sequence of the state installed for this shard
+	tail  *checkpoint.WALTail
+	skip  bool // WAL is stale (seq below ours): discard records until rotation
+}
+
+// ReplicaPollDefault is the tail polling interval when the caller passes 0.
+const ReplicaPollDefault = 5 * time.Millisecond
+
+// NewReplica boots a read replica of the primary whose data directory is
+// dir. cfg is the same configuration the primary runs (Durable must provide
+// Restore and DecodeEvent); cfg.Durable.Dir is ignored — a replica never
+// writes WALs of its own. The replica's shard count may differ from the
+// primary's; partitions are rehashed like Recover.
+func NewReplica[E any](dir string, cfg Config[E], poll time.Duration) (*Replica[E], error) {
+	if cfg.Durable == nil || cfg.Durable.Restore == nil || cfg.Durable.DecodeEvent == nil {
+		return nil, errors.New("serve: NewReplica requires Config.Durable with Restore and DecodeEvent")
+	}
+	if _, err := checkpoint.ReadManifest(dir); err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("serve: %s is not a checkpoint directory", dir)
+		}
+		return nil, err
+	}
+	if poll <= 0 {
+		poll = ReplicaPollDefault
+	}
+	// The replica applies tailed events through the normal ingest path but
+	// must never log them again: strip the WAL dir from a copy of Durable.
+	d := *cfg.Durable
+	d.Dir = ""
+	cfg.Durable = &d
+	svc, err := newService(cfg, false)
+	if err != nil {
+		return nil, err
+	}
+	r := &Replica[E]{svc: svc, dir: dir, d: &d, poll: poll,
+		quit: make(chan struct{}), done: make(chan struct{})}
+	if err := r.rebase(); err != nil {
+		svc.Close()
+		return nil, err
+	}
+	go r.run()
+	return r, nil
+}
+
+// Service returns the replica's serving surface for reads and subscriptions.
+func (r *Replica[E]) Service() *Service[E] { return r.svc }
+
+// Applied reports how many WAL batch records the tailer has applied.
+func (r *Replica[E]) Applied() uint64 { return r.applied.Load() }
+
+// Rebases reports how many times the replica reloaded snapshots (boot
+// included) — each one corresponds to a primary WAL rotation it observed.
+func (r *Replica[E]) Rebases() uint64 { return r.rebases.Load() }
+
+// Generation reports the checkpoint generation currently tailed.
+func (r *Replica[E]) Generation() uint64 { return r.gen.Load() }
+
+// Err returns the tailer's sticky error, if any: corruption or a decode
+// failure stops tailing (the replica keeps serving its last state).
+func (r *Replica[E]) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+// Close stops the tailer and shuts the embedded service down.
+func (r *Replica[E]) Close() error {
+	close(r.quit)
+	<-r.done
+	err := r.svc.Close()
+	if terr := r.Err(); terr != nil {
+		return errors.Join(terr, err)
+	}
+	return err
+}
+
+// rebase (re)loads the newest recoverable snapshot generation from the
+// primary's directory and swaps it into the shard workers wholesale. The
+// swapped-in state supersedes whatever the tailer had applied — snapshots are
+// written at batch boundaries and include every event of any WAL they
+// retired, so state moves forward. Each worker's next publication carries a
+// Full frame (ws.publishFull) because the previous published state is not a
+// valid delta base for it.
+func (r *Replica[E]) rebase() error {
+	gens, err := scanGens(r.dir)
+	if err != nil {
+		return err
+	}
+	var (
+		gen     uint64
+		loaded  []recoveredShard[E]
+		lastErr error
+	)
+	for _, g := range gens {
+		l, err := loadGen(r.dir, g, r.d)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		gen, loaded = g, l
+		break
+	}
+	if loaded == nil {
+		if lastErr != nil {
+			return fmt.Errorf("serve: replica: no recoverable generation in %s: %w", r.dir, lastErr)
+		}
+		return fmt.Errorf("serve: replica: no checkpoint files in %s", r.dir)
+	}
+	installs := make([][]*partition[E], len(r.svc.shards))
+	for _, rs := range loaded {
+		for _, p := range rs.parts {
+			p.vals = normalizeVals(p.vals)
+			t := int(hashVals(p.vals) % uint64(len(r.svc.shards)))
+			installs[t] = append(installs[t], p)
+		}
+	}
+	for i, list := range installs {
+		list := list
+		if err := r.svc.control(i, func(ws *workerState[E]) error {
+			ws.parts = make(map[string]*partition[E], len(list))
+			for _, p := range list {
+				p.ekey = string(encodeKey(nil, p.vals))
+				ws.parts[p.ekey] = p
+			}
+			r.svc.shards[ws.idx].partitions.Store(int64(len(ws.parts)))
+			ws.publishFull = true
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	r.mu.Lock()
+	for _, ts := range r.tails {
+		if ts.tail != nil {
+			ts.tail.Close()
+		}
+	}
+	r.tails = make([]*tailState, len(loaded))
+	for i, rs := range loaded {
+		r.tails[i] = &tailState{shard: i, seq: rs.seq}
+	}
+	r.mu.Unlock()
+	r.gen.Store(gen)
+	r.rebases.Add(1)
+	return nil
+}
+
+// run is the tailer loop: poll the MANIFEST for generation changes, poll
+// each shard's WAL tail for new batch records, apply them, and rebase on any
+// rotation signal.
+func (r *Replica[E]) run() {
+	defer close(r.done)
+	defer func() {
+		r.mu.Lock()
+		for _, ts := range r.tails {
+			if ts.tail != nil {
+				ts.tail.Close()
+				ts.tail = nil
+			}
+		}
+		r.mu.Unlock()
+	}()
+	tick := time.NewTicker(r.poll)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.quit:
+			return
+		case <-tick.C:
+		}
+		if err := r.step(); err != nil {
+			r.mu.Lock()
+			r.err = err
+			r.mu.Unlock()
+			return
+		}
+	}
+}
+
+// step advances the tailer by one poll round. It returns nil on transient
+// conditions (torn tails, mid-rotation windows) and an error only for
+// unrecoverable corruption or decode failures.
+func (r *Replica[E]) step() error {
+	// A generation change replaces the WAL paths outright (the old files are
+	// unlinked, so open tails would idle forever): rebase when the MANIFEST
+	// moves. A rebase that fails mid-rotation is retried next round.
+	if m, err := checkpoint.ReadManifest(r.dir); err == nil && m.Gen != r.gen.Load() {
+		if err := r.rebase(); err != nil {
+			return nil
+		}
+	}
+	needRebase := false
+	for _, ts := range r.tails {
+		if ts.tail == nil {
+			tail, err := checkpoint.OpenWALTail(checkpoint.WALPath(r.dir, r.gen.Load(), ts.shard))
+			if err != nil {
+				// Not created yet or header still in flight; retry later.
+				continue
+			}
+			h := tail.Header()
+			switch {
+			case h.Seq == ts.seq:
+				ts.tail, ts.skip = tail, false
+			case h.Seq < ts.seq:
+				// Stale WAL from a crash mid-rotation: everything it holds is
+				// already inside our snapshot. Keep the tail to detect the
+				// rotation, but discard its records.
+				ts.tail, ts.skip = tail, true
+			default:
+				// The WAL starts after our snapshot: we missed a rotation.
+				tail.Close()
+				needRebase = true
+				continue
+			}
+		}
+		for {
+			rec, err := ts.tail.Next()
+			switch {
+			case err == nil:
+				if ts.skip {
+					continue
+				}
+				if err := r.applyRecord(rec); err != nil {
+					return fmt.Errorf("serve: replica shard %d: %w", ts.shard, err)
+				}
+				r.applied.Add(1)
+				continue
+			case errors.Is(err, checkpoint.ErrNoRecord):
+				// Torn or quiet tail; come back next poll.
+			case errors.Is(err, checkpoint.ErrTailRotated):
+				ts.tail.Close()
+				ts.tail = nil
+				needRebase = true
+			default:
+				return fmt.Errorf("serve: replica shard %d WAL: %w", ts.shard, err)
+			}
+			break
+		}
+	}
+	if needRebase {
+		// Ignore a failed rebase: the primary may be mid-rotation; the next
+		// round retries against a settled directory.
+		if err := r.rebase(); err != nil {
+			return nil
+		}
+	}
+	return nil
+}
+
+// applyRecord decodes one group-committed WAL record and applies it as a
+// single ApplyBatch call, so the replica publishes only batch-boundary
+// states — a box is always committed whole.
+func (r *Replica[E]) applyRecord(rec []byte) error {
+	var events []E
+	if err := forEachWALEvent(rec, func(p []byte) error {
+		ev, err := r.d.DecodeEvent(p)
+		if err != nil {
+			return err
+		}
+		events = append(events, ev)
+		return nil
+	}); err != nil {
+		return err
+	}
+	return r.svc.ApplyBatch(events)
+}

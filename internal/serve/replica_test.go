@@ -1,0 +1,344 @@
+package serve
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"rpai/internal/checkpoint"
+	"rpai/internal/engine"
+)
+
+// encodeGroups canonicalizes grouped results for bit-identical state
+// comparison: key and value IEEE-754 bits in ResultGrouped's sorted order.
+func encodeGroups(gs []engine.GroupResult) string {
+	var b []byte
+	for _, g := range gs {
+		for _, k := range g.Key {
+			b = binary.BigEndian.AppendUint64(b, math.Float64bits(k))
+		}
+		b = binary.BigEndian.AppendUint64(b, math.Float64bits(g.Value))
+	}
+	return string(b)
+}
+
+// waitReplicaState polls until the replica's grouped results match want
+// bit-identically, or the deadline passes.
+func waitReplicaState(t *testing.T, r *Replica[engine.Event], want []engine.GroupResult, what string) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if groupsIdentical(r.Service().ResultGrouped(), want) {
+			return
+		}
+		if time.Now().After(deadline) {
+			if err := r.Err(); err != nil {
+				t.Fatalf("%s: replica tailer failed: %v", what, err)
+			}
+			t.Fatalf("%s: replica never converged:\n got %v\nwant %v", what, r.Service().ResultGrouped(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestReplicaCatchUp is the replica half of the differential proof on the
+// happy path: a replica booted mid-stream converges bit-identically with the
+// primary, follows it through further ingest, survives a checkpoint rotation
+// (generation change), and keeps a subscription consistent across the rebase.
+func TestReplicaCatchUp(t *testing.T) {
+	q := vwapSpec()
+	dir := t.TempDir()
+	primary, err := ForQuery(q, []string{"sym"}, Options{Shards: 2, BatchSize: 8, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+
+	events := symEvents(31, 3000, 13)
+	feed := func(from, to int) {
+		t.Helper()
+		for i := from; i < to; i += 50 {
+			end := i + 50
+			if end > to {
+				end = to
+			}
+			if err := primary.ApplyBatch(events[i:end]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := primary.Drain(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	feed(0, 1000)
+
+	// Boot mid-stream; the replica may use a different shard count.
+	replica, err := ReplicaForQuery(dir, q, []string{"sym"}, Options{Shards: 3}, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer replica.Close()
+	waitReplicaState(t, replica, primary.ResultGrouped(), "boot")
+
+	// A subscriber on the replica must stay consistent through everything.
+	sub, err := replica.Service().Subscribe(SubOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	view := NewView()
+
+	feed(1000, 2000)
+	waitReplicaState(t, replica, primary.ResultGrouped(), "follow")
+
+	// Rotation: a checkpoint starts a new generation and removes the old
+	// WALs; the replica must rebase and keep following.
+	if err := primary.Checkpoint(dir); err != nil {
+		t.Fatal(err)
+	}
+	feed(2000, len(events))
+	waitReplicaState(t, replica, primary.ResultGrouped(), "post-rotation")
+	if replica.Rebases() < 2 {
+		t.Fatalf("replica performed %d rebases, expected boot + rotation", replica.Rebases())
+	}
+
+	// The subscription's view must reconstruct the replica's final state —
+	// the rebase's Full frames bridge the generation swap.
+	if err := replica.Service().Drain(); err != nil {
+		t.Fatal(err)
+	}
+	syncView(t, view, sub, replica.Service().ShardVersions())
+	if got, want := view.Grouped(), primary.ResultGrouped(); !groupsIdentical(got, want) {
+		t.Fatalf("replica subscriber view diverged from primary:\n got %v\nwant %v", got, want)
+	}
+
+	// A replica sheds no writes itself — the wire layer does — but its
+	// service must still be fully readable.
+	if replica.Service().Result() != primary.Result() {
+		t.Fatal("replica total diverged")
+	}
+}
+
+// walRecordEnds parses a WAL byte image and returns the file offsets at
+// which each event record ends (offset 0 is the end of the header).
+func walRecordEnds(t *testing.T, w []byte) []int64 {
+	t.Helper()
+	off := int64(4) // "RPWL"
+	off += 8 + int64(binary.LittleEndian.Uint32(w[off:]))
+	ends := []int64{off}
+	for off < int64(len(w)) {
+		if off+8 > int64(len(w)) {
+			break
+		}
+		n := int64(binary.LittleEndian.Uint32(w[off:]))
+		if off+8+n > int64(len(w)) {
+			break
+		}
+		off += 8 + n
+		ends = append(ends, off)
+	}
+	return ends
+}
+
+// TestReplicaChaos is the crash/lag chaos half of the differential proof: a
+// replica fed a WAL that grows by random byte amounts (torn tails included),
+// killed and restarted at random points, must never serve a state that is
+// not a batch-boundary prefix of the primary's history, and must converge
+// bit-identically once the log is complete — including across a checkpoint
+// rotation staged mid-flight.
+func TestReplicaChaos(t *testing.T) {
+	q := vwapSpec()
+	primDir, repDir := t.TempDir(), t.TempDir()
+	primary, err := ForQuery(q, []string{"sym"}, Options{Shards: 1, BatchSize: 1 << 20, Dir: primDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Feed the primary batch by batch with a Drain after each, so every WAL
+	// record is exactly one batch; record the grouped state at every batch
+	// boundary — the complete set of states a correct replica may serve.
+	events := symEvents(53, 2400, 7)
+	const batchLen = 40
+	prefixes := map[string]bool{encodeGroups(nil): true}
+	var boundaries [][]engine.GroupResult
+	for i := 0; i < len(events); i += batchLen {
+		end := i + batchLen
+		if end > len(events) {
+			end = len(events)
+		}
+		if err := primary.ApplyBatch(events[i:end]); err != nil {
+			t.Fatal(err)
+		}
+		if err := primary.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		g := primary.ResultGrouped()
+		prefixes[encodeGroups(g)] = true
+		boundaries = append(boundaries, g)
+	}
+	phase1Final := boundaries[len(boundaries)-1]
+
+	// Capture the full phase-1 WAL, then stage a replica directory whose WAL
+	// grows by random increments.
+	walName := filepath.Base(checkpoint.WALPath(primDir, 1, 0))
+	full, err := os.ReadFile(checkpoint.WALPath(primDir, 1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ends := walRecordEnds(t, full)
+	if len(ends) != len(boundaries)+1 {
+		t.Fatalf("WAL holds %d records, fed %d batches", len(ends)-1, len(boundaries))
+	}
+	if err := checkpoint.WriteManifest(repDir, checkpoint.Manifest{Gen: 1, Shards: 1}); err != nil {
+		t.Fatal(err)
+	}
+	stagedWAL := filepath.Join(repDir, walName)
+	writeStaged := func(n int) {
+		t.Helper()
+		if err := os.WriteFile(stagedWAL+".tmp", full[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Rename(stagedWAL+".tmp", stagedWAL); err != nil {
+			t.Fatal(err)
+		}
+	}
+	appendStaged := func(from, to int) {
+		t.Helper()
+		f, err := os.OpenFile(stagedWAL, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write(full[from:to]); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	// recordsIn counts complete records within the first n staged bytes.
+	recordsIn := func(n int) int {
+		k := 0
+		for k+1 < len(ends) && ends[k+1] <= int64(n) {
+			k++
+		}
+		return k
+	}
+
+	rng := rand.New(rand.NewSource(97))
+	cut := int(ends[0]) + 3 // past the header, mid-first-record
+	writeStaged(cut)
+
+	boot := func() *Replica[engine.Event] {
+		t.Helper()
+		r, err := ReplicaForQuery(repDir, q, []string{"sym"}, Options{Shards: 1}, time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	replica := boot()
+	checkState := func(what string) {
+		t.Helper()
+		if g := replica.Service().ResultGrouped(); !prefixes[encodeGroups(g)] {
+			t.Fatalf("%s: replica serves a non-prefix state: %v", what, g)
+		}
+	}
+	waitApplied := func(n int) {
+		t.Helper()
+		deadline := time.Now().Add(15 * time.Second)
+		for replica.Applied() < uint64(n) {
+			if time.Now().After(deadline) {
+				t.Fatalf("replica applied %d of %d records", replica.Applied(), n)
+			}
+			checkState("while lagging")
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+
+	for cut < len(full) {
+		// Grow the staged WAL by a random amount — often a torn tail.
+		step := 1 + rng.Intn(512)
+		next := cut + step
+		if next > len(full) {
+			next = len(full)
+		}
+		appendStaged(cut, next)
+		cut = next
+		waitApplied(recordsIn(cut))
+		checkState("after growth")
+		if rng.Intn(6) == 0 {
+			// Kill the tailer and restart it: the fresh replica replays the
+			// staged prefix from scratch and must land on the same states.
+			if err := replica.Close(); err != nil {
+				t.Fatal(err)
+			}
+			replica = boot()
+			waitApplied(recordsIn(cut))
+			checkState("after restart")
+		}
+	}
+	if err := replica.Service().Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if got := replica.Service().ResultGrouped(); !groupsIdentical(got, phase1Final) {
+		t.Fatalf("replica did not converge on the phase-1 state:\n got %v\nwant %v", got, phase1Final)
+	}
+
+	// Phase 2: rotate the primary (new generation) and keep feeding; stage
+	// the new generation into the replica directory mid-flight. The running
+	// replica must rebase and converge on the final state.
+	if err := primary.Checkpoint(primDir); err != nil {
+		t.Fatal(err)
+	}
+	more := symEvents(59, 800, 7)
+	for i := 0; i < len(more); i += batchLen {
+		end := i + batchLen
+		if end > len(more) {
+			end = len(more)
+		}
+		if err := primary.ApplyBatch(more[i:end]); err != nil {
+			t.Fatal(err)
+		}
+		if err := primary.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		prefixes[encodeGroups(primary.ResultGrouped())] = true
+	}
+	for _, name := range []string{
+		filepath.Base(checkpoint.SnapPath(primDir, 2, 0)),
+		filepath.Base(checkpoint.WALPath(primDir, 2, 0)),
+	} {
+		b, err := os.ReadFile(filepath.Join(primDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(repDir, name), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := checkpoint.WriteManifest(repDir, checkpoint.Manifest{Gen: 2, Shards: 1}); err != nil {
+		t.Fatal(err)
+	}
+	want := primary.ResultGrouped()
+	waitReplicaState(t, replica, want, "post-rotation")
+	checkState("final")
+	if err := replica.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := primary.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReplicaRefusesNonCheckpoint checks the boot-time error paths.
+func TestReplicaRefusesNonCheckpoint(t *testing.T) {
+	q := vwapSpec()
+	if _, err := ReplicaForQuery(t.TempDir(), q, []string{"sym"}, Options{}, 0); err == nil {
+		t.Fatal("replica booted from an empty directory")
+	} else if !errors.Is(err, os.ErrNotExist) && err == nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

@@ -162,6 +162,22 @@ type workerState[E any] struct {
 	seq     uint64 // snapshot sequence the WAL follows
 	pending int    // events appended to the WAL since its header
 	err     error  // sticky durability error, surfaced on control requests
+	// version counts this shard's snapshot publications: every commit bumps
+	// it, so it is the monotonic version readers and subscribers key on.
+	version uint64
+	// lastChange is the newest version whose commit actually changed state
+	// (touched partitions or a wholesale swap). A subscriber resuming from
+	// version v >= lastChange is provably current — every later commit was
+	// empty — so no reseed frame is needed.
+	lastChange uint64
+	// subs are the subscriber slots registered on this shard; commit merges
+	// each publication's delta into every slot (see subscribe.go).
+	subs []*subShard
+	// publishFull makes the next commit offer subscribers the full partition
+	// set instead of the dirty delta — set after a wholesale state swap
+	// (replica rebase), where the previous published state is no longer a
+	// valid delta base.
+	publishFull bool
 }
 
 // partition is one partition owned by a shard: its executor plus the cached
@@ -170,6 +186,7 @@ type workerState[E any] struct {
 // ApplyBatch in one call.
 type partition[E any] struct {
 	vals  []float64 // partition key values (immutable, shared with snapshots)
+	ekey  string    // canonical byte encoding of vals (subscriber filter key)
 	ex    Executor[E]
 	bex   BatchExecutor[E] // ex's native batched path, nil if it has none
 	pend  []E              // events buffered for the in-progress batch
@@ -201,10 +218,13 @@ func (p *partition[E]) applyPend() {
 
 // Snapshot is one shard's published state: the per-partition results as of
 // the shard's last batch flush. Groups is immutable and unsorted; Total is
-// the sum of the group values.
+// the sum of the group values. Version is the shard's monotonic publication
+// counter: it increases by at least one between any two distinct published
+// snapshots, so readers comparing versions can order their observations.
 type Snapshot struct {
-	Total  float64
-	Groups []engine.GroupResult
+	Version uint64
+	Total   float64
+	Groups  []engine.GroupResult
 }
 
 // ShardStats are the per-shard serving counters.
@@ -260,6 +280,14 @@ type Service[E any] struct {
 
 	ckMu sync.Mutex // serializes Checkpoint calls
 	gen  uint64     // current checkpoint generation (guarded by ckMu)
+
+	// epoch identifies this service instance for subscription resume: version
+	// counters restart at zero on every boot, so a resume request is honored
+	// only when its epoch matches (see Subscribe).
+	epoch uint64
+
+	subMu sync.Mutex // guards subs
+	subs  map[*Subscription]struct{}
 }
 
 // New starts the service's shard workers. When cfg.Durable has a Dir, the
@@ -295,7 +323,8 @@ func newService[E any](cfg Config[E], deferWAL bool) (*Service[E], error) {
 			return nil, errors.New("serve: Durable.CompactEvery requires Snapshot and Restore")
 		}
 	}
-	s := &Service[E]{cfg: cfg, shards: make([]*shard[E], cfg.Shards), gen: 1}
+	s := &Service[E]{cfg: cfg, shards: make([]*shard[E], cfg.Shards), gen: 1,
+		epoch: newEpoch(), subs: make(map[*Subscription]struct{})}
 	logged := s.walEnabled() && !deferWAL
 	if logged {
 		d := cfg.Durable
@@ -531,7 +560,8 @@ func (s *Service[E]) run(sh *shard[E]) {
 		if !ok {
 			vals := append([]float64(nil), keyBuf...)
 			p = newPartition(vals, s.cfg.New(vals))
-			ws.parts[string(byteBuf)] = p
+			p.ekey = string(byteBuf)
+			ws.parts[p.ekey] = p
 			sh.partitions.Store(int64(len(ws.parts)))
 		}
 		p.pend = append(p.pend, e)
@@ -557,19 +587,26 @@ func (s *Service[E]) run(sh *shard[E]) {
 			p.last = p.ex.Result()
 			p.dirty = false
 		}
-		dirty = dirty[:0]
 		// Publish a fresh immutable snapshot of every partition this shard
 		// owns. This full walk is the price of lock-free consistent reads;
 		// its cost shrinks with the shard count and amortizes with the batch
 		// size, which is what the serve benchmarks measure on top of
 		// multi-core parallelism.
-		snap := &Snapshot{Groups: make([]engine.GroupResult, 0, len(ws.parts))}
+		ws.version++
+		if len(dirty) > 0 || ws.publishFull {
+			ws.lastChange = ws.version
+		}
+		snap := &Snapshot{Version: ws.version, Groups: make([]engine.GroupResult, 0, len(ws.parts))}
 		for _, p := range ws.parts {
 			snap.Groups = append(snap.Groups, engine.GroupResult{Key: p.vals, Value: p.last})
 			snap.Total += p.last
 		}
 		sh.snap.Store(snap)
 		sh.flushed.Add(1)
+		if len(ws.subs) > 0 || ws.publishFull {
+			s.publishSubs(ws, dirty)
+		}
+		dirty = dirty[:0]
 		if ws.wal != nil && ws.err == nil {
 			if len(walBuf) > 0 {
 				if err := ws.wal.Append(walBuf); err != nil {
@@ -655,6 +692,13 @@ func (s *Service[E]) ResultGrouped() []engine.GroupResult {
 	for _, sh := range s.shards {
 		out = append(out, sh.snap.Load().Groups...)
 	}
+	sortGroups(out)
+	return out
+}
+
+// sortGroups orders grouped results by partition key, the
+// engine.GroupedExecutor ordering every grouped surface of this package uses.
+func sortGroups(out []engine.GroupResult) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].Key, out[j].Key
 		for k := range a {
@@ -664,8 +708,35 @@ func (s *Service[E]) ResultGrouped() []engine.GroupResult {
 		}
 		return false
 	})
+}
+
+// Version returns the sum of the shards' snapshot versions: a monotonic
+// service-wide read version. Every publication on any shard increases it, so
+// two successive calls never observe a decreasing value, and a write that has
+// been committed (Drain returned) is visible to any read observing a version
+// at least as large as the post-Drain one.
+func (s *Service[E]) Version() uint64 {
+	var v uint64
+	for _, sh := range s.shards {
+		v += sh.snap.Load().Version
+	}
+	return v
+}
+
+// ShardVersions returns each shard's current snapshot version, the
+// fine-grained handle subscription resume is keyed on.
+func (s *Service[E]) ShardVersions() []ShardVersion {
+	out := make([]ShardVersion, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = ShardVersion{Shard: i, Version: sh.snap.Load().Version}
+	}
 	return out
 }
+
+// Epoch identifies this service instance: shard versions are only comparable
+// within one epoch, so subscription resume sends the epoch alongside the
+// versions and the service falls back to a full reseed on mismatch.
+func (s *Service[E]) Epoch() uint64 { return s.epoch }
 
 // Stats returns the per-shard serving counters.
 func (s *Service[E]) Stats() []ShardStats {
@@ -725,6 +796,17 @@ func (s *Service[E]) Close() error {
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
+	// Finalize live subscriptions so their Frames channels close; collect
+	// first, since Close detaches under subMu.
+	s.subMu.Lock()
+	live := make([]*Subscription, 0, len(s.subs))
+	for sub := range s.subs {
+		live = append(live, sub)
+	}
+	s.subMu.Unlock()
+	for _, sub := range live {
+		sub.Close()
+	}
 	var errs []error
 	for _, sh := range s.shards {
 		if sh.werr != nil {

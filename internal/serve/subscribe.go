@@ -1,0 +1,326 @@
+package serve
+
+import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"rpai/internal/engine"
+)
+
+// This file is the subscription side of the serving layer: instead of polling
+// ResultGrouped, a reader registers a Subscription and is pushed one
+// DeltaFrame per shard publication it has not yet seen. Frames coalesce under
+// backpressure — a slow subscriber skips intermediate versions but always
+// receives the newest one — and a frame stream replayed over the attach-time
+// base reconstructs the primary's grouped results bit-identically at every
+// delivered version (the property FuzzSubscriptionDeltas checks).
+//
+// Delta model: the served state is upsert-only (partitions are created, never
+// deleted), so a frame is a set of (key, value) upserts. A frame with Full
+// set carries every live group of its shard and is therefore a valid
+// transition from any base — that one property powers attach seeding, resume
+// after a version mismatch, and replica rebase, with no delta history kept.
+
+// ShardVersion names one shard's snapshot version, the unit subscription
+// resume is expressed in.
+type ShardVersion struct {
+	Shard   int
+	Version uint64
+}
+
+// DeltaFrame is one shard's published change set: applying Groups as upserts
+// to a reader's state at version Base yields the shard's grouped results at
+// version Version. When Full is set the frame instead replaces the reader's
+// entire state for the shard (Base is 0) — the rebase frame sent at attach,
+// on resume mismatch, and after a replica generation swap.
+type DeltaFrame struct {
+	Shard   int
+	Version uint64
+	Base    uint64
+	Full    bool
+	Groups  []engine.GroupResult // sorted by key, immutable
+}
+
+// SubOptions parameterizes Subscribe.
+type SubOptions struct {
+	// Keys, when non-empty, restricts the subscription to those partition
+	// keys; frames carry only matching groups. Empty subscribes to all.
+	Keys [][]float64
+	// Buffer is the delivery channel's capacity (default 16). A full channel
+	// never drops the newest version: publications coalesce into one pending
+	// frame per shard until the subscriber catches up.
+	Buffer int
+	// Resume and ResumeEpoch ask to continue an earlier subscription: when
+	// ResumeEpoch matches the service's epoch and a shard's resumed version
+	// is no older than the shard's last state-changing publication, the
+	// reader is provably current and no seed frame is sent for that shard;
+	// any mismatch falls back to a Full reseed. Zero values mean a fresh
+	// attach.
+	Resume      []ShardVersion
+	ResumeEpoch uint64
+}
+
+// Subscription is one registered reader. Frames delivers coalesced
+// DeltaFrames until Close (or the service closing) closes the channel.
+type Subscription struct {
+	frames chan DeltaFrame
+	wake   chan struct{} // cap 1: publication token for the pump
+	quit   chan struct{}
+	once   sync.Once
+	shards []*subShard
+	detach func(*Subscription)
+}
+
+// subShard is one subscription's coalescing slot for one shard. The shard
+// worker merges every publication into the slot under mu (later values win),
+// and the subscription's pump drains it into at most one frame — so the
+// memory per slot is bounded by the subscribed partition count no matter how
+// far the subscriber lags.
+type subShard struct {
+	shard  int
+	sub    *Subscription
+	filter map[string]bool // encoded-key subset, nil = all partitions
+
+	mu        sync.Mutex
+	has       bool   // a pending frame exists
+	full      bool   // pending frame replaces the whole shard state
+	base      uint64 // version the pending frame applies on top of
+	version   uint64 // version the pending frame brings the subscriber to
+	delivered uint64 // version of the last frame handed to the pump
+	groups    map[string]engine.GroupResult
+}
+
+// newEpoch draws a random nonzero service epoch.
+func newEpoch() uint64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		return 1
+	}
+	e := binary.LittleEndian.Uint64(b[:])
+	if e == 0 {
+		e = 1
+	}
+	return e
+}
+
+// Subscribe registers a reader for this service's grouped results. Each shard
+// seeds the subscription with a Full frame at its current version (unless a
+// matching resume makes the seed redundant), after which every snapshot
+// publication is pushed as a coalescing delta. The returned subscription must
+// be Closed when done; the service's Close also finalizes it.
+func (s *Service[E]) Subscribe(opt SubOptions) (*Subscription, error) {
+	buf := opt.Buffer
+	if buf <= 0 {
+		buf = 16
+	}
+	var filter map[string]bool
+	if len(opt.Keys) > 0 {
+		filter = make(map[string]bool, len(opt.Keys))
+		for _, k := range opt.Keys {
+			vals := normalizeVals(append([]float64(nil), k...))
+			filter[string(encodeKey(nil, vals))] = true
+		}
+	}
+	resume := make(map[int]uint64, len(opt.Resume))
+	if opt.ResumeEpoch != 0 && opt.ResumeEpoch == s.epoch {
+		for _, sv := range opt.Resume {
+			if sv.Shard >= 0 && sv.Shard < len(s.shards) {
+				resume[sv.Shard] = sv.Version
+			}
+		}
+	}
+	sub := &Subscription{
+		frames: make(chan DeltaFrame, buf),
+		wake:   make(chan struct{}, 1),
+		quit:   make(chan struct{}),
+		shards: make([]*subShard, len(s.shards)),
+		detach: s.detachSub,
+	}
+	for i := range s.shards {
+		sub.shards[i] = &subShard{shard: i, sub: sub, filter: filter,
+			groups: make(map[string]engine.GroupResult)}
+	}
+	for i := range s.shards {
+		ss := sub.shards[i]
+		rv, hasResume := resume[i]
+		if err := s.control(i, func(ws *workerState[E]) error {
+			ws.subs = append(ws.subs, ss)
+			if hasResume && rv <= ws.version && rv >= ws.lastChange {
+				// Every commit past the resumed version was empty, so the
+				// reader's state is provably current: no reseed, the next
+				// publication's delta is based on rv.
+				ss.delivered = rv
+				return nil
+			}
+			s.offerFull(ss, ws.version, ws.parts)
+			return nil
+		}); err != nil {
+			// Mark closed so any slots already registered are dropped at the
+			// shards' next publication.
+			sub.Close()
+			return nil, fmt.Errorf("serve: subscribe shard %d: %w", i, err)
+		}
+	}
+	s.subMu.Lock()
+	s.subs[sub] = struct{}{}
+	s.subMu.Unlock()
+	sub.notify() // deliver the seed frames
+	go sub.pump()
+	return sub, nil
+}
+
+func (s *Service[E]) detachSub(sub *Subscription) {
+	s.subMu.Lock()
+	delete(s.subs, sub)
+	s.subMu.Unlock()
+}
+
+// publishSubs runs on a shard worker right after it stored a new snapshot:
+// it merges the publication into every live subscriber slot and drops slots
+// whose subscription has closed. dirty is the batch's touched partitions
+// (results already refreshed); when ws.publishFull is set the worker offers
+// the full partition set instead, because the previous published state is not
+// a valid delta base (replica rebase).
+func (s *Service[E]) publishSubs(ws *workerState[E], dirty []*partition[E]) {
+	live := ws.subs[:0]
+	for _, ss := range ws.subs {
+		if ss.sub.closedNow() {
+			continue
+		}
+		live = append(live, ss)
+		if ws.publishFull {
+			s.offerFull(ss, ws.version, ws.parts)
+		} else {
+			s.offerDeltas(ss, ws.version, dirty)
+		}
+		ss.sub.notify()
+	}
+	for i := len(live); i < len(ws.subs); i++ {
+		ws.subs[i] = nil
+	}
+	ws.subs = live
+	ws.publishFull = false
+}
+
+// offerDeltas merges one incremental publication into a subscriber slot:
+// the pending frame's base stays put, its version advances, and later upserts
+// of the same key overwrite earlier ones — that overwrite is the coalescing
+// that keeps a lagging subscriber's memory bounded while guaranteeing it
+// still converges on the newest values.
+func (s *Service[E]) offerDeltas(ss *subShard, version uint64, dirty []*partition[E]) {
+	ss.mu.Lock()
+	if !ss.has {
+		ss.has = true
+		ss.full = false
+		ss.base = ss.delivered
+	}
+	ss.version = version
+	for _, p := range dirty {
+		if ss.filter != nil && !ss.filter[p.ekey] {
+			continue
+		}
+		ss.groups[p.ekey] = engine.GroupResult{Key: p.vals, Value: p.last}
+	}
+	ss.mu.Unlock()
+}
+
+// offerFull replaces the slot's pending frame with the shard's complete
+// state. Any pending incremental upserts are overwritten (their keys are a
+// subset of the live partitions), so a full offer is absorbing.
+func (s *Service[E]) offerFull(ss *subShard, version uint64, parts map[string]*partition[E]) {
+	ss.mu.Lock()
+	ss.has = true
+	ss.full = true
+	ss.base = 0
+	ss.version = version
+	for k, p := range parts {
+		if ss.filter != nil && !ss.filter[k] {
+			continue
+		}
+		ss.groups[k] = engine.GroupResult{Key: p.vals, Value: p.last}
+	}
+	ss.mu.Unlock()
+}
+
+// Frames is the subscription's delivery channel. It closes after Close (or
+// the service closing); a reader that keeps up sees one frame per shard
+// publication, a lagging reader sees coalesced frames whose Version always
+// reaches the newest published one.
+func (sub *Subscription) Frames() <-chan DeltaFrame { return sub.frames }
+
+// Close detaches the subscription. Shard workers drop its slots at their next
+// publication; the pump exits and closes Frames. Safe to call more than once
+// and concurrently with delivery.
+func (sub *Subscription) Close() {
+	sub.once.Do(func() {
+		close(sub.quit)
+		if sub.detach != nil {
+			sub.detach(sub)
+		}
+	})
+}
+
+func (sub *Subscription) closedNow() bool {
+	select {
+	case <-sub.quit:
+		return true
+	default:
+		return false
+	}
+}
+
+// notify hands the pump a wake token; a token already pending is enough.
+func (sub *Subscription) notify() {
+	select {
+	case sub.wake <- struct{}{}:
+	default:
+	}
+}
+
+// pump turns pending slot state into delivered frames. It blocks on the
+// delivery channel, not the shard workers: a slow subscriber stalls only its
+// own pump while publications keep coalescing into the slots.
+func (sub *Subscription) pump() {
+	defer close(sub.frames)
+	for {
+		select {
+		case <-sub.wake:
+		case <-sub.quit:
+			return
+		}
+		for _, ss := range sub.shards {
+			fr, ok := ss.take()
+			if !ok {
+				continue
+			}
+			select {
+			case sub.frames <- fr:
+			case <-sub.quit:
+				return
+			}
+		}
+	}
+}
+
+// take extracts the slot's pending frame, if any, resetting the slot so the
+// next publication starts a fresh delta based on what was just delivered.
+func (ss *subShard) take() (DeltaFrame, bool) {
+	ss.mu.Lock()
+	if !ss.has {
+		ss.mu.Unlock()
+		return DeltaFrame{}, false
+	}
+	fr := DeltaFrame{Shard: ss.shard, Version: ss.version, Base: ss.base, Full: ss.full,
+		Groups: make([]engine.GroupResult, 0, len(ss.groups))}
+	for _, g := range ss.groups {
+		fr.Groups = append(fr.Groups, g)
+	}
+	clear(ss.groups)
+	ss.has, ss.full = false, false
+	ss.delivered = ss.version
+	ss.mu.Unlock()
+	sortGroups(fr.Groups)
+	return fr, true
+}

@@ -392,52 +392,72 @@ func (cn *conn) sealLocked() error {
 }
 
 // connect dials and performs the handshake, returning the live socket and
-// its buffered reader.
+// its buffered reader. It offers the newest protocol version first and, when
+// the server refuses it with CodeVersion, redials once offering the oldest
+// version this client still speaks — so a new client talks to an old server
+// at the old version, losing only the newer messages.
 func (cn *conn) connect() (net.Conn, *bufio.Reader, error) {
-	d := net.Dialer{Timeout: cn.c.opt.DialTimeout}
-	nc, err := d.Dial("tcp", cn.c.addr)
+	nc, br, _, err := dialHandshake(cn.c.addr, cn.c.opt, cn.session)
+	return nc, br, err
+}
+
+// dialHandshake dials addr and completes the version-negotiated handshake,
+// returning the socket, its reader and the server's welcome.
+func dialHandshake(addr string, opt Options, session [wire.SessionIDLen]byte) (net.Conn, *bufio.Reader, wire.Welcome, error) {
+	nc, br, w, err := dialVersion(addr, opt, session, wire.Version)
+	if errors.Is(err, wire.ErrVersion) && wire.MinVersion < wire.Version {
+		nc, br, w, err = dialVersion(addr, opt, session, wire.MinVersion)
+	}
+	return nc, br, w, err
+}
+
+// dialVersion dials and offers exactly one protocol version.
+func dialVersion(addr string, opt Options, session [wire.SessionIDLen]byte, version uint32) (net.Conn, *bufio.Reader, wire.Welcome, error) {
+	var w wire.Welcome
+	d := net.Dialer{Timeout: opt.DialTimeout}
+	nc, err := d.Dial("tcp", addr)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, w, err
 	}
 	if tc, ok := nc.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
 	br := bufio.NewReaderSize(nc, 64<<10)
-	hello := wire.EncodeHello(nil, wire.Hello{Version: wire.Version, Session: cn.session})
-	nc.SetDeadline(time.Now().Add(cn.c.opt.RequestTimeout))
+	hello := wire.EncodeHello(nil, wire.Hello{Version: version, Session: session})
+	nc.SetDeadline(time.Now().Add(opt.RequestTimeout))
 	if err := wire.WriteFrame(nc, wire.EncodeMsg(nil, wire.MsgHello, 0, hello)); err != nil {
 		nc.Close()
-		return nil, nil, err
+		return nil, nil, w, err
 	}
-	payload, err := wire.ReadFrame(br, cn.c.opt.MaxFrame)
+	payload, err := wire.ReadFrame(br, opt.MaxFrame)
 	if err != nil {
 		nc.Close()
-		return nil, nil, err
+		return nil, nil, w, err
 	}
 	t, _, body, err := wire.DecodeMsg(payload)
 	if err != nil {
 		nc.Close()
-		return nil, nil, err
+		return nil, nil, w, err
 	}
 	switch t {
 	case wire.MsgWelcome:
-		if _, err := wire.DecodeWelcome(body); err != nil {
+		if w, err = wire.DecodeWelcome(body); err != nil {
 			nc.Close()
-			return nil, nil, err
+			return nil, nil, w, err
 		}
 	case wire.MsgError:
 		code, msg, derr := wire.DecodeError(body)
 		nc.Close()
 		if derr != nil {
-			return nil, nil, derr
+			return nil, nil, w, derr
 		}
-		return nil, nil, code.Err(msg)
+		return nil, nil, w, code.Err(msg)
 	default:
 		nc.Close()
-		return nil, nil, fmt.Errorf("wire client: unexpected handshake reply %s", t)
+		return nil, nil, w, fmt.Errorf("wire client: unexpected handshake reply %s", t)
 	}
 	nc.SetDeadline(time.Time{})
-	return nc, br, nil
+	return nc, br, w, nil
 }
 
 // run owns the connection across reconnects: it writes submitted calls,

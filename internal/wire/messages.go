@@ -313,6 +313,161 @@ func DecodeStats(p []byte) (Stats, error) {
 	return st, nil
 }
 
+// --- subscribe / delta (v3) ---
+
+// Subscribe is the body of a MsgSubscribe request: an optional partition-key
+// subset, plus the resume coordinates of an earlier subscription (epoch 0
+// means a fresh attach). It mirrors serve.SubOptions; the delivery buffer is
+// a server-side concern and stays off the wire.
+type Subscribe struct {
+	Keys   [][]float64
+	Epoch  uint64
+	Resume []serve.ShardVersion
+}
+
+// maxSubKeys bounds a subscription's key subset.
+const maxSubKeys = 1 << 16
+
+// EncodeSubscribe appends a subscribe body.
+func EncodeSubscribe(buf []byte, s Subscribe) []byte {
+	buf = le.AppendUint32(buf, uint32(len(s.Keys)))
+	for _, k := range s.Keys {
+		buf = le.AppendUint32(buf, uint32(len(k)))
+		for _, v := range k {
+			buf = le.AppendUint64(buf, math.Float64bits(v))
+		}
+	}
+	buf = le.AppendUint64(buf, s.Epoch)
+	buf = le.AppendUint32(buf, uint32(len(s.Resume)))
+	for _, sv := range s.Resume {
+		buf = le.AppendUint32(buf, uint32(sv.Shard))
+		buf = le.AppendUint64(buf, sv.Version)
+	}
+	return buf
+}
+
+// DecodeSubscribe parses a subscribe body.
+func DecodeSubscribe(p []byte) (Subscribe, error) {
+	var s Subscribe
+	if len(p) < 4 {
+		return s, fmt.Errorf("wire: subscribe body too short (%d bytes)", len(p))
+	}
+	kn := le.Uint32(p)
+	p = p[4:]
+	// Each key needs at least its 4-byte width, so bound the count by the body.
+	if kn > maxSubKeys || int64(kn) > int64(len(p))/4 {
+		return s, fmt.Errorf("wire: subscribe key count %d overruns body", kn)
+	}
+	if kn > 0 {
+		s.Keys = make([][]float64, 0, kn)
+	}
+	for i := uint32(0); i < kn; i++ {
+		if len(p) < 4 {
+			return s, fmt.Errorf("wire: subscribe body truncated at key %d", i)
+		}
+		w := le.Uint32(p)
+		if w > maxGroupKey || len(p) < int(4+w*8) {
+			return s, fmt.Errorf("wire: subscribe key %d width %d overruns body", i, w)
+		}
+		p = p[4:]
+		key := make([]float64, w)
+		for j := range key {
+			key[j] = math.Float64frombits(le.Uint64(p))
+			p = p[8:]
+		}
+		s.Keys = append(s.Keys, key)
+	}
+	if len(p) < 12 {
+		return s, fmt.Errorf("wire: subscribe body truncated before resume list")
+	}
+	s.Epoch = le.Uint64(p)
+	rn := le.Uint32(p[8:])
+	p = p[12:]
+	if rn > maxStatsShards || int(rn)*12 != len(p) {
+		return s, fmt.Errorf("wire: subscribe resume count %d inconsistent with body", rn)
+	}
+	if rn > 0 {
+		s.Resume = make([]serve.ShardVersion, rn)
+	}
+	for i := range s.Resume {
+		s.Resume[i] = serve.ShardVersion{Shard: int(le.Uint32(p)), Version: le.Uint64(p[4:])}
+		p = p[12:]
+	}
+	return s, nil
+}
+
+// Subscribed is the body of a MsgSubscribed acknowledgement: the shard count
+// (the number of independent delta streams) and the service epoch the client
+// quotes to resume this subscription after a reconnect.
+type Subscribed struct {
+	Shards uint32
+	Epoch  uint64
+}
+
+// EncodeSubscribed appends a subscribed body.
+func EncodeSubscribed(buf []byte, s Subscribed) []byte {
+	buf = le.AppendUint32(buf, s.Shards)
+	return le.AppendUint64(buf, s.Epoch)
+}
+
+// DecodeSubscribed parses a subscribed body.
+func DecodeSubscribed(p []byte) (Subscribed, error) {
+	var s Subscribed
+	if len(p) != 12 {
+		return s, fmt.Errorf("wire: subscribed body is %d bytes, want 12", len(p))
+	}
+	s.Shards = le.Uint32(p)
+	s.Epoch = le.Uint64(p[4:])
+	return s, nil
+}
+
+// deltaFullFlag marks a delta frame that replaces the reader's whole shard
+// state instead of upserting into it.
+const deltaFullFlag = 1
+
+// EncodeDelta appends a delta-frame body: shard coordinates, the version
+// window, the full/incremental flag, then the groups in grouped-result
+// layout.
+func EncodeDelta(buf []byte, f serve.DeltaFrame) []byte {
+	buf = le.AppendUint32(buf, uint32(f.Shard))
+	buf = le.AppendUint64(buf, f.Version)
+	buf = le.AppendUint64(buf, f.Base)
+	var flags byte
+	if f.Full {
+		flags |= deltaFullFlag
+	}
+	buf = append(buf, flags)
+	return EncodeGrouped(buf, f.Groups)
+}
+
+// DecodeDelta parses a delta-frame body.
+func DecodeDelta(p []byte) (serve.DeltaFrame, error) {
+	var f serve.DeltaFrame
+	if len(p) < 21 {
+		return f, fmt.Errorf("wire: delta body too short (%d bytes)", len(p))
+	}
+	f.Shard = int(le.Uint32(p))
+	f.Version = le.Uint64(p[4:])
+	f.Base = le.Uint64(p[12:])
+	flags := p[20]
+	if flags&^deltaFullFlag != 0 {
+		return f, fmt.Errorf("wire: delta flags %#x unknown", flags)
+	}
+	f.Full = flags&deltaFullFlag != 0
+	groups, err := DecodeGrouped(p[21:])
+	if err != nil {
+		return f, err
+	}
+	if f.Full && f.Base != 0 {
+		return f, fmt.Errorf("wire: full delta frame carries nonzero base %d", f.Base)
+	}
+	if !f.Full && f.Base > f.Version {
+		return f, fmt.Errorf("wire: delta base %d beyond version %d", f.Base, f.Version)
+	}
+	f.Groups = groups
+	return f, nil
+}
+
 // --- error replies ---
 
 // maxErrMsg bounds an error reply's detail string.

@@ -43,6 +43,11 @@ type ServerConfig struct {
 	// Query is the human-readable served-query description echoed in the
 	// welcome.
 	Query string
+	// ReadOnly sheds every write-carrying request (apply, batch, drain,
+	// checkpoint) with CodeReadOnly instead of executing it — the mode a
+	// replica daemon serves in. Reads and subscriptions are unaffected, and
+	// shed writes never consume admission tokens.
+	ReadOnly bool
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -276,23 +281,26 @@ func (s *Server) handle(nc net.Conn) {
 	br := bufio.NewReaderSize(nc, 64<<10)
 	bw := bufio.NewWriterSize(nc, 64<<10)
 
-	sess, err := s.handshake(nc, br, bw)
+	sess, ver, err := s.handshake(nc, br, bw)
 	if err != nil {
 		return
 	}
 
 	work := make(chan reqItem, s.cfg.PerConnQueue)
+	var streaming atomic.Bool // set once the connection subscribes
 	var ww sync.WaitGroup
 	ww.Add(1)
 	go func() {
 		defer ww.Done()
-		s.worker(nc, bw, sess, work)
+		s.worker(nc, bw, sess, ver, &streaming, work)
 	}()
 	defer ww.Wait()
 	defer close(work)
 
 	for {
-		if s.cfg.IdleTimeout > 0 {
+		// A subscribed connection legitimately goes silent; its liveness is
+		// the socket itself, so the idle deadline no longer applies.
+		if s.cfg.IdleTimeout > 0 && !streaming.Load() {
 			nc.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
 		}
 		payload, err := ReadFrame(br, s.cfg.MaxFrame)
@@ -304,7 +312,9 @@ func (s *Server) handle(nc net.Conn) {
 			return
 		}
 		it := reqItem{t: t, id: id, body: body}
-		if needsToken(t) {
+		// A read-only server never admits write work, so it never spends
+		// tokens on requests it will refuse.
+		if needsToken(t) && !s.cfg.ReadOnly {
 			select {
 			case s.tokens <- struct{}{}:
 				it.token = true
@@ -318,35 +328,38 @@ func (s *Server) handle(nc net.Conn) {
 	}
 }
 
-// handshake performs the versioned hello/welcome exchange.
-func (s *Server) handshake(nc net.Conn, br *bufio.Reader, bw *bufio.Writer) (*session, error) {
+// handshake performs the versioned hello/welcome exchange. The server
+// negotiates downward: any hello version in [MinVersion, Version] is welcomed
+// at exactly that version (echoed in the welcome), and the connection then
+// speaks that version's message set for its whole lifetime.
+func (s *Server) handshake(nc net.Conn, br *bufio.Reader, bw *bufio.Writer) (*session, uint32, error) {
 	if s.cfg.IdleTimeout > 0 {
 		nc.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
 	}
 	payload, err := ReadFrame(br, s.cfg.MaxFrame)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	t, id, body, err := DecodeMsg(payload)
 	if err != nil || t != MsgHello {
 		s.reply(nc, bw, MsgError, id, EncodeError(nil, CodeBadRequest, "expected hello"))
-		return nil, ErrBadRequest
+		return nil, 0, ErrBadRequest
 	}
 	h, err := DecodeHello(body)
 	if err != nil {
 		s.reply(nc, bw, MsgError, id, EncodeError(nil, CodeBadRequest, err.Error()))
-		return nil, ErrBadRequest
+		return nil, 0, ErrBadRequest
 	}
-	if h.Version != Version {
+	if h.Version < MinVersion || h.Version > Version {
 		s.reply(nc, bw, MsgError, id, EncodeError(nil, CodeVersion,
-			fmt.Sprintf("server speaks version %d, client sent %d", Version, h.Version)))
-		return nil, ErrVersion
+			fmt.Sprintf("server speaks versions %d through %d, client sent %d", MinVersion, Version, h.Version)))
+		return nil, 0, ErrVersion
 	}
-	w := Welcome{Version: Version, Shards: uint32(s.svc.Shards()), Query: s.cfg.Query}
+	w := Welcome{Version: h.Version, Shards: uint32(s.svc.Shards()), Query: s.cfg.Query}
 	if err := s.reply(nc, bw, MsgWelcome, id, EncodeWelcome(nil, w)); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	return s.session(h.Session), nil
+	return s.session(h.Session), h.Version, nil
 }
 
 // reply writes one framed message and flushes it.
@@ -364,7 +377,7 @@ func (s *Server) reply(nc net.Conn, bw *bufio.Writer, t MsgType, id uint64, body
 // through the buffered writer and flushing whenever the queue goes idle.
 // Closing the work channel drains the remaining items (their replies still go
 // out) and exits; hence graceful shutdown never drops an admitted request.
-func (s *Server) worker(nc net.Conn, bw *bufio.Writer, sess *session, work <-chan reqItem) {
+func (s *Server) worker(nc net.Conn, bw *bufio.Writer, sess *session, ver uint32, streaming *atomic.Bool, work <-chan reqItem) {
 	cs := &connScratch{}
 	flush := func() {
 		if s.cfg.WriteTimeout > 0 {
@@ -384,6 +397,12 @@ func (s *Server) worker(nc net.Conn, bw *bufio.Writer, sess *session, work <-cha
 		if !ok {
 			flush()
 			return
+		}
+		if it.t == MsgSubscribe {
+			if s.subscribeConn(nc, bw, ver, streaming, it, work) {
+				return // push mode ran until the connection went away
+			}
+			continue // subscribe refused with an error reply; keep serving
 		}
 		t, body := s.process(cs, sess, it)
 		if s.cfg.WriteTimeout > 0 {
@@ -406,12 +425,109 @@ func (s *Server) worker(nc net.Conn, bw *bufio.Writer, sess *session, work <-cha
 	}
 }
 
+// subscribeConn handles MsgSubscribe on the connection's worker. A refused
+// subscribe (old protocol version, bad body, closed service) gets an error
+// reply and returns false so the worker keeps serving requests. A successful
+// subscribe turns the worker into the subscription's pump: it acknowledges
+// with MsgSubscribed and then streams MsgDelta frames — echoing the subscribe
+// request's id — until the connection or the service goes away, returning
+// true so the worker exits.
+func (s *Server) subscribeConn(nc net.Conn, bw *bufio.Writer, ver uint32, streaming *atomic.Bool, it reqItem, work <-chan reqItem) bool {
+	if ver < 3 {
+		s.reply(nc, bw, MsgError, it.id, EncodeError(nil, CodeBadRequest,
+			fmt.Sprintf("subscribe requires protocol version 3, connection negotiated %d", ver)))
+		return false
+	}
+	req, err := DecodeSubscribe(it.body)
+	if err != nil {
+		s.reply(nc, bw, MsgError, it.id, EncodeError(nil, CodeBadRequest, err.Error()))
+		return false
+	}
+	sub, err := s.svc.Subscribe(serve.SubOptions{Keys: req.Keys, Resume: req.Resume, ResumeEpoch: req.Epoch})
+	if err != nil {
+		t, body := errReply(err)
+		s.reply(nc, bw, t, it.id, body)
+		return false
+	}
+	defer sub.Close()
+	// Drop the read loop's idle deadline before acknowledging: a subscriber
+	// goes silent by design. Under s.mu so a concurrent server Close (which
+	// wakes every reader with a past deadline) is never un-done.
+	s.mu.Lock()
+	closed := s.closed
+	if !closed {
+		streaming.Store(true)
+		nc.SetReadDeadline(time.Time{})
+	}
+	s.mu.Unlock()
+	if closed {
+		s.reply(nc, bw, MsgError, it.id, EncodeError(nil, CodeClosed, ""))
+		return false
+	}
+	ack := EncodeSubscribed(nil, Subscribed{Shards: uint32(s.svc.Shards()), Epoch: s.svc.Epoch()})
+	if err := s.reply(nc, bw, MsgSubscribed, it.id, ack); err != nil {
+		s.drainWork(work)
+		return true
+	}
+	var frame, body []byte
+	for {
+		select {
+		case fr, ok := <-sub.Frames():
+			if !ok {
+				// The service closed the subscription; tear the connection
+				// down so the read loop unblocks and closes work.
+				nc.Close()
+				s.drainWork(work)
+				return true
+			}
+			body = EncodeDelta(body[:0], fr)
+			frame = EncodeMsg(frame[:0], MsgDelta, it.id, body)
+			if s.cfg.WriteTimeout > 0 {
+				nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+			}
+			if err := WriteFrame(bw, frame); err != nil {
+				s.drainWork(work)
+				return true
+			}
+			if len(sub.Frames()) == 0 {
+				if err := bw.Flush(); err != nil {
+					s.drainWork(work)
+					return true
+				}
+			}
+		case other, ok := <-work:
+			if !ok {
+				return true // connection torn down
+			}
+			if other.token {
+				<-s.tokens
+			}
+			// The protocol forbids further requests on a subscribed
+			// connection; refuse each without leaving push mode.
+			s.reply(nc, bw, MsgError, other.id, EncodeError(nil, CodeBadRequest, "connection is subscribed"))
+		}
+	}
+}
+
+// drainWork consumes the remaining queued requests of a dead connection so
+// the read loop unblocks and admission tokens are released.
+func (s *Server) drainWork(work <-chan reqItem) {
+	for it := range work {
+		if it.token {
+			<-s.tokens
+		}
+	}
+}
+
 // process executes one request and returns the reply. Replies on the hot
 // paths (acks, scalar results) are built in cs.body; error replies are cold
 // and allocate.
 func (s *Server) process(cs *connScratch, sess *session, it reqItem) (MsgType, []byte) {
 	if it.shed {
 		return MsgError, EncodeError(nil, CodeOverloaded, "admission limiter saturated")
+	}
+	if s.cfg.ReadOnly && needsToken(it.t) {
+		return MsgError, EncodeError(nil, CodeReadOnly, "server is a read-only replica")
 	}
 	switch it.t {
 	case MsgApply:

@@ -83,6 +83,12 @@ type rawConn struct {
 }
 
 func dialRaw(t *testing.T, addr string, session byte) *rawConn {
+	return dialRawVersion(t, addr, session, Version)
+}
+
+// dialRawVersion offers exactly one protocol version in the hello and asserts
+// the welcome echoes it back — the downgrade contract.
+func dialRawVersion(t *testing.T, addr string, session byte, version uint32) *rawConn {
 	t.Helper()
 	nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
 	if err != nil {
@@ -92,13 +98,17 @@ func dialRaw(t *testing.T, addr string, session byte) *rawConn {
 	rc := &rawConn{t: t, nc: nc}
 	var sess [SessionIDLen]byte
 	sess[0] = session
-	rc.send(MsgHello, EncodeHello(nil, Hello{Version: Version, Session: sess}))
+	rc.send(MsgHello, EncodeHello(nil, Hello{Version: version, Session: sess}))
 	tp, _, body := rc.recv()
 	if tp != MsgWelcome {
 		t.Fatalf("handshake reply %s, want welcome", tp)
 	}
-	if _, err := DecodeWelcome(body); err != nil {
+	w, err := DecodeWelcome(body)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if w.Version != version {
+		t.Fatalf("welcome echoes version %d, want the offered %d", w.Version, version)
 	}
 	return rc
 }

@@ -1,0 +1,359 @@
+package wire
+
+import (
+	"math"
+	"net"
+	"testing"
+	"time"
+
+	"rpai/internal/engine"
+	"rpai/internal/serve"
+)
+
+// wireGroupsIdentical compares grouped results bit-identically, the standard
+// the differential replication suite holds every path to.
+func wireGroupsIdentical(a, b []engine.GroupResult) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i].Key) != len(b[i].Key) {
+			return false
+		}
+		for j := range a[i].Key {
+			if math.Float64bits(a[i].Key[j]) != math.Float64bits(b[i].Key[j]) {
+				return false
+			}
+		}
+		if math.Float64bits(a[i].Value) != math.Float64bits(b[i].Value) {
+			return false
+		}
+	}
+	return true
+}
+
+// subscribeRaw sends MsgSubscribe on rc and asserts the MsgSubscribed ack.
+func subscribeRaw(t *testing.T, rc *rawConn, req Subscribe, wantShards uint32) (uint64, Subscribed) {
+	t.Helper()
+	id := rc.send(MsgSubscribe, EncodeSubscribe(nil, req))
+	tp, rid, body := rc.recv()
+	if tp != MsgSubscribed || rid != id {
+		t.Fatalf("subscribe reply %s (id %d), want subscribed echoing %d", tp, rid, id)
+	}
+	ack, err := DecodeSubscribed(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Shards != wantShards || ack.Epoch == 0 {
+		t.Fatalf("subscribed ack %+v, want %d shards and a nonzero epoch", ack, wantShards)
+	}
+	return id, ack
+}
+
+// catchUpView reads pushed MsgDelta frames off rc into view until every shard
+// reaches its target version, then asserts the view reconstructs the
+// service's grouped results bit-identically.
+func catchUpView(t *testing.T, rc *rawConn, subID uint64, view *serve.View,
+	svc *serve.Service[engine.Event], what string) {
+	t.Helper()
+	target := make(map[int]uint64)
+	for _, sv := range svc.ShardVersions() {
+		target[sv.Shard] = sv.Version
+	}
+	caughtUp := func() bool {
+		got := make(map[int]uint64)
+		for _, sv := range view.Versions() {
+			got[sv.Shard] = sv.Version
+		}
+		for shard, v := range target {
+			if got[shard] < v {
+				return false
+			}
+		}
+		return true
+	}
+	for !caughtUp() {
+		tp, id, body := rc.recv()
+		if tp != MsgDelta || id != subID {
+			t.Fatalf("%s: push %s (id %d), want delta echoing %d", what, tp, id, subID)
+		}
+		f, err := DecodeDelta(body)
+		if err != nil {
+			t.Fatalf("%s: %v", what, err)
+		}
+		if err := view.Apply(f); err != nil {
+			t.Fatalf("%s: %v", what, err)
+		}
+	}
+	if got, want := view.Grouped(), svc.ResultGrouped(); !wireGroupsIdentical(got, want) {
+		t.Fatalf("%s: subscriber view diverged:\n got %v\nwant %v", what, got, want)
+	}
+}
+
+// TestServerSubscribePush is the wire half of the differential subscription
+// proof: frames pushed over TCP, concatenated into a View, reconstruct the
+// server's grouped results bit-identically — through a mid-stream attach and
+// through an idle period longer than the server's read deadline (a subscribed
+// connection legitimately goes silent and must not be torn down).
+func TestServerSubscribePush(t *testing.T) {
+	q := vwapSpec()
+	svc, err := serve.ForQuery(q, []string{"sym"}, serve.Options{Shards: 2, BatchSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := startServer(t, svc, ServerConfig{IdleTimeout: 100 * time.Millisecond})
+
+	events := symEvents(19, 1800, 11)
+	feeder := dialRaw(t, addr, 1)
+	seq := uint64(0)
+	feed := func(from, to int) {
+		t.Helper()
+		raw := encodeEvents(events[from:to])
+		for i := 0; i < len(raw); i += 100 {
+			end := min(i+100, len(raw))
+			seq++
+			feeder.send(MsgApplyBatch, EncodeBatch(nil, seq, raw[i:end]))
+			if tp, _, _ := feeder.recv(); tp != MsgAck {
+				t.Fatalf("batch reply %s, want ack", tp)
+			}
+		}
+		feeder.send(MsgDrain, nil)
+		if tp, _, _ := feeder.recv(); tp != MsgAck {
+			t.Fatal("drain not acked")
+		}
+	}
+
+	// Attach mid-stream: the seed frames carry the current full state.
+	feed(0, 900)
+	sub := dialRaw(t, addr, 2)
+	subID, _ := subscribeRaw(t, sub, Subscribe{}, 2)
+	view := serve.NewView()
+	catchUpView(t, sub, subID, view, svc, "mid-stream attach")
+
+	// Go silent past the idle deadline; the subscription must stay alive and
+	// keep receiving pushes afterwards. The feeder connection, by contrast,
+	// is legitimately idled out — re-dial it and continue the session (the
+	// sequence numbers survive the reconnect by design).
+	time.Sleep(300 * time.Millisecond)
+	feeder = dialRaw(t, addr, 1)
+	feed(900, len(events))
+	catchUpView(t, sub, subID, view, svc, "after idle period")
+}
+
+// TestServerHandshakeDowngrade pins the version negotiation window: a v2
+// hello is welcomed at v2 and served everything except subscriptions, and a
+// hello below MinVersion is refused with CodeVersion.
+func TestServerHandshakeDowngrade(t *testing.T) {
+	q := vwapSpec()
+	svc, err := serve.ForQuery(q, []string{"sym"}, serve.Options{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := startServer(t, svc, ServerConfig{})
+
+	// A downgraded connection keeps full v2 service...
+	rc := dialRawVersion(t, addr, 6, MinVersion)
+	rc.send(MsgApplyBatch, EncodeBatch(nil, 1,
+		encodeEvents([]engine.Event{events1()})))
+	if tp, _, _ := rc.recv(); tp != MsgAck {
+		t.Fatal("v2 batch not acked")
+	}
+	rc.send(MsgResult, nil)
+	if tp, _, _ := rc.recv(); tp != MsgScalar {
+		t.Fatal("v2 result not served")
+	}
+	// ...but v3 messages are refused without tearing the connection down.
+	rc.send(MsgSubscribe, EncodeSubscribe(nil, Subscribe{}))
+	rc.errCode(CodeBadRequest)
+	rc.send(MsgResult, nil)
+	if tp, _, _ := rc.recv(); tp != MsgScalar {
+		t.Fatal("v2 connection dead after refused subscribe")
+	}
+
+	// Below the negotiation window: refused outright.
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	hello := EncodeHello(nil, Hello{Version: MinVersion - 1})
+	if err := WriteFrame(nc, EncodeMsg(nil, MsgHello, 0, hello)); err != nil {
+		t.Fatal(err)
+	}
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	payload, err := ReadFrame(nc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, _, body, err := DecodeMsg(payload)
+	if err != nil || tp != MsgError {
+		t.Fatalf("reply %s (err %v), want error", tp, err)
+	}
+	if code, _, err := DecodeError(body); err != nil || code != CodeVersion {
+		t.Fatalf("code %d (err %v), want CodeVersion", code, err)
+	}
+}
+
+func events1() engine.Event {
+	return engine.Insert(map[string]float64{"sym": 1, "price": 4, "volume": 2})
+}
+
+// TestServerReadOnly pins the replica serving contract: every write-carrying
+// request is shed with CodeReadOnly without spending admission tokens, while
+// reads and subscriptions are served in full.
+func TestServerReadOnly(t *testing.T) {
+	q := vwapSpec()
+	svc, err := serve.ForQuery(q, []string{"sym"}, serve.Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pre-load state through the service itself, the way a replica's tailer
+	// does — the wire front door only serves it.
+	if err := svc.ApplyBatch(symEvents(23, 500, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	addr := startServer(t, svc, ServerConfig{ReadOnly: true})
+
+	rc := dialRaw(t, addr, 7)
+	ev := engine.EncodeEvent(nil, events1())
+	rc.send(MsgApply, ev)
+	rc.errCode(CodeReadOnly)
+	rc.send(MsgApplyBatch, EncodeBatch(nil, 1, [][]byte{ev}))
+	rc.errCode(CodeReadOnly)
+	rc.send(MsgDrain, nil)
+	rc.errCode(CodeReadOnly)
+	rc.send(MsgCheckpoint, nil)
+	rc.errCode(CodeReadOnly)
+
+	// Reads still flow, bit-identical to the service.
+	rc.send(MsgResult, nil)
+	_, _, body := rc.recv()
+	got, err := DecodeScalar(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := svc.Result(); got != want {
+		t.Fatalf("read-only Result = %v, want %v", got, want)
+	}
+
+	// Shed writes never touched the admission limiter.
+	rc.send(MsgStats, nil)
+	_, _, body = rc.recv()
+	st, err := DecodeStats(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Server.Accepted != 0 || st.Server.InFlight != 0 {
+		t.Fatalf("read-only server spent admission tokens: %+v", st.Server)
+	}
+
+	// Subscriptions are a read and must work: the seed frames alone
+	// reconstruct the full state.
+	sub := dialRaw(t, addr, 8)
+	subID, _ := subscribeRaw(t, sub, Subscribe{}, 2)
+	view := serve.NewView()
+	catchUpView(t, sub, subID, view, svc, "read-only subscribe")
+}
+
+// TestDecodeDeltaMalformed is the rejection table for pushed delta frames: a
+// client must be able to refuse every structurally invalid frame without
+// panicking, over-reading, or accepting an inconsistent version window.
+func TestDecodeDeltaMalformed(t *testing.T) {
+	good := EncodeDelta(nil, serve.DeltaFrame{Shard: 1, Version: 8, Base: 6,
+		Groups: []engine.GroupResult{{Key: []float64{2}, Value: 11.5}}})
+	if _, err := DecodeDelta(good); err != nil {
+		t.Fatalf("canonical frame rejected: %v", err)
+	}
+	patch := func(mut func(b []byte)) []byte {
+		b := append([]byte(nil), good...)
+		mut(b)
+		return b
+	}
+	cases := []struct {
+		name string
+		body []byte
+	}{
+		{"empty", nil},
+		{"truncated header", good[:20]},
+		{"truncated groups", good[:len(good)-3]},
+		{"trailing bytes", append(append([]byte(nil), good...), 0)},
+		{"unknown flags", patch(func(b []byte) { b[20] |= 0x02 })},
+		{"full frame with nonzero base", patch(func(b []byte) { b[20] |= deltaFullFlag })},
+		{"base beyond version", patch(func(b []byte) { le.PutUint64(b[12:], 9) })},
+		{"group count overruns body", patch(func(b []byte) { le.PutUint32(b[21:], 1 << 20) })},
+		{"key width overruns body", patch(func(b []byte) { le.PutUint32(b[25:], maxGroupKey + 1) })},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeDelta(tc.body); err == nil {
+			t.Errorf("%s: malformed delta accepted", tc.name)
+		}
+	}
+}
+
+// TestDecodeSubscribeMalformed is the matching rejection table for the
+// subscribe request body.
+func TestDecodeSubscribeMalformed(t *testing.T) {
+	good := EncodeSubscribe(nil, Subscribe{Keys: [][]float64{{1, 2}}, Epoch: 5,
+		Resume: []serve.ShardVersion{{Shard: 0, Version: 3}}})
+	if _, err := DecodeSubscribe(good); err != nil {
+		t.Fatalf("canonical subscribe rejected: %v", err)
+	}
+	patch := func(mut func(b []byte)) []byte {
+		b := append([]byte(nil), good...)
+		mut(b)
+		return b
+	}
+	cases := []struct {
+		name string
+		body []byte
+	}{
+		{"empty", nil},
+		{"truncated keys", good[:7]},
+		{"truncated resume", good[:len(good)-5]},
+		{"trailing bytes", append(append([]byte(nil), good...), 0)},
+		{"key count overruns body", patch(func(b []byte) { le.PutUint32(b, 1 << 20) })},
+		{"key width overruns body", patch(func(b []byte) { le.PutUint32(b[4:], maxGroupKey + 1) })},
+		{"resume count mismatch", patch(func(b []byte) { le.PutUint32(b[len(b)-16:], 2) })},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeSubscribe(tc.body); err == nil {
+			t.Errorf("%s: malformed subscribe accepted", tc.name)
+		}
+	}
+}
+
+// TestSubscribeCodecRoundTrip pins the v3 bodies' encode/decode symmetry.
+func TestSubscribeCodecRoundTrip(t *testing.T) {
+	s := Subscribe{Keys: [][]float64{{1}, {2, 3}}, Epoch: 77,
+		Resume: []serve.ShardVersion{{Shard: 0, Version: 9}, {Shard: 2, Version: 4}}}
+	got, err := DecodeSubscribe(EncodeSubscribe(nil, s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Keys) != 2 || got.Keys[1][1] != 3 || got.Epoch != 77 ||
+		len(got.Resume) != 2 || got.Resume[1] != (serve.ShardVersion{Shard: 2, Version: 4}) {
+		t.Fatalf("subscribe round trip = %+v", got)
+	}
+
+	ack, err := DecodeSubscribed(EncodeSubscribed(nil, Subscribed{Shards: 3, Epoch: 42}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Shards != 3 || ack.Epoch != 42 {
+		t.Fatalf("subscribed round trip = %+v", ack)
+	}
+
+	f := serve.DeltaFrame{Shard: 2, Version: 10, Base: 0, Full: true,
+		Groups: []engine.GroupResult{{Key: []float64{1, 2}, Value: 3.5}}}
+	gf, err := DecodeDelta(EncodeDelta(nil, f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gf.Shard != 2 || gf.Version != 10 || !gf.Full || len(gf.Groups) != 1 ||
+		gf.Groups[0].Value != 3.5 {
+		t.Fatalf("delta round trip = %+v", gf)
+	}
+}

@@ -40,10 +40,19 @@ import (
 	"fmt"
 )
 
-// Version is the protocol version exchanged in the hello/welcome handshake.
-// Servers refuse other versions with CodeVersion. Version 2 added the
-// per-shard BatchSize field to the stats reply.
-const Version = 2
+// Version is the newest protocol version this package speaks. Version 2
+// added the per-shard BatchSize field to the stats reply; version 3 added
+// server-push subscriptions (MsgSubscribe/MsgSubscribed/MsgDelta) and the
+// read-only replica refusal (CodeReadOnly).
+const Version = 3
+
+// MinVersion is the oldest protocol version the server still accepts. The
+// handshake negotiates downward: a hello carrying any version in
+// [MinVersion, Version] is welcomed at that version, and the connection then
+// speaks only the messages that version defines (a v2 connection asking to
+// subscribe is refused with CodeBadRequest). Versions outside the window are
+// refused with CodeVersion.
+const MinVersion = 2
 
 // DefaultMaxFrame bounds a frame payload (8 MiB) unless overridden: large
 // enough for multi-thousand-event batches and wide grouped results, small
@@ -66,6 +75,10 @@ const (
 	MsgResultGrouped MsgType = 6 // per-partition grouped result read
 	MsgStats         MsgType = 7 // server + per-shard serving counters
 	MsgCheckpoint    MsgType = 8 // trigger a checkpoint into the server's data dir
+	// MsgSubscribe (v3) registers the connection for pushed grouped-result
+	// deltas; after MsgSubscribed the server streams MsgDelta frames until the
+	// connection closes. A subscribed connection sends nothing further.
+	MsgSubscribe MsgType = 15
 )
 
 // Response messages (server to client).
@@ -76,6 +89,12 @@ const (
 	MsgGrouped    MsgType = 12 // grouped result
 	MsgStatsReply MsgType = 13 // stats payload
 	MsgError      MsgType = 14 // typed failure reply
+	// MsgSubscribed (v3) acknowledges a subscription: shard count plus the
+	// service epoch the client quotes when resuming after a reconnect.
+	MsgSubscribed MsgType = 16
+	// MsgDelta (v3) is one pushed coalesced delta frame for one shard. Its
+	// request id echoes the subscribe request's id.
+	MsgDelta MsgType = 17
 )
 
 func (t MsgType) String() string {
@@ -108,6 +127,12 @@ func (t MsgType) String() string {
 		return "stats-reply"
 	case MsgError:
 		return "error"
+	case MsgSubscribe:
+		return "subscribe"
+	case MsgSubscribed:
+		return "subscribed"
+	case MsgDelta:
+		return "delta"
 	}
 	return fmt.Sprintf("msg(%d)", uint8(t))
 }
@@ -131,6 +156,9 @@ const (
 	CodeSeqGap Code = 5
 	// CodeInternal: an unexpected server-side failure.
 	CodeInternal Code = 6
+	// CodeReadOnly: the server is a read replica; write-carrying requests
+	// (apply, batch, drain, checkpoint) are shed. Point writes at the primary.
+	CodeReadOnly Code = 7
 )
 
 // Typed sentinel errors for each reply code; clients match with errors.Is.
@@ -141,6 +169,7 @@ var (
 	ErrVersion    = errors.New("wire: protocol version mismatch")
 	ErrSeqGap     = errors.New("wire: sequence gap")
 	ErrInternal   = errors.New("wire: internal server error")
+	ErrReadOnly   = errors.New("wire: server is a read-only replica")
 )
 
 // Err converts a reply code and detail message into a typed error wrapping
@@ -158,6 +187,8 @@ func (c Code) Err(msg string) error {
 		base = ErrVersion
 	case CodeSeqGap:
 		base = ErrSeqGap
+	case CodeReadOnly:
+		base = ErrReadOnly
 	}
 	if msg == "" {
 		return base
