@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: test test-race bench bench-core batch experiments examples fuzz fuzz-smoke race recovery wire fanout serve-demo lint
+.PHONY: test test-race bench bench-core batch experiments examples fuzz fuzz-smoke race recovery wire fanout matrix matrix-smoke bench-compare serve-demo lint
 
 test:
 	go build ./... && go vet ./... && go test ./...
@@ -83,6 +83,27 @@ fanout:
 	go test -fuzz FuzzSubscriptionDeltas -fuzztime 10s -run '^$$' ./internal/serve/
 	go test -fuzz FuzzWireFrames -fuzztime 10s -run '^$$' ./internal/wire/
 	go run ./cmd/rpaibench -exp fanout -quick -fanout-out ""
+
+# The multicore scaling matrix at full scale: serve / wire / fanout modes
+# swept over GOMAXPROCS x shards x batch size x connections, written to
+# BENCH_matrix.json with the host baseline in the header.
+matrix:
+	go run ./cmd/rpaibench -exp matrix
+
+# CI's matrix job: parallel differential + stats-race tests under -race, the
+# GOMAXPROCS=4 fuzz smokes, then a quick matrix run gated against the
+# committed baseline at the default 15% threshold.
+matrix-smoke:
+	go test -race -run 'ParallelIngest|StatsRace|MaxProcs|Matrix|Compare' \
+		./internal/serve/ ./internal/bench/
+	GOMAXPROCS=4 go test -race -fuzz FuzzBatchEquivalence -fuzztime 10s -run '^$$' ./internal/engine/
+	GOMAXPROCS=4 go test -race -fuzz FuzzSubscriptionDeltas -fuzztime 10s -run '^$$' ./internal/serve/
+	go run ./cmd/rpaibench -exp matrix -quick -matrix-out /tmp/rpai-matrix-new.json
+	go run ./cmd/rpaibench -compare BENCH_matrix_baseline.json /tmp/rpai-matrix-new.json
+
+# Compare two benchmark reports: make bench-compare OLD=a.json NEW=b.json
+bench-compare:
+	go run ./cmd/rpaibench -compare $(OLD) $(NEW)
 
 # Boot a durable rpaiserver on :7411 with the VWAP decile query, partitioned
 # by symbol, and run the in-process demo against a loopback server.

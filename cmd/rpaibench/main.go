@@ -4,8 +4,13 @@
 // Usage:
 //
 //	rpaibench -exp table1|scaling|fig7|fig8|fig8d|fig9|cadence|latency|all [flags]
-//	rpaibench -exp serve|recovery|wire|arena|batch|fanout [-quick] [flags]   # BENCH_*.json reports
+//	rpaibench -exp serve|recovery|wire|arena|batch|fanout|matrix [-quick] [flags]  # BENCH_*.json reports
 //	rpaibench -exp replay -trace book.csv [-query vwap]
+//	rpaibench -compare old.json new.json [-threshold 0.15]   # regression gate
+//
+// -compare diffs two BENCH_*.json reports of the same experiment and exits 1
+// when any metric regressed by more than -threshold (or a baseline
+// measurement disappeared), 2 on malformed input — the CI regression gate.
 //
 // The default scales finish in minutes on a laptop; -full switches Figure 8
 // to the paper's 100k-event sweep. Any experiment can be profiled with
@@ -42,10 +47,16 @@ func main() {
 		arenaOut = flag.String("arena-out", "BENCH_arena.json", "arena: JSON report path (empty to skip the file)")
 		batchOut = flag.String("batch-out", "BENCH_batch.json", "batch: JSON report path (empty to skip the file)")
 		fanOut   = flag.String("fanout-out", "BENCH_fanout.json", "fanout: JSON report path (empty to skip the file)")
+		matOut   = flag.String("matrix-out", "BENCH_matrix.json", "matrix: JSON report path (empty to skip the file)")
+		compare  = flag.Bool("compare", false, "compare two BENCH_*.json reports: rpaibench -compare old.json new.json")
+		thresh   = flag.Float64("threshold", 0.15, "compare: relative regression threshold (0.15 = 15%)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	if *compare {
+		os.Exit(runCompare(flag.Args(), *thresh))
+	}
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
 		if err != nil {
@@ -325,6 +336,31 @@ func main() {
 			fmt.Printf("wrote %s\n", *fanOut)
 		}
 	}
+	if *exp == "matrix" {
+		ran = true
+		cfg := bench.DefaultMatrix()
+		if *quick {
+			cfg = bench.QuickMatrix()
+		}
+		cfg.Seed = *seed
+		rep, err := bench.Matrix(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rpaibench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(bench.FormatMatrix(rep))
+		if *matOut != "" {
+			data, err := bench.MatrixJSON(rep)
+			if err == nil {
+				err = os.WriteFile(*matOut, data, 0o644)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rpaibench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *matOut)
+		}
+	}
 	if *exp == "arena" {
 		ran = true
 		cfg := bench.DefaultArena()
@@ -370,4 +406,35 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// runCompare is the regression-gate mode: diff two reports, print the table,
+// exit 0 when clean, 1 on a regression (or vanished baseline measurement),
+// 2 on usage or malformed input.
+func runCompare(args []string, threshold float64) int {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "rpaibench: -compare needs exactly two report paths: old.json new.json")
+		return 2
+	}
+	oldData, err := os.ReadFile(args[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rpaibench:", err)
+		return 2
+	}
+	newData, err := os.ReadFile(args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rpaibench:", err)
+		return 2
+	}
+	rep, err := bench.Compare(oldData, newData, threshold)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rpaibench:", err)
+		return 2
+	}
+	fmt.Print(bench.FormatCompare(rep))
+	if err := rep.Gate(); err != nil {
+		fmt.Fprintln(os.Stderr, "rpaibench:", err)
+		return 1
+	}
+	return 0
 }

@@ -87,9 +87,8 @@ type ArenaServePoint struct {
 
 // ArenaReport is the full experiment output serialized to BENCH_arena.json.
 type ArenaReport struct {
-	GoMaxProcs int               `json:"gomaxprocs"`
-	NumCPU     int               `json:"num_cpu"`
-	Config     ArenaConfig       `json:"config"`
+	Header
+	Config ArenaConfig       `json:"config"`
 	Tree       []ArenaPoint      `json:"tree"`
 	Serve      []ArenaServePoint `json:"serve,omitempty"`
 }
@@ -112,7 +111,7 @@ func Arena(cfg ArenaConfig) (*ArenaReport, error) {
 	if len(cfg.Sizes) == 0 {
 		cfg = DefaultArena()
 	}
-	rep := &ArenaReport{GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(), Config: cfg}
+	rep := &ArenaReport{Header: NewHeader("arena", 1), Config: cfg}
 	for _, n := range cfg.Sizes {
 		rng := rand.New(rand.NewSource(cfg.Seed))
 		keys := make([]float64, n)

@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
-	"runtime"
 	"strings"
 	"time"
 
@@ -82,9 +81,8 @@ type BatchNativePoint struct {
 
 // BatchNativeReport is the full experiment output for BENCH_batch.json.
 type BatchNativeReport struct {
-	GoMaxProcs int                `json:"gomaxprocs"`
-	NumCPU     int                `json:"num_cpu"`
-	Config     BatchNativeConfig  `json:"config"`
+	Header
+	Config BatchNativeConfig  `json:"config"`
 	Sweep      []BatchNativePoint `json:"sweep"`
 	// Serve is the pipelined end-to-end serve ablation (per-event Apply with
 	// the worker's own greedy batching), mirroring the arena report's serve
@@ -129,7 +127,7 @@ func BatchNative(cfg BatchNativeConfig) (*BatchNativeReport, error) {
 	if cfg.Events == 0 {
 		cfg = DefaultBatchNative()
 	}
-	rep := &BatchNativeReport{GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(), Config: cfg}
+	rep := &BatchNativeReport{Header: NewHeader("batch", 1), Config: cfg}
 	q := recoveryQuery()
 	events := recoveryEvents(cfg.Seed, cfg.Events, cfg.Partitions)
 	for _, strat := range batchNativeStrategies(q) {

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"math"
 	"net"
-	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -98,10 +97,9 @@ type FanoutPoint struct {
 
 // FanoutReport is the full experiment output serialized to BENCH_fanout.json.
 type FanoutReport struct {
-	GoMaxProcs int           `json:"gomaxprocs"`
-	NumCPU     int           `json:"num_cpu"`
-	Config     FanoutConfig  `json:"config"`
-	Points     []FanoutPoint `json:"points"`
+	Header
+	Config FanoutConfig  `json:"config"`
+	Points []FanoutPoint `json:"points"`
 }
 
 // Fanout runs the push-versus-pull sweep. Every reader's reconstructed or
@@ -115,7 +113,7 @@ func Fanout(cfg FanoutConfig) (*FanoutReport, error) {
 	if cfg.SubBuffer <= 0 {
 		cfg.SubBuffer = 256
 	}
-	rep := &FanoutReport{GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(), Config: cfg}
+	rep := &FanoutReport{Header: NewHeader("fanout", 1), Config: cfg}
 	events := recoveryEvents(cfg.Seed, cfg.Events, cfg.Partitions)
 	for _, n := range cfg.Subscribers {
 		p := FanoutPoint{Subscribers: n}

@@ -1,0 +1,166 @@
+package bench
+
+import (
+	"math"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// Host identifies the machine a benchmark ran on. Scaling and regression
+// comparisons are only meaningful within one host fingerprint, so every
+// BENCH_*.json records it alongside the numbers.
+type Host struct {
+	CPUModel  string `json:"cpu_model,omitempty"` // from /proc/cpuinfo, best effort
+	NumCPU    int    `json:"num_cpu"`
+	GoVersion string `json:"go_version"`
+	OS        string `json:"os"`
+	Arch      string `json:"arch"`
+}
+
+// Header is the shared result header embedded in every experiment report: the
+// run environment old and new experiments are compared under. GoMaxProcs and
+// NumCPU keep their historical JSON names so reports written before the
+// header existed remain comparable.
+type Header struct {
+	Experiment string `json:"experiment"`
+	// Timestamp is the wall-clock start of the run, UTC RFC3339.
+	Timestamp string `json:"timestamp,omitempty"`
+	// Commit is the repository HEAD the run was built from, best effort
+	// (empty outside a git checkout).
+	Commit     string `json:"commit,omitempty"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	// Iterations is how many timed repetitions produced each measured point
+	// (after warm-up). Points carry a Dist when it is greater than one.
+	Iterations int  `json:"iterations"`
+	Host       Host `json:"host"`
+}
+
+// NewHeader stamps a result header for one experiment run.
+func NewHeader(experiment string, iterations int) Header {
+	if iterations <= 0 {
+		iterations = 1
+	}
+	return Header{
+		Experiment: experiment,
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		Commit:     gitCommit(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Iterations: iterations,
+		Host: Host{
+			CPUModel:  cpuModel(),
+			NumCPU:    runtime.NumCPU(),
+			GoVersion: runtime.Version(),
+			OS:        runtime.GOOS,
+			Arch:      runtime.GOARCH,
+		},
+	}
+}
+
+// cpuModel reads the CPU model name from /proc/cpuinfo (Linux); empty when
+// unavailable.
+func cpuModel() string {
+	b, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			if _, v, ok := strings.Cut(name, ":"); ok {
+				return strings.TrimSpace(v)
+			}
+		}
+	}
+	return ""
+}
+
+// gitCommit returns the short HEAD hash, best effort.
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// Dist summarizes repeated measurements of one metric: the regression harness
+// compares means, the spread says whether a delta is noise. RSD is the
+// relative standard deviation in percent (coefficient of variation).
+type Dist struct {
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	StdDev float64 `json:"stddev"`
+	RSD    float64 `json:"rsd_pct"`
+}
+
+// Summarize reduces repeated samples to a Dist. An empty slice yields the
+// zero Dist.
+func Summarize(samples []float64) Dist {
+	if len(samples) == 0 {
+		return Dist{}
+	}
+	d := Dist{N: len(samples), Min: samples[0], Max: samples[0]}
+	var sum float64
+	for _, v := range samples {
+		sum += v
+		if v < d.Min {
+			d.Min = v
+		}
+		if v > d.Max {
+			d.Max = v
+		}
+	}
+	d.Mean = sum / float64(len(samples))
+	if len(samples) > 1 {
+		var ss float64
+		for _, v := range samples {
+			dev := v - d.Mean
+			ss += dev * dev
+		}
+		d.StdDev = math.Sqrt(ss / float64(len(samples)-1))
+		if d.Mean != 0 {
+			d.RSD = 100 * d.StdDev / math.Abs(d.Mean)
+		}
+	}
+	return d
+}
+
+// measure runs one timed point iters times (after warmup un-timed runs) and
+// returns the elapsed-milliseconds distribution. The point closure does its
+// own setup and teardown so every repetition starts cold.
+func measure(warmup, iters int, point func() (float64, error)) (Dist, error) {
+	if iters <= 0 {
+		iters = 1
+	}
+	for i := 0; i < warmup; i++ {
+		if _, err := point(); err != nil {
+			return Dist{}, err
+		}
+	}
+	samples := make([]float64, 0, iters)
+	for i := 0; i < iters; i++ {
+		ms, err := point()
+		if err != nil {
+			return Dist{}, err
+		}
+		samples = append(samples, ms)
+	}
+	return Summarize(samples), nil
+}
+
+// withMaxProcs runs f with runtime.GOMAXPROCS pinned to n (0 keeps the
+// current setting), restoring the previous value afterwards. The matrix
+// runner uses it to sweep core counts inside one process.
+func withMaxProcs(n int, f func() error) error {
+	if n > 0 {
+		prev := runtime.GOMAXPROCS(n)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	return f()
+}

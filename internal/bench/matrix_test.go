@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"encoding/json"
+	"runtime"
+	"testing"
+)
+
+// tinyMatrix is a seconds-scale matrix exercising every mode at two core
+// counts.
+func tinyMatrix() MatrixConfig {
+	return MatrixConfig{
+		Events:     2000,
+		Partitions: 32,
+		Cores:      []int{1, 2},
+		Shards:     []int{2},
+		BatchSizes: []int{32},
+		Conns:      []int{2},
+		Readers:    2,
+		QueueLen:   1024,
+		Iters:      1,
+		Seed:       1,
+	}
+}
+
+// TestWithMaxProcsPinning: the helper pins GOMAXPROCS for the callback and
+// restores the previous value, including on 0 (keep current).
+func TestWithMaxProcsPinning(t *testing.T) {
+	before := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(before)
+	for _, want := range []int{1, 2, 3} {
+		err := withMaxProcs(want, func() error {
+			if got := runtime.GOMAXPROCS(0); got != want {
+				t.Fatalf("inside withMaxProcs(%d): GOMAXPROCS = %d", want, got)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := runtime.GOMAXPROCS(0); got != before {
+			t.Fatalf("after withMaxProcs(%d): GOMAXPROCS = %d, want restored %d", want, got, before)
+		}
+	}
+	if err := withMaxProcs(0, func() error {
+		if got := runtime.GOMAXPROCS(0); got != before {
+			t.Fatalf("withMaxProcs(0) changed GOMAXPROCS to %d", got)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMatrixHonorsCorePinning: every cell's observed GOMAXPROCS (captured
+// inside the timed run) equals the core count it reports, and the runner
+// restores the process setting afterwards.
+func TestMatrixHonorsCorePinning(t *testing.T) {
+	before := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(before)
+	rep, err := Matrix(tinyMatrix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := runtime.GOMAXPROCS(0); got != before {
+		t.Fatalf("Matrix left GOMAXPROCS at %d, want %d", got, before)
+	}
+	cores := map[int]bool{}
+	for _, c := range rep.Cells {
+		if c.GoMaxProcs != c.Cores {
+			t.Fatalf("%s cell reports cores=%d but ran at GOMAXPROCS=%d", c.Mode, c.Cores, c.GoMaxProcs)
+		}
+		cores[c.Cores] = true
+	}
+	if !cores[1] || !cores[2] {
+		t.Fatalf("core counts covered: %v, want 1 and 2", cores)
+	}
+}
+
+// TestMatrixCellsConsistent: the sweep covers every mode, all results agree
+// with the sequential reference (Matrix enforces this internally; degenerate
+// throughput would mean a broken clock), and the report round-trips.
+func TestMatrixCellsConsistent(t *testing.T) {
+	rep, err := Matrix(tinyMatrix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	modes := map[string]int{}
+	for _, c := range rep.Cells {
+		modes[c.Mode]++
+		if c.EventsPerSec <= 0 || c.ElapsedDist.N != 1 {
+			t.Fatalf("%s cell degenerate: %+v", c.Mode, c)
+		}
+		if c.Speedup <= 0 {
+			t.Fatalf("%s cell at %d cores: speedup %v", c.Mode, c.Cores, c.Speedup)
+		}
+	}
+	for _, mode := range []string{"serve", "wire", "fanout"} {
+		if modes[mode] != 2 {
+			t.Fatalf("mode %s: %d cells, want 2 (one per core count); modes: %v", mode, modes[mode], modes)
+		}
+	}
+	if rep.Experiment != "matrix" || rep.Iterations != 1 {
+		t.Fatalf("header: %+v", rep.Header)
+	}
+	data, err := MatrixJSON(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back MatrixReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if len(back.Cells) != len(rep.Cells) {
+		t.Fatalf("round-trip lost cells: %d vs %d", len(back.Cells), len(rep.Cells))
+	}
+}
+
+// TestResolveCores: 0 resolves to NumCPU and duplicates collapse.
+func TestResolveCores(t *testing.T) {
+	got := resolveCores([]int{1, 0, runtime.NumCPU(), 1})
+	want := map[int]bool{1: true, runtime.NumCPU(): true}
+	if len(got) != len(want) {
+		t.Fatalf("resolveCores = %v, want %v deduped", got, want)
+	}
+	for _, c := range got {
+		if !want[c] {
+			t.Fatalf("resolveCores = %v contains unexpected %d", got, c)
+		}
+	}
+}

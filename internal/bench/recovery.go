@@ -6,7 +6,6 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
-	"runtime"
 	"strings"
 	"time"
 
@@ -62,8 +61,7 @@ type RecoveryPoint struct {
 // RecoveryReport is the full experiment output serialized to
 // BENCH_recovery.json.
 type RecoveryReport struct {
-	GoMaxProcs    int             `json:"gomaxprocs"`
-	NumCPU        int             `json:"num_cpu"`
+	Header
 	Config        RecoveryConfig  `json:"config"`
 	IngestMS      float64         `json:"ingest_ms"`      // full-trace durable ingest (WAL on)
 	CheckpointMS  float64         `json:"checkpoint_ms"`  // explicit mid-stream checkpoint
@@ -126,7 +124,7 @@ func Recovery(cfg RecoveryConfig) (*RecoveryReport, error) {
 	if len(cfg.RecoverShards) == 0 {
 		cfg.RecoverShards = []int{cfg.Shards}
 	}
-	rep := &RecoveryReport{GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(), Config: cfg}
+	rep := &RecoveryReport{Header: NewHeader("recovery", 1), Config: cfg}
 	q := recoveryQuery()
 	events := recoveryEvents(cfg.Seed, cfg.Events, cfg.Partitions)
 	dir, err := os.MkdirTemp("", "rpai-recovery-*")

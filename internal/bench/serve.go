@@ -3,7 +3,6 @@ package bench
 import (
 	"encoding/json"
 	"fmt"
-	"runtime"
 	"strings"
 	"time"
 
@@ -27,6 +26,11 @@ type ServeConfig struct {
 	BatchSize  int   `json:"batch_size"`
 	QueueLen   int   `json:"queue_len"`
 	Seed       int64 `json:"seed"`
+	// Iters is the number of timed repetitions per cell (default 1); each
+	// point records the elapsed-time distribution across them, not just the
+	// mean. Warmup runs precede the timed ones un-recorded.
+	Iters  int `json:"iters,omitempty"`
+	Warmup int `json:"warmup,omitempty"`
 }
 
 // DefaultServe returns the scales used for BENCH_serve.json.
@@ -38,6 +42,8 @@ func DefaultServe() ServeConfig {
 		BatchSize:  64,
 		QueueLen:   8192,
 		Seed:       1,
+		Iters:      3,
+		Warmup:     1,
 	}
 }
 
@@ -57,14 +63,16 @@ type ServePoint struct {
 	// Result is the drained final output, cross-checked for exact equality
 	// across shard counts before Serve returns.
 	Result float64 `json:"result"`
+	// ElapsedDist is the elapsed-ms distribution over Config.Iters timed
+	// repetitions; ElapsedMS and EventsPerSec derive from its mean.
+	ElapsedDist Dist `json:"elapsed_dist"`
 }
 
 // ServeReport is the full experiment output serialized to BENCH_serve.json.
 type ServeReport struct {
-	GoMaxProcs int          `json:"gomaxprocs"`
-	NumCPU     int          `json:"num_cpu"`
-	Config     ServeConfig  `json:"config"`
-	Points     []ServePoint `json:"points"`
+	Header
+	Config ServeConfig  `json:"config"`
+	Points []ServePoint `json:"points"`
 }
 
 // Serve runs the shard-count sweep over both workloads: the order-book VWAP
@@ -80,7 +88,10 @@ func Serve(cfg ServeConfig) (*ServeReport, error) {
 	if len(cfg.Shards) == 0 {
 		cfg.Shards = []int{1, 2, 4}
 	}
-	rep := &ServeReport{GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(), Config: cfg}
+	if cfg.Iters <= 0 {
+		cfg.Iters = 1
+	}
+	rep := &ServeReport{Header: NewHeader("serve", cfg.Iters), Config: cfg}
 
 	// Workload 1: order-book VWAP, one executor per synthetic instrument.
 	fin := FinanceTrace(cfg.Events, false, cfg.Seed)
@@ -123,34 +134,46 @@ func serveSweep[E any](cfg ServeConfig, workload string, events []E,
 	newEx func([]float64) serve.Executor[E]) ([]ServePoint, error) {
 	var points []ServePoint
 	for i, shards := range cfg.Shards {
-		svc, err := serve.New(serve.Config[E]{
-			Shards:    shards,
-			QueueLen:  cfg.QueueLen,
-			BatchSize: cfg.BatchSize,
-			Partition: partition,
-			New:       newEx,
-		})
-		if err != nil {
-			return nil, err
-		}
-		start := time.Now()
-		for _, e := range events {
-			if err := svc.Apply(e); err != nil {
-				return nil, err
-			}
-		}
-		if err := svc.Drain(); err != nil {
-			return nil, err
-		}
-		elapsed := time.Since(start)
-		res := svc.Result()
+		var res float64
 		var batches uint64
 		var parts int
-		for _, st := range svc.Stats() {
-			batches += st.Flushed
-			parts += st.Partitions
+		// One timed repetition: fresh service, full replay, drained barrier.
+		// The counters and result are re-captured every run (they must be
+		// identical run to run; the workload is deterministic).
+		point := func() (float64, error) {
+			svc, err := serve.New(serve.Config[E]{
+				Shards:    shards,
+				QueueLen:  cfg.QueueLen,
+				BatchSize: cfg.BatchSize,
+				Partition: partition,
+				New:       newEx,
+			})
+			if err != nil {
+				return 0, err
+			}
+			start := time.Now()
+			for _, e := range events {
+				if err := svc.Apply(e); err != nil {
+					return 0, err
+				}
+			}
+			if err := svc.Drain(); err != nil {
+				return 0, err
+			}
+			elapsed := time.Since(start)
+			res = svc.Result()
+			batches, parts = 0, 0
+			for _, st := range svc.Stats() {
+				batches += st.Flushed
+				parts += st.Partitions
+			}
+			if err := svc.Close(); err != nil {
+				return 0, err
+			}
+			return float64(elapsed.Microseconds()) / 1e3, nil
 		}
-		if err := svc.Close(); err != nil {
+		dist, err := measure(cfg.Warmup, cfg.Iters, point)
+		if err != nil {
 			return nil, err
 		}
 		p := ServePoint{
@@ -158,10 +181,11 @@ func serveSweep[E any](cfg ServeConfig, workload string, events []E,
 			Shards:       shards,
 			Events:       len(events),
 			Partitions:   parts,
-			ElapsedMS:    float64(elapsed.Microseconds()) / 1e3,
-			EventsPerSec: float64(len(events)) / elapsed.Seconds(),
+			ElapsedMS:    dist.Mean,
+			EventsPerSec: float64(len(events)) / (dist.Mean / 1e3),
 			Batches:      batches,
 			Result:       res,
+			ElapsedDist:  dist,
 		}
 		if batches > 0 {
 			p.AvgBatch = float64(len(events)) / float64(batches)

@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
-	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -30,6 +29,11 @@ type WireConfig struct {
 	BatchSize   int   `json:"batch_size"`   // client batch size
 	MaxInFlight int   `json:"max_in_flight"` // client per-conn pipeline depth
 	Seed        int64 `json:"seed"`
+	// Iters is the number of timed repetitions per pool size (default 1);
+	// each point records the ingest-time distribution across them. Warmup
+	// runs precede the timed ones un-recorded.
+	Iters  int `json:"iters,omitempty"`
+	Warmup int `json:"warmup,omitempty"`
 }
 
 // DefaultWire returns the scales used for BENCH_wire.json.
@@ -42,6 +46,8 @@ func DefaultWire() WireConfig {
 		BatchSize:   128,
 		MaxInFlight: 32,
 		Seed:        1,
+		Iters:       3,
+		Warmup:      1,
 	}
 }
 
@@ -56,12 +62,14 @@ type WirePoint struct {
 	Shed          uint64  `json:"shed"`           // server-side shed count (0 at these rates)
 	Result        float64 `json:"result"`         // cross-checked against in-process serving
 	ResultMatches bool    `json:"result_matches"` // scalar and grouped, bit for bit
+	// IngestDist is the ingest-ms distribution over Config.Iters timed
+	// repetitions; IngestMS and EventsPerSec derive from its mean.
+	IngestDist Dist `json:"ingest_dist"`
 }
 
 // WireReport is the full experiment output serialized to BENCH_wire.json.
 type WireReport struct {
-	GoMaxProcs  int         `json:"gomaxprocs"`
-	NumCPU      int         `json:"num_cpu"`
+	Header
 	Config      WireConfig  `json:"config"`
 	InProcessMS float64     `json:"in_process_ms"` // same trace, no network
 	Points      []WirePoint `json:"points"`
@@ -74,7 +82,10 @@ func Wire(cfg WireConfig) (*WireReport, error) {
 	if len(cfg.Conns) == 0 {
 		cfg.Conns = []int{1}
 	}
-	rep := &WireReport{GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(), Config: cfg}
+	if cfg.Iters <= 0 {
+		cfg.Iters = 1
+	}
+	rep := &WireReport{Header: NewHeader("wire", cfg.Iters), Config: cfg}
 	q := recoveryQuery()
 	events := recoveryEvents(cfg.Seed, cfg.Events, cfg.Partitions)
 
@@ -100,10 +111,23 @@ func Wire(cfg WireConfig) (*WireReport, error) {
 	}
 
 	for _, conns := range cfg.Conns {
-		p, err := wirePoint(events, cfg, conns, wantScalar, wantGroups)
+		var p *WirePoint
+		// One timed repetition: fresh server, fresh client pool, full replay.
+		point := func() (float64, error) {
+			wp, err := wirePoint(events, cfg, conns, wantScalar, wantGroups)
+			if err != nil {
+				return 0, err
+			}
+			p = wp
+			return wp.IngestMS, nil
+		}
+		dist, err := measure(cfg.Warmup, cfg.Iters, point)
 		if err != nil {
 			return nil, err
 		}
+		p.IngestDist = dist
+		p.IngestMS = dist.Mean
+		p.EventsPerSec = float64(len(events)) / (dist.Mean / 1e3)
 		rep.Points = append(rep.Points, *p)
 	}
 	return rep, nil

@@ -1,0 +1,57 @@
+package checkpoint
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+// benchWAL measures appending n records of size recSize with a caller-chosen
+// flush policy. flushEvery=1 is the pre-deferral serving-layer behavior (one
+// bufio flush — i.e. one write(2) once the buffer fills — per group commit);
+// flushEvery=0 flushes only at the end, the behavior when a shard never goes
+// idle under sustained load.
+func benchWAL(b *testing.B, recSize, flushEvery int) {
+	payload := make([]byte, recSize)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	dir := b.TempDir()
+	b.SetBytes(int64(recSize))
+	b.ResetTimer()
+	var w *WALWriter
+	var err error
+	for i := 0; i < b.N; i++ {
+		if i%4096 == 0 { // rotate so single files stay bounded
+			if w != nil {
+				if err := w.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			w, err = CreateWAL(filepath.Join(dir, fmt.Sprintf("w%d.wal", i)), Header{Shard: 0, Seq: uint64(i)})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := w.Append(payload); err != nil {
+			b.Fatal(err)
+		}
+		if flushEvery > 0 && i%flushEvery == 0 {
+			if err := w.Flush(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkWALAppendFlushPerRecord is the old group-commit policy: the shard
+// worker flushed the WAL on every commit, so each batch record paid a flush.
+func BenchmarkWALAppendFlushPerRecord(b *testing.B) { benchWAL(b, 256, 1) }
+
+// BenchmarkWALAppendFlushDeferred is the current policy under sustained load:
+// records accumulate in the 64 KiB writer buffer and flush only when the
+// shard goes idle or a Drain barrier demands durability.
+func BenchmarkWALAppendFlushDeferred(b *testing.B) { benchWAL(b, 256, 0) }

@@ -403,7 +403,7 @@ func Recover[E any](dir string, cfg Config[E]) (*Service[E], error) {
 				if _, dup := ws.parts[p.ekey]; dup {
 					return fmt.Errorf("serve: duplicate partition %v in checkpoint", p.vals)
 				}
-				ws.parts[p.ekey] = p
+				ws.addPartition(p)
 			}
 			svc.shards[ws.idx].partitions.Store(int64(len(ws.parts)))
 			return nil

@@ -167,11 +167,10 @@ func (r *Replica[E]) rebase() error {
 	for i, list := range installs {
 		list := list
 		if err := r.svc.control(i, func(ws *workerState[E]) error {
-			ws.parts = make(map[string]*partition[E], len(list))
 			for _, p := range list {
 				p.ekey = string(encodeKey(nil, p.vals))
-				ws.parts[p.ekey] = p
 			}
+			ws.resetParts(list)
 			r.svc.shards[ws.idx].partitions.Store(int64(len(ws.parts)))
 			ws.publishFull = true
 			return nil

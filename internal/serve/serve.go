@@ -107,9 +107,11 @@ type Config[E any] struct {
 type Durable[E any] struct {
 	// Dir, when non-empty, is the live checkpoint directory: each batch a
 	// shard applies is group-committed to its WAL under Dir as a single
-	// record (the batch's events concatenated with u32 length prefixes)
-	// followed by one flush — after Drain returns, all acknowledged events
-	// survive a process crash. Checkpoint(Dir) rotates the WALs into a fresh snapshot
+	// record (the batch's events concatenated with u32 length prefixes). The
+	// WAL is flushed whenever the shard goes idle and before any barrier is
+	// acknowledged, so under sustained load one flush covers many batch
+	// records and after Drain returns all acknowledged events survive a
+	// process crash. Checkpoint(Dir) rotates the WALs into a fresh snapshot
 	// generation. When Dir is empty no WAL is kept; Checkpoint still exports
 	// consistent snapshots to any directory.
 	Dir string
@@ -155,9 +157,16 @@ type ctl[E any] struct {
 // workerState is the state a shard worker owns exclusively: its partitions
 // and its WAL position. Control requests mutate it between batches.
 type workerState[E any] struct {
-	idx     int
-	parts   map[string]*partition[E]
-	wal     *checkpoint.WALWriter
+	idx   int
+	parts map[string]*partition[E]
+	// plist is the insertion-ordered partition list and groups its parallel
+	// result row per partition (groups[p.slot] tracks p.last). commit
+	// publishes by cloning groups in one copy instead of walking the parts
+	// map and re-boxing every row — the map walk plus per-row append was the
+	// dominant snapshot-publish cost at high partition counts.
+	plist  []*partition[E]
+	groups []engine.GroupResult
+	wal    *checkpoint.WALWriter
 	gen     uint64 // checkpoint generation the WAL belongs to
 	seq     uint64 // snapshot sequence the WAL follows
 	pending int    // events appended to the WAL since its header
@@ -192,6 +201,26 @@ type partition[E any] struct {
 	pend  []E              // events buffered for the in-progress batch
 	last  float64
 	dirty bool
+	slot  int // index into the owning worker's plist/groups
+}
+
+// addPartition registers p in the worker's map and ordered list, keeping the
+// published-groups row aligned with the partition's slot.
+func (ws *workerState[E]) addPartition(p *partition[E]) {
+	p.slot = len(ws.plist)
+	ws.parts[p.ekey] = p
+	ws.plist = append(ws.plist, p)
+	ws.groups = append(ws.groups, engine.GroupResult{Key: p.vals, Value: p.last})
+}
+
+// resetParts replaces the worker's partition set wholesale (replica rebase).
+func (ws *workerState[E]) resetParts(list []*partition[E]) {
+	ws.parts = make(map[string]*partition[E], len(list))
+	ws.plist = ws.plist[:0]
+	ws.groups = ws.groups[:0]
+	for _, p := range list {
+		ws.addPartition(p)
+	}
 }
 
 // newPartition wraps an executor, capturing its batched path once so the hot
@@ -246,12 +275,23 @@ type ShardStats struct {
 }
 
 type shard[E any] struct {
-	idx        int
-	in         chan item[E]
-	snap       atomic.Pointer[Snapshot]
+	idx int
+	in  chan item[E]
+	// snap is the read-side hot word: every Result/ResultGrouped/Version
+	// call loads it. The pads keep it off the cache lines of the
+	// writer-side counters below (and of the neighboring shard structs), so
+	// cross-core readers do not false-share with producers hammering the
+	// counters.
+	_    [64]byte
+	snap atomic.Pointer[Snapshot]
+	_    [64]byte
+	// applied and flushed are written by the worker goroutine; waitNS and
+	// rejected by producers. A line of separation between the two groups
+	// keeps producer stalls from invalidating the worker's line.
 	applied    atomic.Uint64
 	flushed    atomic.Uint64
 	partitions atomic.Int64
+	_          [64]byte
 	waitNS     atomic.Uint64
 	rejected   atomic.Uint64
 
@@ -529,9 +569,10 @@ func (s *Service[E]) TryApply(e E) error {
 
 // run is the shard worker: drain a batch, buffer its events per partition,
 // hand each touched partition its run via ApplyBatch, group-commit the batch
-// to the WAL (one record, one flush), refresh the touched partitions,
-// publish the snapshot, release any drain barriers — in that order, so a
-// released Drain implies the acknowledged events are in the log. Control
+// to the WAL (one record per batch, flushed when the worker goes idle or a
+// barrier needs acknowledging), refresh the touched partitions, publish the
+// snapshot, release any drain barriers — in that order, so a released Drain
+// implies the acknowledged events are in the log. Control
 // requests and drain barriers terminate the in-progress batch: the worker
 // commits everything queued before them, then serves them, preserving the
 // FIFO semantics recovery and checkpointing rely on.
@@ -561,7 +602,7 @@ func (s *Service[E]) run(sh *shard[E]) {
 			vals := append([]float64(nil), keyBuf...)
 			p = newPartition(vals, s.cfg.New(vals))
 			p.ekey = string(byteBuf)
-			ws.parts[p.ekey] = p
+			ws.addPartition(p)
 			sh.partitions.Store(int64(len(ws.parts)))
 		}
 		p.pend = append(p.pend, e)
@@ -581,25 +622,42 @@ func (s *Service[E]) run(sh *shard[E]) {
 		}
 		sh.applied.Add(1)
 	}
-	commit := func() {
+	// commit applies the drained batch and publishes the snapshot. flushWAL
+	// says whether the WAL is flushed now or left buffered: the worker defers
+	// the flush while more input is already queued (group commit across
+	// batches — one write syscall covers many batch records) and flushes when
+	// it goes idle or before acknowledging a barrier, so Drain's durability
+	// guarantee is unchanged.
+	commit := func(flushWAL bool) {
 		for _, p := range dirty {
 			p.applyPend()
 			p.last = p.ex.Result()
+			ws.groups[p.slot].Value = p.last
 			p.dirty = false
 		}
-		// Publish a fresh immutable snapshot of every partition this shard
-		// owns. This full walk is the price of lock-free consistent reads;
-		// its cost shrinks with the shard count and amortizes with the batch
-		// size, which is what the serve benchmarks measure on top of
-		// multi-core parallelism.
 		ws.version++
 		if len(dirty) > 0 || ws.publishFull {
 			ws.lastChange = ws.version
 		}
-		snap := &Snapshot{Version: ws.version, Groups: make([]engine.GroupResult, 0, len(ws.parts))}
-		for _, p := range ws.parts {
-			snap.Groups = append(snap.Groups, engine.GroupResult{Key: p.vals, Value: p.last})
-			snap.Total += p.last
+		// Publish an immutable snapshot of every partition this shard owns.
+		// The worker keeps the per-partition rows up to date in ws.groups, so
+		// publication is one bulk clone of that slice (plus a slice-order
+		// resum of the total, deterministic run to run) — not a walk of the
+		// partition map re-boxing every row, whose iteration and per-batch
+		// garbage dominated ingest CPU at high partition counts. A commit
+		// that changed nothing (drain barriers, empty batches) reuses the
+		// previous snapshot's Groups outright.
+		prev := sh.snap.Load()
+		snap := &Snapshot{Version: ws.version}
+		if len(dirty) > 0 || ws.publishFull || prev == nil || len(prev.Groups) != len(ws.groups) {
+			snap.Groups = append(make([]engine.GroupResult, 0, len(ws.groups)), ws.groups...)
+			var total float64
+			for i := range snap.Groups {
+				total += snap.Groups[i].Value
+			}
+			snap.Total = total
+		} else {
+			snap.Groups, snap.Total = prev.Groups, prev.Total
 		}
 		sh.snap.Store(snap)
 		sh.flushed.Add(1)
@@ -607,16 +665,14 @@ func (s *Service[E]) run(sh *shard[E]) {
 			s.publishSubs(ws, dirty)
 		}
 		dirty = dirty[:0]
-		if ws.wal != nil && ws.err == nil {
-			if len(walBuf) > 0 {
-				if err := ws.wal.Append(walBuf); err != nil {
-					ws.err = err
-				}
+		if ws.wal != nil && ws.err == nil && len(walBuf) > 0 {
+			if err := ws.wal.Append(walBuf); err != nil {
+				ws.err = err
 			}
-			if ws.err == nil {
-				if err := ws.wal.Flush(); err != nil {
-					ws.err = err
-				}
+		}
+		if flushWAL && ws.wal != nil && ws.err == nil {
+			if err := ws.wal.Flush(); err != nil {
+				ws.err = err
 			}
 		}
 		walBuf = walBuf[:0]
@@ -634,9 +690,9 @@ func (s *Service[E]) run(sh *shard[E]) {
 			switch {
 			case it.ctl != nil:
 				// Commit queued work first so the control request observes
-				// (and checkpoints) fully applied state, then stop: the next
-				// loop iteration starts a fresh batch.
-				commit()
+				// (and checkpoints) fully applied, flushed state, then stop:
+				// the next loop iteration starts a fresh batch.
+				commit(true)
 				it.ctl.done <- it.ctl.fn(ws)
 				stop = true
 			case it.sync != nil:
@@ -666,7 +722,10 @@ func (s *Service[E]) run(sh *shard[E]) {
 				break drain
 			}
 		}
-		commit()
+		// Flush when a barrier must be acknowledged or the queue ran dry; a
+		// full batch with more input already queued leaves the WAL buffered
+		// for the next commit.
+		commit(stop || len(sh.in) == 0)
 		for _, c := range syncs {
 			close(c)
 		}
