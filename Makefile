@@ -101,6 +101,17 @@ matrix-smoke:
 	go run ./cmd/rpaibench -exp matrix -quick -matrix-out /tmp/rpai-matrix-new.json
 	go run ./cmd/rpaibench -compare BENCH_matrix_baseline.json /tmp/rpai-matrix-new.json
 
+# CI's catalog job: the multi-query surface under -race (catalog lifecycle,
+# sharing, crash/recover, wire v4 routing), the catalog differential fuzz
+# smoke, then a quick multi run gated against the committed baseline.
+catalog:
+	go test -race ./internal/catalog/
+	go test -race -run 'Catalog|Register|Explain|QueryList|SubscribeQ|VersionGate' \
+		./internal/wire/...
+	go test -fuzz FuzzCatalogDifferential -fuzztime 10s -run '^$$' ./internal/catalog/
+	go run ./cmd/rpaibench -exp multi -quick -multi-out /tmp/rpai-multi-new.json
+	go run ./cmd/rpaibench -compare BENCH_multi_baseline.json /tmp/rpai-multi-new.json
+
 # Compare two benchmark reports: make bench-compare OLD=a.json NEW=b.json
 bench-compare:
 	go run ./cmd/rpaibench -compare $(OLD) $(NEW)

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	rpaibench -exp table1|scaling|fig7|fig8|fig8d|fig9|cadence|latency|all [flags]
-//	rpaibench -exp serve|recovery|wire|arena|batch|fanout|matrix [-quick] [flags]  # BENCH_*.json reports
+//	rpaibench -exp serve|recovery|wire|arena|batch|fanout|matrix|multi [-quick] [flags]  # BENCH_*.json reports
 //	rpaibench -exp replay -trace book.csv [-query vwap]
 //	rpaibench -compare old.json new.json [-threshold 0.15]   # regression gate
 //
@@ -31,7 +31,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1, scaling, fig7, fig8, fig8d, fig9, cadence, latency, serve, replay, recovery, wire, arena, batch, fanout, or all")
+		exp      = flag.String("exp", "all", "experiment: table1, scaling, fig7, fig8, fig8d, fig9, cadence, latency, serve, replay, recovery, wire, arena, batch, fanout, multi, or all")
 		events   = flag.Int("events", 10000, "finance trace length for fig7")
 		sf       = flag.Float64("sf", 1, "TPC-H scale factor for fig7")
 		seed     = flag.Int64("seed", 1, "workload seed")
@@ -48,6 +48,7 @@ func main() {
 		batchOut = flag.String("batch-out", "BENCH_batch.json", "batch: JSON report path (empty to skip the file)")
 		fanOut   = flag.String("fanout-out", "BENCH_fanout.json", "fanout: JSON report path (empty to skip the file)")
 		matOut   = flag.String("matrix-out", "BENCH_matrix.json", "matrix: JSON report path (empty to skip the file)")
+		multiOut = flag.String("multi-out", "BENCH_multi.json", "multi: JSON report path (empty to skip the file)")
 		compare  = flag.Bool("compare", false, "compare two BENCH_*.json reports: rpaibench -compare old.json new.json")
 		thresh   = flag.Float64("threshold", 0.15, "compare: relative regression threshold (0.15 = 15%)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -359,6 +360,31 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("wrote %s\n", *matOut)
+		}
+	}
+	if *exp == "multi" {
+		ran = true
+		cfg := bench.DefaultMulti()
+		if *quick {
+			cfg = bench.QuickMulti()
+		}
+		cfg.Seed = *seed
+		rep, err := bench.Multi(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rpaibench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(bench.FormatMulti(rep))
+		if *multiOut != "" {
+			data, err := bench.MultiJSON(rep)
+			if err == nil {
+				err = os.WriteFile(*multiOut, data, 0o644)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rpaibench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *multiOut)
 		}
 	}
 	if *exp == "arena" {

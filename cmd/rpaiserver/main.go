@@ -21,6 +21,17 @@
 //
 //	rpaiserver -addr :7412 -partition sym -replica /var/lib/rpai -query "..."
 //
+// With -catalog (or one or more -register flags) the daemon hosts a
+// multi-query catalog instead of a single query: every -register SQL is
+// registered at boot, clients register and unregister queries at runtime over
+// protocol version 4, one shared ingest stream fans out to every registered
+// query behind a single WAL append per batch, and EXPLAIN reports each
+// query's strategy and index sharing. With -data the catalog is durable: the
+// registrations persist in a manifest and a restart recovers every query.
+//
+//	rpaiserver -addr :7413 -partition sym -catalog -data /var/lib/rpai \
+//	  -register "SELECT ..." -register "SELECT ..."
+//
 // Clients connect with internal/wire/client, or any implementation of the
 // framing in DESIGN.md section 5d.
 package main
@@ -33,15 +44,26 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 
+	"rpai/internal/catalog"
 	"rpai/internal/checkpoint"
 	"rpai/internal/engine"
 	"rpai/internal/serve"
 	"rpai/internal/sqlparse"
 	"rpai/internal/wire"
 )
+
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, "; ") }
+func (m *multiFlag) Set(s string) error {
+	*m = append(*m, s)
+	return nil
+}
 
 func main() {
 	var (
@@ -60,7 +82,10 @@ func main() {
 		perConn      = flag.Int("per-conn", 0, "pipelined requests buffered per connection (0: wire default)")
 		idleTimeout  = flag.Duration("idle-timeout", 0, "per-frame read deadline (0: wire default)")
 		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty: off)")
+		catalogMode  = flag.Bool("catalog", false, "host a multi-query catalog (runtime registration over protocol v4)")
 	)
+	var registers multiFlag
+	flag.Var(&registers, "register", "register this SQL query at boot (repeatable; implies -catalog)")
 	flag.Parse()
 	if *pprofAddr != "" {
 		go func() {
@@ -73,6 +98,7 @@ func main() {
 		}()
 	}
 
+	isCatalog := *catalogMode || len(registers) > 0
 	sql := *queryText
 	if *queryFile != "" {
 		data, err := os.ReadFile(*queryFile)
@@ -81,8 +107,12 @@ func main() {
 		}
 		sql = string(data)
 	}
-	if strings.TrimSpace(sql) == "" {
-		fmt.Fprintln(os.Stderr, "rpaiserver: no query given (use -query or -query-file)")
+	if isCatalog && strings.TrimSpace(sql) != "" {
+		fmt.Fprintln(os.Stderr, "rpaiserver: -catalog hosts many queries; use -register instead of -query")
+		os.Exit(2)
+	}
+	if !isCatalog && strings.TrimSpace(sql) == "" {
+		fmt.Fprintln(os.Stderr, "rpaiserver: no query given (use -query or -query-file, or -catalog/-register)")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -96,6 +126,26 @@ func main() {
 		if c = strings.TrimSpace(c); c != "" {
 			partitionBy = append(partitionBy, c)
 		}
+	}
+
+	if isCatalog {
+		if *replicaDir != "" {
+			fmt.Fprintln(os.Stderr, "rpaiserver: -catalog and -replica are mutually exclusive")
+			os.Exit(2)
+		}
+		runCatalog(*addr, partitionBy, registers, catalog.Options{
+			PartitionBy: partitionBy,
+			Shards:      *shards,
+			QueueLen:    *queueLen,
+			BatchSize:   *batch,
+			Dir:         *dataDir,
+		}, wire.ServerConfig{
+			MaxInFlight:  *maxInFlight,
+			PerConnQueue: *perConn,
+			IdleTimeout:  *idleTimeout,
+			Query:        "catalog",
+		})
+		return
 	}
 
 	q, err := sqlparse.Parse(sql)
@@ -189,6 +239,86 @@ func main() {
 		if err := svc.Close(); err != nil {
 			fatal(err)
 		}
+	}
+	fmt.Println("rpaiserver: clean shutdown")
+}
+
+// runCatalog boots the multi-query catalog daemon: recover the catalog from
+// its data directory when one holds a manifest, register the boot queries,
+// and serve protocol v4 until a signal, then drain and close.
+func runCatalog(addr string, partitionBy []string, registers []string, opt catalog.Options, cfg wire.ServerConfig) {
+	var cat *catalog.Service
+	var err error
+	if opt.Dir != "" {
+		if _, serr := os.Stat(filepath.Join(opt.Dir, "CATALOG")); serr == nil {
+			if cat, err = catalog.Recover(opt); err != nil {
+				fatal(fmt.Errorf("recovering catalog from %s: %w", opt.Dir, err))
+			}
+			fmt.Printf("rpaiserver: recovered catalog from %s (%d queries)\n", opt.Dir, cat.Len())
+		}
+	}
+	if cat == nil {
+		if cat, err = catalog.New(opt); err != nil {
+			fatal(err)
+		}
+	}
+	// Boot registrations are idempotent across restarts: a -register query
+	// whose canonical form is already in the recovered manifest is kept, not
+	// registered again as a duplicate.
+	recovered := make(map[string]catalog.QueryID)
+	for _, ex := range cat.List() {
+		recovered[ex.Canonical] = ex.ID
+	}
+	for _, sql := range registers {
+		q, err := sqlparse.Parse(sql)
+		if err != nil {
+			fatal(fmt.Errorf("registering %q: %w", sql, err))
+		}
+		if id, ok := recovered[q.String()]; ok {
+			fmt.Printf("rpaiserver: query %d already registered (recovered)\n", id)
+			continue
+		}
+		id, ex, err := cat.Register(sql)
+		if err != nil {
+			fatal(fmt.Errorf("registering %q: %w", sql, err))
+		}
+		recovered[ex.Canonical] = id
+		shared := ""
+		if len(ex.SharedWith) > 0 {
+			shared = fmt.Sprintf(", sharing indexes with %v", ex.SharedWith)
+		}
+		fmt.Printf("rpaiserver: query %d registered (%s/%s%s)\n", id, ex.Strategy, ex.IndexKind, shared)
+	}
+
+	srv := wire.NewCatalogServer(cat, cfg)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("rpaiserver: catalog serving %d queries\n  partition by %v, %d shards, listening on %s\n",
+		cat.Len(), partitionBy, cat.Shards(), ln.Addr())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	select {
+	case sig := <-sigc:
+		fmt.Printf("rpaiserver: %v, shutting down\n", sig)
+		srv.Close()
+		if err := <-done; err != nil {
+			fatal(err)
+		}
+	case err := <-done:
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if err := cat.DrainAll(); err != nil {
+		fatal(err)
+	}
+	if err := cat.Close(); err != nil {
+		fatal(err)
 	}
 	fmt.Println("rpaiserver: clean shutdown")
 }

@@ -1,0 +1,215 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"rpai/internal/catalog"
+	"rpai/internal/engine"
+)
+
+// MultiConfig parameterizes the multi-query catalog experiment: one shared
+// ingest stream fanned out to N registered queries, swept over N, once with
+// every registration a spelling of the same query (the catalog collapses
+// them onto one executor set — shared-index reuse) and once with N distinct
+// queries (no sharing possible; every event is applied N times). The spread
+// between the two curves is the price of fan-out and the payoff of the
+// catalog's canonical-form sharing.
+type MultiConfig struct {
+	Events     int   `json:"events"`       // trace length per cell
+	Partitions int   `json:"partitions"`   // distinct partition keys
+	Shards     int   `json:"shards"`       // shards per executor set
+	BatchSize  int   `json:"batch_size"`   // ApplyBatch size
+	Queries    []int `json:"query_counts"` // registered-query counts to sweep
+	Iters      int   `json:"iters"`
+	Warmup     int   `json:"warmup"`
+	Seed       int64 `json:"seed"`
+}
+
+// DefaultMulti returns the scales used for BENCH_multi.json.
+func DefaultMulti() MultiConfig {
+	return MultiConfig{
+		Events:     40000,
+		Partitions: 512,
+		Shards:     2,
+		BatchSize:  256,
+		Queries:    []int{1, 4, 16, 64},
+		Iters:      3,
+		Warmup:     1,
+		Seed:       1,
+	}
+}
+
+// QuickMulti shrinks the sweep for the CI smoke run while keeping the
+// 16-query point, where sharing versus fan-out visibly diverges.
+func QuickMulti() MultiConfig {
+	return MultiConfig{
+		Events:     6000,
+		Partitions: 128,
+		Shards:     2,
+		BatchSize:  128,
+		Queries:    []int{1, 16},
+		Iters:      1,
+		Warmup:     0,
+		Seed:       1,
+	}
+}
+
+// MultiPoint is one measured cell: a query count in one sharing mode.
+// "shared" registers the same query N times (one executor set under the
+// catalog's canonical-form reuse); "distinct" registers N constant-distinct
+// queries (N executor sets, full fan-out).
+type MultiPoint struct {
+	Queries      int     `json:"queries"`
+	Mode         string  `json:"mode"`
+	Sets         int     `json:"sets"` // executor sets actually built
+	Events       int     `json:"events"`
+	ElapsedMS    float64 `json:"elapsed_ms"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	ElapsedDist  Dist    `json:"elapsed_dist"`
+	// Result is query 0's drained scalar, cross-checked for exact equality
+	// across every registration of the same SQL before the point is kept.
+	Result float64 `json:"result"`
+}
+
+// MultiReport is the full experiment output serialized to BENCH_multi.json.
+type MultiReport struct {
+	Header
+	Config MultiConfig  `json:"config"`
+	Points []MultiPoint `json:"points"`
+}
+
+// multiSQL builds the i-th registration for a mode. Shared mode re-spells
+// the same 0.75-threshold VWAP query (whitespace differences only, so every
+// registration canonicalizes identically); distinct mode varies the
+// threshold constant, forcing a separate executor set per query.
+func multiSQL(mode string, i int) string {
+	threshold := "0.750"
+	if mode == "distinct" {
+		threshold = fmt.Sprintf("0.%03d", 100+i*7) // 0.100, 0.107, ... all distinct
+	}
+	pad := strings.Repeat(" ", i%4+1) // spelling variation, canonically identical
+	return fmt.Sprintf(`SELECT SUM(b.price * b.volume) FROM bids b
+WHERE %s *%s(SELECT SUM(b1.volume) FROM bids b1)
+  < (SELECT SUM(b2.volume) FROM bids b2 WHERE b2.price <= b.price)`, threshold, pad)
+}
+
+// Multi runs the registered-query sweep in both sharing modes.
+func Multi(cfg MultiConfig) (*MultiReport, error) {
+	if len(cfg.Queries) == 0 {
+		cfg.Queries = []int{1}
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 256
+	}
+	rep := &MultiReport{Header: NewHeader("multi", cfg.Iters), Config: cfg}
+	events := recoveryEvents(cfg.Seed, cfg.Events, cfg.Partitions)
+	for _, n := range cfg.Queries {
+		for _, mode := range []string{"shared", "distinct"} {
+			p, err := multiPoint(cfg, events, n, mode)
+			if err != nil {
+				return nil, fmt.Errorf("bench: multi %s at %d queries: %w", mode, n, err)
+			}
+			rep.Points = append(rep.Points, p)
+		}
+	}
+	return rep, nil
+}
+
+// multiPoint measures one (query count, mode) cell: fresh catalog, register,
+// ingest the whole trace in batches, drain.
+func multiPoint(cfg MultiConfig, events []engine.Event, n int, mode string) (MultiPoint, error) {
+	p := MultiPoint{Queries: n, Mode: mode, Events: len(events)}
+	point := func() (float64, error) {
+		cat, err := catalog.New(catalog.Options{
+			PartitionBy: []string{"sym"},
+			Shards:      cfg.Shards,
+			BatchSize:   cfg.BatchSize,
+		})
+		if err != nil {
+			return 0, err
+		}
+		defer cat.Close()
+		ids := make([]catalog.QueryID, n)
+		for i := 0; i < n; i++ {
+			id, _, err := cat.Register(multiSQL(mode, i))
+			if err != nil {
+				return 0, err
+			}
+			ids[i] = id
+		}
+		sets := map[uint64]bool{}
+		for _, st := range cat.Stats() {
+			sets[st.SetID] = true
+		}
+		if want := map[string]int{"shared": 1, "distinct": n}[mode]; len(sets) != want {
+			return 0, fmt.Errorf("%d executor sets built, want %d", len(sets), want)
+		}
+		p.Sets = len(sets)
+
+		start := time.Now()
+		for i := 0; i < len(events); i += cfg.BatchSize {
+			end := min(i+cfg.BatchSize, len(events))
+			if err := cat.ApplyBatch(events[i:end]); err != nil {
+				return 0, err
+			}
+		}
+		if err := cat.DrainAll(); err != nil {
+			return 0, err
+		}
+		elapsed := time.Since(start)
+
+		// Every registration of the same SQL must read back the same result.
+		p.Result, err = cat.Result(ids[0])
+		if err != nil {
+			return 0, err
+		}
+		if mode == "shared" {
+			for _, id := range ids[1:] {
+				r, err := cat.Result(id)
+				if err != nil {
+					return 0, err
+				}
+				if r != p.Result {
+					return 0, fmt.Errorf("shared registrations disagree: %v vs %v", r, p.Result)
+				}
+			}
+		}
+		return float64(elapsed.Microseconds()) / 1e3, nil
+	}
+	dist, err := measure(cfg.Warmup, cfg.Iters, point)
+	if err != nil {
+		return p, err
+	}
+	p.ElapsedDist = dist
+	p.ElapsedMS = dist.Mean
+	if dist.Mean > 0 {
+		p.EventsPerSec = float64(len(events)) / (dist.Mean / 1e3)
+	}
+	return p, nil
+}
+
+// MultiJSON serializes the report for BENCH_multi.json.
+func MultiJSON(rep *MultiReport) ([]byte, error) {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// FormatMulti renders the report as an aligned text table.
+func FormatMulti(rep *MultiReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "multi-query catalog ingest (%d events, %d partitions, %d shards, batch %d)\n",
+		rep.Config.Events, rep.Config.Partitions, rep.Config.Shards, rep.Config.BatchSize)
+	fmt.Fprintf(&b, "  %-8s %-9s %6s %14s %12s %8s\n",
+		"queries", "mode", "sets", "events/sec", "elapsed(ms)", "rsd")
+	for _, p := range rep.Points {
+		fmt.Fprintf(&b, "  %-8d %-9s %6d %14.0f %12.1f %7.1f%%\n",
+			p.Queries, p.Mode, p.Sets, p.EventsPerSec, p.ElapsedMS, p.ElapsedDist.RSD)
+	}
+	return b.String()
+}

@@ -1,0 +1,536 @@
+// Package catalog is the multi-query serving layer: a prepared-statement
+// catalog that owns a set of registered queries, compiles each through the
+// sqlparse → query → engine pipeline, and fans one shared ingest stream out
+// to every query's sharded executor service.
+//
+// The lifecycle mirrors the Parse → Prepare → Execute phases of a classic
+// query service:
+//
+//   - Register parses and plans the SQL (Parse/Prepare), assigns a QueryID,
+//     and either joins an existing executor set or boots a fresh one;
+//   - ApplyBatch executes: the batch is logged ONCE to the catalog's shared
+//     WAL — one record per batch regardless of how many queries are
+//     registered — then applied to every distinct executor set;
+//   - per-query reads (Result, ResultGrouped, Subscribe, Stats) are served
+//     by the query's own serve.Service, so every property of the
+//     single-query serving layer (sharding, snapshots, coalescing push
+//     subscriptions) holds per registered query.
+//
+// Index sharing: registrations whose canonical query text matches share one
+// executor set — and therefore one set of aggregate indexes — provided the
+// existing set has not ingested any events yet (otherwise the late
+// registration would inherit history an independently-started service would
+// not have). Explain reports the sharing and the predicate-structure
+// signature that makes it visible.
+package catalog
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"rpai/internal/engine"
+	"rpai/internal/query"
+	"rpai/internal/serve"
+	"rpai/internal/sqlparse"
+)
+
+// QueryID names one registered query for its lifetime. IDs are never reused,
+// so a stale ID fails loudly instead of silently reading another query.
+type QueryID uint64
+
+// ErrUnknownQuery is returned for a QueryID that is not (or no longer)
+// registered.
+var ErrUnknownQuery = errors.New("catalog: unknown query id")
+
+// ErrClosed is returned after Close.
+var ErrClosed = errors.New("catalog: closed")
+
+// Options configures a catalog. PartitionBy applies to every registered
+// query (the catalog serves one logical relation, so grouping keys are
+// shared); Shards/QueueLen/BatchSize parameterize each query's executor
+// service exactly as serve.Options does.
+type Options struct {
+	PartitionBy []string
+	Shards      int
+	QueueLen    int
+	BatchSize   int
+	// Dir, when set, makes the catalog durable: registrations persist in a
+	// CATALOG manifest, every applied batch is logged once to a shared WAL,
+	// and Recover rebuilds the full catalog after a crash.
+	Dir string
+}
+
+// registration is one registered query: its ID, the SQL text as submitted,
+// and the executor set serving it (shared when another registration has the
+// same canonical form).
+type registration struct {
+	id    QueryID
+	sql   string // original text, echoed in List/Explain
+	set   *execSet
+	plan  engine.Plan
+	canon string
+}
+
+// execSet is one executor service plus the registrations it serves. since is
+// the number of catalog WAL records already written when the set was
+// created: the set's state reflects exactly the records [since, records),
+// which is what recovery replays into it and what makes the empty-set
+// sharing rule sound.
+type execSet struct {
+	setID    uint64
+	canon    string
+	q        *query.Query
+	svc      *serve.Service[engine.Event]
+	refs     map[QueryID]struct{}
+	since    uint64
+	rejected atomic.Uint64
+}
+
+// Service is the catalog. All public methods are safe for concurrent use.
+type Service struct {
+	opt Options
+
+	// mu guards the registration tables. Ingest holds it for read, Register/
+	// Unregister/Checkpoint for write, so a batch never interleaves with a
+	// registration change (the alignment that keeps `since` exact).
+	mu      sync.RWMutex
+	regs    map[QueryID]*registration
+	sets    map[string]*execSet // canonical SQL -> newest set for that form
+	nextID  QueryID
+	nextSet uint64
+	closed  bool
+
+	// ingestMu serializes ApplyBatch so the WAL record order equals the
+	// per-shard application order — the invariant recovery replay relies on.
+	ingestMu sync.Mutex
+	records  uint64 // WAL records written this generation (== batches applied)
+
+	dur *durableState // nil for in-memory catalogs
+}
+
+// New builds a catalog. With Options.Dir set it becomes durable: an existing
+// catalog directory is rejected (use Recover for that); otherwise the
+// manifest and WAL for generation 1 are created before New returns.
+func New(opt Options) (*Service, error) {
+	if len(opt.PartitionBy) == 0 {
+		return nil, errors.New("catalog: Options.PartitionBy must name at least one column")
+	}
+	s := &Service{
+		opt:     opt,
+		regs:    make(map[QueryID]*registration),
+		sets:    make(map[string]*execSet),
+		nextID:  1,
+		nextSet: 1,
+	}
+	if opt.Dir != "" {
+		if err := s.initDurable(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// serveOptions are the per-set service options: never durable on their own —
+// the catalog's shared WAL is the only log.
+func (s *Service) serveOptions() serve.Options {
+	return serve.Options{Shards: s.opt.Shards, QueueLen: s.opt.QueueLen, BatchSize: s.opt.BatchSize}
+}
+
+// Register parses, plans, and activates one query, returning its ID and
+// EXPLAIN output. A malformed or unsupported query fails with the parser's
+// positioned error or the planner's rejection; nothing is registered.
+func (s *Service) Register(sql string) (QueryID, Explain, error) {
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return 0, Explain{}, err
+	}
+	plan, err := engine.Describe(q)
+	if err != nil {
+		return 0, Explain{}, err
+	}
+	canon := q.String()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, Explain{}, ErrClosed
+	}
+	id := s.nextID
+	s.nextID++
+
+	set := s.sets[canon]
+	// Join an existing set only while it is still empty: a set that has
+	// ingested events carries history this registration must not see.
+	if set == nil || set.since != s.records {
+		svc, err := serve.ForQuery(q, s.opt.PartitionBy, s.serveOptions())
+		if err != nil {
+			return 0, Explain{}, err
+		}
+		set = &execSet{
+			setID: s.nextSet,
+			canon: canon,
+			q:     q,
+			svc:   svc,
+			refs:  make(map[QueryID]struct{}),
+			since: s.records,
+		}
+		s.nextSet++
+		s.sets[canon] = set
+	}
+	set.refs[id] = struct{}{}
+	reg := &registration{id: id, sql: sql, set: set, plan: plan, canon: canon}
+	s.regs[id] = reg
+	if s.dur != nil {
+		if err := s.writeManifestLocked(); err != nil {
+			// Roll back: an unpersisted registration must not serve.
+			delete(s.regs, id)
+			delete(set.refs, id)
+			if len(set.refs) == 0 {
+				set.svc.Close()
+				if s.sets[canon] == set {
+					delete(s.sets, canon)
+				}
+			}
+			return 0, Explain{}, err
+		}
+	}
+	return id, s.explainLocked(reg), nil
+}
+
+// Unregister removes a query. The executor set is torn down when its last
+// registration leaves.
+func (s *Service) Unregister(id QueryID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	reg, ok := s.regs[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownQuery, id)
+	}
+	delete(s.regs, id)
+	delete(reg.set.refs, id)
+	var orphan *execSet
+	if len(reg.set.refs) == 0 {
+		orphan = reg.set
+		if s.sets[reg.canon] == orphan {
+			delete(s.sets, reg.canon)
+		}
+	}
+	if s.dur != nil {
+		if err := s.writeManifestLocked(); err != nil {
+			// Roll back so the manifest and the live table agree.
+			s.regs[id] = reg
+			reg.set.refs[id] = struct{}{}
+			if orphan != nil {
+				s.sets[reg.canon] = orphan
+			}
+			return err
+		}
+	}
+	if orphan != nil {
+		orphan.svc.Close()
+	}
+	return nil
+}
+
+// List reports every registered query's EXPLAIN, ordered by QueryID.
+func (s *Service) List() []Explain {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Explain, 0, len(s.regs))
+	for _, reg := range s.regs {
+		out = append(out, s.explainLocked(reg))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Len reports the number of registered queries.
+func (s *Service) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.regs)
+}
+
+// Default is the lowest live QueryID — the query legacy (pre-v4) wire
+// connections are routed to.
+func (s *Service) Default() (QueryID, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	best, ok := QueryID(0), false
+	for id := range s.regs {
+		if !ok || id < best {
+			best, ok = id, true
+		}
+	}
+	return best, ok
+}
+
+// set resolves a QueryID under the read lock.
+func (s *Service) set(id QueryID) (*execSet, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	reg, ok := s.regs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownQuery, id)
+	}
+	return reg.set, nil
+}
+
+// Apply ingests one event into every registered query.
+func (s *Service) Apply(e engine.Event) error { return s.ApplyBatch([]engine.Event{e}) }
+
+// ApplyBatch ingests one batch into every registered query: one WAL record —
+// regardless of query count — then a fan-out to each distinct executor set.
+// Batches are serialized so WAL order equals application order.
+func (s *Service) ApplyBatch(events []engine.Event) error {
+	if len(events) == 0 {
+		return nil
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	if s.dur != nil {
+		if err := s.appendWAL(events); err != nil {
+			return err
+		}
+	}
+	s.records++
+	var first error
+	for _, set := range s.distinctSetsLocked() {
+		if err := set.svc.ApplyBatch(events); err != nil {
+			set.rejected.Add(uint64(len(events)))
+			if first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// distinctSetsLocked lists each live executor set once (registrations can
+// share sets), ordered by set ID for deterministic fan-out. Callers hold mu.
+func (s *Service) distinctSetsLocked() []*execSet {
+	seen := make(map[uint64]*execSet, len(s.regs))
+	for _, reg := range s.regs {
+		seen[reg.set.setID] = reg.set
+	}
+	out := make([]*execSet, 0, len(seen))
+	for _, set := range seen {
+		out = append(out, set)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].setID < out[j].setID })
+	return out
+}
+
+// encodeBatchRecord frames a batch as one WAL record: a u32-LE
+// length-prefixed event encoding per event, the same inner framing the
+// single-query serve WAL uses.
+func encodeBatchRecord(buf []byte, events []engine.Event) []byte {
+	for _, e := range events {
+		off := len(buf)
+		buf = append(buf, 0, 0, 0, 0)
+		buf = engine.EncodeEvent(buf, e)
+		binary.LittleEndian.PutUint32(buf[off:], uint32(len(buf)-off-4))
+	}
+	return buf
+}
+
+// decodeBatchRecord walks one WAL record's events.
+func decodeBatchRecord(rec []byte, dec *engine.EventDecoder, fn func(e engine.Event) error) error {
+	for len(rec) > 0 {
+		if len(rec) < 4 {
+			return errors.New("catalog: truncated WAL record")
+		}
+		n := binary.LittleEndian.Uint32(rec)
+		rec = rec[4:]
+		if uint64(n) > uint64(len(rec)) {
+			return errors.New("catalog: truncated WAL record")
+		}
+		e, err := dec.Decode(rec[:n])
+		if err != nil {
+			return err
+		}
+		if err := fn(e); err != nil {
+			return err
+		}
+		rec = rec[n:]
+	}
+	return nil
+}
+
+// Result returns a query's scalar result (the sum across shards).
+func (s *Service) Result(id QueryID) (float64, error) {
+	set, err := s.set(id)
+	if err != nil {
+		return 0, err
+	}
+	return set.svc.Result(), nil
+}
+
+// ResultGrouped returns a query's grouped results, merged and sorted across
+// shards.
+func (s *Service) ResultGrouped(id QueryID) ([]engine.GroupResult, error) {
+	set, err := s.set(id)
+	if err != nil {
+		return nil, err
+	}
+	return set.svc.ResultGrouped(), nil
+}
+
+// Subscribe attaches a push subscription to one query's delta stream.
+func (s *Service) Subscribe(id QueryID, opt serve.SubOptions) (*serve.Subscription, error) {
+	set, err := s.set(id)
+	if err != nil {
+		return nil, err
+	}
+	return set.svc.Subscribe(opt)
+}
+
+// ShardVersions returns one query's per-shard snapshot versions (for
+// subscription resume).
+func (s *Service) ShardVersions(id QueryID) ([]serve.ShardVersion, error) {
+	set, err := s.set(id)
+	if err != nil {
+		return nil, err
+	}
+	return set.svc.ShardVersions(), nil
+}
+
+// Epoch returns a query's service epoch (for subscription resume).
+func (s *Service) Epoch(id QueryID) (uint64, error) {
+	set, err := s.set(id)
+	if err != nil {
+		return 0, err
+	}
+	return set.svc.Epoch(), nil
+}
+
+// Shards reports the per-query shard count (identical for every query).
+func (s *Service) Shards() int {
+	if s.opt.Shards > 0 {
+		return s.opt.Shards
+	}
+	return 1 // serve.New's default for Shards <= 0
+}
+
+// ShardStats returns one query's per-shard serving counters.
+func (s *Service) ShardStats(id QueryID) ([]serve.ShardStats, error) {
+	set, err := s.set(id)
+	if err != nil {
+		return nil, err
+	}
+	return set.svc.Stats(), nil
+}
+
+// QueryStats is one registered query's serving counters: events applied and
+// rejected by its executor set and the number of live push subscribers.
+// Queries sharing a set report the same applied/rejected counts — the work
+// was done once.
+type QueryStats struct {
+	ID          QueryID
+	SQL         string
+	Strategy    string
+	SetID       uint64
+	Applied     uint64
+	Rejected    uint64
+	Subscribers int
+}
+
+// Stats reports per-query counters, ordered by QueryID.
+func (s *Service) Stats() []QueryStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]QueryStats, 0, len(s.regs))
+	for _, reg := range s.regs {
+		var applied uint64
+		for _, sh := range reg.set.svc.Stats() {
+			applied += sh.Applied
+		}
+		out = append(out, QueryStats{
+			ID:          reg.id,
+			SQL:         reg.sql,
+			Strategy:    reg.plan.Strategy,
+			SetID:       reg.set.setID,
+			Applied:     applied,
+			Rejected:    reg.set.rejected.Load(),
+			Subscribers: reg.set.svc.Subscribers(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Drain blocks until one query's executor set has applied everything
+// enqueued before the call.
+func (s *Service) Drain(id QueryID) error {
+	set, err := s.set(id)
+	if err != nil {
+		return err
+	}
+	return set.svc.Drain()
+}
+
+// DrainAll drains every executor set and flushes the shared WAL.
+func (s *Service) DrainAll() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	var first error
+	for _, set := range s.distinctSetsLocked() {
+		if err := set.svc.Drain(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if s.dur != nil {
+		s.ingestMu.Lock()
+		if err := s.dur.wal.Sync(); err != nil && first == nil {
+			first = err
+		}
+		s.ingestMu.Unlock()
+	}
+	return first
+}
+
+// Close stops every executor set and closes the WAL. Events still queued are
+// applied first (serve.Close drains); the catalog stays recoverable.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var first error
+	seen := make(map[uint64]bool)
+	for _, reg := range s.regs {
+		if seen[reg.set.setID] {
+			continue
+		}
+		seen[reg.set.setID] = true
+		if err := reg.set.svc.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if s.dur != nil {
+		if err := s.dur.wal.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

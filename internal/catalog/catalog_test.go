@@ -1,0 +1,638 @@
+package catalog
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"rpai/internal/checkpoint"
+	"rpai/internal/engine"
+	"rpai/internal/query"
+	"rpai/internal/serve"
+	"rpai/internal/sqlparse"
+)
+
+// The catalog serves one logical relation whose tuples carry these columns;
+// sym is the partition key throughout.
+const (
+	sqlVWAP = `SELECT SUM(b.price * b.volume) FROM bids b
+WHERE 0.75 * (SELECT SUM(b1.volume) FROM bids b1)
+      < (SELECT SUM(b2.volume) FROM bids b2 WHERE b2.price <= b.price)`
+	// sqlVWAP2 is sqlVWAP with different whitespace/case: same canonical form,
+	// so it shares the first registration's indexes.
+	sqlVWAP2 = `select sum(b.price * b.volume) from bids b where 0.75 * (select sum(b1.volume) from bids b1) < (select sum(b2.volume) from bids b2 where b2.price <= b.price)`
+	// sqlVWAP90 differs only in the threshold constant: same predicate
+	// signature, different canonical form — its own executor set.
+	sqlVWAP90 = `SELECT SUM(b.price * b.volume) FROM bids b
+WHERE 0.9 * (SELECT SUM(b1.volume) FROM bids b1)
+      < (SELECT SUM(b2.volume) FROM bids b2 WHERE b2.price <= b.price)`
+	sqlEq = `SELECT SUM(b.price * b.volume) FROM bids b
+WHERE 0.5 * (SELECT SUM(b1.volume) FROM bids b1)
+    = (SELECT SUM(b2.volume) FROM bids b2 WHERE b2.a = b.a)`
+	sqlNested = `SELECT SUM(b.volume) FROM bids b
+WHERE b.volume > 0.001 * (SELECT SUM(b1.volume) FROM bids b1)
+AND 0.5 * (SELECT COUNT(*) FROM bids b2) <= (SELECT COUNT(*) FROM bids b3 WHERE b3.price <= b.price)`
+)
+
+func mustParse(t *testing.T, sql string) *query.Query {
+	t.Helper()
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// catEvents generates an insert/delete trace over sym partitions with the
+// column set every test query touches.
+func catEvents(seed int64, n, partitions int) []engine.Event {
+	rng := rand.New(rand.NewSource(seed))
+	var live []query.Tuple
+	out := make([]engine.Event, 0, n)
+	for i := 0; i < n; i++ {
+		if len(live) > 0 && rng.Float64() < 0.25 {
+			j := rng.Intn(len(live))
+			out = append(out, engine.Delete(live[j]))
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+			continue
+		}
+		tup := query.Tuple{
+			"sym":    float64(rng.Intn(partitions)),
+			"price":  float64(rng.Intn(30) + 1),
+			"volume": float64(rng.Intn(20) + 1),
+			"a":      float64(rng.Intn(8) + 1),
+		}
+		live = append(live, tup)
+		out = append(out, engine.Insert(tup))
+	}
+	return out
+}
+
+// applyBatches streams events in fixed-size batches through fn.
+func applyBatches(t *testing.T, events []engine.Event, size int, fn func([]engine.Event) error) {
+	t.Helper()
+	for len(events) > 0 {
+		n := size
+		if n > len(events) {
+			n = len(events)
+		}
+		if err := fn(events[:n]); err != nil {
+			t.Fatal(err)
+		}
+		events = events[n:]
+	}
+}
+
+// groupsEqual is bit-exact equality of grouped results.
+func groupsEqual(a, b []engine.GroupResult) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i].Key) != len(b[i].Key) || a[i].Value != b[i].Value {
+			return false
+		}
+		for j := range a[i].Key {
+			if a[i].Key[j] != b[i].Key[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestCatalogRegisterSharingExplain(t *testing.T) {
+	cat, err := New(Options{PartitionBy: []string{"sym"}, Shards: 2, BatchSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cat.Close()
+
+	id1, ex1, err := cat.Register(sqlVWAP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex1.Strategy != "aggindex" || ex1.IndexKind != "rpai-arena" || ex1.KeyCol != "price" {
+		t.Fatalf("vwap explain = %+v", ex1)
+	}
+	if len(ex1.SharedWith) != 0 {
+		t.Fatalf("first registration shares: %v", ex1.SharedWith)
+	}
+
+	// Same canonical form, still no ingest: must share the executor set.
+	id2, ex2, err := cat.Register(sqlVWAP2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex1.Canonical != ex2.Canonical {
+		t.Fatalf("canonical forms differ: %q vs %q", ex1.Canonical, ex2.Canonical)
+	}
+	if len(ex2.SharedWith) != 1 || ex2.SharedWith[0] != id1 {
+		t.Fatalf("shared-with = %v, want [%d]", ex2.SharedWith, id1)
+	}
+
+	// Different constant: same predicate signature, separate set.
+	_, ex3, err := cat.Register(sqlVWAP90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex3.SharedWith) != 0 {
+		t.Fatalf("different-constant query shares: %v", ex3.SharedWith)
+	}
+	if ex3.PredSig != ex1.PredSig {
+		t.Fatalf("predicate signatures differ:\n %s\n %s", ex3.PredSig, ex1.PredSig)
+	}
+	if ex3.Canonical == ex1.Canonical {
+		t.Fatal("different constants rendered to the same canonical form")
+	}
+
+	if _, ex4, err := cat.Register(sqlEq); err != nil {
+		t.Fatal(err)
+	} else if ex4.Strategy != "aggindex" || ex4.IndexKind != "pai" || ex4.KeyCol != "a" {
+		t.Fatalf("eq explain = %+v", ex4)
+	}
+	if _, ex5, err := cat.Register(sqlNested); err != nil {
+		t.Fatal(err)
+	} else if ex5.Strategy != "general" {
+		t.Fatalf("nested explain = %+v", ex5)
+	}
+
+	// After ingest the vwap set has history: a new identical registration
+	// must NOT join it.
+	events := catEvents(3, 200, 5)
+	applyBatches(t, events, 32, cat.ApplyBatch)
+	idLate, exLate, err := cat.Register(sqlVWAP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exLate.SharedWith) != 0 {
+		t.Fatalf("post-ingest registration shares: %v", exLate.SharedWith)
+	}
+	if err := cat.DrainAll(); err != nil {
+		t.Fatal(err)
+	}
+	r1, err := cat.Result(id1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := cat.Result(id2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rLate, err := cat.Result(idLate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatalf("shared registrations disagree: %v vs %v", r1, r2)
+	}
+	if r1 != 0 && rLate == r1 {
+		t.Fatal("post-ingest registration inherited pre-registration history")
+	}
+	if rLate != 0 {
+		t.Fatalf("post-ingest registration saw events from before it existed: %v", rLate)
+	}
+
+	// List is ordered by ID and Unregister of one sharer keeps the set alive.
+	list := cat.List()
+	if len(list) != 6 {
+		t.Fatalf("List len = %d", len(list))
+	}
+	for i := 1; i < len(list); i++ {
+		if list[i-1].ID >= list[i].ID {
+			t.Fatal("List not ordered by ID")
+		}
+	}
+	if err := cat.Unregister(id1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.Result(id1); !errors.Is(err, ErrUnknownQuery) {
+		t.Fatalf("Result after Unregister: %v", err)
+	}
+	if got, err := cat.Result(id2); err != nil || got != r2 {
+		t.Fatalf("surviving sharer after Unregister: %v, %v", got, err)
+	}
+	if err := cat.Unregister(id1); !errors.Is(err, ErrUnknownQuery) {
+		t.Fatalf("double Unregister: %v", err)
+	}
+}
+
+func TestCatalogRejectsBadQueries(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Fatal("New without PartitionBy accepted")
+	}
+	cat, err := New(Options{PartitionBy: []string{"sym"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cat.Close()
+	var pe *sqlparse.ParseError
+	if _, _, err := cat.Register("SELECT COUNT(*) FROM r a"); !errors.As(err, &pe) {
+		t.Fatalf("bad SQL error = %v", err)
+	}
+	if cat.Len() != 0 {
+		t.Fatal("failed Register left a registration behind")
+	}
+	cat.Close()
+	if _, _, err := cat.Register(sqlVWAP); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Register after Close: %v", err)
+	}
+	if err := cat.ApplyBatch(catEvents(1, 4, 2)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("ApplyBatch after Close: %v", err)
+	}
+}
+
+// TestCatalogDifferential16 is the acceptance-criterion differential: a
+// catalog of 16 registered queries must be bit-identical — scalar and
+// grouped — to 16 independent single-query services fed the same batches.
+func TestCatalogDifferential16(t *testing.T) {
+	sqls := []string{
+		sqlVWAP, sqlVWAP2, sqlVWAP90, sqlEq, sqlNested,
+		sqlVWAP, sqlEq, sqlVWAP90, sqlNested, sqlVWAP2,
+		sqlVWAP, sqlVWAP90, sqlEq, sqlNested, sqlVWAP, sqlEq,
+	}
+	cat, err := New(Options{PartitionBy: []string{"sym"}, Shards: 3, BatchSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cat.Close()
+
+	ids := make([]QueryID, len(sqls))
+	indep := make([]*serve.Service[engine.Event], len(sqls))
+	for i, sql := range sqls {
+		id, _, err := cat.Register(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+		svc, err := serve.ForQuery(mustParse(t, sql), []string{"sym"}, serve.Options{Shards: 3, BatchSize: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		indep[i] = svc
+		defer svc.Close()
+	}
+
+	events := catEvents(11, 3000, 17)
+	applyBatches(t, events, 64, func(batch []engine.Event) error {
+		if err := cat.ApplyBatch(batch); err != nil {
+			return err
+		}
+		for _, svc := range indep {
+			if err := svc.ApplyBatch(batch); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err := cat.DrainAll(); err != nil {
+		t.Fatal(err)
+	}
+	for i, svc := range indep {
+		if err := svc.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := cat.Result(ids[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := svc.Result(); got != want {
+			t.Fatalf("query %d (%q): catalog %v, independent %v", i, sqls[i][:40], got, want)
+		}
+		gotG, err := cat.ResultGrouped(ids[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !groupsEqual(gotG, svc.ResultGrouped()) {
+			t.Fatalf("query %d: grouped results diverged", i)
+		}
+	}
+}
+
+// TestCatalogOneWALRecordPerBatch pins the tentpole's durability contract:
+// the WAL grows by exactly one record per applied batch no matter how many
+// queries are registered.
+func TestCatalogOneWALRecordPerBatch(t *testing.T) {
+	dir := t.TempDir()
+	cat, err := New(Options{PartitionBy: []string{"sym"}, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sql := range []string{sqlVWAP, sqlVWAP90, sqlEq, sqlNested} {
+		if _, _, err := cat.Register(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	events := catEvents(5, 300, 7)
+	const batchSize = 25
+	batches := 0
+	applyBatches(t, events, batchSize, func(b []engine.Event) error {
+		batches++
+		return cat.ApplyBatch(b)
+	})
+	if err := cat.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	records, evs := 0, 0
+	var dec engine.EventDecoder
+	h, _, err := checkpoint.ReadWAL(walPath(dir, 1), func(rec []byte) error {
+		records++
+		return decodeBatchRecord(rec, &dec, func(engine.Event) error {
+			evs++
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Gen != 1 || h.ShardCount != 1 {
+		t.Fatalf("WAL header = %+v", h)
+	}
+	if records != batches {
+		t.Fatalf("WAL has %d records for %d batches", records, batches)
+	}
+	if evs != len(events) {
+		t.Fatalf("WAL replays %d events, ingested %d", evs, len(events))
+	}
+}
+
+// crashCopy clones a catalog directory, simulating recovery on the files a
+// crash would leave behind (the WAL is flushed per batch, so a drained
+// catalog's directory is exactly the post-crash state).
+func crashCopy(t *testing.T, dir string) string {
+	t.Helper()
+	dst := t.TempDir()
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			return os.MkdirAll(filepath.Join(dst, rel), 0o755)
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(filepath.Join(dst, rel), b, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dst
+}
+
+func TestCatalogRecover(t *testing.T) {
+	dir := t.TempDir()
+	cat, err := New(Options{PartitionBy: []string{"sym"}, Shards: 2, BatchSize: 16, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sqls := []string{sqlVWAP, sqlVWAP2, sqlEq, sqlNested}
+	ids := make([]QueryID, len(sqls))
+	for i, sql := range sqls {
+		if ids[i], _, err = cat.Register(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	events := catEvents(19, 1200, 9)
+	pre, post := events[:800], events[800:]
+	applyBatches(t, pre, 48, cat.ApplyBatch)
+	if err := cat.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// A query registered after the checkpoint recovers from the WAL alone.
+	idLate, _, err := cat.Register(sqlVWAP90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyBatches(t, post, 48, cat.ApplyBatch)
+	if err := cat.DrainAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	want := map[QueryID]float64{}
+	wantG := map[QueryID][]engine.GroupResult{}
+	for _, id := range append(append([]QueryID{}, ids...), idLate) {
+		if want[id], err = cat.Result(id); err != nil {
+			t.Fatal(err)
+		}
+		if wantG[id], err = cat.ResultGrouped(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	crash := crashCopy(t, dir)
+	if err := cat.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for name, rdir := range map[string]string{"clean": dir, "crash": crash} {
+		rec, err := Recover(Options{Dir: rdir, Shards: 2, BatchSize: 16})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rec.Len() != len(sqls)+1 {
+			t.Fatalf("%s: recovered %d registrations, want %d", name, rec.Len(), len(sqls)+1)
+		}
+		// Sharing survives: the two vwap registrations still explain each other.
+		ex, err := rec.Get(ids[0])
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(ex.SharedWith) != 1 || ex.SharedWith[0] != ids[1] {
+			t.Fatalf("%s: recovered sharing = %v", name, ex.SharedWith)
+		}
+		for id, w := range want {
+			got, err := rec.Result(id)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if got != w {
+				t.Fatalf("%s: query %d recovered %v, want %v", name, id, got, w)
+			}
+			gotG, err := rec.ResultGrouped(id)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if !groupsEqual(gotG, wantG[id]) {
+				t.Fatalf("%s: query %d grouped results diverged after recovery", name, id)
+			}
+		}
+		// The recovered catalog keeps serving: new ingest and registration work.
+		if _, _, err := rec.Register(sqlVWAP90); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		applyBatches(t, catEvents(23, 60, 9), 20, rec.ApplyBatch)
+		if err := rec.Close(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+
+	// New on an existing catalog directory must refuse, not truncate.
+	if _, err := New(Options{PartitionBy: []string{"sym"}, Dir: dir}); err == nil {
+		t.Fatal("New on an existing catalog directory accepted")
+	}
+	// Mismatched partition columns are rejected.
+	if _, err := Recover(Options{Dir: dir, PartitionBy: []string{"other"}}); err == nil {
+		t.Fatal("Recover with mismatched partition columns accepted")
+	}
+}
+
+// TestCatalogRecoverDoubleCrash recovers, ingests more, crashes again, and
+// recovers again — the rotation at the end of Recover must leave a directory
+// that recovers cleanly.
+func TestCatalogRecoverDoubleCrash(t *testing.T) {
+	dir := t.TempDir()
+	cat, err := New(Options{PartitionBy: []string{"sym"}, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cat.Register(sqlVWAP); err != nil {
+		t.Fatal(err)
+	}
+	events := catEvents(31, 600, 5)
+	applyBatches(t, events[:200], 32, cat.ApplyBatch)
+	if err := cat.DrainAll(); err != nil {
+		t.Fatal(err)
+	}
+	c1 := crashCopy(t, dir)
+	cat.Close()
+
+	rec1, err := Recover(Options{Dir: c1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyBatches(t, events[200:], 32, rec1.ApplyBatch)
+	if err := rec1.DrainAll(); err != nil {
+		t.Fatal(err)
+	}
+	var id QueryID
+	if d, ok := rec1.Default(); ok {
+		id = d
+	} else {
+		t.Fatal("no default query after recovery")
+	}
+	want, err := rec1.Result(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := crashCopy(t, c1)
+	rec1.Close()
+
+	rec2, err := Recover(Options{Dir: c2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec2.Close()
+	if got, err := rec2.Result(id); err != nil || got != want {
+		t.Fatalf("second recovery: %v, %v (want %v)", got, err, want)
+	}
+	// Cross-check the full trace against a fresh engine reference.
+	ref, err := serve.ForQuery(mustParse(t, sqlVWAP), []string{"sym"}, serve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	if err := ref.ApplyBatch(events); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if want != ref.Result() {
+		t.Fatalf("recovered result %v, reference %v", want, ref.Result())
+	}
+}
+
+func TestCatalogStatsAndSubscribe(t *testing.T) {
+	cat, err := New(Options{PartitionBy: []string{"sym"}, Shards: 2, BatchSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cat.Close()
+	id1, _, err := cat.Register(sqlVWAP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, _, err := cat.Register(sqlEq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := cat.Subscribe(id1, serve.SubOptions{Buffer: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	events := catEvents(41, 120, 4)
+	applyBatches(t, events, 30, cat.ApplyBatch)
+	if err := cat.DrainAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	stats := cat.Stats()
+	if len(stats) != 2 || stats[0].ID != id1 || stats[1].ID != id2 {
+		t.Fatalf("Stats = %+v", stats)
+	}
+	for _, st := range stats {
+		if st.Applied != uint64(len(events)) {
+			t.Fatalf("query %d applied %d, want %d", st.ID, st.Applied, len(events))
+		}
+		if st.Rejected != 0 {
+			t.Fatalf("query %d rejected %d", st.ID, st.Rejected)
+		}
+	}
+	if stats[0].Subscribers != 1 || stats[1].Subscribers != 0 {
+		t.Fatalf("subscriber counts = %d, %d", stats[0].Subscribers, stats[1].Subscribers)
+	}
+	if stats[0].SetID == stats[1].SetID {
+		t.Fatal("distinct queries report the same executor set")
+	}
+
+	// The subscription observed the ingest: frames must reach every shard's
+	// post-drain snapshot version.
+	shardStats, err := cat.ShardStats(id1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shardStats) != 2 {
+		t.Fatalf("ShardStats len = %d", len(shardStats))
+	}
+	target, err := cat.ShardVersions(id1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[int]uint64, len(target))
+	for _, sv := range target {
+		want[sv.Shard] = sv.Version
+	}
+	deadline := time.After(5 * time.Second)
+	versions := make(map[int]uint64)
+	current := func() bool {
+		for sh, v := range want {
+			if versions[sh] < v {
+				return false
+			}
+		}
+		return true
+	}
+	for !current() {
+		select {
+		case f, ok := <-sub.Frames():
+			if !ok {
+				t.Fatal("subscription closed early")
+			}
+			versions[f.Shard] = f.Version
+		case <-deadline:
+			t.Fatalf("subscription stalled at %v, want %v", versions, want)
+		}
+	}
+}

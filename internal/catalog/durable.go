@@ -1,0 +1,465 @@
+package catalog
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"rpai/internal/checkpoint"
+	"rpai/internal/engine"
+	"rpai/internal/serve"
+	"rpai/internal/sqlparse"
+)
+
+// On-disk layout of a durable catalog directory (generation G):
+//
+//	CATALOG             registration manifest (tmp+rename, CRC record)
+//	g<G>-shard-0.wal    the shared ingest WAL: ONE record per applied batch
+//	g<G>/s<setID>/      one standalone serve checkpoint per executor set
+//
+// The CATALOG manifest maps every registered QueryID to its SQL, its
+// executor-set ID, and `since` — the WAL record index the set's snapshot
+// state is current through. Recovery re-registers everything from the
+// manifest, restores each set from its snapshot directory, then replays the
+// shared WAL: record i goes to every set with since <= i, which is exactly
+// the fan-out the live catalog performed. A set registered after the last
+// checkpoint has no snapshot directory and recovers from its WAL suffix
+// alone.
+//
+// Checkpoint rotates generations in the crash-safe order the single-query
+// layer established: drain and snapshot every set under g<G+1>/, create the
+// g<G+1> WAL, swap the CATALOG manifest (the commit point), then delete
+// generation G. A crash anywhere before the swap recovers from G; after it,
+// from G+1.
+
+const (
+	// catalogName is the manifest file.
+	catalogName = "CATALOG"
+	// catalogMagic brands the manifest; catalogVersion the record format.
+	catalogMagic   = "RPCG"
+	catalogVersion = 1
+	// maxManifestQueries bounds decode allocation for corrupt files.
+	maxManifestQueries = 1 << 20
+)
+
+// durableState is the catalog's persistence handle.
+type durableState struct {
+	dir string
+	gen uint64
+	wal *checkpoint.WALWriter
+}
+
+// catEntry is one manifest line.
+type catEntry struct {
+	id    QueryID
+	setID uint64
+	since uint64
+	sql   string
+}
+
+func walPath(dir string, gen uint64) string { return checkpoint.WALPath(dir, gen, 0) }
+
+func setDir(dir string, gen, setID uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("g%d", gen), fmt.Sprintf("s%d", setID))
+}
+
+// initDurable creates a fresh durable catalog directory: generation-1 WAL
+// plus an empty manifest. An existing manifest is rejected — recovering an
+// existing directory is Recover's job, and silently truncating its WAL here
+// would destroy it.
+func (s *Service) initDurable() error {
+	dir := s.opt.Dir
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if _, err := os.Stat(filepath.Join(dir, catalogName)); err == nil {
+		return fmt.Errorf("catalog: %s already has a CATALOG manifest; use Recover", dir)
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	const gen = 1
+	wal, err := checkpoint.CreateWAL(walPath(dir, gen), checkpoint.Header{Gen: gen, Shard: 0, ShardCount: 1})
+	if err != nil {
+		return err
+	}
+	s.dur = &durableState{dir: dir, gen: gen, wal: wal}
+	if err := s.writeManifestLocked(); err != nil {
+		wal.Close()
+		s.dur = nil
+		return err
+	}
+	return nil
+}
+
+// appendWAL logs one batch as one record and flushes it to the OS. Callers
+// hold ingestMu, so record order is application order.
+func (s *Service) appendWAL(events []engine.Event) error {
+	rec := encodeBatchRecord(nil, events)
+	if err := s.dur.wal.Append(rec); err != nil {
+		return err
+	}
+	return s.dur.wal.Flush()
+}
+
+// manifestEntriesLocked snapshots the registration table for persisting.
+// Callers hold mu.
+func (s *Service) manifestEntriesLocked() []catEntry {
+	entries := make([]catEntry, 0, len(s.regs))
+	for _, reg := range s.regs {
+		entries = append(entries, catEntry{id: reg.id, setID: reg.set.setID, since: reg.set.since, sql: reg.sql})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].id < entries[j].id })
+	return entries
+}
+
+// writeManifestLocked persists the current registration table. Callers hold
+// mu for write.
+func (s *Service) writeManifestLocked() error {
+	return writeCatalogFile(s.dur.dir, s.dur.gen, uint64(s.nextID), s.nextSet, s.opt.PartitionBy, s.manifestEntriesLocked())
+}
+
+// writeCatalogFile writes the CATALOG manifest: magic, then one CRC-framed
+// record, installed by tmp+rename+sync so readers see the old manifest or
+// the new one, never a torn mix.
+func writeCatalogFile(dir string, gen, nextID, nextSet uint64, partitionBy []string, entries []catEntry) error {
+	var rec bytes.Buffer
+	e := checkpoint.NewEncoder(&rec)
+	e.U32(catalogVersion)
+	e.U64(gen)
+	e.U64(nextID)
+	e.U64(nextSet)
+	e.U32(uint32(len(partitionBy)))
+	for _, c := range partitionBy {
+		e.Str(c)
+	}
+	e.U32(uint32(len(entries)))
+	for _, ent := range entries {
+		e.U64(uint64(ent.id))
+		e.U64(ent.setID)
+		e.U64(ent.since)
+		e.Str(ent.sql)
+	}
+	if err := e.Err(); err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	buf.WriteString(catalogMagic)
+	if err := checkpoint.WriteRecord(&buf, rec.Bytes()); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, catalogName+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, catalogName)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// readCatalogFile loads and validates the CATALOG manifest.
+func readCatalogFile(dir string) (gen, nextID, nextSet uint64, partitionBy []string, entries []catEntry, err error) {
+	b, err := os.ReadFile(filepath.Join(dir, catalogName))
+	if err != nil {
+		return 0, 0, 0, nil, nil, err
+	}
+	if len(b) < len(catalogMagic) || string(b[:len(catalogMagic)]) != catalogMagic {
+		return 0, 0, 0, nil, nil, fmt.Errorf("catalog: bad CATALOG magic in %s", dir)
+	}
+	rec, err := checkpoint.ReadRecord(bytes.NewReader(b[len(catalogMagic):]))
+	if err != nil {
+		return 0, 0, 0, nil, nil, fmt.Errorf("catalog: CATALOG manifest: %w", err)
+	}
+	d := checkpoint.NewDecoder(bytes.NewReader(rec))
+	if v := d.U32(); d.Err() == nil && v != catalogVersion {
+		return 0, 0, 0, nil, nil, fmt.Errorf("catalog: unsupported CATALOG version %d", v)
+	}
+	gen = d.U64()
+	nextID = d.U64()
+	nextSet = d.U64()
+	np := d.U32()
+	if d.Err() == nil && np > maxManifestQueries {
+		return 0, 0, 0, nil, nil, fmt.Errorf("catalog: implausible partition-column count %d", np)
+	}
+	for i := uint32(0); i < np && d.Err() == nil; i++ {
+		partitionBy = append(partitionBy, d.Str())
+	}
+	nq := d.U32()
+	if d.Err() == nil && nq > maxManifestQueries {
+		return 0, 0, 0, nil, nil, fmt.Errorf("catalog: implausible query count %d", nq)
+	}
+	for i := uint32(0); i < nq && d.Err() == nil; i++ {
+		entries = append(entries, catEntry{
+			id:    QueryID(d.U64()),
+			setID: d.U64(),
+			since: d.U64(),
+			sql:   d.Str(),
+		})
+	}
+	if err := d.Err(); err != nil {
+		return 0, 0, 0, nil, nil, fmt.Errorf("catalog: CATALOG manifest: %w", err)
+	}
+	return gen, nextID, nextSet, partitionBy, entries, nil
+}
+
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}
+
+// Checkpoint rotates the catalog to a new generation: every executor set is
+// drained and snapshotted, a fresh WAL starts, and the manifest swap commits
+// the rotation (the old generation is removed afterwards). Replay cost after
+// a crash resets to zero.
+func (s *Service) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.dur == nil {
+		return errors.New("catalog: Checkpoint requires Options.Dir")
+	}
+	return s.rotateLocked()
+}
+
+// rotateLocked performs the generation rotation. Callers hold mu for write
+// (so no ingest or registration is in flight).
+func (s *Service) rotateLocked() error {
+	dir, oldGen := s.dur.dir, s.dur.gen
+	newGen := oldGen + 1
+	sets := s.distinctSetsLocked()
+	for _, set := range sets {
+		if err := set.svc.Drain(); err != nil {
+			return err
+		}
+		if err := set.svc.Checkpoint(setDir(dir, newGen, set.setID)); err != nil {
+			return err
+		}
+	}
+	newWAL, err := checkpoint.CreateWAL(walPath(dir, newGen), checkpoint.Header{Gen: newGen, Shard: 0, ShardCount: 1})
+	if err != nil {
+		return err
+	}
+	// The manifest swap is the commit point: all sets are current through the
+	// (empty) new WAL, so every since is 0.
+	entries := s.manifestEntriesLocked()
+	for i := range entries {
+		entries[i].since = 0
+	}
+	if err := writeCatalogFile(dir, newGen, uint64(s.nextID), s.nextSet, s.opt.PartitionBy, entries); err != nil {
+		newWAL.Close()
+		os.Remove(walPath(dir, newGen))
+		os.RemoveAll(filepath.Join(dir, fmt.Sprintf("g%d", newGen)))
+		return err
+	}
+	s.dur.wal.Close()
+	s.dur.wal = newWAL
+	s.dur.gen = newGen
+	s.records = 0
+	for _, set := range sets {
+		set.since = 0
+	}
+	os.Remove(walPath(dir, oldGen))
+	os.RemoveAll(filepath.Join(dir, fmt.Sprintf("g%d", oldGen)))
+	return nil
+}
+
+// Recover rebuilds a durable catalog from its directory: registrations come
+// back from the CATALOG manifest, each executor set restores from its
+// snapshot (when one exists), and the shared WAL replays into every set that
+// had not yet seen its records. Recovery ends with a generation rotation, so
+// the next crash replays only what follows. opt.Dir names the directory;
+// opt.PartitionBy, when set, must match the persisted columns.
+func Recover(opt Options) (*Service, error) {
+	if opt.Dir == "" {
+		return nil, errors.New("catalog: Recover requires Options.Dir")
+	}
+	gen, nextID, nextSet, partitionBy, entries, err := readCatalogFile(opt.Dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(opt.PartitionBy) > 0 && !equalStrings(opt.PartitionBy, partitionBy) {
+		return nil, fmt.Errorf("catalog: partition columns %v do not match persisted %v", opt.PartitionBy, partitionBy)
+	}
+	opt.PartitionBy = partitionBy
+	s := &Service{
+		opt:     opt,
+		regs:    make(map[QueryID]*registration),
+		sets:    make(map[string]*execSet),
+		nextID:  QueryID(nextID),
+		nextSet: nextSet,
+	}
+	if s.nextID < 1 {
+		s.nextID = 1
+	}
+	if s.nextSet < 1 {
+		s.nextSet = 1
+	}
+
+	// Rebuild executor sets: group manifest entries by set, restore each set
+	// from its snapshot directory when one exists.
+	bySet := make(map[uint64][]catEntry)
+	var setIDs []uint64
+	for _, ent := range entries {
+		if _, ok := bySet[ent.setID]; !ok {
+			setIDs = append(setIDs, ent.setID)
+		}
+		bySet[ent.setID] = append(bySet[ent.setID], ent)
+	}
+	sort.Slice(setIDs, func(i, j int) bool { return setIDs[i] < setIDs[j] })
+	closeAll := func() {
+		for _, set := range s.sets {
+			set.svc.Close()
+		}
+	}
+	serveOpt := s.serveOptions()
+	for _, sid := range setIDs {
+		ents := bySet[sid]
+		q, err := sqlparse.Parse(ents[0].sql)
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("catalog: manifest query %d: %w", ents[0].id, err)
+		}
+		canon := q.String()
+		sd := setDir(opt.Dir, gen, sid)
+		var svc *serve.Service[engine.Event]
+		if _, statErr := os.Stat(sd); statErr == nil {
+			svc, err = serve.RecoverForQuery(sd, q, partitionBy, serveOpt)
+		} else if errors.Is(statErr, os.ErrNotExist) {
+			// Registered after the last checkpoint: state lives in the WAL
+			// suffix alone.
+			svc, err = serve.ForQuery(q, partitionBy, serveOpt)
+		} else {
+			err = statErr
+		}
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("catalog: recover set %d: %w", sid, err)
+		}
+		set := &execSet{setID: sid, canon: canon, q: q, svc: svc, refs: make(map[QueryID]struct{}), since: ents[0].since}
+		for _, ent := range ents {
+			plan, err := engine.Describe(q)
+			if err != nil {
+				closeAll()
+				svc.Close()
+				return nil, fmt.Errorf("catalog: manifest query %d: %w", ent.id, err)
+			}
+			set.refs[ent.id] = struct{}{}
+			s.regs[ent.id] = &registration{id: ent.id, sql: ent.sql, set: set, plan: plan, canon: canon}
+		}
+		// Newest set per canonical form wins the join table (higher setID ==
+		// created later).
+		if prev, ok := s.sets[canon]; !ok || prev.setID < sid {
+			s.sets[canon] = set
+		}
+	}
+
+	// Replay the shared WAL: record i fans out to every set with since <= i.
+	sets := s.distinctSetsLocked()
+	var dec engine.EventDecoder
+	var batch []engine.Event
+	idx := uint64(0)
+	_, _, err = checkpoint.ReadWAL(walPath(opt.Dir, gen), func(rec []byte) error {
+		batch = batch[:0]
+		if err := decodeBatchRecord(rec, &dec, func(e engine.Event) error {
+			batch = append(batch, e)
+			return nil
+		}); err != nil {
+			return err
+		}
+		for _, set := range sets {
+			if set.since <= idx {
+				if err := set.svc.ApplyBatch(batch); err != nil {
+					return err
+				}
+			}
+		}
+		idx++
+		return nil
+	})
+	if err != nil {
+		closeAll()
+		return nil, fmt.Errorf("catalog: WAL replay: %w", err)
+	}
+	s.records = idx
+
+	// Rotate to a fresh generation so the replayed WAL is compacted away.
+	// CreateWAL truncates, so the old WAL must never be reopened for append.
+	s.dur = &durableState{dir: opt.Dir, gen: gen}
+	if err := s.recoverRotate(); err != nil {
+		closeAll()
+		return nil, err
+	}
+	return s, nil
+}
+
+// recoverRotate is rotateLocked for the recovery path, where no WAL writer
+// is open yet.
+func (s *Service) recoverRotate() error {
+	dir, oldGen := s.dur.dir, s.dur.gen
+	newGen := oldGen + 1
+	sets := s.distinctSetsLocked()
+	for _, set := range sets {
+		if err := set.svc.Drain(); err != nil {
+			return err
+		}
+		if err := set.svc.Checkpoint(setDir(dir, newGen, set.setID)); err != nil {
+			return err
+		}
+	}
+	newWAL, err := checkpoint.CreateWAL(walPath(dir, newGen), checkpoint.Header{Gen: newGen, Shard: 0, ShardCount: 1})
+	if err != nil {
+		return err
+	}
+	entries := s.manifestEntriesLocked()
+	for i := range entries {
+		entries[i].since = 0
+	}
+	if err := writeCatalogFile(dir, newGen, uint64(s.nextID), s.nextSet, s.opt.PartitionBy, entries); err != nil {
+		newWAL.Close()
+		os.Remove(walPath(dir, newGen))
+		os.RemoveAll(filepath.Join(dir, fmt.Sprintf("g%d", newGen)))
+		return err
+	}
+	s.dur.wal = newWAL
+	s.dur.gen = newGen
+	s.records = 0
+	for _, set := range sets {
+		set.since = 0
+	}
+	os.Remove(walPath(dir, oldGen))
+	os.RemoveAll(filepath.Join(dir, fmt.Sprintf("g%d", oldGen)))
+	return nil
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,75 @@
+package catalog
+
+import "fmt"
+
+// Explain is one registered query's EXPLAIN output: the optimizer's chosen
+// strategy and index plan (from engine.Describe) plus the catalog-level
+// sharing report — which other registrations execute on the same aggregate
+// indexes, and the predicate-structure signature that sharing is visible
+// through.
+type Explain struct {
+	ID        QueryID
+	SQL       string // as registered
+	Canonical string // canonical rendering (the sharing identity)
+
+	Strategy   string   // "naive" | "general" | "aggindex"
+	IndexKind  string   // "pai" | "rpai-arena" | "treemap" | "" for no index
+	KeyCol     string   // column keying the aggregate index
+	SubOp      string   // correlation operator of the indexed predicate
+	Agg        string   // outer aggregate expression
+	GroupBy    []string // grouping columns
+	Predicates []string // canonical conjuncts
+	PredSig    string   // structure signature (constants masked)
+
+	// SharedWith lists the other QueryIDs whose executors run on the same
+	// underlying aggregate indexes (same executor set). Empty when the query
+	// has its indexes to itself.
+	SharedWith []QueryID
+}
+
+// Get returns one query's EXPLAIN.
+func (s *Service) Get(id QueryID) (Explain, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return Explain{}, ErrClosed
+	}
+	reg, ok := s.regs[id]
+	if !ok {
+		return Explain{}, fmt.Errorf("%w: %d", ErrUnknownQuery, id)
+	}
+	return s.explainLocked(reg), nil
+}
+
+// explainLocked assembles a registration's Explain. Callers hold mu (read or
+// write).
+func (s *Service) explainLocked(reg *registration) Explain {
+	ex := Explain{
+		ID:         reg.id,
+		SQL:        reg.sql,
+		Canonical:  reg.canon,
+		Strategy:   reg.plan.Strategy,
+		IndexKind:  reg.plan.IndexKind,
+		KeyCol:     reg.plan.KeyCol,
+		SubOp:      reg.plan.SubOp,
+		Agg:        reg.plan.Agg,
+		GroupBy:    reg.plan.GroupBy,
+		Predicates: reg.plan.Predicates,
+		PredSig:    reg.plan.PredSig,
+	}
+	for id := range reg.set.refs {
+		if id != reg.id {
+			ex.SharedWith = append(ex.SharedWith, id)
+		}
+	}
+	sortIDs(ex.SharedWith)
+	return ex
+}
+
+func sortIDs(ids []QueryID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package catalog
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rpai/internal/engine"
+	"rpai/internal/query"
+	"rpai/internal/serve"
+	"rpai/internal/sqlparse"
+)
+
+// fuzzSets are the registration mixes the differential fuzzer can pick from.
+// Each mix exercises a different sharing topology: duplicates (shared sets),
+// constant variants (same predicate signature, separate sets), strategy
+// mixes, and — in the last entry — the full 16-query acceptance-criterion
+// load.
+var fuzzSets = [][]string{
+	{sqlVWAP},
+	{sqlVWAP, sqlVWAP2},                   // one shared set
+	{sqlVWAP, sqlVWAP90},                  // same signature, two sets
+	{sqlVWAP, sqlEq, sqlNested},           // three strategies
+	{sqlEq, sqlEq, sqlVWAP, sqlNested},    // shared PAI set
+	{sqlNested, sqlVWAP2, sqlVWAP, sqlEq}, // general + shared rpai
+	{
+		sqlVWAP, sqlVWAP2, sqlVWAP90, sqlEq, sqlNested,
+		sqlVWAP, sqlEq, sqlVWAP90, sqlNested, sqlVWAP2,
+		sqlVWAP, sqlVWAP90, sqlEq, sqlNested, sqlVWAP, sqlEq,
+	},
+}
+
+// FuzzCatalogDifferential is the catalog-level differential fuzzer: a
+// catalog of N registered queries fed one shared event stream must be
+// bit-identical — scalar and grouped, after every batch — to N independent
+// single-query services fed the same batches. The input reuses the
+// FuzzEngineDifferential trace layout (shape byte, 8-byte seed, 3-byte
+// (op,b1,b2) event records); the shape byte selects the registration mix and
+// the seed's low bits pick shard count and batch boundaries, so one corpus
+// walks sharing topologies, shard counts, and insert/delete traces at once.
+//
+// Run with `go test -fuzz FuzzCatalogDifferential ./internal/catalog`; the
+// committed corpus under testdata/fuzz executes under plain `go test`.
+func FuzzCatalogDifferential(f *testing.F) {
+	for _, seed := range fuzzSeedInputs() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 9 {
+			return
+		}
+		sqls := fuzzSets[int(data[0])%len(fuzzSets)]
+		shards := int(data[1])%3 + 1
+		batchSize := int(data[2])%7 + 1
+
+		cat, err := New(Options{PartitionBy: []string{"broker"}, Shards: shards, BatchSize: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cat.Close()
+		ids := make([]QueryID, len(sqls))
+		indep := make([]*serve.Service[engine.Event], len(sqls))
+		for i, sql := range sqls {
+			if ids[i], _, err = cat.Register(sql); err != nil {
+				t.Fatalf("register %q: %v", sql, err)
+			}
+			q, err := sqlparse.Parse(sql)
+			if err != nil {
+				t.Fatal(err)
+			}
+			svc, err := serve.ForQuery(q, []string{"broker"}, serve.Options{Shards: shards, BatchSize: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			indep[i] = svc
+			defer svc.Close()
+		}
+
+		var live []query.Tuple
+		var batch []engine.Event
+		events := 0
+		flush := func() {
+			if len(batch) == 0 {
+				return
+			}
+			if err := cat.ApplyBatch(batch); err != nil {
+				t.Fatal(err)
+			}
+			for _, svc := range indep {
+				if err := svc.ApplyBatch(batch); err != nil {
+					t.Fatal(err)
+				}
+			}
+			batch = batch[:0]
+			if err := cat.DrainAll(); err != nil {
+				t.Fatal(err)
+			}
+			for i, svc := range indep {
+				if err := svc.Drain(); err != nil {
+					t.Fatal(err)
+				}
+				got, err := cat.Result(ids[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want := svc.Result(); got != want {
+					t.Fatalf("query %d after %d events: catalog %v, independent %v", i, events, got, want)
+				}
+				gotG, err := cat.ResultGrouped(ids[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !groupsEqual(gotG, svc.ResultGrouped()) {
+					t.Fatalf("query %d after %d events: grouped results diverged", i, events)
+				}
+			}
+		}
+		for i := 9; i+2 < len(data) && events < 120; i += 3 {
+			op, b1, b2 := data[i], data[i+1], data[i+2]
+			var e engine.Event
+			if op%4 == 0 && len(live) > 0 {
+				j := (int(b1)<<8 | int(b2)) % len(live)
+				e = engine.Delete(live[j])
+				live[j] = live[len(live)-1]
+				live = live[:len(live)-1]
+			} else {
+				tup := query.Tuple{
+					"price":  float64(b1%40 + 1),
+					"volume": float64(b2%30 + 1),
+					"a":      float64(b1%10 + 1),
+					"b":      float64(b2%8 + 1),
+					"broker": float64((b1^b2)%5 + 1),
+				}
+				live = append(live, tup)
+				e = engine.Insert(tup)
+			}
+			batch = append(batch, e)
+			events++
+			if len(batch) >= batchSize {
+				flush()
+			}
+		}
+		flush()
+	})
+}
+
+// fuzzSeedInputs is the committed seed corpus: one entry per registration
+// mix over a short mixed insert/delete trace, so plain `go test` exercises
+// every sharing topology.
+func fuzzSeedInputs() [][]byte {
+	trace := []byte{
+		1, 5, 9, 1, 5, 3, 1, 17, 28, 1, 5, 9, 0, 0, 1, 1, 200, 100,
+		1, 39, 29, 0, 0, 0, 1, 5, 9, 1, 12, 12, 0, 0, 2, 1, 1, 1,
+	}
+	var out [][]byte
+	for shape := byte(0); shape < byte(len(fuzzSets)); shape++ {
+		out = append(out, append([]byte{shape, shape + 1, 3, 0, 0, 0, 0, 0, 77}, trace...))
+	}
+	return out
+}
+
+// TestWriteFuzzCorpus regenerates the committed seed corpus; run with
+// WRITE_FUZZ_CORPUS=1 after changing the seed set; skipped otherwise.
+func TestWriteFuzzCorpus(t *testing.T) {
+	if os.Getenv("WRITE_FUZZ_CORPUS") == "" {
+		t.Skip("set WRITE_FUZZ_CORPUS=1 to regenerate the seed corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzCatalogDifferential")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, seed := range fuzzSeedInputs() {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", seed)
+		name := filepath.Join(dir, fmt.Sprintf("seed-mix-%02d", i))
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"rpai/internal/query"
+)
+
+// Plan is the optimizer's explanation of how New would execute a query: the
+// strategy it picked, the aggregate-index representation backing it (empty
+// for the general and naive strategies), the correlation column and operator
+// driving the index, and the canonical predicate renderings. It is the body
+// of EXPLAIN, surfaced per registered query by the catalog.
+type Plan struct {
+	Strategy   string   // "naive" | "general" | "aggindex"
+	IndexKind  string   // "pai" | "rpai-arena" | "treemap" | "" (no index)
+	KeyCol     string   // correlation / compared column keying the index
+	SubOp      string   // correlation operator of the indexed predicate
+	Agg        string   // outer aggregate expression
+	GroupBy    []string // grouping columns (nil for scalar queries)
+	Predicates []string // canonical rendering of each conjunct
+	PredSig    string   // predicate-structure signature (constants masked)
+}
+
+// Describe runs the identification step of section 4.3.1 and reports the
+// executor New would build, without retaining it. The strategy and index
+// kind are read off the constructed executor itself, so Describe can never
+// disagree with execution.
+func Describe(q *query.Query) (Plan, error) {
+	ex, err := New(q)
+	if err != nil {
+		return Plan{}, err
+	}
+	pl := Plan{
+		Strategy: ex.Strategy(),
+		Agg:      q.Agg.String(),
+		PredSig:  PredSig(q),
+	}
+	if len(q.GroupBy) > 0 {
+		pl.GroupBy = append([]string(nil), q.GroupBy...)
+	}
+	for _, p := range q.Preds {
+		pl.Predicates = append(pl.Predicates, p.String())
+	}
+	switch e := ex.(type) {
+	case *AggIndexExec:
+		pl.KeyCol = e.plan.KeyCol
+		pl.SubOp = e.plan.SubOp.String()
+		if e.plan.SubOp == query.Eq {
+			pl.IndexKind = "pai"
+		} else {
+			pl.IndexKind = "rpai-arena"
+		}
+	case *relStateExec:
+		pl.KeyCol = e.rs.plan.keyCol
+		switch e.rs.plan.kind {
+		case PredCorrelated:
+			pl.SubOp = e.rs.plan.subOp.String()
+			pl.IndexKind = "rpai-arena"
+		case PredColumn:
+			pl.SubOp = e.rs.plan.thetaCorrFirst.String()
+			pl.IndexKind = "treemap"
+		}
+	}
+	return pl, nil
+}
+
+// PredSig is the query's predicate-structure signature: the canonical query
+// rendering with every literal constant masked to "?". Two queries with equal
+// signatures have identical predicate structure over the same relation — the
+// shape the catalog's index-sharing rule keys on (constants still have to
+// match for executors to share state, which full-identity sharing enforces).
+func PredSig(q *query.Query) string {
+	var b strings.Builder
+	if len(q.GroupBy) > 0 {
+		fmt.Fprintf(&b, "R[%s]", strings.Join(q.GroupBy, ","))
+	} else {
+		b.WriteString("R")
+	}
+	fmt.Fprintf(&b, " SUM(%s)", sigExpr(q.Agg))
+	for _, p := range q.Preds {
+		fmt.Fprintf(&b, " | %s %s %s", sigValue(p.Left), p.Op, sigValue(p.Right))
+	}
+	return b.String()
+}
+
+func sigExpr(e query.Expr) string {
+	switch x := e.(type) {
+	case query.Const:
+		return "?"
+	case query.Col:
+		return string(x)
+	case query.BinOp:
+		return fmt.Sprintf("(%s %c %s)", sigExpr(x.L), x.Op, sigExpr(x.R))
+	default:
+		return e.String()
+	}
+}
+
+func sigValue(v query.Value) string {
+	if v.Sub == nil {
+		return sigExpr(v.Expr)
+	}
+	s := sigSub(v.Sub)
+	if v.Scale == 1 {
+		return s
+	}
+	return "? * " + s
+}
+
+func sigSub(s *query.Subquery) string {
+	var conj []string
+	if s.Where != nil {
+		conj = append(conj, fmt.Sprintf("%s %s %s", sigExpr(s.Where.Inner), s.Where.Op, sigExpr(s.Where.Outer)))
+	}
+	for _, f := range s.Filters {
+		conj = append(conj, fmt.Sprintf("%s %s ?", sigExpr(f.Inner), f.Op))
+	}
+	if s.Nested != nil {
+		conj = append(conj, fmt.Sprintf("%s %s %s@%s",
+			sigValue(s.Nested.Threshold), s.Nested.Op, sigSub(s.Nested.Inner), s.Nested.Col))
+	}
+	of := "*"
+	if s.Of != nil {
+		of = sigExpr(s.Of)
+	}
+	w := ""
+	if len(conj) > 0 {
+		w = " WHERE " + strings.Join(conj, " AND ")
+	}
+	return fmt.Sprintf("(%s(%s)%s)", s.Kind, of, w)
+}

@@ -1,0 +1,70 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"rpai/internal/query"
+)
+
+// TestDescribe pins the EXPLAIN surface for the canonical query shapes: the
+// strategy must match the constructed executor, the index kind must name the
+// representation actually backing it, and the predicate signature must mask
+// constants (so structurally identical queries with different thresholds
+// share a signature).
+func TestDescribe(t *testing.T) {
+	cases := []struct {
+		name     string
+		q        *query.Query
+		strategy string
+		kind     string
+		keyCol   string
+	}{
+		{"vwap-le", vwapSpec(), "aggindex", "rpai-arena", "price"},
+		{"eq1-pai", eq1Spec(), "aggindex", "pai", "a"},
+		{"nested-general", nq1Spec(), "general", "", ""},
+		{"two-pred-general", twoPredSpec(), "general", "", ""},
+		{"grouped-general", groupedVWAPSpec(), "general", "", ""},
+	}
+	for _, tc := range cases {
+		pl, err := Describe(tc.q)
+		if err != nil {
+			t.Fatalf("%s: Describe: %v", tc.name, err)
+		}
+		if pl.Strategy != tc.strategy || pl.IndexKind != tc.kind || pl.KeyCol != tc.keyCol {
+			t.Errorf("%s: got strategy=%q kind=%q key=%q, want %q/%q/%q",
+				tc.name, pl.Strategy, pl.IndexKind, pl.KeyCol, tc.strategy, tc.kind, tc.keyCol)
+		}
+		ex, err := New(tc.q)
+		if err != nil {
+			t.Fatalf("%s: New: %v", tc.name, err)
+		}
+		if pl.Strategy != ex.Strategy() {
+			t.Errorf("%s: Describe strategy %q disagrees with executor %q", tc.name, pl.Strategy, ex.Strategy())
+		}
+		if len(pl.Predicates) != len(tc.q.Preds) {
+			t.Errorf("%s: %d predicates rendered, want %d", tc.name, len(pl.Predicates), len(tc.q.Preds))
+		}
+		if strings.Contains(pl.PredSig, "0.75") || strings.Contains(pl.PredSig, "0.5") {
+			t.Errorf("%s: PredSig leaks constants: %s", tc.name, pl.PredSig)
+		}
+	}
+}
+
+// TestPredSigMasksConstants: two structurally identical queries differing
+// only in threshold constants share a signature; a structural change (Le vs
+// Eq correlation) does not.
+func TestPredSigMasksConstants(t *testing.T) {
+	a := vwapSpec()
+	b := vwapSpec()
+	b.Preds[0].Left.Scale = 0.9
+	if PredSig(a) != PredSig(b) {
+		t.Errorf("signatures differ across constants:\n a %s\n b %s", PredSig(a), PredSig(b))
+	}
+	if PredSig(a) == PredSig(eq1Spec()) {
+		t.Errorf("structurally different queries share a signature: %s", PredSig(a))
+	}
+	if qa, qb := a.String(), b.String(); qa == qb {
+		t.Errorf("canonical strings should differ across constants: %s", qa)
+	}
+}

@@ -797,6 +797,15 @@ func (s *Service[E]) ShardVersions() []ShardVersion {
 // versions and the service falls back to a full reseed on mismatch.
 func (s *Service[E]) Epoch() uint64 { return s.epoch }
 
+// Subscribers reports the number of live subscriptions attached to the
+// service — the per-query fan-out counter the catalog surfaces in stats.
+func (s *Service[E]) Subscribers() int {
+	s.subMu.Lock()
+	n := len(s.subs)
+	s.subMu.Unlock()
+	return n
+}
+
 // Stats returns the per-shard serving counters.
 func (s *Service[E]) Stats() []ShardStats {
 	out := make([]ShardStats, len(s.shards))

@@ -25,7 +25,10 @@ import (
 	"rpai/internal/query"
 )
 
-// Parse parses one query in the supported fragment.
+// Parse parses one query in the supported fragment. Errors are positioned:
+// the returned error wraps a *ParseError carrying the byte offset and the
+// offending token, so callers (and wire clients receiving a registration
+// rejection) can point at the exact spot in the input.
 func Parse(input string) (*query.Query, error) {
 	p := &parser{toks: lex(input)}
 	q, err := p.parseQuery()
@@ -33,9 +36,27 @@ func Parse(input string) (*query.Query, error) {
 		return nil, fmt.Errorf("sqlparse: %w", err)
 	}
 	if !p.eof() {
-		return nil, fmt.Errorf("sqlparse: trailing input at %q", p.peek().text)
+		return nil, fmt.Errorf("sqlparse: %w", p.errf("trailing input"))
 	}
 	return q, nil
+}
+
+// ParseError is a positioned parse failure: Offset is the byte offset into
+// the original input where the offending token starts, Token its text
+// (empty at end of input). Use errors.As to recover it from Parse's error.
+type ParseError struct {
+	Offset int
+	Token  string
+	msg    string
+}
+
+// Error renders "<msg> at offset N (near <token>)".
+func (e *ParseError) Error() string {
+	near := "end of input"
+	if e.Token != "" {
+		near = fmt.Sprintf("%q", e.Token)
+	}
+	return fmt.Sprintf("%s at offset %d (near %s)", e.msg, e.Offset, near)
 }
 
 // MustParse is Parse that panics on error, for tests and examples.
@@ -61,6 +82,7 @@ const (
 type token struct {
 	kind tokKind
 	text string
+	off  int // byte offset of the token's first character in the input
 }
 
 func lex(s string) []token {
@@ -76,30 +98,30 @@ func lex(s string) []token {
 			for j < len(s) && (isIdentChar(rune(s[j]))) {
 				j++
 			}
-			toks = append(toks, token{tokIdent, s[i:j]})
+			toks = append(toks, token{tokIdent, s[i:j], i})
 			i = j
 		case unicode.IsDigit(c) || c == '.' && i+1 < len(s) && unicode.IsDigit(rune(s[i+1])):
 			j := i
 			for j < len(s) && (unicode.IsDigit(rune(s[j])) || s[j] == '.') {
 				j++
 			}
-			toks = append(toks, token{tokNumber, s[i:j]})
+			toks = append(toks, token{tokNumber, s[i:j], i})
 			i = j
 		default:
 			// Two-character operators first.
 			if i+1 < len(s) {
 				two := s[i : i+2]
 				if two == "<=" || two == ">=" || two == "<>" || two == "!=" {
-					toks = append(toks, token{tokSymbol, two})
+					toks = append(toks, token{tokSymbol, two, i})
 					i += 2
 					continue
 				}
 			}
-			toks = append(toks, token{tokSymbol, string(c)})
+			toks = append(toks, token{tokSymbol, string(c), i})
 			i++
 		}
 	}
-	toks = append(toks, token{tokEOF, ""})
+	toks = append(toks, token{tokEOF, "", len(s)})
 	return toks
 }
 
@@ -138,6 +160,17 @@ func (p *parser) next() token {
 
 func (p *parser) eof() bool { return p.peek().kind == tokEOF }
 
+// errf builds a positioned error anchored at the current token.
+func (p *parser) errf(format string, args ...any) error {
+	return p.errAt(p.peek(), format, args...)
+}
+
+// errAt builds a positioned error anchored at a specific (usually already
+// consumed) token.
+func (p *parser) errAt(t token, format string, args ...any) error {
+	return &ParseError{Offset: t.off, Token: t.text, msg: fmt.Sprintf(format, args...)}
+}
+
 func (p *parser) acceptKeyword(kw string) bool {
 	if t := p.peek(); t.kind == tokIdent && strings.EqualFold(t.text, kw) {
 		p.pos++
@@ -148,7 +181,7 @@ func (p *parser) acceptKeyword(kw string) bool {
 
 func (p *parser) expectKeyword(kw string) error {
 	if !p.acceptKeyword(kw) {
-		return fmt.Errorf("expected %s, found %q", strings.ToUpper(kw), p.peek().text)
+		return p.errf("expected %s", strings.ToUpper(kw))
 	}
 	return nil
 }
@@ -163,7 +196,7 @@ func (p *parser) acceptSymbol(sym string) bool {
 
 func (p *parser) expectSymbol(sym string) error {
 	if !p.acceptSymbol(sym) {
-		return fmt.Errorf("expected %q, found %q", sym, p.peek().text)
+		return p.errf("expected %q", sym)
 	}
 	return nil
 }
@@ -174,12 +207,13 @@ func (p *parser) parseQuery() (*query.Query, error) {
 	if err := p.expectKeyword("SELECT"); err != nil {
 		return nil, err
 	}
+	kindTok := p.peek()
 	kind, err := p.parseAggKind()
 	if err != nil {
 		return nil, err
 	}
 	if kind != query.Sum {
-		return nil, fmt.Errorf("top-level aggregate must be SUM, found %s", kind)
+		return nil, p.errAt(kindTok, "top-level aggregate must be SUM, found %s", kind)
 	}
 	if err := p.expectSymbol("("); err != nil {
 		return nil, err
@@ -192,7 +226,7 @@ func (p *parser) parseQuery() (*query.Query, error) {
 		t := p.next()
 		switch {
 		case t.kind == tokEOF:
-			return nil, fmt.Errorf("unterminated aggregate expression")
+			return nil, p.errf("unterminated aggregate expression")
 		case t.kind == tokSymbol && t.text == "(":
 			depth++
 		case t.kind == tokSymbol && t.text == ")":
@@ -213,13 +247,16 @@ func (p *parser) parseQuery() (*query.Query, error) {
 	p.outerAlias = alias
 
 	// Re-parse the saved aggregate expression now that the alias is known.
-	sub := &parser{toks: append(append([]token(nil), p.toks[aggStart:aggEnd]...), token{kind: tokEOF}), outerAlias: alias}
+	sub := &parser{
+		toks:       append(append([]token(nil), p.toks[aggStart:aggEnd]...), token{kind: tokEOF, off: p.toks[aggEnd].off}),
+		outerAlias: alias,
+	}
 	agg, err := sub.parseExpr(exprOuter)
 	if err != nil {
 		return nil, fmt.Errorf("in aggregate expression: %w", err)
 	}
 	if !sub.eof() {
-		return nil, fmt.Errorf("trailing tokens in aggregate expression")
+		return nil, sub.errf("trailing tokens in aggregate expression")
 	}
 
 	q := &query.Query{Agg: agg}
@@ -240,13 +277,14 @@ func (p *parser) parseQuery() (*query.Query, error) {
 			return nil, err
 		}
 		for {
+			colTok := p.peek()
 			e, err := p.parseFactor(exprOuter)
 			if err != nil {
 				return nil, err
 			}
 			c, ok := e.(query.Col)
 			if !ok {
-				return nil, fmt.Errorf("GROUP BY supports plain columns only, found %s", e)
+				return nil, p.errAt(colTok, "GROUP BY supports plain columns only, found %s", e)
 			}
 			q.GroupBy = append(q.GroupBy, string(c))
 			if !p.acceptSymbol(",") {
@@ -260,7 +298,7 @@ func (p *parser) parseQuery() (*query.Query, error) {
 func (p *parser) parseRelation() (string, error) {
 	t := p.next()
 	if t.kind != tokIdent {
-		return "", fmt.Errorf("expected relation name, found %q", t.text)
+		return "", p.errAt(t, "expected relation name")
 	}
 	return t.text, nil
 }
@@ -268,7 +306,7 @@ func (p *parser) parseRelation() (string, error) {
 func (p *parser) parseAlias() (string, error) {
 	t := p.next()
 	if t.kind != tokIdent {
-		return "", fmt.Errorf("expected relation alias, found %q", t.text)
+		return "", p.errAt(t, "expected relation alias")
 	}
 	return t.text, nil
 }
@@ -276,7 +314,7 @@ func (p *parser) parseAlias() (string, error) {
 func (p *parser) parseAggKind() (query.AggKind, error) {
 	t := p.next()
 	if t.kind != tokIdent {
-		return 0, fmt.Errorf("expected aggregate function, found %q", t.text)
+		return 0, p.errAt(t, "expected aggregate function")
 	}
 	switch strings.ToUpper(t.text) {
 	case "SUM":
@@ -290,7 +328,7 @@ func (p *parser) parseAggKind() (query.AggKind, error) {
 	case "MAX":
 		return query.Max, nil
 	}
-	return 0, fmt.Errorf("unknown aggregate function %q", t.text)
+	return 0, p.errAt(t, "unknown aggregate function %q", t.text)
 }
 
 // parsePredicate parses value θ value.
@@ -313,7 +351,7 @@ func (p *parser) parsePredicate() (query.Predicate, error) {
 func (p *parser) parseCmpOp() (query.CmpOp, error) {
 	t := p.next()
 	if t.kind != tokSymbol {
-		return 0, fmt.Errorf("expected comparison operator, found %q", t.text)
+		return 0, p.errAt(t, "expected comparison operator")
 	}
 	switch t.text {
 	case "<":
@@ -327,7 +365,7 @@ func (p *parser) parseCmpOp() (query.CmpOp, error) {
 	case ">":
 		return query.Gt, nil
 	}
-	return 0, fmt.Errorf("unknown comparison operator %q", t.text)
+	return 0, p.errAt(t, "unknown comparison operator %q", t.text)
 }
 
 // parseValue parses one predicate side: [number *] (subquery | expr).
@@ -339,7 +377,7 @@ func (p *parser) parseValue() (query.Value, error) {
 		if p.acceptSymbol("*") && p.startsSubquery() {
 			scale, err := strconv.ParseFloat(numTok.text, 64)
 			if err != nil {
-				return query.Value{}, err
+				return query.Value{}, p.errAt(numTok, "invalid number %q", numTok.text)
 			}
 			s, _, err := p.parseSubquery()
 			if err != nil {
@@ -394,7 +432,7 @@ func (p *parser) parseSubquery() (s *query.Subquery, corrToMid bool, err error) 
 		t := p.next()
 		switch {
 		case t.kind == tokEOF:
-			return nil, false, fmt.Errorf("unterminated subquery aggregate expression")
+			return nil, false, p.errf("unterminated subquery aggregate expression")
 		case t.kind == tokSymbol && t.text == "(":
 			depth++
 		case t.kind == tokSymbol && t.text == ")":
@@ -420,7 +458,7 @@ func (p *parser) parseSubquery() (s *query.Subquery, corrToMid bool, err error) 
 		// COUNT(*): no Of expression.
 	} else {
 		ip := &parser{
-			toks:       append(append([]token(nil), ofToks...), token{kind: tokEOF}),
+			toks:       append(append([]token(nil), ofToks...), token{kind: tokEOF, off: p.toks[ofEnd].off}),
 			outerAlias: p.outerAlias,
 			innerAlias: alias,
 		}
@@ -429,7 +467,7 @@ func (p *parser) parseSubquery() (s *query.Subquery, corrToMid bool, err error) 
 			return nil, false, fmt.Errorf("in subquery aggregate expression: %w", err)
 		}
 		if !ip.eof() {
-			return nil, false, fmt.Errorf("trailing tokens in subquery aggregate expression")
+			return nil, false, ip.errf("trailing tokens in subquery aggregate expression")
 		}
 		s.Of = of
 	}
@@ -497,16 +535,16 @@ func (p *parser) parseSubqueryConjunct(s *query.Subquery) (bool, error) {
 	}
 	switch {
 	case left.usedOuter && right.usedOuter:
-		return false, fmt.Errorf("subquery predicate references outer columns on both sides")
+		return false, p.errf("subquery predicate references outer columns on both sides")
 	case right.usedOuter || right.usedMid:
 		if s.Where != nil {
-			return false, fmt.Errorf("subquery has more than one correlation predicate")
+			return false, p.errf("subquery has more than one correlation predicate")
 		}
 		s.Where = &query.CorrPred{Inner: left.expr, Op: op, Outer: right.expr}
 		return right.usedMid, nil
 	case left.usedOuter || left.usedMid:
 		if s.Where != nil {
-			return false, fmt.Errorf("subquery has more than one correlation predicate")
+			return false, p.errf("subquery has more than one correlation predicate")
 		}
 		s.Where = &query.CorrPred{Inner: right.expr, Op: op.Flip(), Outer: left.expr}
 		return left.usedMid, nil
@@ -532,10 +570,10 @@ func (p *parser) parseSubqueryConjunct(s *query.Subquery) (bool, error) {
 // form, shared column, SUM kinds) is enforced by Query.Validate.
 func (p *parser) buildNestedCond(s *query.Subquery, left conjunctSide, op query.CmpOp, right conjunctSide) error {
 	if s.Nested != nil {
-		return fmt.Errorf("subquery has more than one nested condition")
+		return p.errf("subquery has more than one nested condition")
 	}
 	if p.midAlias != "" {
-		return fmt.Errorf("nested conditions are limited to two levels")
+		return p.errf("nested conditions are limited to two levels")
 	}
 	var inner, thr conjunctSide
 	thetaThrFirst := op
@@ -546,17 +584,17 @@ func (p *parser) buildNestedCond(s *query.Subquery, left conjunctSide, op query.
 	case right.isSub && right.corrToMid && !(left.isSub && left.corrToMid):
 		inner, thr = right, left
 	default:
-		return fmt.Errorf("a nested condition needs exactly one side correlated to the enclosing subquery")
+		return p.errf("a nested condition needs exactly one side correlated to the enclosing subquery")
 	}
 	if inner.val.Scale != 1 {
-		return fmt.Errorf("the innermost aggregate of a nested condition cannot be scaled")
+		return p.errf("the innermost aggregate of a nested condition cannot be scaled")
 	}
 	var thrVal query.Value
 	if thr.isSub {
 		thrVal = thr.val
 	} else {
 		if thr.usedOuter || thr.usedMid {
-			return fmt.Errorf("a scalar nested threshold must be constant")
+			return p.errf("a scalar nested threshold must be constant")
 		}
 		thrVal = query.ValExpr(thr.expr)
 	}
@@ -595,7 +633,7 @@ func (p *parser) parseConjunctSide() (conjunctSide, error) {
 		if p.acceptSymbol("*") && p.startsSubquery() {
 			scale, err := strconv.ParseFloat(numTok.text, 64)
 			if err != nil {
-				return conjunctSide{}, err
+				return conjunctSide{}, p.errAt(numTok, "invalid number %q", numTok.text)
 			}
 			return parseSubVal(scale)
 		}
@@ -627,7 +665,7 @@ func (p *parser) parseClassifiedExpr() (query.Expr, bool, bool, error) {
 		}
 	}
 	if used > 1 {
-		return nil, false, false, fmt.Errorf("expression mixes inner and outer columns")
+		return nil, false, false, p.errf("expression mixes inner and outer columns")
 	}
 	return e, p.usedOuter, p.usedMid, nil
 }
@@ -706,7 +744,7 @@ func (p *parser) parseFactor(side exprSide) (query.Expr, error) {
 		p.next()
 		v, err := strconv.ParseFloat(t.text, 64)
 		if err != nil {
-			return nil, err
+			return nil, p.errAt(t, "invalid number %q", t.text)
 		}
 		return query.Const(v), nil
 	case t.kind == tokIdent:
@@ -717,9 +755,9 @@ func (p *parser) parseFactor(side exprSide) (query.Expr, error) {
 		}
 		colTok := p.next()
 		if colTok.kind != tokIdent {
-			return nil, fmt.Errorf("expected column name after %q.", alias)
+			return nil, p.errAt(colTok, "expected column name after %q.", alias)
 		}
-		if err := p.checkAlias(alias, side); err != nil {
+		if err := p.checkAlias(t, side); err != nil {
 			return nil, err
 		}
 		return query.Col(colTok.text), nil
@@ -734,22 +772,23 @@ func (p *parser) parseFactor(side exprSide) (query.Expr, error) {
 		}
 		return e, nil
 	}
-	return nil, fmt.Errorf("expected expression, found %q", t.text)
+	return nil, p.errf("expected expression")
 }
 
-func (p *parser) checkAlias(alias string, side exprSide) error {
+func (p *parser) checkAlias(aliasTok token, side exprSide) error {
+	alias := aliasTok.text
 	switch side {
 	case exprOuter:
 		if alias != p.outerAlias {
-			return fmt.Errorf("column alias %q does not match outer relation alias %q", alias, p.outerAlias)
+			return p.errAt(aliasTok, "column alias %q does not match outer relation alias %q", alias, p.outerAlias)
 		}
 	case exprInner:
 		if alias != p.innerAlias {
-			return fmt.Errorf("column alias %q does not match subquery alias %q", alias, p.innerAlias)
+			return p.errAt(aliasTok, "column alias %q does not match subquery alias %q", alias, p.innerAlias)
 		}
 	case exprCorrelationOuter:
 		if alias != p.outerAlias {
-			return fmt.Errorf("correlation column alias %q does not match outer relation alias %q (inner-only filters belong on the left side)", alias, p.outerAlias)
+			return p.errAt(aliasTok, "correlation column alias %q does not match outer relation alias %q (inner-only filters belong on the left side)", alias, p.outerAlias)
 		}
 	case exprEither:
 		switch alias {
@@ -760,7 +799,7 @@ func (p *parser) checkAlias(alias string, side exprSide) error {
 		case p.outerAlias:
 			p.usedOuter = true
 		default:
-			return fmt.Errorf("column alias %q matches neither subquery alias %q nor outer alias %q", alias, p.innerAlias, p.outerAlias)
+			return p.errAt(aliasTok, "column alias %q matches neither subquery alias %q nor outer alias %q", alias, p.innerAlias, p.outerAlias)
 		}
 	}
 	return nil

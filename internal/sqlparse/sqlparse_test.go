@@ -1,6 +1,7 @@
 package sqlparse
 
 import (
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -415,5 +416,54 @@ func TestParseNestedErrors(t *testing.T) {
 		} else if !strings.Contains(err.Error(), c.frag) {
 			t.Errorf("%s: error %q does not mention %q", c.name, err, c.frag)
 		}
+	}
+}
+
+// TestParsePositionedErrors pins the positioned-error contract satellite:
+// every malformed input yields a *ParseError whose offset lands on the
+// offending token and whose message names it. These are the messages wire
+// clients see in MsgRegister rejections, so they must stay descriptive.
+func TestParsePositionedErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		sql    string
+		offset int    // expected ParseError.Offset
+		token  string // expected ParseError.Token
+		frag   string // message fragment
+	}{
+		{"empty input", "", 0, "", "expected SELECT"},
+		{"not sql", "INSERT INTO r", 0, "INSERT", "expected SELECT"},
+		{"missing from", "SELECT SUM(a.b) ", 16, "", "expected FROM"},
+		{"top-level count", "SELECT COUNT(*) FROM r a", 7, "COUNT", "must be SUM"},
+		{"missing alias", "SELECT SUM(b.v) FROM r", 22, "", "expected relation alias"},
+		{"bad aggregate", "SELECT TOTAL(b.v) FROM r b", 7, "TOTAL", "unknown aggregate function"},
+		{"trailing garbage", "SELECT SUM(b.v) FROM r b extra", 25, "extra", "trailing input"},
+		{"bad operator", "SELECT SUM(b.v) FROM r b WHERE b.v ! b.v", 35, "!", "unknown comparison operator"},
+		{"missing cmp rhs", "SELECT SUM(b.v) FROM r b WHERE b.v <", 36, "", "expected expression"},
+		{"wrong outer alias", "SELECT SUM(x.price) FROM bids b", 11, "x", "does not match outer relation alias"},
+		{"unqualified group by", "SELECT SUM(b.v) FROM r b GROUP BY 7", 34, "7", "plain columns only"},
+		{"bad number", "SELECT SUM(b.v) FROM r b WHERE b.v < 1.2.3", 37, "1.2.3", "invalid number"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.sql)
+			if err == nil {
+				t.Fatalf("no error for %q", c.sql)
+			}
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error %q is not a *ParseError", err)
+			}
+			if pe.Offset != c.offset || pe.Token != c.token {
+				t.Errorf("got offset=%d token=%q, want offset=%d token=%q (err %q)",
+					pe.Offset, pe.Token, c.offset, c.token, err)
+			}
+			if !strings.Contains(err.Error(), c.frag) {
+				t.Errorf("error %q does not mention %q", err, c.frag)
+			}
+			if !strings.Contains(err.Error(), "offset") {
+				t.Errorf("error %q does not report a position", err)
+			}
+		})
 	}
 }

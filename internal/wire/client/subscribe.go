@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"rpai/internal/catalog"
 	"rpai/internal/serve"
 	"rpai/internal/wire"
 )
@@ -38,6 +39,12 @@ type Subscription struct {
 	c   *Client
 	opt SubOptions
 
+	// routed subscriptions (SubscribeQuery, protocol v4) target one
+	// registered catalog query; unrouted ones follow the server's single
+	// (or default) query.
+	routed bool
+	qid    catalog.QueryID
+
 	frames  chan serve.DeltaFrame
 	session [wire.SessionIDLen]byte
 
@@ -56,6 +63,17 @@ type Subscription struct {
 // server-side publication arrives as a coalesced delta. The returned
 // subscription must be Closed when done; closing the client also ends it.
 func (c *Client) Subscribe(opt SubOptions) (*Subscription, error) {
+	return c.subscribe(opt, false, 0)
+}
+
+// SubscribeQuery opens a push subscription to one registered catalog query's
+// grouped results (protocol version 4). The stream's semantics match
+// Subscribe; the server routes the query's delta frames by QueryID.
+func (c *Client) SubscribeQuery(id catalog.QueryID, opt SubOptions) (*Subscription, error) {
+	return c.subscribe(opt, true, id)
+}
+
+func (c *Client) subscribe(opt SubOptions, routed bool, id catalog.QueryID) (*Subscription, error) {
 	if c.closed.Load() {
 		return nil, ErrClientClosed
 	}
@@ -66,6 +84,8 @@ func (c *Client) Subscribe(opt SubOptions) (*Subscription, error) {
 	sub := &Subscription{
 		c:      c,
 		opt:    opt,
+		routed: routed,
+		qid:    id,
 		frames: make(chan serve.DeltaFrame, buf),
 		quit:   make(chan struct{}),
 		done:   make(chan struct{}),
@@ -138,15 +158,23 @@ func (sub *Subscription) attach() (net.Conn, *bufio.Reader, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	if w.Version < 3 {
+	minVer := uint32(3)
+	if sub.routed {
+		minVer = 4
+	}
+	if w.Version < minVer {
 		nc.Close()
-		return nil, nil, fmt.Errorf("%w: server speaks version %d, subscriptions need 3",
-			wire.ErrVersion, w.Version)
+		return nil, nil, fmt.Errorf("%w: server speaks version %d, this subscription needs %d",
+			wire.ErrVersion, w.Version, minVer)
 	}
 	epoch, rs := sub.resumeState()
-	body := wire.EncodeSubscribe(nil, wire.Subscribe{Keys: sub.opt.Keys, Epoch: epoch, Resume: rs})
+	req := wire.Subscribe{Keys: sub.opt.Keys, Epoch: epoch, Resume: rs}
+	t0, body := wire.MsgSubscribe, wire.EncodeSubscribe(nil, req)
+	if sub.routed {
+		t0, body = wire.MsgSubscribeQ, wire.EncodeSubscribeQ(nil, sub.qid, req)
+	}
 	nc.SetDeadline(time.Now().Add(sub.c.opt.RequestTimeout))
-	if err := wire.WriteFrame(nc, wire.EncodeMsg(nil, wire.MsgSubscribe, 1, body)); err != nil {
+	if err := wire.WriteFrame(nc, wire.EncodeMsg(nil, t0, 1, body)); err != nil {
 		nc.Close()
 		return nil, nil, err
 	}
@@ -260,10 +288,20 @@ func (sub *Subscription) stream(nc net.Conn, br *bufio.Reader) bool {
 			return !sub.closedNow()
 		}
 		switch t {
-		case wire.MsgDelta:
-			f, err := wire.DecodeDelta(body)
-			if err != nil {
-				return !sub.closedNow() // corrupt push: resync via reconnect
+		case wire.MsgDelta, wire.MsgDeltaQ:
+			var f serve.DeltaFrame
+			if t == wire.MsgDeltaQ {
+				var qid catalog.QueryID
+				if qid, f, err = wire.DecodeDeltaQ(body); err != nil || !sub.routed || qid != sub.qid {
+					return !sub.closedNow() // corrupt or misrouted push: resync
+				}
+			} else {
+				if sub.routed {
+					return !sub.closedNow() // routed stream must push delta-q
+				}
+				if f, err = wire.DecodeDelta(body); err != nil {
+					return !sub.closedNow() // corrupt push: resync via reconnect
+				}
 			}
 			sub.record(f)
 			select {

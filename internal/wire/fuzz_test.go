@@ -8,9 +8,20 @@ import (
 	"path/filepath"
 	"testing"
 
+	"rpai/internal/catalog"
 	"rpai/internal/engine"
 	"rpai/internal/serve"
 )
+
+// fuzzExplain is a fully-populated EXPLAIN for the codec seeds.
+func fuzzExplain() catalog.Explain {
+	return catalog.Explain{
+		ID: 2, SQL: "SELECT SUM(b.price * b.volume) FROM bids b", Canonical: "SELECT ...",
+		Strategy: "aggindex", IndexKind: "rpai-arena", KeyCol: "price", SubOp: "<=", Agg: "sum",
+		PredSig: "0.? * SUM(volume) < SUM(volume WHERE price <= price)",
+		GroupBy: []string{"sym"}, Predicates: []string{"p0"}, SharedWith: []catalog.QueryID{1, 4},
+	}
+}
 
 // fuzzSeedFrames builds one valid frame per message type, the same frames the
 // committed corpus under testdata/fuzz/FuzzWireFrames seeds.
@@ -39,6 +50,22 @@ func fuzzSeedFrames() [][]byte {
 		{MsgSubscribed, EncodeSubscribed(nil, Subscribed{Shards: 2, Epoch: 9})},
 		{MsgDelta, EncodeDelta(nil, serve.DeltaFrame{Shard: 1, Version: 8, Base: 6,
 			Groups: []engine.GroupResult{{Key: []float64{2}, Value: 11.5}}})},
+		{MsgRegister, EncodeRegister(nil, "SELECT SUM(b.v) FROM bids b")},
+		{MsgRegistered, EncodeExplain(nil, fuzzExplain())},
+		{MsgUnregister, EncodeQueryID(nil, 3)},
+		{MsgListQueries, nil},
+		{MsgQueryList, EncodeQueryList(nil, []catalog.Explain{fuzzExplain(), {ID: 9, Strategy: "naive"}})},
+		{MsgExplain, EncodeQueryID(nil, 2)},
+		{MsgExplained, EncodeExplain(nil, fuzzExplain())},
+		{MsgResultQ, EncodeQueryID(nil, 2)},
+		{MsgGroupedQ, EncodeQueryID(nil, 2)},
+		{MsgSubscribeQ, EncodeSubscribeQ(nil, 2, Subscribe{Keys: [][]float64{{4}}, Epoch: 3,
+			Resume: []serve.ShardVersion{{Shard: 0, Version: 1}}})},
+		{MsgDeltaQ, EncodeDeltaQ(nil, 2, serve.DeltaFrame{Shard: 0, Version: 4, Full: true,
+			Groups: []engine.GroupResult{{Key: []float64{1}, Value: 5}}})},
+		{MsgStatsReply, EncodeStats(nil, Stats{Server: ServerStats{Accepted: 2},
+			Shards:  []serve.ShardStats{{Shard: 0, Applied: 9}},
+			Queries: []QueryStats{{ID: 1, SetID: 1, Applied: 9, Subscribers: 1, Strategy: "aggindex", SQL: "SELECT ..."}}})},
 	}
 	frames := make([][]byte, 0, len(bodies)+2)
 	for i, b := range bodies {
@@ -102,6 +129,18 @@ func FuzzWireFrames(f *testing.F) {
 				DecodeSubscribed(body)
 			case MsgDelta:
 				DecodeDelta(body)
+			case MsgRegister:
+				DecodeRegister(body)
+			case MsgRegistered, MsgExplained:
+				DecodeExplain(body)
+			case MsgUnregister, MsgExplain, MsgResultQ, MsgGroupedQ:
+				DecodeQueryID(body)
+			case MsgQueryList:
+				DecodeQueryList(body)
+			case MsgSubscribeQ:
+				DecodeSubscribeQ(body)
+			case MsgDeltaQ:
+				DecodeDeltaQ(body)
 			}
 		}
 	})
@@ -139,6 +178,56 @@ func TestFuzzSeedsDecode(t *testing.T) {
 		}
 		if _, _, _, err := DecodeMsg(payload); err != nil {
 			t.Fatalf("seed %d envelope: %v", i, err)
+		}
+	}
+}
+
+// TestCatalogCodecsRejectMalformed pins the v4 decoders' strictness: every
+// truncation, overrun length, and trailing-byte mutation must be refused with
+// an error, never mis-decoded or panicked on.
+func TestCatalogCodecsRejectMalformed(t *testing.T) {
+	reg := EncodeRegister(nil, "SELECT SUM(b.v) FROM bids b")
+	ex := EncodeExplain(nil, fuzzExplain())
+	list := EncodeQueryList(nil, []catalog.Explain{fuzzExplain()})
+	subq := EncodeSubscribeQ(nil, 2, Subscribe{Epoch: 1})
+	dq := EncodeDeltaQ(nil, 2, serve.DeltaFrame{Shard: 0, Version: 1,
+		Groups: []engine.GroupResult{{Key: []float64{1}, Value: 5}}})
+	stq := EncodeStats(nil, Stats{Shards: []serve.ShardStats{{Shard: 0}},
+		Queries: []QueryStats{{ID: 1, SQL: "q"}}})
+
+	overrunLen := func(valid []byte, at int) []byte {
+		m := append([]byte(nil), valid...)
+		le.PutUint32(m[at:], 1<<30) // a length prefix far past the body
+		return m
+	}
+	cases := []struct {
+		name   string
+		decode func([]byte) error
+		input  []byte
+	}{
+		{"register truncated", func(p []byte) error { _, err := DecodeRegister(p); return err }, reg[:2]},
+		{"register overrun length", func(p []byte) error { _, err := DecodeRegister(p); return err }, overrunLen(reg, 0)},
+		{"register trailing bytes", func(p []byte) error { _, err := DecodeRegister(p); return err }, append(append([]byte(nil), reg...), 0)},
+		{"query-id short", func(p []byte) error { _, err := DecodeQueryID(p); return err }, []byte{1, 2, 3}},
+		{"query-id long", func(p []byte) error { _, err := DecodeQueryID(p); return err }, make([]byte, 9)},
+		{"explain empty", func(p []byte) error { _, err := DecodeExplain(p); return err }, nil},
+		{"explain truncated mid-string", func(p []byte) error { _, err := DecodeExplain(p); return err }, ex[:14]},
+		{"explain overrun string length", func(p []byte) error { _, err := DecodeExplain(p); return err }, overrunLen(ex, 8)},
+		{"explain truncated before lists", func(p []byte) error { _, err := DecodeExplain(p); return err }, ex[:len(ex)-14]},
+		{"explain trailing bytes", func(p []byte) error { _, err := DecodeExplain(p); return err }, append(append([]byte(nil), ex...), 7)},
+		{"query-list short", func(p []byte) error { _, err := DecodeQueryList(p); return err }, []byte{1}},
+		{"query-list overrun count", func(p []byte) error { _, err := DecodeQueryList(p); return err }, overrunLen(list, 0)},
+		{"query-list trailing bytes", func(p []byte) error { _, err := DecodeQueryList(p); return err }, append(append([]byte(nil), list...), 7)},
+		{"subscribe-q short", func(p []byte) error { _, _, err := DecodeSubscribeQ(p); return err }, subq[:7]},
+		{"subscribe-q corrupt tail", func(p []byte) error { _, _, err := DecodeSubscribeQ(p); return err }, subq[:len(subq)-1]},
+		{"delta-q short", func(p []byte) error { _, _, err := DecodeDeltaQ(p); return err }, dq[:7]},
+		{"delta-q corrupt tail", func(p []byte) error { _, _, err := DecodeDeltaQ(p); return err }, dq[:len(dq)-1]},
+		{"stats truncated query table", func(p []byte) error { _, err := DecodeStats(p); return err }, stq[:len(stq)-1]},
+		{"stats trailing bytes", func(p []byte) error { _, err := DecodeStats(p); return err }, append(append([]byte(nil), stq...), 7)},
+	}
+	for _, tc := range cases {
+		if err := tc.decode(tc.input); err == nil {
+			t.Errorf("%s: decoder accepted malformed input", tc.name)
 		}
 	}
 }

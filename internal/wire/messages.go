@@ -247,16 +247,37 @@ type ServerStats struct {
 	Sessions    uint64 // tracked dedup sessions
 }
 
-// Stats is the full stats RPC payload.
+// QueryStats is one registered query's serving counters in the v4 stats
+// reply: the events its executor set applied and rejected, its live push
+// subscribers, and the executor-set id (queries sharing indexes share a set).
+type QueryStats struct {
+	ID          uint64
+	SetID       uint64
+	Applied     uint64
+	Rejected    uint64
+	Subscribers uint64
+	Strategy    string
+	SQL         string
+}
+
+// Stats is the full stats RPC payload. Queries is the per-query counter
+// table a version-4 catalog server appends; it is nil on pre-v4 connections
+// and on single-query servers.
 type Stats struct {
-	Server ServerStats
-	Shards []serve.ShardStats
+	Server  ServerStats
+	Shards  []serve.ShardStats
+	Queries []QueryStats
 }
 
 // maxStatsShards bounds the decoded shard list.
 const maxStatsShards = 1 << 16
 
-// EncodeStats appends a stats-reply body.
+// maxStatsQueries bounds the decoded per-query table.
+const maxStatsQueries = 1 << 16
+
+// EncodeStats appends a stats-reply body. The per-query table is appended
+// only when present (the encoder for a v4 catalog connection passes it;
+// everyone else leaves Queries nil and emits the v2/v3 layout unchanged).
 func EncodeStats(buf []byte, st Stats) []byte {
 	buf = le.AppendUint64(buf, st.Server.Accepted)
 	buf = le.AppendUint64(buf, st.Server.Shed)
@@ -274,10 +295,24 @@ func EncodeStats(buf []byte, st Stats) []byte {
 		buf = le.AppendUint64(buf, s.Rejected)
 		buf = le.AppendUint64(buf, uint64(s.BatchSize))
 	}
+	if st.Queries != nil {
+		buf = le.AppendUint32(buf, uint32(len(st.Queries)))
+		for _, q := range st.Queries {
+			buf = le.AppendUint64(buf, q.ID)
+			buf = le.AppendUint64(buf, q.SetID)
+			buf = le.AppendUint64(buf, q.Applied)
+			buf = le.AppendUint64(buf, q.Rejected)
+			buf = le.AppendUint64(buf, q.Subscribers)
+			buf = appendStr(buf, q.Strategy)
+			buf = appendStr(buf, q.SQL)
+		}
+	}
 	return buf
 }
 
-// DecodeStats parses a stats-reply body.
+// DecodeStats parses a stats-reply body. A body ending after the shard list
+// is the v2/v3 layout; remaining bytes must be exactly the v4 per-query
+// table.
 func DecodeStats(p []byte) (Stats, error) {
 	var st Stats
 	if len(p) < 44 {
@@ -293,7 +328,7 @@ func DecodeStats(p []byte) (Stats, error) {
 	n := le.Uint32(p[40:])
 	p = p[44:]
 	const per = 4 + 7*8
-	if n > maxStatsShards || int(n)*per != len(p) {
+	if n > maxStatsShards || int(n)*per > len(p) {
 		return st, fmt.Errorf("wire: stats shard count %d inconsistent with body", n)
 	}
 	st.Shards = make([]serve.ShardStats, n)
@@ -309,6 +344,43 @@ func DecodeStats(p []byte) (Stats, error) {
 			BatchSize:     int(le.Uint64(p[52:])),
 		}
 		p = p[per:]
+	}
+	if len(p) == 0 {
+		return st, nil
+	}
+	if len(p) < 4 {
+		return st, fmt.Errorf("wire: stats query table truncated")
+	}
+	qn := le.Uint32(p)
+	p = p[4:]
+	// Each query entry is at least 5*8 counter bytes plus two string lengths.
+	if qn > maxStatsQueries || int64(qn)*48 > int64(len(p)) {
+		return st, fmt.Errorf("wire: stats query count %d overruns body", qn)
+	}
+	st.Queries = make([]QueryStats, 0, qn)
+	for i := uint32(0); i < qn; i++ {
+		if len(p) < 40 {
+			return st, fmt.Errorf("wire: stats query entry %d truncated", i)
+		}
+		q := QueryStats{
+			ID:          le.Uint64(p),
+			SetID:       le.Uint64(p[8:]),
+			Applied:     le.Uint64(p[16:]),
+			Rejected:    le.Uint64(p[24:]),
+			Subscribers: le.Uint64(p[32:]),
+		}
+		p = p[40:]
+		var err error
+		if q.Strategy, p, err = takeStr(p, maxQueryDesc, "stats query strategy"); err != nil {
+			return st, err
+		}
+		if q.SQL, p, err = takeStr(p, maxSQLLen, "stats query sql"); err != nil {
+			return st, err
+		}
+		st.Queries = append(st.Queries, q)
+	}
+	if len(p) != 0 {
+		return st, fmt.Errorf("wire: %d trailing bytes after stats query table", len(p))
 	}
 	return st, nil
 }

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rpai/internal/catalog"
 	"rpai/internal/engine"
 	"rpai/internal/serve"
 )
@@ -81,11 +82,13 @@ type session struct {
 	lastSeq uint64
 }
 
-// Server is the TCP front door over a sharded serving Service: it speaks the
-// wire protocol, pipelines per connection, sheds load past the admission
-// limiter, and deduplicates sequenced batches per session.
+// Server is the TCP front door over a sharded serving Service — or, in
+// catalog mode, over a multi-query catalog: it speaks the wire protocol,
+// pipelines per connection, sheds load past the admission limiter, and
+// deduplicates sequenced batches per session.
 type Server struct {
-	svc *serve.Service[engine.Event]
+	svc *serve.Service[engine.Event] // single-query mode; nil in catalog mode
+	cat *catalog.Service             // catalog mode; nil in single-query mode
 	cfg ServerConfig
 
 	tokens   chan struct{} // admission limiter; one token per in-flight work request
@@ -106,15 +109,50 @@ type Server struct {
 // NewServer returns a Server serving svc. The caller keeps ownership of svc:
 // after Close returns, drain and close the service to flush its WALs.
 func NewServer(svc *serve.Service[engine.Event], cfg ServerConfig) *Server {
+	s := newServer(cfg)
+	s.svc = svc
+	return s
+}
+
+// NewCatalogServer returns a Server hosting a multi-query catalog: ingest
+// fans out to every registered query, version-4 connections register,
+// unregister, explain, and read by QueryID, and pre-v4 connections are routed
+// to the catalog's default (lowest-ID) query so old clients keep working. The
+// caller keeps ownership of cat: after Close returns, drain and close it.
+func NewCatalogServer(cat *catalog.Service, cfg ServerConfig) *Server {
+	s := newServer(cfg)
+	s.cat = cat
+	return s
+}
+
+func newServer(cfg ServerConfig) *Server {
 	cfg = cfg.withDefaults()
 	return &Server{
-		svc:      svc,
 		cfg:      cfg,
 		tokens:   make(chan struct{}, cfg.MaxInFlight),
 		sessions: make(map[[SessionIDLen]byte]*session),
 		lns:      make(map[net.Listener]struct{}),
 		conns:    make(map[net.Conn]struct{}),
 	}
+}
+
+// shardCount is the per-query shard count echoed in welcomes and
+// subscription acks (identical for every catalog query).
+func (s *Server) shardCount() int {
+	if s.cat != nil {
+		return s.cat.Shards()
+	}
+	return s.svc.Shards()
+}
+
+// defaultQuery resolves the query a legacy (pre-v4) request addresses on a
+// catalog server.
+func (s *Server) defaultQuery() (catalog.QueryID, error) {
+	id, ok := s.cat.Default()
+	if !ok {
+		return 0, errors.New("no queries registered")
+	}
+	return id, nil
 }
 
 // ListenAndServe listens on addr and serves until Close.
@@ -259,7 +297,7 @@ type connScratch struct {
 // subject to admission control.
 func needsToken(t MsgType) bool {
 	switch t {
-	case MsgApply, MsgApplyBatch, MsgDrain, MsgCheckpoint:
+	case MsgApply, MsgApplyBatch, MsgDrain, MsgCheckpoint, MsgRegister, MsgUnregister:
 		return true
 	}
 	return false
@@ -355,7 +393,7 @@ func (s *Server) handshake(nc net.Conn, br *bufio.Reader, bw *bufio.Writer) (*se
 			fmt.Sprintf("server speaks versions %d through %d, client sent %d", MinVersion, Version, h.Version)))
 		return nil, 0, ErrVersion
 	}
-	w := Welcome{Version: h.Version, Shards: uint32(s.svc.Shards()), Query: s.cfg.Query}
+	w := Welcome{Version: h.Version, Shards: uint32(s.shardCount()), Query: s.cfg.Query}
 	if err := s.reply(nc, bw, MsgWelcome, id, EncodeWelcome(nil, w)); err != nil {
 		return nil, 0, err
 	}
@@ -398,13 +436,13 @@ func (s *Server) worker(nc net.Conn, bw *bufio.Writer, sess *session, ver uint32
 			flush()
 			return
 		}
-		if it.t == MsgSubscribe {
+		if it.t == MsgSubscribe || it.t == MsgSubscribeQ {
 			if s.subscribeConn(nc, bw, ver, streaming, it, work) {
 				return // push mode ran until the connection went away
 			}
 			continue // subscribe refused with an error reply; keep serving
 		}
-		t, body := s.process(cs, sess, it)
+		t, body := s.process(cs, sess, ver, it)
 		if s.cfg.WriteTimeout > 0 {
 			nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
 		}
@@ -425,25 +463,65 @@ func (s *Server) worker(nc net.Conn, bw *bufio.Writer, sess *session, ver uint32
 	}
 }
 
-// subscribeConn handles MsgSubscribe on the connection's worker. A refused
-// subscribe (old protocol version, bad body, closed service) gets an error
-// reply and returns false so the worker keeps serving requests. A successful
-// subscribe turns the worker into the subscription's pump: it acknowledges
-// with MsgSubscribed and then streams MsgDelta frames — echoing the subscribe
-// request's id — until the connection or the service goes away, returning
-// true so the worker exits.
+// subscribeConn handles MsgSubscribe / MsgSubscribeQ on the connection's
+// worker. A refused subscribe (old protocol version, bad body, closed
+// service) gets an error reply and returns false so the worker keeps serving
+// requests. A successful subscribe turns the worker into the subscription's
+// pump: it acknowledges with MsgSubscribed and then streams MsgDelta (or
+// QueryID-routed MsgDeltaQ) frames — echoing the subscribe request's id —
+// until the connection or the service goes away, returning true so the
+// worker exits.
 func (s *Server) subscribeConn(nc net.Conn, bw *bufio.Writer, ver uint32, streaming *atomic.Bool, it reqItem, work <-chan reqItem) bool {
-	if ver < 3 {
+	if minV := uint32(3); it.t == MsgSubscribeQ {
+		minV = 4
+		if ver < minV {
+			s.reply(nc, bw, MsgError, it.id, EncodeError(nil, CodeBadRequest,
+				fmt.Sprintf("subscribe-q requires protocol version 4, connection negotiated %d", ver)))
+			return false
+		}
+	} else if ver < minV {
 		s.reply(nc, bw, MsgError, it.id, EncodeError(nil, CodeBadRequest,
 			fmt.Sprintf("subscribe requires protocol version 3, connection negotiated %d", ver)))
 		return false
 	}
-	req, err := DecodeSubscribe(it.body)
+	// Resolve the subscription target: a plain subscribe goes to the single
+	// service (or the catalog's default query); subscribe-q names a QueryID.
+	var req Subscribe
+	var qid catalog.QueryID
+	var err error
+	switch {
+	case it.t == MsgSubscribeQ:
+		if s.cat == nil {
+			s.reply(nc, bw, MsgError, it.id, EncodeError(nil, CodeBadRequest, "server is not a catalog"))
+			return false
+		}
+		qid, req, err = DecodeSubscribeQ(it.body)
+	default:
+		req, err = DecodeSubscribe(it.body)
+		if err == nil && s.cat != nil {
+			var derr error
+			if qid, derr = s.defaultQuery(); derr != nil {
+				s.reply(nc, bw, MsgError, it.id, EncodeError(nil, CodeBadRequest, derr.Error()))
+				return false
+			}
+		}
+	}
 	if err != nil {
 		s.reply(nc, bw, MsgError, it.id, EncodeError(nil, CodeBadRequest, err.Error()))
 		return false
 	}
-	sub, err := s.svc.Subscribe(serve.SubOptions{Keys: req.Keys, Resume: req.Resume, ResumeEpoch: req.Epoch})
+	opt := serve.SubOptions{Keys: req.Keys, Resume: req.Resume, ResumeEpoch: req.Epoch}
+	var sub *serve.Subscription
+	var epoch uint64
+	if s.cat != nil {
+		if sub, err = s.cat.Subscribe(qid, opt); err == nil {
+			epoch, err = s.cat.Epoch(qid)
+		}
+	} else {
+		if sub, err = s.svc.Subscribe(opt); err == nil {
+			epoch = s.svc.Epoch()
+		}
+	}
 	if err != nil {
 		t, body := errReply(err)
 		s.reply(nc, bw, t, it.id, body)
@@ -464,10 +542,14 @@ func (s *Server) subscribeConn(nc net.Conn, bw *bufio.Writer, ver uint32, stream
 		s.reply(nc, bw, MsgError, it.id, EncodeError(nil, CodeClosed, ""))
 		return false
 	}
-	ack := EncodeSubscribed(nil, Subscribed{Shards: uint32(s.svc.Shards()), Epoch: s.svc.Epoch()})
+	ack := EncodeSubscribed(nil, Subscribed{Shards: uint32(s.shardCount()), Epoch: epoch})
 	if err := s.reply(nc, bw, MsgSubscribed, it.id, ack); err != nil {
 		s.drainWork(work)
 		return true
+	}
+	deltaType := MsgDelta
+	if it.t == MsgSubscribeQ {
+		deltaType = MsgDeltaQ
 	}
 	var frame, body []byte
 	for {
@@ -480,8 +562,12 @@ func (s *Server) subscribeConn(nc net.Conn, bw *bufio.Writer, ver uint32, stream
 				s.drainWork(work)
 				return true
 			}
-			body = EncodeDelta(body[:0], fr)
-			frame = EncodeMsg(frame[:0], MsgDelta, it.id, body)
+			if deltaType == MsgDeltaQ {
+				body = EncodeDeltaQ(body[:0], qid, fr)
+			} else {
+				body = EncodeDelta(body[:0], fr)
+			}
+			frame = EncodeMsg(frame[:0], deltaType, it.id, body)
 			if s.cfg.WriteTimeout > 0 {
 				nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
 			}
@@ -519,21 +605,51 @@ func (s *Server) drainWork(work <-chan reqItem) {
 	}
 }
 
+// catalogOnly reports whether a request type exists only in the version-4
+// catalog message set.
+func catalogOnly(t MsgType) bool {
+	switch t {
+	case MsgRegister, MsgUnregister, MsgListQueries, MsgExplain, MsgResultQ, MsgGroupedQ, MsgSubscribeQ:
+		return true
+	}
+	return false
+}
+
 // process executes one request and returns the reply. Replies on the hot
 // paths (acks, scalar results) are built in cs.body; error replies are cold
 // and allocate.
-func (s *Server) process(cs *connScratch, sess *session, it reqItem) (MsgType, []byte) {
+func (s *Server) process(cs *connScratch, sess *session, ver uint32, it reqItem) (MsgType, []byte) {
 	if it.shed {
 		return MsgError, EncodeError(nil, CodeOverloaded, "admission limiter saturated")
 	}
 	if s.cfg.ReadOnly && needsToken(it.t) {
 		return MsgError, EncodeError(nil, CodeReadOnly, "server is a read-only replica")
 	}
+	if catalogOnly(it.t) {
+		// The v4 messages follow the v3 downgrade style: a connection that
+		// negotiated an older version is refused per message, not torn down.
+		if ver < 4 {
+			return MsgError, EncodeError(nil, CodeBadRequest,
+				fmt.Sprintf("%s requires protocol version 4, connection negotiated %d", it.t, ver))
+		}
+		if s.cat == nil {
+			return MsgError, EncodeError(nil, CodeBadRequest, "server is not a catalog")
+		}
+	}
 	switch it.t {
 	case MsgApply:
 		ev, err := cs.dec.Decode(it.body)
 		if err != nil {
 			return MsgError, EncodeError(nil, CodeBadRequest, err.Error())
+		}
+		if s.cat != nil {
+			// Catalog ingest is all-queries-atomic, so there is no per-shard
+			// TryApply; the admission limiter already bounds the blocking.
+			if err := s.cat.Apply(ev); err != nil {
+				return errReply(err)
+			}
+			cs.body = EncodeAck(cs.body[:0], 1)
+			return MsgAck, cs.body
 		}
 		switch err := s.svc.TryApply(ev); {
 		case errors.Is(err, serve.ErrBusy):
@@ -551,22 +667,57 @@ func (s *Server) process(cs *connScratch, sess *session, it reqItem) (MsgType, [
 		return s.processBatch(cs, sess, it.body)
 
 	case MsgDrain:
-		if err := s.svc.Drain(); err != nil {
+		var err error
+		if s.cat != nil {
+			err = s.cat.DrainAll()
+		} else {
+			err = s.svc.Drain()
+		}
+		if err != nil {
 			return errReply(err)
 		}
 		return MsgAck, EncodeAck(nil, 0)
 
 	case MsgResult:
+		if s.cat != nil {
+			id, err := s.defaultQuery()
+			if err != nil {
+				return MsgError, EncodeError(nil, CodeBadRequest, err.Error())
+			}
+			v, err := s.cat.Result(id)
+			if err != nil {
+				return errReply(err)
+			}
+			cs.body = EncodeScalar(cs.body[:0], v)
+			return MsgScalar, cs.body
+		}
 		cs.body = EncodeScalar(cs.body[:0], s.svc.Result())
 		return MsgScalar, cs.body
 
 	case MsgResultGrouped:
+		if s.cat != nil {
+			id, err := s.defaultQuery()
+			if err != nil {
+				return MsgError, EncodeError(nil, CodeBadRequest, err.Error())
+			}
+			groups, err := s.cat.ResultGrouped(id)
+			if err != nil {
+				return errReply(err)
+			}
+			return MsgGrouped, EncodeGrouped(nil, groups)
+		}
 		return MsgGrouped, EncodeGrouped(nil, s.svc.ResultGrouped())
 
 	case MsgStats:
-		return MsgStatsReply, EncodeStats(nil, Stats{Server: s.Stats(), Shards: s.svc.Stats()})
+		return s.processStats(ver)
 
 	case MsgCheckpoint:
+		if s.cat != nil {
+			if err := s.cat.Checkpoint(); err != nil {
+				return errReply(err)
+			}
+			return MsgAck, EncodeAck(nil, 0)
+		}
 		if s.cfg.DataDir == "" {
 			return MsgError, EncodeError(nil, CodeBadRequest, "server has no data dir")
 		}
@@ -574,8 +725,106 @@ func (s *Server) process(cs *connScratch, sess *session, it reqItem) (MsgType, [
 			return errReply(err)
 		}
 		return MsgAck, EncodeAck(nil, 0)
+
+	case MsgRegister:
+		sql, err := DecodeRegister(it.body)
+		if err != nil {
+			return MsgError, EncodeError(nil, CodeBadRequest, err.Error())
+		}
+		_, ex, err := s.cat.Register(sql)
+		if err != nil {
+			if errors.Is(err, catalog.ErrClosed) {
+				return MsgError, EncodeError(nil, CodeClosed, "")
+			}
+			// Parse and plan failures carry positions worth relaying verbatim.
+			return MsgError, EncodeError(nil, CodeBadRequest, err.Error())
+		}
+		return MsgRegistered, EncodeExplain(nil, ex)
+
+	case MsgUnregister:
+		id, err := DecodeQueryID(it.body)
+		if err != nil {
+			return MsgError, EncodeError(nil, CodeBadRequest, err.Error())
+		}
+		if err := s.cat.Unregister(id); err != nil {
+			return errReply(err)
+		}
+		return MsgAck, EncodeAck(nil, 0)
+
+	case MsgListQueries:
+		if len(it.body) != 0 {
+			return MsgError, EncodeError(nil, CodeBadRequest, "list-queries takes no body")
+		}
+		return MsgQueryList, EncodeQueryList(nil, s.cat.List())
+
+	case MsgExplain:
+		id, err := DecodeQueryID(it.body)
+		if err != nil {
+			return MsgError, EncodeError(nil, CodeBadRequest, err.Error())
+		}
+		ex, err := s.cat.Get(id)
+		if err != nil {
+			return errReply(err)
+		}
+		return MsgExplained, EncodeExplain(nil, ex)
+
+	case MsgResultQ:
+		id, err := DecodeQueryID(it.body)
+		if err != nil {
+			return MsgError, EncodeError(nil, CodeBadRequest, err.Error())
+		}
+		v, err := s.cat.Result(id)
+		if err != nil {
+			return errReply(err)
+		}
+		cs.body = EncodeScalar(cs.body[:0], v)
+		return MsgScalar, cs.body
+
+	case MsgGroupedQ:
+		id, err := DecodeQueryID(it.body)
+		if err != nil {
+			return MsgError, EncodeError(nil, CodeBadRequest, err.Error())
+		}
+		groups, err := s.cat.ResultGrouped(id)
+		if err != nil {
+			return errReply(err)
+		}
+		return MsgGrouped, EncodeGrouped(nil, groups)
 	}
 	return MsgError, EncodeError(nil, CodeBadRequest, fmt.Sprintf("unknown request type %d", it.t))
+}
+
+// processStats builds the stats reply: daemon counters, the shard table (the
+// catalog's default query in catalog mode), and — on version-4 catalog
+// connections only — the per-query counter table. Pre-v4 connections get the
+// exact v2/v3 layout, whose decoder rejects trailing bytes.
+func (s *Server) processStats(ver uint32) (MsgType, []byte) {
+	st := Stats{Server: s.Stats()}
+	if s.cat == nil {
+		st.Shards = s.svc.Stats()
+		return MsgStatsReply, EncodeStats(nil, st)
+	}
+	if id, err := s.defaultQuery(); err == nil {
+		if sh, err := s.cat.ShardStats(id); err == nil {
+			st.Shards = sh
+		}
+	}
+	if ver >= 4 {
+		qs := s.cat.Stats()
+		st.Queries = make([]QueryStats, 0, len(qs))
+		for _, q := range qs {
+			st.Queries = append(st.Queries, QueryStats{
+				ID:          uint64(q.ID),
+				SetID:       q.SetID,
+				Applied:     q.Applied,
+				Rejected:    q.Rejected,
+				Subscribers: uint64(q.Subscribers),
+				Strategy:    q.Strategy,
+				SQL:         q.SQL,
+			})
+		}
+	}
+	return MsgStatsReply, EncodeStats(nil, st)
 }
 
 // processBatch applies one (possibly sequenced) event batch. Sequenced
@@ -612,9 +861,17 @@ func (s *Server) processBatch(cs *connScratch, sess *session, body []byte) (MsgT
 	}
 	// Hand the whole decoded batch to the service's batched ingest: it is
 	// routed shard by shard and applied through the executors' native
-	// ApplyBatch paths, with results bit-identical to per-event Apply.
-	if err := s.svc.ApplyBatch(events); err != nil {
-		return errReply(err)
+	// ApplyBatch paths, with results bit-identical to per-event Apply. In
+	// catalog mode the batch fans out to every registered query behind one
+	// WAL append.
+	var applyErr error
+	if s.cat != nil {
+		applyErr = s.cat.ApplyBatch(events)
+	} else {
+		applyErr = s.svc.ApplyBatch(events)
+	}
+	if applyErr != nil {
+		return errReply(applyErr)
 	}
 	if seq != 0 && sess != nil {
 		sess.lastSeq = seq
@@ -626,8 +883,10 @@ func (s *Server) processBatch(cs *connScratch, sess *session, body []byte) (MsgT
 // errReply maps a service error onto a typed reply.
 func errReply(err error) (MsgType, []byte) {
 	switch {
-	case errors.Is(err, serve.ErrClosed):
+	case errors.Is(err, serve.ErrClosed), errors.Is(err, catalog.ErrClosed):
 		return MsgError, EncodeError(nil, CodeClosed, "")
+	case errors.Is(err, catalog.ErrUnknownQuery):
+		return MsgError, EncodeError(nil, CodeBadRequest, err.Error())
 	case errors.Is(err, io.EOF):
 		return MsgError, EncodeError(nil, CodeInternal, "unexpected EOF")
 	default:

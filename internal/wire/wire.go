@@ -43,8 +43,12 @@ import (
 // Version is the newest protocol version this package speaks. Version 2
 // added the per-shard BatchSize field to the stats reply; version 3 added
 // server-push subscriptions (MsgSubscribe/MsgSubscribed/MsgDelta) and the
-// read-only replica refusal (CodeReadOnly).
-const Version = 3
+// read-only replica refusal (CodeReadOnly); version 4 added the multi-query
+// catalog: runtime query registration (MsgRegister/MsgUnregister/
+// MsgListQueries), EXPLAIN (MsgExplain), QueryID-routed reads and
+// subscriptions (MsgResultQ/MsgGroupedQ/MsgSubscribeQ/MsgDeltaQ), and the
+// per-query table appended to the stats reply.
+const Version = 4
 
 // MinVersion is the oldest protocol version the server still accepts. The
 // handshake negotiates downward: a hello carrying any version in
@@ -79,6 +83,27 @@ const (
 	// deltas; after MsgSubscribed the server streams MsgDelta frames until the
 	// connection closes. A subscribed connection sends nothing further.
 	MsgSubscribe MsgType = 15
+	// MsgRegister (v4) registers a query at runtime on a catalog server: the
+	// body is the SQL text, the reply MsgRegistered carries the assigned
+	// QueryID and the query's EXPLAIN.
+	MsgRegister MsgType = 18
+	// MsgUnregister (v4) removes a registered query by QueryID; acknowledged
+	// with MsgAck.
+	MsgUnregister MsgType = 20
+	// MsgListQueries (v4) asks for every registered query's EXPLAIN; the
+	// reply is MsgQueryList.
+	MsgListQueries MsgType = 21
+	// MsgExplain (v4) asks for one query's EXPLAIN by QueryID; the reply is
+	// MsgExplained.
+	MsgExplain MsgType = 23
+	// MsgResultQ / MsgGroupedQ (v4) are the QueryID-routed reads; replies are
+	// the plain MsgScalar / MsgGrouped.
+	MsgResultQ  MsgType = 25
+	MsgGroupedQ MsgType = 26
+	// MsgSubscribeQ (v4) subscribes to one registered query's delta stream:
+	// a QueryID followed by a subscribe body. The server acknowledges with
+	// MsgSubscribed and streams MsgDeltaQ frames.
+	MsgSubscribeQ MsgType = 27
 )
 
 // Response messages (server to client).
@@ -95,6 +120,17 @@ const (
 	// MsgDelta (v3) is one pushed coalesced delta frame for one shard. Its
 	// request id echoes the subscribe request's id.
 	MsgDelta MsgType = 17
+	// MsgRegistered (v4) acknowledges MsgRegister: the assigned QueryID plus
+	// the query's EXPLAIN (strategy, index kind, sharing).
+	MsgRegistered MsgType = 19
+	// MsgQueryList (v4) answers MsgListQueries with every registration's
+	// EXPLAIN, ordered by QueryID.
+	MsgQueryList MsgType = 22
+	// MsgExplained (v4) answers MsgExplain with one query's EXPLAIN.
+	MsgExplained MsgType = 24
+	// MsgDeltaQ (v4) is one pushed delta frame routed by QueryID: the
+	// MsgDelta body prefixed with the query's id.
+	MsgDeltaQ MsgType = 28
 )
 
 func (t MsgType) String() string {
@@ -133,6 +169,28 @@ func (t MsgType) String() string {
 		return "subscribed"
 	case MsgDelta:
 		return "delta"
+	case MsgRegister:
+		return "register"
+	case MsgRegistered:
+		return "registered"
+	case MsgUnregister:
+		return "unregister"
+	case MsgListQueries:
+		return "list-queries"
+	case MsgQueryList:
+		return "query-list"
+	case MsgExplain:
+		return "explain"
+	case MsgExplained:
+		return "explained"
+	case MsgResultQ:
+		return "result-q"
+	case MsgGroupedQ:
+		return "grouped-q"
+	case MsgSubscribeQ:
+		return "subscribe-q"
+	case MsgDeltaQ:
+		return "delta-q"
 	}
 	return fmt.Sprintf("msg(%d)", uint8(t))
 }
