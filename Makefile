@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: test test-race bench bench-core batch experiments examples fuzz fuzz-smoke race recovery wire fanout matrix matrix-smoke bench-compare serve-demo lint
+.PHONY: test test-race bench bench-core batch experiments examples fuzz fuzz-smoke race recovery wire fanout matrix matrix-smoke catalog family bench-compare serve-demo lint
 
 test:
 	go build ./... && go vet ./... && go test ./...
@@ -111,6 +111,19 @@ catalog:
 	go test -fuzz FuzzCatalogDifferential -fuzztime 10s -run '^$$' ./internal/catalog/
 	go run ./cmd/rpaibench -exp multi -quick -multi-out /tmp/rpai-multi-new.json
 	go run ./cmd/rpaibench -compare BENCH_multi_baseline.json /tmp/rpai-multi-new.json
+
+# CI's family job: predicate-generalized index sharing end to end — the
+# engine family-key and fan bit-identity tests (both RPAI representations),
+# serve fan lanes, catalog family lifecycle (churn race, v1-manifest
+# recovery) under -race, the family-seeded catalog fuzz smoke, then a quick
+# multi run (shared/family/distinct arms) gated against the committed
+# baseline at the default 15% threshold.
+family:
+	go test -race -run 'Family|Fan|PredSig|V1Manifest' \
+		./internal/engine/ ./internal/serve/ ./internal/catalog/
+	go test -fuzz FuzzCatalogDifferential -fuzztime 10s -run '^$$' ./internal/catalog/
+	go run ./cmd/rpaibench -exp multi -quick -multi-out /tmp/rpai-family-new.json
+	go run ./cmd/rpaibench -compare BENCH_multi_baseline.json /tmp/rpai-family-new.json
 
 # Compare two benchmark reports: make bench-compare OLD=a.json NEW=b.json
 bench-compare:

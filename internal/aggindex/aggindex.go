@@ -114,6 +114,30 @@ func AddMany(ix Index, entries []rpai.Entry) {
 	}
 }
 
+// PrefixSums answers one GetSum (inclusive=true) or GetSumLess
+// (inclusive=false) probe per entry of keys, which must be sorted ascending,
+// writing the results to dst (same length). The RPAI trees answer all probes
+// in one shared descent (see rpai.Tree.PrefixSums); other implementations
+// fall back to per-probe calls. Either way each dst[i] is bit-identical to
+// the corresponding single-probe call, and keys is clobbered by the tree
+// paths — pass scratch.
+func PrefixSums(ix Index, keys, dst []float64, inclusive bool) {
+	switch t := ix.(type) {
+	case *rpai.ArenaTree:
+		t.PrefixSums(keys, dst, inclusive)
+	case *rpai.Tree:
+		t.PrefixSums(keys, dst, inclusive)
+	default:
+		for i, k := range keys {
+			if inclusive {
+				dst[i] = ix.GetSum(k)
+			} else {
+				dst[i] = ix.GetSumLess(k)
+			}
+		}
+	}
+}
+
 // Sorted is the sorted-slice aggregate index: keys kept in ascending order
 // with parallel values. Lookups are binary searches; inserts, deletes and
 // shifts move O(n) elements.

@@ -92,6 +92,23 @@ func Compare(oldData, newData []byte, threshold float64) (*CompareReport, error)
 	}
 	rep := &CompareReport{Experiment: oldExp, Threshold: threshold}
 
+	// A whole arm (a distinct "mode" value) present in the new report but
+	// absent from the baseline means the baseline predates the new schema:
+	// matching would silently skip the arm's every measurement, so fail
+	// loudly as malformed input — the committed baseline needs a refresh.
+	for _, section := range sortedKeys(newDoc) {
+		newEntries := measurements(newDoc[section])
+		if newEntries == nil {
+			continue
+		}
+		oldModes := modeSet(measurements(oldDoc[section]))
+		for _, m := range sortedModes(modeSet(newEntries)) {
+			if !oldModes[m] {
+				return nil, fmt.Errorf("bench: section %q: arm %q is missing from the old report (refresh the baseline)", section, m)
+			}
+		}
+	}
+
 	// Top-level scalar metrics (ingest_ms, in_process_ms, ...).
 	for _, name := range sortedKeys(oldDoc) {
 		if _, isMetric := metricDir[name]; !isMetric {
@@ -175,6 +192,27 @@ func (r *CompareReport) Gate() error {
 		return fmt.Errorf("bench: %d measurement(s) in the baseline are missing from the new report", len(r.Missing))
 	}
 	return nil
+}
+
+// modeSet collects the distinct "mode" values of a measurement array — the
+// arms of an experiment section. Empty when the schema has no mode field.
+func modeSet(entries []map[string]any) map[string]bool {
+	out := map[string]bool{}
+	for _, e := range entries {
+		if m, ok := e["mode"].(string); ok {
+			out[m] = true
+		}
+	}
+	return out
+}
+
+func sortedModes(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for m := range set {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // measurements interprets v as an array of measurement objects.

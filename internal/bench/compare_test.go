@@ -132,6 +132,33 @@ func TestCompareMissingMeasurement(t *testing.T) {
 	}
 }
 
+// TestCompareArmMissingFromBaseline: a whole arm (a distinct "mode" value)
+// present in the new report but absent from the baseline is an error — the
+// baseline predates the schema and must be refreshed, not silently
+// part-compared. The reverse direction (baseline has an extra arm) stays a
+// per-cell Missing, which the gate already fails.
+func TestCompareArmMissingFromBaseline(t *testing.T) {
+	withModes := func(modes ...string) string {
+		var cells []string
+		for _, m := range modes {
+			cells = append(cells, `{"queries": 16, "mode": "`+m+`", "events_per_sec": 1000}`)
+		}
+		return `{"experiment": "multi", "points": [` + strings.Join(cells, ",") + `]}`
+	}
+	_, err := Compare([]byte(withModes("shared", "distinct")),
+		[]byte(withModes("shared", "family", "distinct")), 0.15)
+	if err == nil || !strings.Contains(err.Error(), `arm "family" is missing from the old report`) {
+		t.Fatalf("err = %v, want the family-arm refresh error", err)
+	}
+	rep := mustCompare(t, withModes("shared", "family", "distinct"), withModes("shared", "family"), 0.15)
+	if len(rep.Missing) != 1 || !strings.Contains(rep.Missing[0], "mode=distinct") {
+		t.Fatalf("Missing = %v, want the mode=distinct cell", rep.Missing)
+	}
+	if err := rep.Gate(); err == nil {
+		t.Fatal("Gate passed with a baseline arm missing from the new report")
+	}
+}
+
 // TestCompareMalformedJSON: truncated or non-JSON input is an error, not a
 // clean exit.
 func TestCompareMalformedJSON(t *testing.T) {

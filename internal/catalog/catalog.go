@@ -20,14 +20,22 @@
 // executor set — and therefore one set of aggregate indexes — provided the
 // existing set has not ingested any events yet (otherwise the late
 // registration would inherit history an independently-started service would
-// not have). Explain reports the sharing and the predicate-structure
-// signature that makes it visible.
+// not have). Beyond exact matches, family-eligible queries (single-predicate
+// scalar aggregate-index strategies, see engine.FamilyKey) that differ ONLY
+// in their threshold constant also share: the constant is masked out of the
+// family key, the first such registration's executor set maintains the
+// relation state and RPAI indexes once, and every member's constant becomes
+// a fan lane (serve.SetFan) evaluated at read time — one tree descent serves
+// all K thresholds, bit-identical to K dedicated services. Explain reports
+// both kinds of sharing and the predicate-structure signature that makes
+// family sharing visible.
 package catalog
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -66,20 +74,35 @@ type Options struct {
 
 // registration is one registered query: its ID, the SQL text as submitted,
 // and the executor set serving it (shared when another registration has the
-// same canonical form).
+// same canonical form, or the same predicate family). famConst is the
+// query's threshold constant — the fan lane it reads when its set serves
+// multiple constants; meaningful only when set.famKey is non-empty.
 type registration struct {
-	id    QueryID
-	sql   string // original text, echoed in List/Explain
-	set   *execSet
-	plan  engine.Plan
-	canon string
+	id       QueryID
+	sql      string // original text, echoed in List/Explain
+	set      *execSet
+	plan     engine.Plan
+	canon    string
+	famConst float64
 }
 
 // execSet is one executor service plus the registrations it serves. since is
 // the number of catalog WAL records already written when the set was
 // created: the set's state reflects exactly the records [since, records),
-// which is what recovery replays into it and what makes the empty-set
-// sharing rule sound.
+// which is what recovery replays into it.
+//
+// ingested flips (permanently) when the set receives its first batch; both
+// sharing rules require !ingested, because a set with history cannot be
+// joined by a registration that must start from empty. The flag — not a
+// `since == records` comparison — is what stays sound across checkpoint
+// rotations, which reset both counters to zero.
+//
+// famKey/lanes/fanOn exist when the set's query is family-eligible: lanes
+// refcounts the member registrations per distinct threshold constant (keyed
+// by the constant's bit pattern, matching serve's lane addressing), and
+// fanOn records that serve.SetFan has installed the lanes — from then on
+// every member reads its own lane, because the base executor's constant is
+// just the founder's.
 type execSet struct {
 	setID    uint64
 	canon    string
@@ -87,6 +110,10 @@ type execSet struct {
 	svc      *serve.Service[engine.Event]
 	refs     map[QueryID]struct{}
 	since    uint64
+	ingested bool
+	famKey   string
+	lanes    map[uint64]int
+	fanOn    bool
 	rejected atomic.Uint64
 }
 
@@ -97,12 +124,13 @@ type Service struct {
 	// mu guards the registration tables. Ingest holds it for read, Register/
 	// Unregister/Checkpoint for write, so a batch never interleaves with a
 	// registration change (the alignment that keeps `since` exact).
-	mu      sync.RWMutex
-	regs    map[QueryID]*registration
-	sets    map[string]*execSet // canonical SQL -> newest set for that form
-	nextID  QueryID
-	nextSet uint64
-	closed  bool
+	mu       sync.RWMutex
+	regs     map[QueryID]*registration
+	sets     map[string]*execSet // canonical SQL -> newest set for that form
+	families map[string]*execSet // engine.FamilyKey -> newest family-eligible set
+	nextID   QueryID
+	nextSet  uint64
+	closed   bool
 
 	// ingestMu serializes ApplyBatch so the WAL record order equals the
 	// per-shard application order — the invariant recovery replay relies on.
@@ -120,11 +148,12 @@ func New(opt Options) (*Service, error) {
 		return nil, errors.New("catalog: Options.PartitionBy must name at least one column")
 	}
 	s := &Service{
-		opt:     opt,
-		regs:    make(map[QueryID]*registration),
-		sets:    make(map[string]*execSet),
-		nextID:  1,
-		nextSet: 1,
+		opt:      opt,
+		regs:     make(map[QueryID]*registration),
+		sets:     make(map[string]*execSet),
+		families: make(map[string]*execSet),
+		nextID:   1,
+		nextSet:  1,
 	}
 	if opt.Dir != "" {
 		if err := s.initDurable(); err != nil {
@@ -153,6 +182,7 @@ func (s *Service) Register(sql string) (QueryID, Explain, error) {
 		return 0, Explain{}, err
 	}
 	canon := q.String()
+	famKey, famConst, famOK := engine.FamilyKey(q)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -162,10 +192,22 @@ func (s *Service) Register(sql string) (QueryID, Explain, error) {
 	id := s.nextID
 	s.nextID++
 
-	set := s.sets[canon]
 	// Join an existing set only while it is still empty: a set that has
-	// ingested events carries history this registration must not see.
-	if set == nil || set.since != s.records {
+	// ingested events carries history this registration must not see. Exact
+	// canonical matches share outright; failing that, a family-eligible
+	// query joins the newest set with the same predicate structure — its
+	// threshold constant becomes one more fan lane on the shared indexes.
+	set := s.sets[canon]
+	if set != nil && set.ingested {
+		set = nil
+	}
+	if set == nil && famOK {
+		if fs := s.families[famKey]; fs != nil && !fs.ingested {
+			set = fs
+		}
+	}
+	created := false
+	if set == nil {
 		svc, err := serve.ForQuery(q, s.opt.PartitionBy, s.serveOptions())
 		if err != nil {
 			return 0, Explain{}, err
@@ -178,31 +220,105 @@ func (s *Service) Register(sql string) (QueryID, Explain, error) {
 			refs:  make(map[QueryID]struct{}),
 			since: s.records,
 		}
+		if famOK {
+			set.famKey = famKey
+			set.lanes = make(map[uint64]int)
+		}
 		s.nextSet++
-		s.sets[canon] = set
+		created = true
+	}
+	prevCanon, hadCanon := s.sets[canon]
+	var prevFam *execSet
+	var hadFam bool
+	if set.famKey != "" {
+		prevFam, hadFam = s.families[set.famKey]
+	}
+	// A family join registers the member's canonical form too, so a later
+	// exact duplicate of this member finds the set directly.
+	s.sets[canon] = set
+	if set.famKey != "" {
+		s.families[set.famKey] = set
 	}
 	set.refs[id] = struct{}{}
-	reg := &registration{id: id, sql: sql, set: set, plan: plan, canon: canon}
+	newLane := false
+	if set.famKey != "" {
+		bits := math.Float64bits(famConst)
+		set.lanes[bits]++
+		newLane = set.lanes[bits] == 1
+	}
+	reg := &registration{id: id, sql: sql, set: set, plan: plan, canon: canon, famConst: famConst}
 	s.regs[id] = reg
+
+	// Roll back: an unpersisted or unservable registration must not serve.
+	rollback := func() {
+		delete(s.regs, id)
+		delete(set.refs, id)
+		if set.famKey != "" {
+			bits := math.Float64bits(famConst)
+			if set.lanes[bits]--; set.lanes[bits] == 0 {
+				delete(set.lanes, bits)
+			}
+			if hadFam {
+				s.families[set.famKey] = prevFam
+			} else {
+				delete(s.families, set.famKey)
+			}
+		}
+		if hadCanon {
+			s.sets[canon] = prevCanon
+		} else {
+			delete(s.sets, canon)
+		}
+		if created {
+			set.svc.Close()
+		}
+	}
 	if s.dur != nil {
 		if err := s.writeManifestLocked(); err != nil {
-			// Roll back: an unpersisted registration must not serve.
-			delete(s.regs, id)
-			delete(set.refs, id)
-			if len(set.refs) == 0 {
-				set.svc.Close()
-				if s.sets[canon] == set {
-					delete(s.sets, canon)
-				}
-			}
+			rollback()
 			return 0, Explain{}, err
+		}
+	}
+	// The set now serves a second (or later) distinct constant: install every
+	// member's lane. The set is empty here — the join rule admits members
+	// only before ingest — so the re-evaluation is cheap, and SetFan+Drain
+	// publishing before Register returns means lane reads work immediately.
+	if newLane && len(set.lanes) > 1 {
+		if err := s.installLanesLocked(set); err != nil {
+			rollback()
+			var merr error
+			if s.dur != nil {
+				merr = s.writeManifestLocked()
+			}
+			return 0, Explain{}, errors.Join(err, merr)
 		}
 	}
 	return id, s.explainLocked(reg), nil
 }
 
+// installLanesLocked (re)installs an executor set's fan lanes from its lane
+// refcounts and waits for the carrying publication, so lane reads are valid
+// the moment the caller returns. Callers hold mu for write.
+func (s *Service) installLanesLocked(set *execSet) error {
+	consts := make([]float64, 0, len(set.lanes))
+	for bits := range set.lanes {
+		consts = append(consts, math.Float64frombits(bits))
+	}
+	if err := set.svc.SetFan(consts); err != nil {
+		return err
+	}
+	if err := set.svc.Drain(); err != nil {
+		return err
+	}
+	set.fanOn = true
+	return nil
+}
+
 // Unregister removes a query. The executor set is torn down when its last
-// registration leaves.
+// registration leaves; while co-tenants remain, the set — its relation
+// state, indexes, and the lanes other members read — stays fully intact,
+// and only the departing member's lane is retired (once no other member
+// shares its constant).
 func (s *Service) Unregister(id QueryID) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -213,28 +329,60 @@ func (s *Service) Unregister(id QueryID) error {
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownQuery, id)
 	}
+	set := reg.set
 	delete(s.regs, id)
-	delete(reg.set.refs, id)
+	delete(set.refs, id)
+	laneFreed := false
+	var bits uint64
+	if set.famKey != "" {
+		bits = math.Float64bits(reg.famConst)
+		if set.lanes[bits]--; set.lanes[bits] == 0 {
+			delete(set.lanes, bits)
+			laneFreed = true
+		}
+	}
 	var orphan *execSet
-	if len(reg.set.refs) == 0 {
-		orphan = reg.set
-		if s.sets[reg.canon] == orphan {
-			delete(s.sets, reg.canon)
+	var removedCanons []string
+	famRemoved := false
+	if len(set.refs) == 0 {
+		orphan = set
+		// Family members registered their own canonical forms against this
+		// set; drop every alias, not just the departing member's.
+		for c, st := range s.sets {
+			if st == orphan {
+				removedCanons = append(removedCanons, c)
+				delete(s.sets, c)
+			}
+		}
+		if orphan.famKey != "" && s.families[orphan.famKey] == orphan {
+			delete(s.families, orphan.famKey)
+			famRemoved = true
 		}
 	}
 	if s.dur != nil {
 		if err := s.writeManifestLocked(); err != nil {
 			// Roll back so the manifest and the live table agree.
 			s.regs[id] = reg
-			reg.set.refs[id] = struct{}{}
-			if orphan != nil {
-				s.sets[reg.canon] = orphan
+			set.refs[id] = struct{}{}
+			if set.famKey != "" {
+				set.lanes[bits]++
+			}
+			for _, c := range removedCanons {
+				s.sets[c] = set
+			}
+			if famRemoved {
+				s.families[orphan.famKey] = orphan
 			}
 			return err
 		}
 	}
 	if orphan != nil {
 		orphan.svc.Close()
+	} else if laneFreed && set.fanOn {
+		// Shrink the fan to the surviving members' lanes. Best-effort: a
+		// failure leaves one stale lane behind, which costs a probe per
+		// commit but serves no reader and stays correct.
+		_ = s.installLanesLocked(set)
 	}
 	return nil
 }
@@ -272,10 +420,12 @@ func (s *Service) Default() (QueryID, bool) {
 	return best, ok
 }
 
-// set resolves a QueryID under the read lock.
-func (s *Service) set(id QueryID) (*execSet, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+// regLocked resolves a QueryID. Callers hold mu (read or write) and must
+// KEEP holding it across every use of the registration's executor set:
+// Unregister tears a set down under the write lock, so releasing the read
+// lock before the serve call would race a concurrent unregistration of a
+// co-tenant into a use-after-Close.
+func (s *Service) regLocked(id QueryID) (*registration, error) {
 	if s.closed {
 		return nil, ErrClosed
 	}
@@ -283,7 +433,7 @@ func (s *Service) set(id QueryID) (*execSet, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownQuery, id)
 	}
-	return reg.set, nil
+	return reg, nil
 }
 
 // Apply ingests one event into every registered query.
@@ -311,6 +461,11 @@ func (s *Service) ApplyBatch(events []engine.Event) error {
 	s.records++
 	var first error
 	for _, set := range s.distinctSetsLocked() {
+		// The set now carries history, so it is permanently closed to new
+		// joiners. Written under ingestMu (writers serialized) and read only
+		// under the write lock (which excludes ingest), so the flag needs no
+		// atomics.
+		set.ingested = true
 		if err := set.svc.ApplyBatch(events); err != nil {
 			set.rejected.Add(uint64(len(events)))
 			if first == nil {
@@ -372,51 +527,83 @@ func decodeBatchRecord(rec []byte, dec *engine.EventDecoder, fn func(e engine.Ev
 	return nil
 }
 
-// Result returns a query's scalar result (the sum across shards).
+// Result returns a query's scalar result (the sum across shards). A family
+// member reads its own fan lane, not the set's base result — the base
+// executor carries the founder's constant.
 func (s *Service) Result(id QueryID) (float64, error) {
-	set, err := s.set(id)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	reg, err := s.regLocked(id)
 	if err != nil {
 		return 0, err
 	}
-	return set.svc.Result(), nil
+	if reg.set.fanOn {
+		v, ok := reg.set.svc.FanResult(reg.famConst)
+		if !ok {
+			return 0, fmt.Errorf("catalog: query %d: fan lane %v not published", id, reg.famConst)
+		}
+		return v, nil
+	}
+	return reg.set.svc.Result(), nil
 }
 
 // ResultGrouped returns a query's grouped results, merged and sorted across
-// shards.
+// shards. Family members read their fan lane's per-partition values.
 func (s *Service) ResultGrouped(id QueryID) ([]engine.GroupResult, error) {
-	set, err := s.set(id)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	reg, err := s.regLocked(id)
 	if err != nil {
 		return nil, err
 	}
-	return set.svc.ResultGrouped(), nil
+	if reg.set.fanOn {
+		g, ok := reg.set.svc.FanResultGrouped(reg.famConst)
+		if !ok {
+			return nil, fmt.Errorf("catalog: query %d: fan lane %v not published", id, reg.famConst)
+		}
+		return g, nil
+	}
+	return reg.set.svc.ResultGrouped(), nil
 }
 
-// Subscribe attaches a push subscription to one query's delta stream.
+// Subscribe attaches a push subscription to one query's delta stream. A
+// family member's subscription is pinned to its fan lane, so frames carry
+// the member's own results.
 func (s *Service) Subscribe(id QueryID, opt serve.SubOptions) (*serve.Subscription, error) {
-	set, err := s.set(id)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	reg, err := s.regLocked(id)
 	if err != nil {
 		return nil, err
 	}
-	return set.svc.Subscribe(opt)
+	if reg.set.fanOn {
+		c := reg.famConst
+		opt.FanConst = &c
+	}
+	return reg.set.svc.Subscribe(opt)
 }
 
 // ShardVersions returns one query's per-shard snapshot versions (for
 // subscription resume).
 func (s *Service) ShardVersions(id QueryID) ([]serve.ShardVersion, error) {
-	set, err := s.set(id)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	reg, err := s.regLocked(id)
 	if err != nil {
 		return nil, err
 	}
-	return set.svc.ShardVersions(), nil
+	return reg.set.svc.ShardVersions(), nil
 }
 
 // Epoch returns a query's service epoch (for subscription resume).
 func (s *Service) Epoch(id QueryID) (uint64, error) {
-	set, err := s.set(id)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	reg, err := s.regLocked(id)
 	if err != nil {
 		return 0, err
 	}
-	return set.svc.Epoch(), nil
+	return reg.set.svc.Epoch(), nil
 }
 
 // Shards reports the per-query shard count (identical for every query).
@@ -429,11 +616,13 @@ func (s *Service) Shards() int {
 
 // ShardStats returns one query's per-shard serving counters.
 func (s *Service) ShardStats(id QueryID) ([]serve.ShardStats, error) {
-	set, err := s.set(id)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	reg, err := s.regLocked(id)
 	if err != nil {
 		return nil, err
 	}
-	return set.svc.Stats(), nil
+	return reg.set.svc.Stats(), nil
 }
 
 // QueryStats is one registered query's serving counters: events applied and
@@ -477,11 +666,13 @@ func (s *Service) Stats() []QueryStats {
 // Drain blocks until one query's executor set has applied everything
 // enqueued before the call.
 func (s *Service) Drain(id QueryID) error {
-	set, err := s.set(id)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	reg, err := s.regLocked(id)
 	if err != nil {
 		return err
 	}
-	return set.svc.Drain()
+	return reg.set.svc.Drain()
 }
 
 // DrainAll drains every executor set and flushes the shared WAL.

@@ -1,6 +1,7 @@
 package catalog
 
 import (
+	"bytes"
 	"errors"
 	"math/rand"
 	"os"
@@ -134,14 +135,21 @@ func TestCatalogRegisterSharingExplain(t *testing.T) {
 	if len(ex2.SharedWith) != 1 || ex2.SharedWith[0] != id1 {
 		t.Fatalf("shared-with = %v, want [%d]", ex2.SharedWith, id1)
 	}
+	if len(ex2.SharedExact) != 1 || ex2.SharedExact[0] != id1 || len(ex2.SharedFamily) != 0 {
+		t.Fatalf("exact sharing split = exact %v family %v", ex2.SharedExact, ex2.SharedFamily)
+	}
 
-	// Different constant: same predicate signature, separate set.
+	// Different constant: same predicate signature, so the registration
+	// joins the family set as its own fan lane rather than founding a set.
 	_, ex3, err := cat.Register(sqlVWAP90)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ex3.SharedWith) != 0 {
-		t.Fatalf("different-constant query shares: %v", ex3.SharedWith)
+	if len(ex3.SharedWith) != 2 {
+		t.Fatalf("family registration shared-with = %v, want both vwap ids", ex3.SharedWith)
+	}
+	if len(ex3.SharedFamily) != 2 || len(ex3.SharedExact) != 0 {
+		t.Fatalf("family sharing split = exact %v family %v", ex3.SharedExact, ex3.SharedFamily)
 	}
 	if ex3.PredSig != ex1.PredSig {
 		t.Fatalf("predicate signatures differ:\n %s\n %s", ex3.PredSig, ex1.PredSig)
@@ -633,6 +641,156 @@ func TestCatalogStatsAndSubscribe(t *testing.T) {
 			versions[f.Shard] = f.Version
 		case <-deadline:
 			t.Fatalf("subscription stalled at %v, want %v", versions, want)
+		}
+	}
+}
+
+// writeCatalogV1 writes a CATALOG manifest in the pre-family version-1
+// layout: no flags byte, no lane constant after each entry's SQL.
+func writeCatalogV1(t *testing.T, dir string, nextID, nextSet uint64, partitionBy []string, entries []catEntry) {
+	t.Helper()
+	var rec bytes.Buffer
+	e := checkpoint.NewEncoder(&rec)
+	e.U32(1) // version
+	e.U64(1) // gen
+	e.U64(nextID)
+	e.U64(nextSet)
+	e.U32(uint32(len(partitionBy)))
+	for _, c := range partitionBy {
+		e.Str(c)
+	}
+	e.U32(uint32(len(entries)))
+	for _, ent := range entries {
+		e.U64(uint64(ent.id))
+		e.U64(ent.setID)
+		e.U64(ent.since)
+		e.Str(ent.sql)
+	}
+	if err := e.Err(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.WriteString(catalogMagic)
+	if err := checkpoint.WriteRecord(&buf, rec.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, catalogName), buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCatalogRecoverV1Manifest recovers a directory written by the
+// pre-family manifest format: a version-1 CATALOG where the two constant
+// variants occupy separate executor sets and carry no family fields.
+// Recovery must accept it, re-derive family membership and lane constants
+// from each entry's SQL, keep the v1 set topology (no retroactive merging —
+// both sets carry history), and serve bit-identical results.
+func TestCatalogRecoverV1Manifest(t *testing.T) {
+	dir := t.TempDir()
+	events := catEvents(47, 400, 7)
+
+	// Hand-write the v1 on-disk state: manifest plus the shared WAL, no
+	// snapshot directories (the crash predates the first checkpoint, so
+	// every set recovers from its WAL suffix alone).
+	wal, err := checkpoint.CreateWAL(walPath(dir, 1), checkpoint.Header{Gen: 1, Shard: 0, ShardCount: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyBatches(t, events, 32, func(b []engine.Event) error {
+		return wal.Append(encodeBatchRecord(nil, b))
+	})
+	if err := wal.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := wal.Close(); err != nil {
+		t.Fatal(err)
+	}
+	writeCatalogV1(t, dir, 4, 3, []string{"sym"}, []catEntry{
+		{id: 1, setID: 1, since: 0, sql: sqlVWAP},
+		{id: 2, setID: 2, since: 0, sql: sqlVWAP90},
+		{id: 3, setID: 1, since: 0, sql: sqlVWAP2}, // exact duplicate in set 1
+	})
+
+	rec, err := Recover(Options{Dir: dir, Shards: 2, BatchSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if err := rec.DrainAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bit-identical to fresh single-query references over the same trace.
+	for id, sql := range map[QueryID]string{1: sqlVWAP, 2: sqlVWAP90, 3: sqlVWAP2} {
+		ref, err := serve.ForQuery(mustParse(t, sql), []string{"sym"}, serve.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.ApplyBatch(events); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := rec.Result(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := ref.Result(); got != want {
+			t.Fatalf("query %d recovered %v, reference %v", id, got, want)
+		}
+		gotG, err := rec.ResultGrouped(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !groupsEqual(gotG, ref.ResultGrouped()) {
+			t.Fatalf("query %d grouped results diverged", id)
+		}
+		ref.Close()
+	}
+
+	// The v1 topology survives: the exact duplicates share set 1, the
+	// constant variant keeps set 2, and the sharing report reflects it.
+	stats := rec.Stats()
+	if len(stats) != 3 {
+		t.Fatalf("recovered %d registrations, want 3", len(stats))
+	}
+	if stats[0].SetID != stats[2].SetID || stats[0].SetID == stats[1].SetID {
+		t.Fatalf("set topology = %d/%d/%d, want 1 and 3 together, 2 apart",
+			stats[0].SetID, stats[1].SetID, stats[2].SetID)
+	}
+	ex1, err := rec.Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex2, err := rec.Get(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex1.SharedExact) != 1 || ex1.SharedExact[0] != 3 || len(ex1.SharedFamily) != 0 {
+		t.Fatalf("query 1 sharing = exact %v family %v", ex1.SharedExact, ex1.SharedFamily)
+	}
+	if ex1.PredSig != ex2.PredSig {
+		t.Fatal("constant variants lost their shared predicate signature")
+	}
+
+	// The recovered catalog keeps serving: a new constant variant founds a
+	// fresh set (the recovered ones carry history, so no join is sound), and
+	// continued ingest stays readable everywhere.
+	id4, ex4, err := rec.Register(sqlVWAP60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex4.SharedWith) != 0 {
+		t.Fatalf("late variant joined an ingested set: shared with %v", ex4.SharedWith)
+	}
+	applyBatches(t, catEvents(53, 80, 7), 16, rec.ApplyBatch)
+	if err := rec.DrainAll(); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []QueryID{1, 2, 3, id4} {
+		if _, err := rec.Result(id); err != nil {
+			t.Fatal(err)
 		}
 	}
 }

@@ -4,12 +4,14 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
 
 	"rpai/internal/checkpoint"
 	"rpai/internal/engine"
+	"rpai/internal/query"
 	"rpai/internal/serve"
 	"rpai/internal/sqlparse"
 )
@@ -39,8 +41,14 @@ const (
 	// catalogName is the manifest file.
 	catalogName = "CATALOG"
 	// catalogMagic brands the manifest; catalogVersion the record format.
+	// Version 2 adds a flags byte and the threshold constant to each entry
+	// (family membership); version-1 manifests still decode — family data is
+	// re-derived from each entry's SQL at recovery.
 	catalogMagic   = "RPCG"
-	catalogVersion = 1
+	catalogVersion = 2
+	// entryFamily marks a version-2 entry whose query is served as a fan
+	// lane of a family executor set; its famConst field is the lane.
+	entryFamily = 1 << 0
 	// maxManifestQueries bounds decode allocation for corrupt files.
 	maxManifestQueries = 1 << 20
 )
@@ -52,12 +60,17 @@ type durableState struct {
 	wal *checkpoint.WALWriter
 }
 
-// catEntry is one manifest line.
+// catEntry is one manifest line. fam/famConst record family service (the
+// entry reads a fan lane at constant famConst); a version-1 manifest leaves
+// them zero and derive set, and recovery re-derives both from the SQL.
 type catEntry struct {
-	id    QueryID
-	setID uint64
-	since uint64
-	sql   string
+	id       QueryID
+	setID    uint64
+	since    uint64
+	sql      string
+	fam      bool
+	famConst float64
+	derive   bool
 }
 
 func walPath(dir string, gen uint64) string { return checkpoint.WALPath(dir, gen, 0) }
@@ -109,7 +122,10 @@ func (s *Service) appendWAL(events []engine.Event) error {
 func (s *Service) manifestEntriesLocked() []catEntry {
 	entries := make([]catEntry, 0, len(s.regs))
 	for _, reg := range s.regs {
-		entries = append(entries, catEntry{id: reg.id, setID: reg.set.setID, since: reg.set.since, sql: reg.sql})
+		entries = append(entries, catEntry{
+			id: reg.id, setID: reg.set.setID, since: reg.set.since, sql: reg.sql,
+			fam: reg.set.famKey != "", famConst: reg.famConst,
+		})
 	}
 	sort.Slice(entries, func(i, j int) bool { return entries[i].id < entries[j].id })
 	return entries
@@ -141,6 +157,12 @@ func writeCatalogFile(dir string, gen, nextID, nextSet uint64, partitionBy []str
 		e.U64(ent.setID)
 		e.U64(ent.since)
 		e.Str(ent.sql)
+		var flags uint8
+		if ent.fam {
+			flags |= entryFamily
+		}
+		e.U8(flags)
+		e.F64(ent.famConst)
 	}
 	if err := e.Err(); err != nil {
 		return err
@@ -186,7 +208,8 @@ func readCatalogFile(dir string) (gen, nextID, nextSet uint64, partitionBy []str
 		return 0, 0, 0, nil, nil, fmt.Errorf("catalog: CATALOG manifest: %w", err)
 	}
 	d := checkpoint.NewDecoder(bytes.NewReader(rec))
-	if v := d.U32(); d.Err() == nil && v != catalogVersion {
+	v := d.U32()
+	if d.Err() == nil && (v < 1 || v > catalogVersion) {
 		return 0, 0, 0, nil, nil, fmt.Errorf("catalog: unsupported CATALOG version %d", v)
 	}
 	gen = d.U64()
@@ -204,12 +227,22 @@ func readCatalogFile(dir string) (gen, nextID, nextSet uint64, partitionBy []str
 		return 0, 0, 0, nil, nil, fmt.Errorf("catalog: implausible query count %d", nq)
 	}
 	for i := uint32(0); i < nq && d.Err() == nil; i++ {
-		entries = append(entries, catEntry{
+		ent := catEntry{
 			id:    QueryID(d.U64()),
 			setID: d.U64(),
 			since: d.U64(),
 			sql:   d.Str(),
-		})
+		}
+		if v >= 2 {
+			flags := d.U8()
+			ent.famConst = d.F64()
+			ent.fam = flags&entryFamily != 0
+		} else {
+			// Pre-family manifest: membership and lane constants are
+			// re-derived from the SQL during recovery.
+			ent.derive = true
+		}
+		entries = append(entries, ent)
 	}
 	if err := d.Err(); err != nil {
 		return 0, 0, 0, nil, nil, fmt.Errorf("catalog: CATALOG manifest: %w", err)
@@ -303,11 +336,12 @@ func Recover(opt Options) (*Service, error) {
 	}
 	opt.PartitionBy = partitionBy
 	s := &Service{
-		opt:     opt,
-		regs:    make(map[QueryID]*registration),
-		sets:    make(map[string]*execSet),
-		nextID:  QueryID(nextID),
-		nextSet: nextSet,
+		opt:      opt,
+		regs:     make(map[QueryID]*registration),
+		sets:     make(map[string]*execSet),
+		families: make(map[string]*execSet),
+		nextID:   QueryID(nextID),
+		nextSet:  nextSet,
 	}
 	if s.nextID < 1 {
 		s.nextID = 1
@@ -335,14 +369,30 @@ func Recover(opt Options) (*Service, error) {
 	serveOpt := s.serveOptions()
 	for _, sid := range setIDs {
 		ents := bySet[sid]
-		q, err := sqlparse.Parse(ents[0].sql)
-		if err != nil {
-			closeAll()
-			return nil, fmt.Errorf("catalog: manifest query %d: %w", ents[0].id, err)
+		// Parse and plan every member: family members of one set have
+		// distinct SQL (same structure, different threshold constant), so a
+		// per-entry plan is required. ents[0] — the lowest surviving QueryID
+		// — is the representative whose query the executors are built from.
+		qs := make([]*query.Query, len(ents))
+		plans := make([]engine.Plan, len(ents))
+		for i, ent := range ents {
+			q, err := sqlparse.Parse(ent.sql)
+			if err != nil {
+				closeAll()
+				return nil, fmt.Errorf("catalog: manifest query %d: %w", ent.id, err)
+			}
+			plan, err := engine.Describe(q)
+			if err != nil {
+				closeAll()
+				return nil, fmt.Errorf("catalog: manifest query %d: %w", ent.id, err)
+			}
+			qs[i], plans[i] = q, plan
 		}
+		q := qs[0]
 		canon := q.String()
 		sd := setDir(opt.Dir, gen, sid)
 		var svc *serve.Service[engine.Event]
+		var err error
 		if _, statErr := os.Stat(sd); statErr == nil {
 			svc, err = serve.RecoverForQuery(sd, q, partitionBy, serveOpt)
 		} else if errors.Is(statErr, os.ErrNotExist) {
@@ -356,21 +406,48 @@ func Recover(opt Options) (*Service, error) {
 			closeAll()
 			return nil, fmt.Errorf("catalog: recover set %d: %w", sid, err)
 		}
-		set := &execSet{setID: sid, canon: canon, q: q, svc: svc, refs: make(map[QueryID]struct{}), since: ents[0].since}
-		for _, ent := range ents {
-			plan, err := engine.Describe(q)
-			if err != nil {
-				closeAll()
-				svc.Close()
-				return nil, fmt.Errorf("catalog: manifest query %d: %w", ent.id, err)
+		// Recovered sets are conservatively treated as carrying history
+		// (ingested): the sharing rules only admit joins into provably empty
+		// sets, and a recovered one cannot prove that.
+		set := &execSet{setID: sid, canon: canon, q: q, svc: svc,
+			refs: make(map[QueryID]struct{}), since: ents[0].since, ingested: true}
+		famKey, _, famOK := engine.FamilyKey(q)
+		if famOK {
+			set.famKey = famKey
+			set.lanes = make(map[uint64]int)
+		}
+		for i, ent := range ents {
+			famConst := ent.famConst
+			if ent.derive && famOK {
+				// Pre-family (v1) manifest: the lane constant comes from the
+				// member's own SQL. v1 members of one set share a canonical
+				// form, so the derivation cannot diverge from the set's.
+				_, famConst, _ = engine.FamilyKey(qs[i])
+			}
+			if famOK {
+				set.lanes[math.Float64bits(famConst)]++
 			}
 			set.refs[ent.id] = struct{}{}
-			s.regs[ent.id] = &registration{id: ent.id, sql: ent.sql, set: set, plan: plan, canon: canon}
+			s.regs[ent.id] = &registration{id: ent.id, sql: ent.sql, set: set,
+				plan: plans[i], canon: qs[i].String(), famConst: famConst}
+			// Newest set per canonical form wins the join table (higher
+			// setID == created later); every member registers its own form.
+			if prev, ok := s.sets[qs[i].String()]; !ok || prev.setID < sid {
+				s.sets[qs[i].String()] = set
+			}
 		}
-		// Newest set per canonical form wins the join table (higher setID ==
-		// created later).
-		if prev, ok := s.sets[canon]; !ok || prev.setID < sid {
-			s.sets[canon] = set
+		if famOK {
+			if prev, ok := s.families[famKey]; !ok || prev.setID < sid {
+				s.families[famKey] = set
+			}
+			// Multiple distinct constants: reinstall the fan lanes the live
+			// catalog was serving, before WAL replay maintains them.
+			if len(set.lanes) > 1 {
+				if err := s.installLanesLocked(set); err != nil {
+					closeAll()
+					return nil, fmt.Errorf("catalog: recover set %d: %w", sid, err)
+				}
+			}
 		}
 	}
 

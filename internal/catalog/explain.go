@@ -25,6 +25,20 @@ type Explain struct {
 	// underlying aggregate indexes (same executor set). Empty when the query
 	// has its indexes to itself.
 	SharedWith []QueryID
+	// SharedExact and SharedFamily split SharedWith by how the sharing was
+	// established: identical canonical text, versus same predicate family
+	// (structure matches, threshold constant differs) — family members are
+	// served from their own fan lane on the shared indexes.
+	SharedExact  []QueryID
+	SharedFamily []QueryID
+	// Since is the catalog WAL record index the query's executor set was
+	// created at: the set's state reflects exactly the records ingested from
+	// Since onward.
+	Since uint64
+	// IngestSets counts the distinct executor sets a batch currently fans
+	// out to — the catalog's per-batch ingest-cost estimate. N registrations
+	// collapsed into one set cost one application, not N.
+	IngestSets int
 }
 
 // Get returns one query's EXPLAIN.
@@ -58,11 +72,21 @@ func (s *Service) explainLocked(reg *registration) Explain {
 		PredSig:    reg.plan.PredSig,
 	}
 	for id := range reg.set.refs {
-		if id != reg.id {
-			ex.SharedWith = append(ex.SharedWith, id)
+		if id == reg.id {
+			continue
+		}
+		ex.SharedWith = append(ex.SharedWith, id)
+		if other, ok := s.regs[id]; ok && other.canon != reg.canon {
+			ex.SharedFamily = append(ex.SharedFamily, id)
+		} else {
+			ex.SharedExact = append(ex.SharedExact, id)
 		}
 	}
 	sortIDs(ex.SharedWith)
+	sortIDs(ex.SharedExact)
+	sortIDs(ex.SharedFamily)
+	ex.Since = reg.set.since
+	ex.IngestSets = len(s.distinctSetsLocked())
 	return ex
 }
 

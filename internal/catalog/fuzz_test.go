@@ -12,15 +12,21 @@ import (
 	"rpai/internal/sqlparse"
 )
 
+// sqlVWAP60 is a third threshold constant over sqlVWAP's predicate
+// structure, so the fuzz mixes can build three-lane families.
+const sqlVWAP60 = `SELECT SUM(b.price * b.volume) FROM bids b
+WHERE 0.6 * (SELECT SUM(b1.volume) FROM bids b1)
+      < (SELECT SUM(b2.volume) FROM bids b2 WHERE b2.price <= b.price)`
+
 // fuzzSets are the registration mixes the differential fuzzer can pick from.
-// Each mix exercises a different sharing topology: duplicates (shared sets),
-// constant variants (same predicate signature, separate sets), strategy
-// mixes, and — in the last entry — the full 16-query acceptance-criterion
-// load.
+// Each mix exercises a different sharing topology: exact duplicates (one
+// shared set), constant variants (same predicate family, one set with one
+// fan lane per constant), strategy mixes, and — in the 16-query entry — the
+// full acceptance-criterion load.
 var fuzzSets = [][]string{
 	{sqlVWAP},
-	{sqlVWAP, sqlVWAP2},                   // one shared set
-	{sqlVWAP, sqlVWAP90},                  // same signature, two sets
+	{sqlVWAP, sqlVWAP2},                   // one shared set (exact)
+	{sqlVWAP, sqlVWAP90},                  // constant variants: one family set, two lanes
 	{sqlVWAP, sqlEq, sqlNested},           // three strategies
 	{sqlEq, sqlEq, sqlVWAP, sqlNested},    // shared PAI set
 	{sqlNested, sqlVWAP2, sqlVWAP, sqlEq}, // general + shared rpai
@@ -29,16 +35,43 @@ var fuzzSets = [][]string{
 		sqlVWAP, sqlEq, sqlVWAP90, sqlNested, sqlVWAP2,
 		sqlVWAP, sqlVWAP90, sqlEq, sqlNested, sqlVWAP, sqlEq,
 	},
+	{sqlVWAP, sqlVWAP90, sqlVWAP60},           // three-lane family
+	{sqlVWAP, sqlVWAP2, sqlVWAP90, sqlVWAP60}, // exact duplicate + family in one set
 }
+
+// fuzzLateSets are mid-ingest registration waves. A late constant variant
+// cannot join the (already ingested) family set, so it founds a fresh set
+// whose `since` excludes the prefix — and when the wave itself holds two
+// variants, the second joins the first mid-stream, installing fan lanes on a
+// set that starts ingesting immediately.
+var fuzzLateSets = [][]string{
+	nil,
+	{sqlVWAP90},          // late variant: own set despite the live family
+	{sqlVWAP, sqlVWAP60}, // late pair: family forms mid-stream
+	{sqlEq, sqlVWAP90},
+}
+
+// fuzzLateAt and fuzzChurnAt are the event counts at which the late
+// registration wave and the unregister churn trigger (batch-aligned by an
+// explicit flush, as the live catalog requires).
+const (
+	fuzzLateAt  = 6
+	fuzzChurnAt = 12
+)
 
 // FuzzCatalogDifferential is the catalog-level differential fuzzer: a
 // catalog of N registered queries fed one shared event stream must be
 // bit-identical — scalar and grouped, after every batch — to N independent
 // single-query services fed the same batches. The input reuses the
 // FuzzEngineDifferential trace layout (shape byte, 8-byte seed, 3-byte
-// (op,b1,b2) event records); the shape byte selects the registration mix and
-// the seed's low bits pick shard count and batch boundaries, so one corpus
-// walks sharing topologies, shard counts, and insert/delete traces at once.
+// (op,b1,b2) event records); the shape byte selects the registration mix,
+// bytes 1-2 pick shard count and batch boundaries, byte 3 selects a
+// mid-ingest registration wave (late family joiners get fresh sets with a
+// later `since`), and byte 4 packs unregister churn (low bits arm it, high
+// bits pick the victim) plus a durable bit that ends the run with a
+// crash-copy recovery compared against the same references. One corpus
+// therefore walks sharing topologies, shard counts, insert/delete traces,
+// register/unregister churn, and crash/recovery at once.
 //
 // Run with `go test -fuzz FuzzCatalogDifferential ./internal/catalog`; the
 // committed corpus under testdata/fuzz executes under plain `go test`.
@@ -53,16 +86,25 @@ func FuzzCatalogDifferential(f *testing.F) {
 		sqls := fuzzSets[int(data[0])%len(fuzzSets)]
 		shards := int(data[1])%3 + 1
 		batchSize := int(data[2])%7 + 1
+		late := fuzzLateSets[int(data[3])%len(fuzzLateSets)]
+		churn := data[4]&3 != 0
+		durable := data[4]&4 != 0
+		victimPick := int(data[4] >> 3)
 
-		cat, err := New(Options{PartitionBy: []string{"broker"}, Shards: shards, BatchSize: 8})
+		opt := Options{PartitionBy: []string{"broker"}, Shards: shards, BatchSize: 8}
+		if durable {
+			opt.Dir = filepath.Join(t.TempDir(), "cat")
+		}
+		cat, err := New(opt)
 		if err != nil {
 			t.Fatal(err)
 		}
 		defer cat.Close()
-		ids := make([]QueryID, len(sqls))
-		indep := make([]*serve.Service[engine.Event], len(sqls))
-		for i, sql := range sqls {
-			if ids[i], _, err = cat.Register(sql); err != nil {
+		var ids []QueryID
+		var indep []*serve.Service[engine.Event]
+		register := func(sql string) {
+			id, _, err := cat.Register(sql)
+			if err != nil {
 				t.Fatalf("register %q: %v", sql, err)
 			}
 			q, err := sqlparse.Parse(sql)
@@ -73,9 +115,17 @@ func FuzzCatalogDifferential(f *testing.F) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			indep[i] = svc
-			defer svc.Close()
+			ids = append(ids, id)
+			indep = append(indep, svc)
 		}
+		for _, sql := range sqls {
+			register(sql)
+		}
+		defer func() {
+			for _, svc := range indep {
+				svc.Close()
+			}
+		}()
 
 		var live []query.Tuple
 		var batch []engine.Event
@@ -140,22 +190,96 @@ func FuzzCatalogDifferential(f *testing.F) {
 			if len(batch) >= batchSize {
 				flush()
 			}
+			if late != nil && events >= fuzzLateAt {
+				// Mid-ingest wave: flush the partial batch so the catalog's
+				// record count matches the references, then register. The late
+				// services start empty, exactly like the late sets' `since`.
+				flush()
+				for _, sql := range late {
+					register(sql)
+				}
+				late = nil
+				if durable {
+					// Rotate mid-stream so the recovery below crosses a
+					// checkpoint holding family entries and late sets.
+					if err := cat.Checkpoint(); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			if churn && events >= fuzzChurnAt && len(ids) > 1 {
+				// Unregister one member mid-ingest; survivors (co-tenants of
+				// its set included) must keep serving bit-identically.
+				flush()
+				v := victimPick % len(ids)
+				if err := cat.Unregister(ids[v]); err != nil {
+					t.Fatal(err)
+				}
+				indep[v].Close()
+				ids = append(ids[:v], ids[v+1:]...)
+				indep = append(indep[:v], indep[v+1:]...)
+				churn = false
+			}
 		}
 		flush()
+
+		if durable {
+			// Crash-copy the directory and recover: every surviving query must
+			// read back bit-identically to its independent reference.
+			dir := crashCopy(t, opt.Dir)
+			rec, err := Recover(Options{Dir: dir, Shards: shards, BatchSize: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rec.Close()
+			if err := rec.DrainAll(); err != nil {
+				t.Fatal(err)
+			}
+			for i, svc := range indep {
+				got, err := rec.Result(ids[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want := svc.Result(); got != want {
+					t.Fatalf("query %d recovered %v, independent %v", i, got, want)
+				}
+				gotG, err := rec.ResultGrouped(ids[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !groupsEqual(gotG, svc.ResultGrouped()) {
+					t.Fatalf("query %d: grouped results diverged after recovery", i)
+				}
+			}
+		}
 	})
 }
 
 // fuzzSeedInputs is the committed seed corpus: one entry per registration
-// mix over a short mixed insert/delete trace, so plain `go test` exercises
-// every sharing topology.
+// mix over a short mixed insert/delete trace, plus family-focused entries
+// that arm late joiners, unregister churn, and the durable crash/recovery
+// path, so plain `go test` exercises every sharing topology and lifecycle.
 func fuzzSeedInputs() [][]byte {
 	trace := []byte{
 		1, 5, 9, 1, 5, 3, 1, 17, 28, 1, 5, 9, 0, 0, 1, 1, 200, 100,
 		1, 39, 29, 0, 0, 0, 1, 5, 9, 1, 12, 12, 0, 0, 2, 1, 1, 1,
 	}
+	long := append(append([]byte{}, trace...), trace...)
 	var out [][]byte
 	for shape := byte(0); shape < byte(len(fuzzSets)); shape++ {
 		out = append(out, append([]byte{shape, shape + 1, 3, 0, 0, 0, 0, 0, 77}, trace...))
+	}
+	// Family lifecycle seeds: header bytes are {shape, shards, batch, late,
+	// churn|durable|victim<<3}; the longer trace reaches the churn threshold.
+	for _, hdr := range [][]byte{
+		{2, 2, 3, 1, 0},             // live family + late variant set
+		{2, 2, 4, 2, 1 | 1<<3},      // family forming mid-stream, then churn
+		{7, 1, 3, 0, 1},             // three-lane family, founder unregisters
+		{7, 2, 5, 3, 4},             // three-lane family, crash + recover
+		{8, 2, 3, 1, 1 | 4 | 2<<3},  // exact+family set: churn and recovery
+		{6, 3, 5, 2, 1 | 4 | 11<<3}, // 16-query mix with every lifecycle arm
+	} {
+		out = append(out, append(append(append([]byte{}, hdr...), 0, 0, 0, 77), long...))
 	}
 	return out
 }

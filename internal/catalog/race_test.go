@@ -1,0 +1,177 @@
+package catalog
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"rpai/internal/engine"
+	"rpai/internal/serve"
+)
+
+// TestFamilyChurnRace hammers one catalog with concurrent ingest, reads,
+// subscriptions, and register/unregister churn of family members. The
+// anchors — one member per lane of the founding family — are never
+// unregistered, so churning co-tenants in and out of their executor set must
+// not tear down (or misroute) the anchors' state: every anchor read and
+// subscription must keep succeeding throughout, and the final drained
+// results must match a serial reference. Run under -race (CI's catalog job)
+// this is the family-lifecycle data-race test.
+func TestFamilyChurnRace(t *testing.T) {
+	cat, err := New(Options{PartitionBy: []string{"sym"}, Shards: 2, BatchSize: 16, QueueLen: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cat.Close()
+
+	// Anchors: a two-lane family plus an exact duplicate.
+	anchors := map[QueryID]string{}
+	for _, sql := range []string{sqlVWAP, sqlVWAP90, sqlVWAP2} {
+		id, _, err := cat.Register(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		anchors[id] = sql
+	}
+
+	events := catEvents(61, 4000, 11)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var failed atomic.Bool
+	fail := func(format string, args ...any) {
+		failed.Store(true)
+		t.Errorf(format, args...)
+	}
+
+	// Readers: results, grouped results, explains, and stats for the anchors.
+	for id := range anchors {
+		wg.Add(1)
+		go func(id QueryID) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := cat.Result(id); err != nil {
+					fail("anchor %d result: %v", id, err)
+					return
+				}
+				if _, err := cat.ResultGrouped(id); err != nil {
+					fail("anchor %d grouped: %v", id, err)
+					return
+				}
+				if _, err := cat.Get(id); err != nil {
+					fail("anchor %d explain: %v", id, err)
+					return
+				}
+				_ = cat.Stats()
+			}
+		}(id)
+	}
+
+	// Subscriber churn: attach to an anchor, consume a few frames, detach.
+	for id := range anchors {
+		wg.Add(1)
+		go func(id QueryID) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sub, err := cat.Subscribe(id, serve.SubOptions{Buffer: 16})
+				if err != nil {
+					fail("anchor %d subscribe: %v", id, err)
+					return
+				}
+				for i := 0; i < 4; i++ {
+					select {
+					case <-stop:
+						sub.Close()
+						return
+					case _, ok := <-sub.Frames():
+						if !ok {
+							fail("anchor %d subscription torn down by co-tenant churn", id)
+							sub.Close()
+							return
+						}
+					}
+				}
+				sub.Close()
+			}
+		}(id)
+	}
+
+	// Register/unregister churn: transient members joining the anchors' sets
+	// (exact duplicates and the family's constants) and distinct strangers,
+	// unregistered as fast as they arrive.
+	churnSQLs := []string{sqlVWAP, sqlVWAP2, sqlVWAP90, sqlVWAP60, sqlEq, sqlNested}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id, _, err := cat.Register(churnSQLs[(g+i)%len(churnSQLs)])
+				if err != nil {
+					fail("churn register: %v", err)
+					return
+				}
+				if _, err := cat.Result(id); err != nil {
+					fail("churn member %d result: %v", id, err)
+					return
+				}
+				if err := cat.Unregister(id); err != nil {
+					fail("churn unregister %d: %v", id, err)
+					return
+				}
+			}
+		}(g)
+	}
+
+	// Ingest on the main goroutine so the trace length bounds the run.
+	applyBatches(t, events, 40, func(b []engine.Event) error {
+		if failed.Load() {
+			return errors.New("concurrent failure (see errors above)")
+		}
+		return cat.ApplyBatch(b)
+	})
+	close(stop)
+	wg.Wait()
+	if failed.Load() {
+		t.FailNow()
+	}
+	if err := cat.DrainAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Survivor correctness: every anchor matches a serial reference.
+	for id, sql := range anchors {
+		ref, err := serve.ForQuery(mustParse(t, sql), []string{"sym"}, serve.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.ApplyBatch(events); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := cat.Result(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := ref.Result(); got != want {
+			t.Fatalf("anchor %d after churn: %v, reference %v", id, got, want)
+		}
+		ref.Close()
+	}
+}

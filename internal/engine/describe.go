@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"rpai/internal/query"
@@ -69,8 +70,17 @@ func Describe(q *query.Query) (Plan, error) {
 // PredSig is the query's predicate-structure signature: the canonical query
 // rendering with every literal constant masked to "?". Two queries with equal
 // signatures have identical predicate structure over the same relation — the
-// shape the catalog's index-sharing rule keys on (constants still have to
-// match for executors to share state, which full-identity sharing enforces).
+// shape the catalog's family-sharing rule starts from (the family key
+// additionally preserves non-threshold constants; see FamilyKey).
+//
+// The rendering is deterministic across spellings of the same predicate
+// structure:
+//   - comparison direction is normalized: Gt/Ge conjuncts are flipped to
+//     Lt/Le (so `? > a` and `a < ?` share a rendering), and the symmetric Eq
+//     orders its operand renderings lexicographically;
+//   - conjunct order is normalized: top-level predicates and subquery filter
+//     conjuncts are sorted by their rendered form, so reordering AND-ed
+//     conjuncts does not change the signature.
 func PredSig(q *query.Query) string {
 	var b strings.Builder
 	if len(q.GroupBy) > 0 {
@@ -79,10 +89,30 @@ func PredSig(q *query.Query) string {
 		b.WriteString("R")
 	}
 	fmt.Fprintf(&b, " SUM(%s)", sigExpr(q.Agg))
+	conj := make([]string, 0, len(q.Preds))
 	for _, p := range q.Preds {
-		fmt.Fprintf(&b, " | %s %s %s", sigValue(p.Left), p.Op, sigValue(p.Right))
+		conj = append(conj, sigPred(p))
+	}
+	sort.Strings(conj)
+	for _, c := range conj {
+		b.WriteString(" | ")
+		b.WriteString(c)
 	}
 	return b.String()
+}
+
+// sigPred renders one top-level conjunct with normalized direction: Gt/Ge
+// flip to Lt/Le by swapping operands, and Eq (symmetric) orders operand
+// renderings lexicographically.
+func sigPred(p query.Predicate) string {
+	l, r, op := sigValue(p.Left), sigValue(p.Right), p.Op
+	if op == query.Gt || op == query.Ge {
+		l, r, op = r, l, op.Flip()
+	}
+	if op == query.Eq && r < l {
+		l, r = r, l
+	}
+	return fmt.Sprintf("%s %s %s", l, op, r)
 }
 
 func sigExpr(e query.Expr) string {
@@ -112,11 +142,18 @@ func sigValue(v query.Value) string {
 func sigSub(s *query.Subquery) string {
 	var conj []string
 	if s.Where != nil {
+		// The parser already normalizes the correlation direction (the
+		// inner column is always on the left, flipping the operator when
+		// the SQL spelled it the other way), so Inner/Op/Outer is a
+		// canonical rendering as stored.
 		conj = append(conj, fmt.Sprintf("%s %s %s", sigExpr(s.Where.Inner), s.Where.Op, sigExpr(s.Where.Outer)))
 	}
+	filters := make([]string, 0, len(s.Filters))
 	for _, f := range s.Filters {
-		conj = append(conj, fmt.Sprintf("%s %s ?", sigExpr(f.Inner), f.Op))
+		filters = append(filters, fmt.Sprintf("%s %s ?", sigExpr(f.Inner), f.Op))
 	}
+	sort.Strings(filters)
+	conj = append(conj, filters...)
 	if s.Nested != nil {
 		conj = append(conj, fmt.Sprintf("%s %s %s@%s",
 			sigValue(s.Nested.Threshold), s.Nested.Op, sigSub(s.Nested.Inner), s.Nested.Col))

@@ -68,3 +68,113 @@ func TestPredSigMasksConstants(t *testing.T) {
 		t.Errorf("canonical strings should differ across constants: %s", qa)
 	}
 }
+
+// TestPredSigDeterministic pins the normalization rules documented on
+// PredSig: flipped comparison spellings, reordered AND conjuncts and
+// reordered subquery filters all mask to the same signature, while genuine
+// structural changes do not.
+func TestPredSigDeterministic(t *testing.T) {
+	sub := func() *query.Subquery {
+		return &query.Subquery{Kind: query.Sum, Of: query.Col("volume")}
+	}
+	cases := []struct {
+		name string
+		a, b *query.Query
+		same bool
+	}{
+		{
+			// a < ? vs ? > a: direction-flipped spellings of one predicate.
+			name: "flipped-direction",
+			a: &query.Query{Agg: query.Col("price"), Preds: []query.Predicate{{
+				Left: query.ValExpr(query.Col("price")), Op: query.Lt, Right: query.ValSub(0.75, sub()),
+			}}},
+			b: &query.Query{Agg: query.Col("price"), Preds: []query.Predicate{{
+				Left: query.ValSub(0.9, sub()), Op: query.Gt, Right: query.ValExpr(query.Col("price")),
+			}}},
+			same: true,
+		},
+		{
+			// Ge flips to Le the same way.
+			name: "flipped-ge",
+			a: &query.Query{Agg: query.Col("price"), Preds: []query.Predicate{{
+				Left: query.ValExpr(query.Col("price")), Op: query.Le, Right: query.ValSub(0.75, sub()),
+			}}},
+			b: &query.Query{Agg: query.Col("price"), Preds: []query.Predicate{{
+				Left: query.ValSub(0.9, sub()), Op: query.Ge, Right: query.ValExpr(query.Col("price")),
+			}}},
+			same: true,
+		},
+		{
+			// Symmetric Eq: operand order does not matter.
+			name: "eq-operand-order",
+			a: &query.Query{Agg: query.Col("a"), Preds: []query.Predicate{{
+				Left: query.ValExpr(query.Col("a")), Op: query.Eq, Right: query.ValSub(0.5, sub()),
+			}}},
+			b: &query.Query{Agg: query.Col("a"), Preds: []query.Predicate{{
+				Left: query.ValSub(0.5, sub()), Op: query.Eq, Right: query.ValExpr(query.Col("a")),
+			}}},
+			same: true,
+		},
+		{
+			// Reordered top-level AND conjuncts.
+			name: "conjunct-order",
+			a: &query.Query{Agg: query.Col("a"), Preds: []query.Predicate{
+				{Left: query.ValExpr(query.Col("a")), Op: query.Lt, Right: query.ValExpr(query.Const(1))},
+				{Left: query.ValExpr(query.Col("b")), Op: query.Lt, Right: query.ValExpr(query.Const(2))},
+			}},
+			b: &query.Query{Agg: query.Col("a"), Preds: []query.Predicate{
+				{Left: query.ValExpr(query.Col("b")), Op: query.Lt, Right: query.ValExpr(query.Const(3))},
+				{Left: query.ValExpr(query.Col("a")), Op: query.Lt, Right: query.ValExpr(query.Const(4))},
+			}},
+			same: true,
+		},
+		{
+			// Reordered subquery filter conjuncts.
+			name: "filter-order",
+			a: &query.Query{Agg: query.Col("price"), Preds: []query.Predicate{{
+				Left: query.ValExpr(query.Col("price")), Op: query.Lt,
+				Right: query.ValSub(0.75, &query.Subquery{Kind: query.Sum, Of: query.Col("volume"), Filters: []query.FilterPred{
+					{Inner: query.Col("volume"), Op: query.Gt, Value: 1},
+					{Inner: query.Col("price"), Op: query.Lt, Value: 2},
+				}}),
+			}}},
+			b: &query.Query{Agg: query.Col("price"), Preds: []query.Predicate{{
+				Left: query.ValExpr(query.Col("price")), Op: query.Lt,
+				Right: query.ValSub(0.75, &query.Subquery{Kind: query.Sum, Of: query.Col("volume"), Filters: []query.FilterPred{
+					{Inner: query.Col("price"), Op: query.Lt, Value: 3},
+					{Inner: query.Col("volume"), Op: query.Gt, Value: 4},
+				}}),
+			}}},
+			same: true,
+		},
+		{
+			// Lt vs Le is a structural difference, not a spelling.
+			name: "lt-vs-le",
+			a: &query.Query{Agg: query.Col("price"), Preds: []query.Predicate{{
+				Left: query.ValExpr(query.Col("price")), Op: query.Lt, Right: query.ValSub(0.75, sub()),
+			}}},
+			b: &query.Query{Agg: query.Col("price"), Preds: []query.Predicate{{
+				Left: query.ValExpr(query.Col("price")), Op: query.Le, Right: query.ValSub(0.75, sub()),
+			}}},
+			same: false,
+		},
+		{
+			// Different compared column: structural.
+			name: "different-column",
+			a: &query.Query{Agg: query.Col("price"), Preds: []query.Predicate{{
+				Left: query.ValExpr(query.Col("price")), Op: query.Lt, Right: query.ValSub(0.75, sub()),
+			}}},
+			b: &query.Query{Agg: query.Col("price"), Preds: []query.Predicate{{
+				Left: query.ValExpr(query.Col("volume")), Op: query.Lt, Right: query.ValSub(0.75, sub()),
+			}}},
+			same: false,
+		},
+	}
+	for _, tc := range cases {
+		sa, sb := PredSig(tc.a), PredSig(tc.b)
+		if (sa == sb) != tc.same {
+			t.Errorf("%s: PredSig(a)==PredSig(b) = %v, want %v\n a %s\n b %s",
+				tc.name, sa == sb, tc.same, sa, sb)
+		}
+	}
+}

@@ -511,6 +511,8 @@ type AggIndexExec struct {
 	// moveBuf backs the deferred point moves of the batched equality path
 	// (see applyEqBatch) so steady-state batches allocate nothing.
 	moveBuf []paimap.MoveOp
+	// fan backs ResultFan's probe keys (see family.go).
+	fan fanProbe
 }
 
 // NewAggIndex returns the aggregate-index executor for an eligible query, or

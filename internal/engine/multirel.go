@@ -199,6 +199,9 @@ type relState struct {
 	// PredColumn state: count and term sums keyed by the compared column.
 	cntByCol  *treemap.Tree
 	termByCol *treemap.Tree
+
+	// fan backs sumFan's probe keys (see family.go).
+	fan fanProbe
 }
 
 func newRelState(spec RelSpec, kind aggindex.Kind) (*relState, error) {

@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rpai/internal/engine"
+)
+
+// This file is the serving side of predicate-generalized sharing (threshold
+// families): one service maintains its executors once, and every snapshot
+// additionally materializes the per-partition results at K extra threshold
+// constants ("fan lanes") via the executors' ResultFan. Each lane's values
+// are bit-identical to a dedicated single-constant service fed the same
+// events — the engine's FanExecutor contract — so a catalog can serve N
+// constant-variant queries from one executor set.
+
+// FanExecutor mirrors engine.FanExecutor through the serving layer: consts
+// is sorted ascending, dst has the same length, and dst[i] must equal (bit
+// for bit) the Result of a dedicated executor built with constant consts[i].
+type FanExecutor interface {
+	ResultFan(consts, dst []float64)
+}
+
+// SetFan installs the service's fan lane constants, replacing any previous
+// set: every partition's per-lane results are re-evaluated on its owning
+// shard's worker, and the next publication is a full one (fan values are not
+// a delta on the previous lane set). An empty consts disables fan reads.
+// The constants are deduplicated and kept sorted; lanes are addressed by
+// constant value, not index, so callers never track positions. Fails when
+// any partition's executor does not implement FanExecutor (the service's
+// query is not family-eligible) — partitions created after a successful
+// SetFan are guaranteed fan-capable because every partition runs the same
+// Config.New. SetFan returns after every shard has installed the lanes; the
+// publication carrying them follows the shard's next commit (Drain for a
+// barrier).
+func (s *Service[E]) SetFan(consts []float64) error {
+	thrs := append([]float64(nil), consts...)
+	sort.Float64s(thrs)
+	// Dedup by bit pattern (lanes are resolved by exact bits; two queries
+	// sharing a constant share a lane).
+	w := 0
+	for i, c := range thrs {
+		if i == 0 || math.Float64bits(c) != math.Float64bits(thrs[i-1]) {
+			thrs[w] = c
+			w++
+		}
+	}
+	thrs = thrs[:w]
+	for i := range s.shards {
+		if err := s.control(i, func(ws *workerState[E]) error {
+			if len(thrs) == 0 {
+				ws.fanThrs = nil
+				for _, p := range ws.plist {
+					p.fan = nil
+				}
+				ws.publishFull = true
+				return nil
+			}
+			for _, p := range ws.plist {
+				if p.fanEx == nil {
+					return fmt.Errorf("serve: executor %T does not support fan reads", p.ex)
+				}
+			}
+			ws.fanThrs = thrs
+			for _, p := range ws.plist {
+				if cap(p.fan) < len(thrs) {
+					p.fan = make([]float64, len(thrs))
+				} else {
+					p.fan = p.fan[:len(thrs)]
+				}
+				p.fanEx.ResultFan(ws.fanThrs, p.fan)
+			}
+			ws.publishFull = true
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// laneOf locates the lane serving constant c in the sorted lane set, by
+// exact bit equality; -1 when absent.
+func laneOf(thrs []float64, c float64) int {
+	for i, t := range thrs {
+		if math.Float64bits(t) == math.Float64bits(c) {
+			return i
+		}
+	}
+	return -1
+}
+
+// FanResult returns the sum of all partition results at lane constant c, as
+// of each shard's last published snapshot — the fan counterpart of Result.
+// ok is false when some shard's snapshot does not carry the lane (SetFan
+// with c has not published everywhere yet, or c was never installed).
+func (s *Service[E]) FanResult(c float64) (float64, bool) {
+	var total float64
+	for _, sh := range s.shards {
+		snap := sh.snap.Load()
+		lane := laneOf(snap.FanThrs, c)
+		if lane < 0 {
+			return 0, false
+		}
+		total += snap.FanTotals[lane]
+	}
+	return total, true
+}
+
+// FanResultGrouped returns the per-partition results at lane constant c,
+// sorted by partition key — the fan counterpart of ResultGrouped.
+func (s *Service[E]) FanResultGrouped(c float64) ([]engine.GroupResult, bool) {
+	var out []engine.GroupResult
+	for _, sh := range s.shards {
+		snap := sh.snap.Load()
+		lane := laneOf(snap.FanThrs, c)
+		if lane < 0 {
+			return nil, false
+		}
+		k := len(snap.FanThrs)
+		for slot := range snap.Groups {
+			out = append(out, engine.GroupResult{Key: snap.Groups[slot].Key, Value: snap.FanVals[slot*k+lane]})
+		}
+	}
+	sortGroups(out)
+	return out, true
+}
+
+// FanThrs returns the installed lane constants (sorted ascending) as of the
+// shards' published snapshots; nil when fan reads are off. Shards install
+// lanes one at a time, so during a SetFan the reported set is the first
+// shard's.
+func (s *Service[E]) FanThrs() []float64 {
+	if len(s.shards) == 0 {
+		return nil
+	}
+	return s.shards[0].snap.Load().FanThrs
+}

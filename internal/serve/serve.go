@@ -184,9 +184,12 @@ type workerState[E any] struct {
 	subs []*subShard
 	// publishFull makes the next commit offer subscribers the full partition
 	// set instead of the dirty delta — set after a wholesale state swap
-	// (replica rebase), where the previous published state is no longer a
-	// valid delta base.
+	// (replica rebase) or a fan-lane change (SetFan), where the previous
+	// published state is no longer a valid delta base.
 	publishFull bool
+	// fanThrs are the installed fan lane constants, sorted ascending (see
+	// SetFan); empty disables the fan read path.
+	fanThrs []float64
 }
 
 // partition is one partition owned by a shard: its executor plus the cached
@@ -198,8 +201,10 @@ type partition[E any] struct {
 	ekey  string    // canonical byte encoding of vals (subscriber filter key)
 	ex    Executor[E]
 	bex   BatchExecutor[E] // ex's native batched path, nil if it has none
+	fanEx FanExecutor      // ex's fan-lane path, nil if it has none
 	pend  []E              // events buffered for the in-progress batch
 	last  float64
+	fan   []float64 // per-lane results, parallel to the worker's fanThrs
 	dirty bool
 	slot  int // index into the owning worker's plist/groups
 }
@@ -211,6 +216,12 @@ func (ws *workerState[E]) addPartition(p *partition[E]) {
 	ws.parts[p.ekey] = p
 	ws.plist = append(ws.plist, p)
 	ws.groups = append(ws.groups, engine.GroupResult{Key: p.vals, Value: p.last})
+	if k := len(ws.fanThrs); k > 0 && p.fanEx != nil {
+		// Seed the lane results so partitions installed outside the dirty
+		// path (recovery restore, replica rebase) publish correct fans.
+		p.fan = make([]float64, k)
+		p.fanEx.ResultFan(ws.fanThrs, p.fan)
+	}
 }
 
 // resetParts replaces the worker's partition set wholesale (replica rebase).
@@ -228,6 +239,7 @@ func (ws *workerState[E]) resetParts(list []*partition[E]) {
 func newPartition[E any](vals []float64, ex Executor[E]) *partition[E] {
 	p := &partition[E]{vals: vals, ex: ex}
 	p.bex, _ = ex.(BatchExecutor[E])
+	p.fanEx, _ = ex.(FanExecutor)
 	return p
 }
 
@@ -254,6 +266,15 @@ type Snapshot struct {
 	Version uint64
 	Total   float64
 	Groups  []engine.GroupResult
+	// Fan lanes (empty unless SetFan installed them): FanThrs are the lane
+	// constants sorted ascending, FanVals the per-partition per-lane results
+	// laid out slot-major (partition slot i, lane l at FanVals[i*K+l], rows
+	// parallel to Groups), and FanTotals the per-lane sums over all
+	// partitions in slot order — the same summation order Total uses, so
+	// each lane's total is bit-identical to a dedicated service's Total.
+	FanThrs   []float64
+	FanVals   []float64
+	FanTotals []float64
 }
 
 // ShardStats are the per-shard serving counters.
@@ -633,6 +654,9 @@ func (s *Service[E]) run(sh *shard[E]) {
 			p.applyPend()
 			p.last = p.ex.Result()
 			ws.groups[p.slot].Value = p.last
+			if len(ws.fanThrs) > 0 && p.fanEx != nil {
+				p.fanEx.ResultFan(ws.fanThrs, p.fan)
+			}
 			p.dirty = false
 		}
 		ws.version++
@@ -656,8 +680,26 @@ func (s *Service[E]) run(sh *shard[E]) {
 				total += snap.Groups[i].Value
 			}
 			snap.Total = total
+			if k := len(ws.fanThrs); k > 0 {
+				snap.FanThrs = ws.fanThrs
+				fv := make([]float64, len(ws.plist)*k)
+				for _, p := range ws.plist {
+					copy(fv[p.slot*k:(p.slot+1)*k], p.fan)
+				}
+				snap.FanVals = fv
+				ft := make([]float64, k)
+				for lane := 0; lane < k; lane++ {
+					var t float64
+					for slot := 0; slot < len(ws.plist); slot++ {
+						t += fv[slot*k+lane]
+					}
+					ft[lane] = t
+				}
+				snap.FanTotals = ft
+			}
 		} else {
 			snap.Groups, snap.Total = prev.Groups, prev.Total
+			snap.FanThrs, snap.FanVals, snap.FanTotals = prev.FanThrs, prev.FanVals, prev.FanTotals
 		}
 		sh.snap.Store(snap)
 		sh.flushed.Add(1)

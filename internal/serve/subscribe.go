@@ -60,6 +60,11 @@ type SubOptions struct {
 	// attach.
 	Resume      []ShardVersion
 	ResumeEpoch uint64
+	// FanConst, when non-nil, subscribes to the fan lane serving that
+	// threshold constant instead of the base results: frames carry the
+	// lane's per-partition values (see SetFan). Publications made while the
+	// lane is not installed offer nothing to this subscription.
+	FanConst *float64
 }
 
 // Subscription is one registered reader. Frames delivers coalesced
@@ -82,6 +87,8 @@ type subShard struct {
 	shard  int
 	sub    *Subscription
 	filter map[string]bool // encoded-key subset, nil = all partitions
+	hasFan bool            // frames carry a fan lane's values, not the base results
+	fanC   float64         // the lane constant (valid when hasFan)
 
 	mu        sync.Mutex
 	has       bool   // a pending frame exists
@@ -139,8 +146,12 @@ func (s *Service[E]) Subscribe(opt SubOptions) (*Subscription, error) {
 		detach: s.detachSub,
 	}
 	for i := range s.shards {
-		sub.shards[i] = &subShard{shard: i, sub: sub, filter: filter,
+		ss := &subShard{shard: i, sub: sub, filter: filter,
 			groups: make(map[string]engine.GroupResult)}
+		if opt.FanConst != nil {
+			ss.hasFan, ss.fanC = true, *opt.FanConst
+		}
+		sub.shards[i] = ss
 	}
 	for i := range s.shards {
 		ss := sub.shards[i]
@@ -154,7 +165,7 @@ func (s *Service[E]) Subscribe(opt SubOptions) (*Subscription, error) {
 				ss.delivered = rv
 				return nil
 			}
-			s.offerFull(ss, ws.version, ws.parts)
+			s.offerFull(ws, ss, ws.version)
 			return nil
 		}); err != nil {
 			// Mark closed so any slots already registered are dropped at the
@@ -191,9 +202,9 @@ func (s *Service[E]) publishSubs(ws *workerState[E], dirty []*partition[E]) {
 		}
 		live = append(live, ss)
 		if ws.publishFull {
-			s.offerFull(ss, ws.version, ws.parts)
+			s.offerFull(ws, ss, ws.version)
 		} else {
-			s.offerDeltas(ss, ws.version, dirty)
+			s.offerDeltas(ws, ss, ws.version, dirty)
 		}
 		ss.sub.notify()
 	}
@@ -204,12 +215,27 @@ func (s *Service[E]) publishSubs(ws *workerState[E], dirty []*partition[E]) {
 	ws.publishFull = false
 }
 
+// subLane resolves the value a partition contributes to this subscription:
+// the base result, or the subscribed fan lane's value. ok is false when the
+// slot wants a lane the worker has not installed (or the partition carries
+// no fan values), in which case the partition is not offered.
+func subLane[E any](ws *workerState[E], ss *subShard, p *partition[E]) (float64, bool) {
+	if !ss.hasFan {
+		return p.last, true
+	}
+	lane := laneOf(ws.fanThrs, ss.fanC)
+	if lane < 0 || lane >= len(p.fan) {
+		return 0, false
+	}
+	return p.fan[lane], true
+}
+
 // offerDeltas merges one incremental publication into a subscriber slot:
 // the pending frame's base stays put, its version advances, and later upserts
 // of the same key overwrite earlier ones — that overwrite is the coalescing
 // that keeps a lagging subscriber's memory bounded while guaranteeing it
 // still converges on the newest values.
-func (s *Service[E]) offerDeltas(ss *subShard, version uint64, dirty []*partition[E]) {
+func (s *Service[E]) offerDeltas(ws *workerState[E], ss *subShard, version uint64, dirty []*partition[E]) {
 	ss.mu.Lock()
 	if !ss.has {
 		ss.has = true
@@ -221,7 +247,11 @@ func (s *Service[E]) offerDeltas(ss *subShard, version uint64, dirty []*partitio
 		if ss.filter != nil && !ss.filter[p.ekey] {
 			continue
 		}
-		ss.groups[p.ekey] = engine.GroupResult{Key: p.vals, Value: p.last}
+		v, ok := subLane(ws, ss, p)
+		if !ok {
+			continue
+		}
+		ss.groups[p.ekey] = engine.GroupResult{Key: p.vals, Value: v}
 	}
 	ss.mu.Unlock()
 }
@@ -229,17 +259,21 @@ func (s *Service[E]) offerDeltas(ss *subShard, version uint64, dirty []*partitio
 // offerFull replaces the slot's pending frame with the shard's complete
 // state. Any pending incremental upserts are overwritten (their keys are a
 // subset of the live partitions), so a full offer is absorbing.
-func (s *Service[E]) offerFull(ss *subShard, version uint64, parts map[string]*partition[E]) {
+func (s *Service[E]) offerFull(ws *workerState[E], ss *subShard, version uint64) {
 	ss.mu.Lock()
 	ss.has = true
 	ss.full = true
 	ss.base = 0
 	ss.version = version
-	for k, p := range parts {
+	for k, p := range ws.parts {
 		if ss.filter != nil && !ss.filter[k] {
 			continue
 		}
-		ss.groups[k] = engine.GroupResult{Key: p.vals, Value: p.last}
+		v, ok := subLane(ws, ss, p)
+		if !ok {
+			continue
+		}
+		ss.groups[k] = engine.GroupResult{Key: p.vals, Value: v}
 	}
 	ss.mu.Unlock()
 }

@@ -81,8 +81,9 @@ func TestServerCatalogRoundtrip(t *testing.T) {
 	if len(exs[1].SharedWith) != 1 || exs[1].SharedWith[0] != exs[0].ID {
 		t.Fatalf("duplicate registration shared-with = %v, want [%d]", exs[1].SharedWith, exs[0].ID)
 	}
-	if len(exs[2].SharedWith) != 0 || exs[2].PredSig != exs[0].PredSig {
-		t.Fatalf("constant variant: shared %v, sig match %v", exs[2].SharedWith, exs[2].PredSig == exs[0].PredSig)
+	if len(exs[2].SharedFamily) != 2 || len(exs[2].SharedExact) != 0 || exs[2].PredSig != exs[0].PredSig {
+		t.Fatalf("constant variant: family %v exact %v, sig match %v",
+			exs[2].SharedFamily, exs[2].SharedExact, exs[2].PredSig == exs[0].PredSig)
 	}
 	if exs[0].Strategy != "aggindex" || exs[3].Strategy == exs[0].Strategy && exs[3].IndexKind == exs[0].IndexKind {
 		t.Fatalf("strategies: vwap %s/%s, eq %s/%s", exs[0].Strategy, exs[0].IndexKind, exs[3].Strategy, exs[3].IndexKind)
@@ -208,9 +209,12 @@ func TestServerCatalogRoundtrip(t *testing.T) {
 			t.Fatalf("query stats %d = %+v, want id %d applied %d", i, qs, exs[i].ID, len(events))
 		}
 	}
-	if st.Queries[0].SetID != st.Queries[1].SetID || st.Queries[0].SetID == st.Queries[2].SetID {
-		t.Fatalf("set ids %d/%d/%d break the sharing topology",
-			st.Queries[0].SetID, st.Queries[1].SetID, st.Queries[2].SetID)
+	// The two exact duplicates AND the constant variant collapse into one
+	// family set; the eq query keeps its own.
+	if st.Queries[0].SetID != st.Queries[1].SetID || st.Queries[0].SetID != st.Queries[2].SetID ||
+		st.Queries[0].SetID == st.Queries[3].SetID {
+		t.Fatalf("set ids %d/%d/%d/%d break the sharing topology",
+			st.Queries[0].SetID, st.Queries[1].SetID, st.Queries[2].SetID, st.Queries[3].SetID)
 	}
 
 	// Unregister the shared duplicate; the survivor keeps serving.

@@ -95,6 +95,16 @@ func EncodeExplain(buf []byte, ex catalog.Explain) []byte {
 	for _, id := range ex.SharedWith {
 		buf = le.AppendUint64(buf, uint64(id))
 	}
+	buf = le.AppendUint32(buf, uint32(len(ex.SharedExact)))
+	for _, id := range ex.SharedExact {
+		buf = le.AppendUint64(buf, uint64(id))
+	}
+	buf = le.AppendUint32(buf, uint32(len(ex.SharedFamily)))
+	for _, id := range ex.SharedFamily {
+		buf = le.AppendUint64(buf, uint64(id))
+	}
+	buf = le.AppendUint64(buf, ex.Since)
+	buf = le.AppendUint32(buf, uint32(ex.IngestSets))
 	return buf
 }
 
@@ -155,18 +165,26 @@ func decodeExplain(p []byte) (catalog.Explain, []byte, error) {
 		}
 		ex.Predicates = append(ex.Predicates, pr)
 	}
-	if len(p) < 4 {
-		return ex, nil, fmt.Errorf("wire: explain truncated before shared-with list")
+	for _, dst := range []*[]catalog.QueryID{&ex.SharedWith, &ex.SharedExact, &ex.SharedFamily} {
+		if len(p) < 4 {
+			return ex, nil, fmt.Errorf("wire: explain truncated before shared-with list")
+		}
+		sn := le.Uint32(p)
+		p = p[4:]
+		if sn > maxExplainQueries || int64(sn)*8 > int64(len(p)) {
+			return ex, nil, fmt.Errorf("wire: explain shared-with count %d overruns body", sn)
+		}
+		for i := uint32(0); i < sn; i++ {
+			*dst = append(*dst, catalog.QueryID(le.Uint64(p)))
+			p = p[8:]
+		}
 	}
-	sn := le.Uint32(p)
-	p = p[4:]
-	if sn > maxExplainQueries || int64(sn)*8 > int64(len(p)) {
-		return ex, nil, fmt.Errorf("wire: explain shared-with count %d overruns body", sn)
+	if len(p) < 12 {
+		return ex, nil, fmt.Errorf("wire: explain truncated before ingest summary")
 	}
-	for i := uint32(0); i < sn; i++ {
-		ex.SharedWith = append(ex.SharedWith, catalog.QueryID(le.Uint64(p)))
-		p = p[8:]
-	}
+	ex.Since = le.Uint64(p)
+	ex.IngestSets = int(le.Uint32(p[8:]))
+	p = p[12:]
 	return ex, p, nil
 }
 

@@ -20,6 +20,8 @@ func fuzzExplain() catalog.Explain {
 		Strategy: "aggindex", IndexKind: "rpai-arena", KeyCol: "price", SubOp: "<=", Agg: "sum",
 		PredSig: "0.? * SUM(volume) < SUM(volume WHERE price <= price)",
 		GroupBy: []string{"sym"}, Predicates: []string{"p0"}, SharedWith: []catalog.QueryID{1, 4},
+		SharedExact: []catalog.QueryID{1}, SharedFamily: []catalog.QueryID{4},
+		Since: 12, IngestSets: 3,
 	}
 }
 
