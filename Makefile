@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: test test-race bench bench-core batch experiments examples fuzz fuzz-smoke race recovery wire fanout matrix matrix-smoke catalog family bench-compare serve-demo lint
+.PHONY: test test-race bench bench-core batch experiments examples fuzz fuzz-smoke race recovery wire fanout matrix matrix-smoke catalog family sharing bench-compare serve-demo lint
 
 test:
 	go build ./... && go vet ./... && go test ./...
@@ -124,6 +124,32 @@ family:
 	go test -fuzz FuzzCatalogDifferential -fuzztime 10s -run '^$$' ./internal/catalog/
 	go run ./cmd/rpaibench -exp multi -quick -multi-out /tmp/rpai-family-new.json
 	go run ./cmd/rpaibench -compare BENCH_multi_baseline.json /tmp/rpai-family-new.json
+
+# CI's sharing job: the state/probe split end to end — StateKey/SplitResidual
+# and probe-lane bit-identity in the engine, aggregate and filtered variants
+# on one state set, retroactive fork-join attach with crash/recover and
+# rotation reuse, the v5 EXPLAIN cross-version codec, and the variant churn
+# race, all under -race; the extended catalog differential fuzz smoke; then a
+# quick multi run (all six arms) gated against the committed baseline at the
+# default 15% threshold.
+sharing:
+	go test -race -run 'StateKey|SplitResidual|ResultProbe|Variant|ForkAttach|RotationFork|CrossVersion|ChurnRace' \
+		./internal/engine/ ./internal/catalog/ ./internal/checkpoint/ ./internal/wire/...
+	go test -fuzz FuzzCatalogDifferential -fuzztime 10s -run '^$$' ./internal/catalog/
+	go run ./cmd/rpaibench -exp multi -quick -multi-out /tmp/rpai-sharing-new.json
+	go run ./cmd/rpaibench -compare BENCH_multi_baseline.json /tmp/rpai-sharing-new.json
+
+# Static analysis beyond `go vet`: formatting drift, staticcheck, and the
+# vulnerability scan. CI installs the two tools in its lint job; locally they
+# are skipped with a note when absent (this repo never installs tools for
+# you).
+lint:
+	test -z "$$(gofmt -l .)" || { gofmt -l .; exit 1; }
+	go vet ./...
+	@if command -v staticcheck >/dev/null; then staticcheck ./...; \
+		else echo "staticcheck not installed; skipping"; fi
+	@if command -v govulncheck >/dev/null; then govulncheck ./...; \
+		else echo "govulncheck not installed; skipping"; fi
 
 # Compare two benchmark reports: make bench-compare OLD=a.json NEW=b.json
 bench-compare:

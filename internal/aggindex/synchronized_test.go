@@ -242,4 +242,3 @@ func TestSynchronizedKindsConform(t *testing.T) {
 		}
 	}
 }
-

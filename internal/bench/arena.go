@@ -89,8 +89,8 @@ type ArenaServePoint struct {
 type ArenaReport struct {
 	Header
 	Config ArenaConfig       `json:"config"`
-	Tree       []ArenaPoint      `json:"tree"`
-	Serve      []ArenaServePoint `json:"serve,omitempty"`
+	Tree   []ArenaPoint      `json:"tree"`
+	Serve  []ArenaServePoint `json:"serve,omitempty"`
 }
 
 // arenaTreeOps is the subset of the tree API the mix exercises, implemented

@@ -83,7 +83,7 @@ type BatchNativePoint struct {
 type BatchNativeReport struct {
 	Header
 	Config BatchNativeConfig  `json:"config"`
-	Sweep      []BatchNativePoint `json:"sweep"`
+	Sweep  []BatchNativePoint `json:"sweep"`
 	// Serve is the pipelined end-to-end serve ablation (per-event Apply with
 	// the worker's own greedy batching), mirroring the arena report's serve
 	// section.

@@ -23,6 +23,7 @@ var metricDir = map[string]bool{ // true = higher is better
 	"ops_per_sec":      true,
 
 	"elapsed_ms":      false,
+	"rel_cost":        false,
 	"ingest_ms":       false,
 	"in_process_ms":   false,
 	"recovery_ms":     false,
@@ -53,8 +54,8 @@ var compareSkip = map[string]bool{
 
 // CompareRow is one metric of one matched measurement.
 type CompareRow struct {
-	Section  string  // top-level array the row came from ("" for top-level scalars)
-	Key      string  // identity of the measurement within the section
+	Section  string // top-level array the row came from ("" for top-level scalars)
+	Key      string // identity of the measurement within the section
 	Metric   string
 	Old, New float64
 	DeltaPct float64 // (new-old)/old * 100, sign as measured

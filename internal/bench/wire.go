@@ -22,11 +22,11 @@ import (
 // cost of the network hop: throughput and batch-ack latency per pool size,
 // with the results required to stay bit-identical to in-process serving.
 type WireConfig struct {
-	Events      int   `json:"events"`       // trace length
-	Partitions  int   `json:"partitions"`   // distinct partition keys
-	Shards      int   `json:"shards"`       // server-side shard count
-	Conns       []int `json:"conns"`        // client pool sizes to sweep
-	BatchSize   int   `json:"batch_size"`   // client batch size
+	Events      int   `json:"events"`        // trace length
+	Partitions  int   `json:"partitions"`    // distinct partition keys
+	Shards      int   `json:"shards"`        // server-side shard count
+	Conns       []int `json:"conns"`         // client pool sizes to sweep
+	BatchSize   int   `json:"batch_size"`    // client batch size
 	MaxInFlight int   `json:"max_in_flight"` // client per-conn pipeline depth
 	Seed        int64 `json:"seed"`
 	// Iters is the number of timed repetitions per pool size (default 1);
@@ -54,10 +54,10 @@ func DefaultWire() WireConfig {
 // WirePoint is one measured pool size.
 type WirePoint struct {
 	Conns         int     `json:"conns"`
-	IngestMS      float64 `json:"ingest_ms"`      // Apply..Drain wall clock
+	IngestMS      float64 `json:"ingest_ms"` // Apply..Drain wall clock
 	EventsPerSec  float64 `json:"events_per_sec"`
-	Batches       int     `json:"batches"`        // acknowledged batches
-	BatchP50US    float64 `json:"batch_p50_us"`   // batch ack latency percentiles
+	Batches       int     `json:"batches"`      // acknowledged batches
+	BatchP50US    float64 `json:"batch_p50_us"` // batch ack latency percentiles
 	BatchP99US    float64 `json:"batch_p99_us"`
 	Shed          uint64  `json:"shed"`           // server-side shed count (0 at these rates)
 	Result        float64 `json:"result"`         // cross-checked against in-process serving

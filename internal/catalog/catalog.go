@@ -16,26 +16,32 @@
 //     single-query serving layer (sharding, snapshots, coalescing push
 //     subscriptions) holds per registered query.
 //
-// Index sharing: registrations whose canonical query text matches share one
-// executor set — and therefore one set of aggregate indexes — provided the
-// existing set has not ingested any events yet (otherwise the late
-// registration would inherit history an independently-started service would
-// not have). Beyond exact matches, family-eligible queries (single-predicate
-// scalar aggregate-index strategies, see engine.FamilyKey) that differ ONLY
-// in their threshold constant also share: the constant is masked out of the
-// family key, the first such registration's executor set maintains the
-// relation state and RPAI indexes once, and every member's constant becomes
-// a fan lane (serve.SetFan) evaluated at read time — one tree descent serves
-// all K thresholds, bit-identical to K dedicated services. Explain reports
-// both kinds of sharing and the predicate-structure signature that makes
-// family sharing visible.
+// Index sharing is organized around the engine's StateSet/ProbePlan split: an
+// executor set is a *state set* — the maintained base-relation state and its
+// RPAI/aggregate indexes, owned by ingest — and each registration reads it
+// through a *probe plan* (engine.ProbeSpec): an outer aggregate kind, a
+// threshold constant, and an optional residual partition-column conjunct.
+// Registrations whose probe-eligible queries resolve to the same state
+// identity (engine.StateKey) share one set, whether they differ in threshold
+// constant, outer aggregate (SUM vs COUNT(*) vs AVG), or a residual filter
+// conjunct (engine.SplitResidual); COUNT(*) variants additionally attach
+// across aggregate terms, because the count index is term-independent. Each
+// member's plan becomes a probe lane (serve.SetProbes) evaluated at read
+// time against the shared indexes, bit-identical to a dedicated service.
+//
+// Sharing is retroactive: a variant registered after the set has ingested
+// events joins anyway and inherits the family's history — on a durable
+// catalog the join is committed by forking the set's state as a checkpoint
+// snapshot (so recovery restores the joined set from the fork instead of
+// replaying the family's earlier records). Explain reports the state/probe
+// split, both kinds of sharing, and the predicate-structure signature that
+// makes family sharing visible.
 package catalog
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -73,47 +79,57 @@ type Options struct {
 }
 
 // registration is one registered query: its ID, the SQL text as submitted,
-// and the executor set serving it (shared when another registration has the
-// same canonical form, or the same predicate family). famConst is the
-// query's threshold constant — the fan lane it reads when its set serves
-// multiple constants; meaningful only when set.famKey is non-empty.
+// and the executor set serving it. shared marks a probe-eligible query (its
+// reads go through spec, its probe plan against the set's shared state);
+// a non-shared registration reads the set's base result directly and shares
+// only with exact canonical duplicates.
 type registration struct {
-	id       QueryID
-	sql      string // original text, echoed in List/Explain
-	set      *execSet
-	plan     engine.Plan
-	canon    string
-	famConst float64
+	id     QueryID
+	sql    string // original text, echoed in List/Explain
+	set    *execSet
+	plan   engine.Plan
+	canon  string
+	shared bool
+	spec   engine.ProbeSpec
 }
 
-// execSet is one executor service plus the registrations it serves. since is
-// the number of catalog WAL records already written when the set was
-// created: the set's state reflects exactly the records [since, records),
-// which is what recovery replays into it.
+// execSet is one state set: an executor service owning maintained relation
+// state, plus the registrations probing it.
 //
-// ingested flips (permanently) when the set receives its first batch; both
-// sharing rules require !ingested, because a set with history cannot be
-// joined by a registration that must start from empty. The flag — not a
-// `since == records` comparison — is what stays sound across checkpoint
-// rotations, which reset both counters to zero.
-//
-// famKey/lanes/fanOn exist when the set's query is family-eligible: lanes
-// refcounts the member registrations per distinct threshold constant (keyed
-// by the constant's bit pattern, matching serve's lane addressing), and
-// fanOn records that serve.SetFan has installed the lanes — from then on
-// every member reads its own lane, because the base executor's constant is
-// just the founder's.
+//   - stateKey/baseKey are the set's sharing identities (engine.StateKey):
+//     stateKey admits any aggregate/threshold/residual variant over the same
+//     maintained state, baseKey additionally admits COUNT(*) variants across
+//     aggregate terms (empty when the state keeps no count side).
+//   - baseSQL is the founding query's SQL and q the query the executors
+//     actually run — the founder's query, except that AVG founders and
+//     COUNT founders without a count-side index run the SUM form (their own
+//     aggregate is served as a probe lane; see deriveState).
+//   - baseSpec is the probe plan equivalent to the base executor's Result;
+//     while every member's spec equals it, no lanes are installed and reads
+//     go through Result directly (fanOn false).
+//   - founded is the catalog's lifetime batch count when the set was
+//     created (the member history epoch Explain reports as StateSince);
+//     since is a current-generation WAL record index: the set's on-disk
+//     starting state (snapshot or empty) is current through it, and
+//     recovery replays records [since, records) into the set. A
+//     retroactive join advances since by forking the live state into a
+//     snapshot at snapDir (taken at record index snapAt).
 type execSet struct {
 	setID    uint64
 	canon    string
+	baseSQL  string
 	q        *query.Query
+	stateKey string
+	baseKey  string
+	baseSpec engine.ProbeSpec
 	svc      *serve.Service[engine.Event]
 	refs     map[QueryID]struct{}
 	since    uint64
-	ingested bool
-	famKey   string
-	lanes    map[uint64]int
+	founded  uint64
+	lanes    map[engine.ProbeSpec]int
 	fanOn    bool
+	snapDir  string
+	snapAt   uint64
 	rejected atomic.Uint64
 }
 
@@ -126,8 +142,9 @@ type Service struct {
 	// registration change (the alignment that keeps `since` exact).
 	mu       sync.RWMutex
 	regs     map[QueryID]*registration
-	sets     map[string]*execSet // canonical SQL -> newest set for that form
-	families map[string]*execSet // engine.FamilyKey -> newest family-eligible set
+	sets     map[string]*execSet // canonical SQL -> newest set serving that form
+	states   map[string]*execSet // engine.StateKey -> newest shared state set
+	baseKeys map[string]*execSet // masked StateKey -> newest count-attachable set
 	nextID   QueryID
 	nextSet  uint64
 	closed   bool
@@ -136,6 +153,7 @@ type Service struct {
 	// per-shard application order — the invariant recovery replay relies on.
 	ingestMu sync.Mutex
 	records  uint64 // WAL records written this generation (== batches applied)
+	applied  uint64 // lifetime batches applied, never reset — founding epochs
 
 	dur *durableState // nil for in-memory catalogs
 }
@@ -151,7 +169,8 @@ func New(opt Options) (*Service, error) {
 		opt:      opt,
 		regs:     make(map[QueryID]*registration),
 		sets:     make(map[string]*execSet),
-		families: make(map[string]*execSet),
+		states:   make(map[string]*execSet),
+		baseKeys: make(map[string]*execSet),
 		nextID:   1,
 		nextSet:  1,
 	}
@@ -169,9 +188,65 @@ func (s *Service) serveOptions() serve.Options {
 	return serve.Options{Shards: s.opt.Shards, QueueLen: s.opt.QueueLen, BatchSize: s.opt.BatchSize}
 }
 
+// deriveSpec computes a query's probe plan: directly (StateKey-eligible), or
+// after splitting off a residual partition-column conjunct.
+func deriveSpec(q *query.Query, partitionBy []string) (engine.ProbeSpec, bool) {
+	if _, _, sp, ok := engine.StateKey(q); ok {
+		return sp, true
+	}
+	if _, sp, ok := engine.SplitResidual(q, partitionBy); ok {
+		return sp, true
+	}
+	return engine.ProbeSpec{}, false
+}
+
+// deriveState resolves a founder query's sharing identity and the query its
+// state set's executors run. Probe-ineligible queries found private sets that
+// run the query verbatim (exec == q, empty keys). For probe-eligible ones the
+// keys come from the shareable base (the query minus any residual conjunct),
+// and exec is the founder's own query except when its outer aggregate cannot
+// anchor the base executor:
+//
+//   - AVG is not sum-decomposable across partitions (serve rejects it), and
+//   - COUNT on the count-free aggindex shape (baseKey == "") plans onto an
+//     executor without probe support;
+//
+// both run the SUM form instead — exact for COUNT, whose term there is the
+// constant 1 — and the founder reads its own aggregate as a probe lane.
+func deriveState(q *query.Query, partitionBy []string) (exec *query.Query, stateKey, baseKey string, spec engine.ProbeSpec, shared bool) {
+	stateKey, baseKey, spec, shared = engine.StateKey(q)
+	if !shared {
+		if b, sp, ok := engine.SplitResidual(q, partitionBy); ok {
+			spec, shared = sp, true
+			stateKey, baseKey, _, _ = engine.StateKey(b)
+		}
+	}
+	if !shared {
+		return q, "", "", engine.ProbeSpec{}, false
+	}
+	exec = q
+	if q.Outer == query.Avg || (q.Outer == query.Count && baseKey == "") {
+		cp := *q
+		cp.Outer = query.Sum
+		exec = &cp
+	}
+	return exec, stateKey, baseKey, spec, true
+}
+
 // Register parses, plans, and activates one query, returning its ID and
 // EXPLAIN output. A malformed or unsupported query fails with the parser's
 // positioned error or the planner's rejection; nothing is registered.
+//
+// Set resolution, most to least specific: an exact canonical match joins its
+// set outright; a probe-eligible query joins the newest set with the same
+// state identity; a COUNT(*) variant additionally joins the newest set whose
+// masked identity matches (the count index does not depend on the aggregate
+// term). Joining is retroactive — the set's ingest history is the member's
+// history (a late variant is the family's variant, not a fresh query) — and
+// on a durable catalog a late join first forks the set's live state into a
+// checkpoint snapshot, so recovery restores the member's set without
+// replaying the family's earlier WAL records. Only when nothing matches is a
+// fresh set founded.
 func (s *Service) Register(sql string) (QueryID, Explain, error) {
 	q, err := sqlparse.Parse(sql)
 	if err != nil {
@@ -182,7 +257,7 @@ func (s *Service) Register(sql string) (QueryID, Explain, error) {
 		return 0, Explain{}, err
 	}
 	canon := q.String()
-	famKey, famConst, famOK := engine.FamilyKey(q)
+	exec, stateKey, baseKey, spec, shared := deriveState(q, s.opt.PartitionBy)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -192,77 +267,87 @@ func (s *Service) Register(sql string) (QueryID, Explain, error) {
 	id := s.nextID
 	s.nextID++
 
-	// Join an existing set only while it is still empty: a set that has
-	// ingested events carries history this registration must not see. Exact
-	// canonical matches share outright; failing that, a family-eligible
-	// query joins the newest set with the same predicate structure — its
-	// threshold constant becomes one more fan lane on the shared indexes.
 	set := s.sets[canon]
-	if set != nil && set.ingested {
-		set = nil
-	}
-	if set == nil && famOK {
-		if fs := s.families[famKey]; fs != nil && !fs.ingested {
-			set = fs
+	if set == nil && shared {
+		set = s.states[stateKey]
+		if set == nil && spec.Kind == query.Count && baseKey != "" {
+			set = s.baseKeys[baseKey]
 		}
 	}
 	created := false
+	joinedFork := false
+	var oldSince uint64
 	if set == nil {
-		svc, err := serve.ForQuery(q, s.opt.PartitionBy, s.serveOptions())
+		svc, err := serve.ForQuery(exec, s.opt.PartitionBy, s.serveOptions())
 		if err != nil {
 			return 0, Explain{}, err
 		}
 		set = &execSet{
-			setID: s.nextSet,
-			canon: canon,
-			q:     q,
-			svc:   svc,
-			refs:  make(map[QueryID]struct{}),
-			since: s.records,
+			setID:    s.nextSet,
+			canon:    canon,
+			baseSQL:  sql,
+			q:        exec,
+			stateKey: stateKey,
+			baseKey:  baseKey,
+			svc:      svc,
+			refs:     make(map[QueryID]struct{}),
+			since:    s.records,
+			founded:  s.applied,
 		}
-		if famOK {
-			set.famKey = famKey
-			set.lanes = make(map[uint64]int)
+		if shared {
+			set.lanes = make(map[engine.ProbeSpec]int)
+			set.baseSpec = spec
+			set.baseSpec.Kind = exec.Outer
 		}
 		s.nextSet++
 		created = true
+	} else if s.dur != nil && set.since != s.records {
+		// Retroactive join of a set with unsnapshotted history: fork the live
+		// state into a checkpoint snapshot first, so the manifest can commit
+		// this member against state that exists on disk — recovery then
+		// restores the set from the fork instead of replaying the family's
+		// records [since, now).
+		if err := s.forkSetLocked(set); err != nil {
+			return 0, Explain{}, fmt.Errorf("catalog: fork set %d for late joiner: %w", set.setID, err)
+		}
+		joinedFork = true
+		oldSince = set.since
+		set.since = s.records
 	}
 	prevCanon, hadCanon := s.sets[canon]
-	var prevFam *execSet
-	var hadFam bool
-	if set.famKey != "" {
-		prevFam, hadFam = s.families[set.famKey]
-	}
-	// A family join registers the member's canonical form too, so a later
-	// exact duplicate of this member finds the set directly.
+	// A join registers the member's canonical form too, so a later exact
+	// duplicate of this member finds the set directly. The state maps are
+	// touched only at founding: joins found them populated (with this set or
+	// a newer one), and the newest set keeps winning.
 	s.sets[canon] = set
-	if set.famKey != "" {
-		s.families[set.famKey] = set
+	if created && shared {
+		s.states[stateKey] = set
+		if baseKey != "" {
+			s.baseKeys[baseKey] = set
+		}
 	}
 	set.refs[id] = struct{}{}
 	newLane := false
-	if set.famKey != "" {
-		bits := math.Float64bits(famConst)
-		set.lanes[bits]++
-		newLane = set.lanes[bits] == 1
+	if shared {
+		set.lanes[spec]++
+		newLane = set.lanes[spec] == 1
 	}
-	reg := &registration{id: id, sql: sql, set: set, plan: plan, canon: canon, famConst: famConst}
+	reg := &registration{id: id, sql: sql, set: set, plan: plan, canon: canon, shared: shared, spec: spec}
 	s.regs[id] = reg
 
 	// Roll back: an unpersisted or unservable registration must not serve.
+	// A fork snapshot already written stays on disk (snapDir/snapAt describe
+	// physical state); it is reused by the next joiner or swept at rotation.
 	rollback := func() {
 		delete(s.regs, id)
 		delete(set.refs, id)
-		if set.famKey != "" {
-			bits := math.Float64bits(famConst)
-			if set.lanes[bits]--; set.lanes[bits] == 0 {
-				delete(set.lanes, bits)
+		if shared {
+			if set.lanes[spec]--; set.lanes[spec] == 0 {
+				delete(set.lanes, spec)
 			}
-			if hadFam {
-				s.families[set.famKey] = prevFam
-			} else {
-				delete(s.families, set.famKey)
-			}
+		}
+		if joinedFork {
+			set.since = oldSince
 		}
 		if hadCanon {
 			s.sets[canon] = prevCanon
@@ -270,6 +355,12 @@ func (s *Service) Register(sql string) (QueryID, Explain, error) {
 			delete(s.sets, canon)
 		}
 		if created {
+			if shared {
+				delete(s.states, stateKey)
+				if baseKey != "" {
+					delete(s.baseKeys, baseKey)
+				}
+			}
 			set.svc.Close()
 		}
 	}
@@ -279,11 +370,11 @@ func (s *Service) Register(sql string) (QueryID, Explain, error) {
 			return 0, Explain{}, err
 		}
 	}
-	// The set now serves a second (or later) distinct constant: install every
-	// member's lane. The set is empty here — the join rule admits members
-	// only before ingest — so the re-evaluation is cheap, and SetFan+Drain
-	// publishing before Register returns means lane reads work immediately.
-	if newLane && len(set.lanes) > 1 {
+	// The member's probe plan is new to the set: (re)install the lane layout.
+	// installLanesLocked publishes before returning, so lane reads work the
+	// moment Register does; it is a no-op while every member still reads the
+	// base result.
+	if newLane {
 		if err := s.installLanesLocked(set); err != nil {
 			rollback()
 			var merr error
@@ -296,15 +387,34 @@ func (s *Service) Register(sql string) (QueryID, Explain, error) {
 	return id, s.explainLocked(reg), nil
 }
 
-// installLanesLocked (re)installs an executor set's fan lanes from its lane
-// refcounts and waits for the carrying publication, so lane reads are valid
-// the moment the caller returns. Callers hold mu for write.
+// installLanesLocked reconciles an executor set's probe lanes with its
+// members' plans and waits for the carrying publication, so lane reads are
+// valid the moment the caller returns. While every member's spec is the base
+// executor's own (baseSpec), lanes are torn down and reads go through Result.
+// Callers hold mu for write.
 func (s *Service) installLanesLocked(set *execSet) error {
-	consts := make([]float64, 0, len(set.lanes))
-	for bits := range set.lanes {
-		consts = append(consts, math.Float64frombits(bits))
+	specs := make([]engine.ProbeSpec, 0, len(set.lanes))
+	allBase := true
+	for sp := range set.lanes {
+		specs = append(specs, sp)
+		if sp != set.baseSpec {
+			allBase = false
+		}
 	}
-	if err := set.svc.SetFan(consts); err != nil {
+	if allBase {
+		if !set.fanOn {
+			return nil
+		}
+		if err := set.svc.SetProbes(nil); err != nil {
+			return err
+		}
+		if err := set.svc.Drain(); err != nil {
+			return err
+		}
+		set.fanOn = false
+		return nil
+	}
+	if err := set.svc.SetProbes(specs); err != nil {
 		return err
 	}
 	if err := set.svc.Drain(); err != nil {
@@ -318,7 +428,11 @@ func (s *Service) installLanesLocked(set *execSet) error {
 // registration leaves; while co-tenants remain, the set — its relation
 // state, indexes, and the lanes other members read — stays fully intact,
 // and only the departing member's lane is retired (once no other member
-// shares its constant).
+// shares its probe plan). The unregistration itself is committed under the
+// catalog lock before any lane work; a lane-shrink failure is returned (per
+// shard, joined) but leaves only an extra installed lane that no reader
+// consults — correctness is unaffected, and the next lane change retries the
+// shrink.
 func (s *Service) Unregister(id QueryID) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -333,30 +447,37 @@ func (s *Service) Unregister(id QueryID) error {
 	delete(s.regs, id)
 	delete(set.refs, id)
 	laneFreed := false
-	var bits uint64
-	if set.famKey != "" {
-		bits = math.Float64bits(reg.famConst)
-		if set.lanes[bits]--; set.lanes[bits] == 0 {
-			delete(set.lanes, bits)
+	if reg.shared {
+		if set.lanes[reg.spec]--; set.lanes[reg.spec] == 0 {
+			delete(set.lanes, reg.spec)
 			laneFreed = true
 		}
 	}
 	var orphan *execSet
 	var removedCanons []string
-	famRemoved := false
+	var removedStates, removedBases []string
 	if len(set.refs) == 0 {
 		orphan = set
-		// Family members registered their own canonical forms against this
-		// set; drop every alias, not just the departing member's.
+		// Members registered their own canonical forms against this set; drop
+		// every alias — canonical, state-identity, and masked-identity — not
+		// just the departing member's.
 		for c, st := range s.sets {
 			if st == orphan {
 				removedCanons = append(removedCanons, c)
 				delete(s.sets, c)
 			}
 		}
-		if orphan.famKey != "" && s.families[orphan.famKey] == orphan {
-			delete(s.families, orphan.famKey)
-			famRemoved = true
+		for k, st := range s.states {
+			if st == orphan {
+				removedStates = append(removedStates, k)
+				delete(s.states, k)
+			}
+		}
+		for k, st := range s.baseKeys {
+			if st == orphan {
+				removedBases = append(removedBases, k)
+				delete(s.baseKeys, k)
+			}
 		}
 	}
 	if s.dur != nil {
@@ -364,25 +485,33 @@ func (s *Service) Unregister(id QueryID) error {
 			// Roll back so the manifest and the live table agree.
 			s.regs[id] = reg
 			set.refs[id] = struct{}{}
-			if set.famKey != "" {
-				set.lanes[bits]++
+			if reg.shared {
+				set.lanes[reg.spec]++
 			}
 			for _, c := range removedCanons {
 				s.sets[c] = set
 			}
-			if famRemoved {
-				s.families[orphan.famKey] = orphan
+			for _, k := range removedStates {
+				s.states[k] = set
+			}
+			for _, k := range removedBases {
+				s.baseKeys[k] = set
 			}
 			return err
 		}
 	}
 	if orphan != nil {
 		orphan.svc.Close()
-	} else if laneFreed && set.fanOn {
-		// Shrink the fan to the surviving members' lanes. Best-effort: a
-		// failure leaves one stale lane behind, which costs a probe per
-		// commit but serves no reader and stays correct.
-		_ = s.installLanesLocked(set)
+		return nil
+	}
+	if laneFreed {
+		// Shrink the lane layout to the surviving members' plans. The
+		// departing registration is already committed; a shard that fails to
+		// shrink keeps serving one extra (correct, unread) lane, and the
+		// joined per-shard errors say which.
+		if err := s.installLanesLocked(set); err != nil {
+			return fmt.Errorf("catalog: query %d unregistered, but shrinking set %d's probe lanes failed (an unread lane may remain installed): %w", id, set.setID, err)
+		}
 	}
 	return nil
 }
@@ -459,13 +588,9 @@ func (s *Service) ApplyBatch(events []engine.Event) error {
 		}
 	}
 	s.records++
+	s.applied++
 	var first error
 	for _, set := range s.distinctSetsLocked() {
-		// The set now carries history, so it is permanently closed to new
-		// joiners. Written under ingestMu (writers serialized) and read only
-		// under the write lock (which excludes ingest), so the flag needs no
-		// atomics.
-		set.ingested = true
 		if err := set.svc.ApplyBatch(events); err != nil {
 			set.rejected.Add(uint64(len(events)))
 			if first == nil {
@@ -527,9 +652,10 @@ func decodeBatchRecord(rec []byte, dec *engine.EventDecoder, fn func(e engine.Ev
 	return nil
 }
 
-// Result returns a query's scalar result (the sum across shards). A family
-// member reads its own fan lane, not the set's base result — the base
-// executor carries the founder's constant.
+// Result returns a query's scalar result (the sum across shards). A shared
+// member whose set serves lanes reads its own probe lane, not the set's base
+// result — the base executor runs the founder's plan; while lanes are down
+// (every member's plan IS the base plan), Result is the lane.
 func (s *Service) Result(id QueryID) (float64, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -537,10 +663,10 @@ func (s *Service) Result(id QueryID) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	if reg.set.fanOn {
-		v, ok := reg.set.svc.FanResult(reg.famConst)
+	if reg.shared && reg.set.fanOn {
+		v, ok := reg.set.svc.ProbeResult(reg.spec)
 		if !ok {
-			return 0, fmt.Errorf("catalog: query %d: fan lane %v not published", id, reg.famConst)
+			return 0, fmt.Errorf("catalog: query %d: probe lane %s not published", id, reg.spec)
 		}
 		return v, nil
 	}
@@ -548,7 +674,8 @@ func (s *Service) Result(id QueryID) (float64, error) {
 }
 
 // ResultGrouped returns a query's grouped results, merged and sorted across
-// shards. Family members read their fan lane's per-partition values.
+// shards. Shared members read their probe lane's per-partition values (AVG
+// lanes finish per partition — each group its partition's exact average).
 func (s *Service) ResultGrouped(id QueryID) ([]engine.GroupResult, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -556,10 +683,10 @@ func (s *Service) ResultGrouped(id QueryID) ([]engine.GroupResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	if reg.set.fanOn {
-		g, ok := reg.set.svc.FanResultGrouped(reg.famConst)
+	if reg.shared && reg.set.fanOn {
+		g, ok := reg.set.svc.ProbeResultGrouped(reg.spec)
 		if !ok {
-			return nil, fmt.Errorf("catalog: query %d: fan lane %v not published", id, reg.famConst)
+			return nil, fmt.Errorf("catalog: query %d: probe lane %s not published", id, reg.spec)
 		}
 		return g, nil
 	}
@@ -567,7 +694,7 @@ func (s *Service) ResultGrouped(id QueryID) ([]engine.GroupResult, error) {
 }
 
 // Subscribe attaches a push subscription to one query's delta stream. A
-// family member's subscription is pinned to its fan lane, so frames carry
+// shared member's subscription is pinned to its probe lane, so frames carry
 // the member's own results.
 func (s *Service) Subscribe(id QueryID, opt serve.SubOptions) (*serve.Subscription, error) {
 	s.mu.RLock()
@@ -576,9 +703,9 @@ func (s *Service) Subscribe(id QueryID, opt serve.SubOptions) (*serve.Subscripti
 	if err != nil {
 		return nil, err
 	}
-	if reg.set.fanOn {
-		c := reg.famConst
-		opt.FanConst = &c
+	if reg.shared && reg.set.fanOn {
+		sp := reg.spec
+		opt.Probe = &sp
 	}
 	return reg.set.svc.Subscribe(opt)
 }

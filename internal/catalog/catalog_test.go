@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"sort"
 	"testing"
 	"time"
 
@@ -117,11 +118,14 @@ func TestCatalogRegisterSharingExplain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ex1.Strategy != "aggindex" || ex1.IndexKind != "rpai-arena" || ex1.KeyCol != "price" {
+	if ex1.Strategy != "relstate" || ex1.IndexKind != "rpai-arena" || ex1.KeyCol != "price" {
 		t.Fatalf("vwap explain = %+v", ex1)
 	}
 	if len(ex1.SharedWith) != 0 {
 		t.Fatalf("first registration shares: %v", ex1.SharedWith)
+	}
+	if ex1.StateKey == "" || ex1.Probe != "sum@0.75" {
+		t.Fatalf("vwap state/probe split = %q / %q", ex1.StateKey, ex1.Probe)
 	}
 
 	// Same canonical form, still no ingest: must share the executor set.
@@ -169,16 +173,20 @@ func TestCatalogRegisterSharingExplain(t *testing.T) {
 		t.Fatalf("nested explain = %+v", ex5)
 	}
 
-	// After ingest the vwap set has history: a new identical registration
-	// must NOT join it.
+	// Joining is retroactive: a registration arriving after ingest still
+	// joins its set and inherits the family's history — it is the family's
+	// variant, not a fresh query starting from empty.
 	events := catEvents(3, 200, 5)
 	applyBatches(t, events, 32, cat.ApplyBatch)
 	idLate, exLate, err := cat.Register(sqlVWAP)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(exLate.SharedWith) != 0 {
-		t.Fatalf("post-ingest registration shares: %v", exLate.SharedWith)
+	if len(exLate.SharedWith) != 3 {
+		t.Fatalf("post-ingest registration shares with %v, want the three vwap ids", exLate.SharedWith)
+	}
+	if exLate.StateSince != 0 {
+		t.Fatalf("late joiner's StateSince = %d, want the family's founding epoch 0", exLate.StateSince)
 	}
 	if err := cat.DrainAll(); err != nil {
 		t.Fatal(err)
@@ -198,11 +206,8 @@ func TestCatalogRegisterSharingExplain(t *testing.T) {
 	if r1 != r2 {
 		t.Fatalf("shared registrations disagree: %v vs %v", r1, r2)
 	}
-	if r1 != 0 && rLate == r1 {
-		t.Fatal("post-ingest registration inherited pre-registration history")
-	}
-	if rLate != 0 {
-		t.Fatalf("post-ingest registration saw events from before it existed: %v", rLate)
+	if rLate != r1 {
+		t.Fatalf("retroactive joiner reads %v, family reads %v", rLate, r1)
 	}
 
 	// List is ordered by ID and Unregister of one sharer keeps the set alive.
@@ -239,7 +244,7 @@ func TestCatalogRejectsBadQueries(t *testing.T) {
 	}
 	defer cat.Close()
 	var pe *sqlparse.ParseError
-	if _, _, err := cat.Register("SELECT COUNT(*) FROM r a"); !errors.As(err, &pe) {
+	if _, _, err := cat.Register("SELECT MIN(a.price) FROM r a"); !errors.As(err, &pe) {
 		t.Fatalf("bad SQL error = %v", err)
 	}
 	if cat.Len() != 0 {
@@ -417,10 +422,23 @@ func TestCatalogRecover(t *testing.T) {
 	if err := cat.Checkpoint(); err != nil {
 		t.Fatal(err)
 	}
-	// A query registered after the checkpoint recovers from the WAL alone.
+	// A constant variant registered after the checkpoint joins the vwap state
+	// set (its snapshot is current, so no fork is needed); a structurally new
+	// query founds a set with no snapshot directory and recovers from the WAL
+	// suffix alone.
 	idLate, _, err := cat.Register(sqlVWAP90)
 	if err != nil {
 		t.Fatal(err)
+	}
+	const sqlNested40 = `SELECT SUM(b.volume) FROM bids b
+WHERE b.volume > 0.001 * (SELECT SUM(b1.volume) FROM bids b1)
+AND 0.4 * (SELECT COUNT(*) FROM bids b2) <= (SELECT COUNT(*) FROM bids b3 WHERE b3.price <= b.price)`
+	idFresh, exFresh, err := cat.Register(sqlNested40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exFresh.SharedWith) != 0 {
+		t.Fatalf("structurally new query shares: %v", exFresh.SharedWith)
 	}
 	applyBatches(t, post, 48, cat.ApplyBatch)
 	if err := cat.DrainAll(); err != nil {
@@ -429,7 +447,7 @@ func TestCatalogRecover(t *testing.T) {
 
 	want := map[QueryID]float64{}
 	wantG := map[QueryID][]engine.GroupResult{}
-	for _, id := range append(append([]QueryID{}, ids...), idLate) {
+	for _, id := range append(append([]QueryID{}, ids...), idLate, idFresh) {
 		if want[id], err = cat.Result(id); err != nil {
 			t.Fatal(err)
 		}
@@ -447,15 +465,17 @@ func TestCatalogRecover(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		if rec.Len() != len(sqls)+1 {
-			t.Fatalf("%s: recovered %d registrations, want %d", name, rec.Len(), len(sqls)+1)
+		if rec.Len() != len(sqls)+2 {
+			t.Fatalf("%s: recovered %d registrations, want %d", name, rec.Len(), len(sqls)+2)
 		}
-		// Sharing survives: the two vwap registrations still explain each other.
+		// Sharing survives: the two vwap registrations still explain each
+		// other, and the post-checkpoint constant variant that joined their
+		// state set retroactively is still a member.
 		ex, err := rec.Get(ids[0])
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		if len(ex.SharedWith) != 1 || ex.SharedWith[0] != ids[1] {
+		if len(ex.SharedWith) != 2 || ex.SharedWith[0] != ids[1] || ex.SharedWith[1] != idLate {
 			t.Fatalf("%s: recovered sharing = %v", name, ex.SharedWith)
 		}
 		for id, w := range want {
@@ -681,10 +701,10 @@ func writeCatalogV1(t *testing.T, dir string, nextID, nextSet uint64, partitionB
 
 // TestCatalogRecoverV1Manifest recovers a directory written by the
 // pre-family manifest format: a version-1 CATALOG where the two constant
-// variants occupy separate executor sets and carry no family fields.
-// Recovery must accept it, re-derive family membership and lane constants
-// from each entry's SQL, keep the v1 set topology (no retroactive merging —
-// both sets carry history), and serve bit-identical results.
+// variants occupy separate executor sets and carry no plan fields.
+// Recovery must accept it, re-derive each member's probe plan from its SQL,
+// keep the persisted set topology (recovery never merges sets — only new
+// registrations join retroactively), and serve bit-identical results.
 func TestCatalogRecoverV1Manifest(t *testing.T) {
 	dir := t.TempDir()
 	events := catEvents(47, 400, 7)
@@ -774,23 +794,318 @@ func TestCatalogRecoverV1Manifest(t *testing.T) {
 		t.Fatal("constant variants lost their shared predicate signature")
 	}
 
-	// The recovered catalog keeps serving: a new constant variant founds a
-	// fresh set (the recovered ones carry history, so no join is sound), and
-	// continued ingest stays readable everywhere.
+	// The recovered catalog keeps serving: a new constant variant joins the
+	// newest recovered family set retroactively — inheriting its history —
+	// and continued ingest stays readable everywhere.
 	id4, ex4, err := rec.Register(sqlVWAP60)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ex4.SharedWith) != 0 {
-		t.Fatalf("late variant joined an ingested set: shared with %v", ex4.SharedWith)
+	if len(ex4.SharedWith) != 1 || ex4.SharedWith[0] != 2 {
+		t.Fatalf("late variant sharing = %v, want the newest family set's member [2]", ex4.SharedWith)
 	}
-	applyBatches(t, catEvents(53, 80, 7), 16, rec.ApplyBatch)
+	more := catEvents(53, 80, 7)
+	applyBatches(t, more, 16, rec.ApplyBatch)
 	if err := rec.DrainAll(); err != nil {
 		t.Fatal(err)
 	}
-	for _, id := range []QueryID{1, 2, 3, id4} {
+	for _, id := range []QueryID{1, 2, 3} {
 		if _, err := rec.Result(id); err != nil {
 			t.Fatal(err)
 		}
+	}
+	// The retroactive joiner reads the full trace, v1-era history included.
+	ref, err := serve.ForQuery(mustParse(t, sqlVWAP60), []string{"sym"}, serve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	if err := ref.ApplyBatch(events); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.ApplyBatch(more); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := rec.Result(id4); err != nil || got != ref.Result() {
+		t.Fatalf("late variant recovered %v (%v), reference %v", got, err, ref.Result())
+	}
+}
+
+// TestCatalogAggregateVariants pins aggregate-variant sharing: SUM, COUNT(*)
+// and AVG over the same predicate run as three probe plans on ONE state set,
+// each bit-identical in grouped form to a dedicated engine executor.
+func TestCatalogAggregateVariants(t *testing.T) {
+	const sqlCount = `SELECT COUNT(*) FROM bids b
+WHERE 0.75 * (SELECT SUM(b1.volume) FROM bids b1)
+      < (SELECT SUM(b2.volume) FROM bids b2 WHERE b2.price <= b.price)`
+	const sqlAvg = `SELECT AVG(b.price * b.volume) FROM bids b
+WHERE 0.75 * (SELECT SUM(b1.volume) FROM bids b1)
+      < (SELECT SUM(b2.volume) FROM bids b2 WHERE b2.price <= b.price)`
+	cat, err := New(Options{PartitionBy: []string{"sym"}, Shards: 2, BatchSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cat.Close()
+
+	idSum, exSum, err := cat.Register(sqlVWAP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idCnt, exCnt, err := cat.Register(sqlCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idAvg, exAvg, err := cat.Register(sqlAvg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exCnt.StateKey != exSum.StateKey || exAvg.StateKey != exSum.StateKey {
+		t.Fatalf("aggregate variants did not share state: %q / %q / %q",
+			exSum.StateKey, exCnt.StateKey, exAvg.StateKey)
+	}
+	if exCnt.Probe != "count@0.75" || exAvg.Probe != "avg@0.75" {
+		t.Fatalf("variant probes = %q / %q", exCnt.Probe, exAvg.Probe)
+	}
+	stats := cat.Stats()
+	if stats[0].SetID != stats[1].SetID || stats[0].SetID != stats[2].SetID {
+		t.Fatalf("aggregate variants occupy sets %d/%d/%d, want one set",
+			stats[0].SetID, stats[1].SetID, stats[2].SetID)
+	}
+
+	events := catEvents(61, 500, 6)
+	applyBatches(t, events, 32, cat.ApplyBatch)
+	if err := cat.DrainAll(); err != nil {
+		t.Fatal(err)
+	}
+	for id, sql := range map[QueryID]string{idSum: sqlVWAP, idCnt: sqlCount, idAvg: sqlAvg} {
+		gotG, err := cat.ResultGrouped(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantG := engineGrouped(t, sql, events)
+		if !groupsEqual(gotG, wantG) {
+			t.Fatalf("query %d (%s) grouped results diverged from dedicated executors", id, sql[:20])
+		}
+	}
+	// Ingest fans out once: one set, one application per batch.
+	if n := cat.List()[0].IngestSets; n != 1 {
+		t.Fatalf("IngestSets = %d, want 1", n)
+	}
+}
+
+// engineGrouped evaluates sql per sym partition with dedicated engine
+// executors — the ground truth grouped result for any aggregate, including
+// top-level AVG (which the partitioned serving layer cannot run directly).
+func engineGrouped(t *testing.T, sql string, events []engine.Event) []engine.GroupResult {
+	t.Helper()
+	q := mustParse(t, sql)
+	execs := map[float64]engine.Executor{}
+	var keys []float64
+	for _, e := range events {
+		k := e.Tuple["sym"]
+		ex, ok := execs[k]
+		if !ok {
+			var err error
+			ex, err = engine.New(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			execs[k] = ex
+			keys = append(keys, k)
+		}
+		ex.Apply(e)
+	}
+	sort.Float64s(keys)
+	out := make([]engine.GroupResult, 0, len(execs))
+	for _, k := range keys {
+		out = append(out, engine.GroupResult{Key: []float64{k}, Value: execs[k].Result()})
+	}
+	return out
+}
+
+// TestCatalogFilteredVariants pins filtered-variant sharing: a query carrying
+// one extra bare partition-column conjunct joins the unfiltered query's state
+// set, the conjunct becoming a residual probe-time gate.
+func TestCatalogFilteredVariants(t *testing.T) {
+	const sqlFiltered = `SELECT SUM(b.price * b.volume) FROM bids b
+WHERE b.sym > 2
+AND 0.75 * (SELECT SUM(b1.volume) FROM bids b1)
+      < (SELECT SUM(b2.volume) FROM bids b2 WHERE b2.price <= b.price)`
+	cat, err := New(Options{PartitionBy: []string{"sym"}, Shards: 2, BatchSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cat.Close()
+	idBase, exBase, err := cat.Register(sqlVWAP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idFil, exFil, err := cat.Register(sqlFiltered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exFil.StateKey != exBase.StateKey {
+		t.Fatalf("filtered variant did not share state: %q vs %q", exFil.StateKey, exBase.StateKey)
+	}
+	if exFil.Residual != "sym > 2" || exFil.Probe != "sum@0.75 | sym > 2" {
+		t.Fatalf("filtered variant split = probe %q residual %q", exFil.Probe, exFil.Residual)
+	}
+	if len(exFil.SharedWith) != 1 || exFil.SharedWith[0] != idBase {
+		t.Fatalf("filtered variant sharing = %v", exFil.SharedWith)
+	}
+
+	events := catEvents(67, 500, 6)
+	applyBatches(t, events, 32, cat.ApplyBatch)
+	if err := cat.DrainAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Bit-identical to a dedicated service running the filtered query whole.
+	ref, err := serve.ForQuery(mustParse(t, sqlFiltered), []string{"sym"}, serve.Options{Shards: 2, BatchSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	if err := ref.ApplyBatch(events); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := cat.Result(idFil); err != nil || got != ref.Result() {
+		t.Fatalf("filtered lane reads %v (%v), dedicated service %v", got, err, ref.Result())
+	}
+	gotG, err := cat.ResultGrouped(idFil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !groupsEqual(gotG, ref.ResultGrouped()) {
+		t.Fatal("filtered lane grouped results diverged from dedicated service")
+	}
+	if _, err := cat.Result(idBase); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCatalogForkAttachRecover pins the checkpoint-fork join path: a late
+// variant attaching to a durable ingested set forks the set's live state as
+// a snapshot, and recovery restores the joined set from that fork — without
+// replaying the family's earlier WAL records — bit-identically.
+func TestCatalogForkAttachRecover(t *testing.T) {
+	dir := t.TempDir()
+	cat, err := New(Options{PartitionBy: []string{"sym"}, Shards: 2, BatchSize: 16, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id1, _, err := cat.Register(sqlVWAP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := catEvents(71, 600, 6)
+	pre, post := events[:400], events[400:]
+	applyBatches(t, pre, 40, cat.ApplyBatch)
+
+	// The late joiner arrives mid-history: its attach must fork the set.
+	id2, ex2, err := cat.Register(sqlVWAP90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex2.SharedWith) != 1 || ex2.SharedWith[0] != id1 {
+		t.Fatalf("late joiner sharing = %v", ex2.SharedWith)
+	}
+	if ex2.Since == 0 {
+		t.Fatal("late joiner's set Since still 0: the attach did not advance past the fork")
+	}
+	forks, err := filepath.Glob(filepath.Join(dir, "g1", "s*-f*"))
+	if err != nil || len(forks) != 1 {
+		t.Fatalf("fork snapshot dirs = %v (%v), want exactly one", forks, err)
+	}
+	applyBatches(t, post, 40, cat.ApplyBatch)
+	if err := cat.DrainAll(); err != nil {
+		t.Fatal(err)
+	}
+	want1, err := cat.Result(id1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want2, err := cat.Result(id2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crash := crashCopy(t, dir)
+	if err := cat.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := Recover(Options{Dir: crash, Shards: 2, BatchSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	for id, want := range map[QueryID]float64{id1: want1, id2: want2} {
+		if got, err := rec.Result(id); err != nil || got != want {
+			t.Fatalf("query %d recovered %v (%v), want %v", id, got, err, want)
+		}
+	}
+	// Both lanes still equal dedicated services over the full trace.
+	for id, sql := range map[QueryID]string{id1: sqlVWAP, id2: sqlVWAP90} {
+		ref, err := serve.ForQuery(mustParse(t, sql), []string{"sym"}, serve.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.ApplyBatch(events); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		if got, _ := rec.Result(id); got != ref.Result() {
+			t.Fatalf("query %d: recovered %v, dedicated %v", id, got, ref.Result())
+		}
+		ref.Close()
+	}
+}
+
+// TestCatalogRotationForkReuse pins the rotation fast path: when a set's
+// fork snapshot already reflects every WAL record, Checkpoint carries it
+// into the next generation with checkpoint.Fork (a byte clone) instead of
+// re-serializing, and the rotated directory still recovers bit-identically.
+func TestCatalogRotationForkReuse(t *testing.T) {
+	dir := t.TempDir()
+	cat, err := New(Options{PartitionBy: []string{"sym"}, BatchSize: 16, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cat.Register(sqlVWAP); err != nil {
+		t.Fatal(err)
+	}
+	events := catEvents(73, 300, 5)
+	applyBatches(t, events, 30, cat.ApplyBatch)
+	// Attach forks at the current record index; no further ingest, so the
+	// following rotation can clone the fork instead of snapshotting again.
+	id2, _, err := cat.Register(sqlVWAP90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	want, err := cat.Result(id2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crash := crashCopy(t, dir)
+	if err := cat.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recover(Options{Dir: crash})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if got, err := rec.Result(id2); err != nil || got != want {
+		t.Fatalf("recovered %v (%v), want %v", got, err, want)
 	}
 }

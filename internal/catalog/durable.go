@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
-	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -18,37 +17,56 @@ import (
 
 // On-disk layout of a durable catalog directory (generation G):
 //
-//	CATALOG             registration manifest (tmp+rename, CRC record)
-//	g<G>-shard-0.wal    the shared ingest WAL: ONE record per applied batch
-//	g<G>/s<setID>/      one standalone serve checkpoint per executor set
+//	CATALOG                 registration manifest (tmp+rename, CRC record)
+//	g<G>-shard-0.wal        the shared ingest WAL: ONE record per applied batch
+//	g<G>/s<setID>/          one standalone serve checkpoint per executor set
+//	g<G>/s<setID>-f<R>/     a fork snapshot of the set, taken at WAL record R
 //
 // The CATALOG manifest maps every registered QueryID to its SQL, its
-// executor-set ID, and `since` — the WAL record index the set's snapshot
-// state is current through. Recovery re-registers everything from the
-// manifest, restores each set from its snapshot directory, then replays the
-// shared WAL: record i goes to every set with since <= i, which is exactly
-// the fan-out the live catalog performed. A set registered after the last
-// checkpoint has no snapshot directory and recovers from its WAL suffix
-// alone.
+// executor-set ID, its probe plan, and `since` — the WAL record index the
+// set's snapshot state is current through. Recovery re-registers everything
+// from the manifest, restores each set from its snapshot directory, then
+// replays the shared WAL: record i goes to every set with since <= i, which
+// is exactly the fan-out the live catalog performed. A set registered after
+// the last checkpoint has no snapshot directory and recovers from its WAL
+// suffix alone.
+//
+// Fork snapshots are how a late joiner attaches durably: the set's live
+// state is checkpointed under g<G>/s<setID>-f<R> (R = the record count at
+// the join), and the manifest swap that commits the new member also advances
+// the set's since to R — so recovery restores the joined set from the fork
+// instead of replaying the family's earlier records. The record index in the
+// directory name makes the fork inert until a manifest references it: a
+// crash between the fork and the manifest swap recovers through the old
+// manifest, which points at the old state, and the orphaned fork directory
+// is swept with its generation at the next rotation.
 //
 // Checkpoint rotates generations in the crash-safe order the single-query
-// layer established: drain and snapshot every set under g<G+1>/, create the
-// g<G+1> WAL, swap the CATALOG manifest (the commit point), then delete
-// generation G. A crash anywhere before the swap recovers from G; after it,
-// from G+1.
+// layer established: drain and snapshot every set under g<G+1>/ (cloning a
+// set's current fork snapshot with checkpoint.Fork instead of
+// re-serializing, when one is current), create the g<G+1> WAL, swap the
+// CATALOG manifest (the commit point), then delete generation G. A crash
+// anywhere before the swap recovers from G; after it, from G+1.
 
 const (
 	// catalogName is the manifest file.
 	catalogName = "CATALOG"
 	// catalogMagic brands the manifest; catalogVersion the record format.
-	// Version 2 adds a flags byte and the threshold constant to each entry
-	// (family membership); version-1 manifests still decode — family data is
-	// re-derived from each entry's SQL at recovery.
+	// Version 3 records each entry's full probe plan (aggregate kind and
+	// residual conjunct beyond version 2's threshold constant), the set's
+	// founding SQL and founding record index, and the catalog's lifetime
+	// batch counter. Version-2 manifests decode with SUM plans (all v2
+	// sharing was threshold-only); version-1 manifests re-derive plans from
+	// each entry's SQL at recovery.
 	catalogMagic   = "RPCG"
-	catalogVersion = 2
-	// entryFamily marks a version-2 entry whose query is served as a fan
-	// lane of a family executor set; its famConst field is the lane.
-	entryFamily = 1 << 0
+	catalogVersion = 3
+	// entryShared marks an entry whose query reads a probe lane of a shared
+	// state set; its plan fields (constant, kind, residual) are meaningful.
+	// In version-2 manifests the same bit meant threshold-family membership.
+	entryShared = 1 << 0
+	// entryResidual marks a version-3 entry whose probe plan carries a
+	// residual partition-column conjunct.
+	entryResidual = 1 << 1
 	// maxManifestQueries bounds decode allocation for corrupt files.
 	maxManifestQueries = 1 << 20
 )
@@ -60,23 +78,34 @@ type durableState struct {
 	wal *checkpoint.WALWriter
 }
 
-// catEntry is one manifest line. fam/famConst record family service (the
-// entry reads a fan lane at constant famConst); a version-1 manifest leaves
-// them zero and derive set, and recovery re-derives both from the SQL.
+// catEntry is one manifest line: the registration (id, sql), its set (setID,
+// since, baseSQL, founded) and its probe plan (shared, spec). A version-1
+// manifest leaves the plan zero with derive set, and recovery re-derives it
+// from the SQL.
 type catEntry struct {
-	id       QueryID
-	setID    uint64
-	since    uint64
-	sql      string
-	fam      bool
-	famConst float64
-	derive   bool
+	id      QueryID
+	setID   uint64
+	since   uint64
+	sql     string
+	baseSQL string
+	founded uint64
+	shared  bool
+	spec    engine.ProbeSpec
+	derive  bool
 }
 
 func walPath(dir string, gen uint64) string { return checkpoint.WALPath(dir, gen, 0) }
 
 func setDir(dir string, gen, setID uint64) string {
 	return filepath.Join(dir, fmt.Sprintf("g%d", gen), fmt.Sprintf("s%d", setID))
+}
+
+// forkDir names a set's fork snapshot taken at WAL record index rec. The
+// index in the name keys the snapshot to the manifest state that references
+// it, so a stale or orphaned fork can never be confused for the set's
+// rotation snapshot.
+func forkDir(dir string, gen, setID, rec uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("g%d", gen), fmt.Sprintf("s%d-f%d", setID, rec))
 }
 
 // initDurable creates a fresh durable catalog directory: generation-1 WAL
@@ -117,6 +146,30 @@ func (s *Service) appendWAL(events []engine.Event) error {
 	return s.dur.wal.Flush()
 }
 
+// forkSetLocked checkpoints a set's live state as a fork snapshot at the
+// current WAL record index, recording it in snapDir/snapAt. A snapshot
+// already current (a previous joiner forked at this index, or the set just
+// rotated and nothing arrived since) is reused as-is; a leftover directory
+// from a failed attempt is replaced. Callers hold mu for write and commit
+// the fork by writing a manifest whose since points at it.
+func (s *Service) forkSetLocked(set *execSet) error {
+	if set.snapDir != "" && set.snapAt == s.records {
+		return nil
+	}
+	dst := forkDir(s.dur.dir, s.dur.gen, set.setID, s.records)
+	if err := os.RemoveAll(dst); err != nil {
+		return err
+	}
+	if err := set.svc.Drain(); err != nil {
+		return err
+	}
+	if err := set.svc.Checkpoint(dst); err != nil {
+		return err
+	}
+	set.snapDir, set.snapAt = dst, s.records
+	return nil
+}
+
 // manifestEntriesLocked snapshots the registration table for persisting.
 // Callers hold mu.
 func (s *Service) manifestEntriesLocked() []catEntry {
@@ -124,7 +177,8 @@ func (s *Service) manifestEntriesLocked() []catEntry {
 	for _, reg := range s.regs {
 		entries = append(entries, catEntry{
 			id: reg.id, setID: reg.set.setID, since: reg.set.since, sql: reg.sql,
-			fam: reg.set.famKey != "", famConst: reg.famConst,
+			baseSQL: reg.set.baseSQL, founded: reg.set.founded,
+			shared: reg.shared, spec: reg.spec,
 		})
 	}
 	sort.Slice(entries, func(i, j int) bool { return entries[i].id < entries[j].id })
@@ -132,21 +186,25 @@ func (s *Service) manifestEntriesLocked() []catEntry {
 }
 
 // writeManifestLocked persists the current registration table. Callers hold
-// mu for write.
+// mu for write. appliedBase — the lifetime batch count before the current
+// generation's WAL — is constant between rotations, so any manifest write
+// within a generation records the same value.
 func (s *Service) writeManifestLocked() error {
-	return writeCatalogFile(s.dur.dir, s.dur.gen, uint64(s.nextID), s.nextSet, s.opt.PartitionBy, s.manifestEntriesLocked())
+	return writeCatalogFile(s.dur.dir, s.dur.gen, uint64(s.nextID), s.nextSet,
+		s.applied-s.records, s.opt.PartitionBy, s.manifestEntriesLocked())
 }
 
 // writeCatalogFile writes the CATALOG manifest: magic, then one CRC-framed
 // record, installed by tmp+rename+sync so readers see the old manifest or
 // the new one, never a torn mix.
-func writeCatalogFile(dir string, gen, nextID, nextSet uint64, partitionBy []string, entries []catEntry) error {
+func writeCatalogFile(dir string, gen, nextID, nextSet, appliedBase uint64, partitionBy []string, entries []catEntry) error {
 	var rec bytes.Buffer
 	e := checkpoint.NewEncoder(&rec)
 	e.U32(catalogVersion)
 	e.U64(gen)
 	e.U64(nextID)
 	e.U64(nextSet)
+	e.U64(appliedBase)
 	e.U32(uint32(len(partitionBy)))
 	for _, c := range partitionBy {
 		e.Str(c)
@@ -158,11 +216,20 @@ func writeCatalogFile(dir string, gen, nextID, nextSet uint64, partitionBy []str
 		e.U64(ent.since)
 		e.Str(ent.sql)
 		var flags uint8
-		if ent.fam {
-			flags |= entryFamily
+		if ent.shared {
+			flags |= entryShared
+		}
+		if ent.spec.Residual {
+			flags |= entryResidual
 		}
 		e.U8(flags)
-		e.F64(ent.famConst)
+		e.F64(ent.spec.Const)
+		e.Str(ent.baseSQL)
+		e.U8(uint8(ent.spec.Kind))
+		e.Str(ent.spec.ResidualCol)
+		e.U8(uint8(ent.spec.ResidualOp))
+		e.F64(ent.spec.ResidualVal)
+		e.U64(ent.founded)
 	}
 	if err := e.Err(); err != nil {
 		return err
@@ -191,40 +258,43 @@ func writeCatalogFile(dir string, gen, nextID, nextSet uint64, partitionBy []str
 	if err := os.Rename(tmp.Name(), filepath.Join(dir, catalogName)); err != nil {
 		return err
 	}
-	return syncDir(dir)
+	return catalogSyncDir(dir)
 }
 
 // readCatalogFile loads and validates the CATALOG manifest.
-func readCatalogFile(dir string) (gen, nextID, nextSet uint64, partitionBy []string, entries []catEntry, err error) {
+func readCatalogFile(dir string) (gen, nextID, nextSet, appliedBase uint64, partitionBy []string, entries []catEntry, err error) {
 	b, err := os.ReadFile(filepath.Join(dir, catalogName))
 	if err != nil {
-		return 0, 0, 0, nil, nil, err
+		return 0, 0, 0, 0, nil, nil, err
 	}
 	if len(b) < len(catalogMagic) || string(b[:len(catalogMagic)]) != catalogMagic {
-		return 0, 0, 0, nil, nil, fmt.Errorf("catalog: bad CATALOG magic in %s", dir)
+		return 0, 0, 0, 0, nil, nil, fmt.Errorf("catalog: bad CATALOG magic in %s", dir)
 	}
 	rec, err := checkpoint.ReadRecord(bytes.NewReader(b[len(catalogMagic):]))
 	if err != nil {
-		return 0, 0, 0, nil, nil, fmt.Errorf("catalog: CATALOG manifest: %w", err)
+		return 0, 0, 0, 0, nil, nil, fmt.Errorf("catalog: CATALOG manifest: %w", err)
 	}
 	d := checkpoint.NewDecoder(bytes.NewReader(rec))
 	v := d.U32()
 	if d.Err() == nil && (v < 1 || v > catalogVersion) {
-		return 0, 0, 0, nil, nil, fmt.Errorf("catalog: unsupported CATALOG version %d", v)
+		return 0, 0, 0, 0, nil, nil, fmt.Errorf("catalog: unsupported CATALOG version %d", v)
 	}
 	gen = d.U64()
 	nextID = d.U64()
 	nextSet = d.U64()
+	if v >= 3 {
+		appliedBase = d.U64()
+	}
 	np := d.U32()
 	if d.Err() == nil && np > maxManifestQueries {
-		return 0, 0, 0, nil, nil, fmt.Errorf("catalog: implausible partition-column count %d", np)
+		return 0, 0, 0, 0, nil, nil, fmt.Errorf("catalog: implausible partition-column count %d", np)
 	}
 	for i := uint32(0); i < np && d.Err() == nil; i++ {
 		partitionBy = append(partitionBy, d.Str())
 	}
 	nq := d.U32()
 	if d.Err() == nil && nq > maxManifestQueries {
-		return 0, 0, 0, nil, nil, fmt.Errorf("catalog: implausible query count %d", nq)
+		return 0, 0, 0, 0, nil, nil, fmt.Errorf("catalog: implausible query count %d", nq)
 	}
 	for i := uint32(0); i < nq && d.Err() == nil; i++ {
 		ent := catEntry{
@@ -233,24 +303,47 @@ func readCatalogFile(dir string) (gen, nextID, nextSet uint64, partitionBy []str
 			since: d.U64(),
 			sql:   d.Str(),
 		}
-		if v >= 2 {
+		switch {
+		case v >= 3:
 			flags := d.U8()
-			ent.famConst = d.F64()
-			ent.fam = flags&entryFamily != 0
-		} else {
-			// Pre-family manifest: membership and lane constants are
-			// re-derived from the SQL during recovery.
+			ent.spec.Const = d.F64()
+			ent.baseSQL = d.Str()
+			ent.spec.Kind = query.AggKind(d.U8())
+			ent.spec.ResidualCol = d.Str()
+			ent.spec.ResidualOp = query.CmpOp(d.U8())
+			ent.spec.ResidualVal = d.F64()
+			ent.founded = d.U64()
+			ent.shared = flags&entryShared != 0
+			ent.spec.Residual = flags&entryResidual != 0
+			if !ent.spec.Residual {
+				ent.spec.ResidualCol, ent.spec.ResidualOp, ent.spec.ResidualVal = "", 0, 0
+			}
+		case v == 2:
+			// Threshold-family era: every shared plan was a SUM lane at the
+			// persisted constant. The founding SQL was not recorded; the
+			// lowest surviving member stands in, and founded is approximated
+			// by since (exact for any catalog that had not rotated, and never
+			// later than the truth).
+			flags := d.U8()
+			ent.spec.Const = d.F64()
+			ent.shared = flags&entryShared != 0
+			ent.spec.Kind = query.Sum
+			ent.founded = ent.since
+		default:
+			// Pre-family manifest: plans are re-derived from the SQL during
+			// recovery.
 			ent.derive = true
+			ent.founded = ent.since
 		}
 		entries = append(entries, ent)
 	}
 	if err := d.Err(); err != nil {
-		return 0, 0, 0, nil, nil, fmt.Errorf("catalog: CATALOG manifest: %w", err)
+		return 0, 0, 0, 0, nil, nil, fmt.Errorf("catalog: CATALOG manifest: %w", err)
 	}
-	return gen, nextID, nextSet, partitionBy, entries, nil
+	return gen, nextID, nextSet, appliedBase, partitionBy, entries, nil
 }
 
-func syncDir(dir string) error {
+func catalogSyncDir(dir string) error {
 	f, err := os.Open(dir)
 	if err != nil {
 		return err
@@ -276,16 +369,30 @@ func (s *Service) Checkpoint() error {
 }
 
 // rotateLocked performs the generation rotation. Callers hold mu for write
-// (so no ingest or registration is in flight).
+// (so no ingest or registration is in flight). The recovery path calls it
+// with no WAL writer open (s.dur.wal nil). A set whose newest snapshot —
+// typically a late joiner's fork — already reflects every WAL record is
+// carried forward by cloning that snapshot (checkpoint.Fork) instead of
+// re-serializing the live executors.
 func (s *Service) rotateLocked() error {
 	dir, oldGen := s.dur.dir, s.dur.gen
 	newGen := oldGen + 1
+	// A failed earlier rotation may have left a partial next generation;
+	// nothing references it (its manifest swap never happened), so clear it.
+	if err := os.RemoveAll(filepath.Join(dir, fmt.Sprintf("g%d", newGen))); err != nil {
+		return err
+	}
 	sets := s.distinctSetsLocked()
 	for _, set := range sets {
 		if err := set.svc.Drain(); err != nil {
 			return err
 		}
-		if err := set.svc.Checkpoint(setDir(dir, newGen, set.setID)); err != nil {
+		dst := setDir(dir, newGen, set.setID)
+		if set.snapDir != "" && set.snapAt == s.records && set.since == s.records {
+			if err := checkpoint.Fork(set.snapDir, dst); err != nil {
+				return err
+			}
+		} else if err := set.svc.Checkpoint(dst); err != nil {
 			return err
 		}
 	}
@@ -294,23 +401,28 @@ func (s *Service) rotateLocked() error {
 		return err
 	}
 	// The manifest swap is the commit point: all sets are current through the
-	// (empty) new WAL, so every since is 0.
+	// (empty) new WAL, so every since is 0, and the lifetime batch counter
+	// folds the rotated-away records into appliedBase.
 	entries := s.manifestEntriesLocked()
 	for i := range entries {
 		entries[i].since = 0
 	}
-	if err := writeCatalogFile(dir, newGen, uint64(s.nextID), s.nextSet, s.opt.PartitionBy, entries); err != nil {
+	if err := writeCatalogFile(dir, newGen, uint64(s.nextID), s.nextSet, s.applied, s.opt.PartitionBy, entries); err != nil {
 		newWAL.Close()
 		os.Remove(walPath(dir, newGen))
 		os.RemoveAll(filepath.Join(dir, fmt.Sprintf("g%d", newGen)))
 		return err
 	}
-	s.dur.wal.Close()
+	if s.dur.wal != nil {
+		s.dur.wal.Close()
+	}
 	s.dur.wal = newWAL
 	s.dur.gen = newGen
 	s.records = 0
 	for _, set := range sets {
 		set.since = 0
+		set.snapDir = setDir(dir, newGen, set.setID)
+		set.snapAt = 0
 	}
 	os.Remove(walPath(dir, oldGen))
 	os.RemoveAll(filepath.Join(dir, fmt.Sprintf("g%d", oldGen)))
@@ -319,15 +431,16 @@ func (s *Service) rotateLocked() error {
 
 // Recover rebuilds a durable catalog from its directory: registrations come
 // back from the CATALOG manifest, each executor set restores from its
-// snapshot (when one exists), and the shared WAL replays into every set that
-// had not yet seen its records. Recovery ends with a generation rotation, so
-// the next crash replays only what follows. opt.Dir names the directory;
+// snapshot (a fork snapshot at the set's since when one exists, else the
+// rotation snapshot), and the shared WAL replays into every set that had not
+// yet seen its records. Recovery ends with a generation rotation, so the
+// next crash replays only what follows. opt.Dir names the directory;
 // opt.PartitionBy, when set, must match the persisted columns.
 func Recover(opt Options) (*Service, error) {
 	if opt.Dir == "" {
 		return nil, errors.New("catalog: Recover requires Options.Dir")
 	}
-	gen, nextID, nextSet, partitionBy, entries, err := readCatalogFile(opt.Dir)
+	gen, nextID, nextSet, appliedBase, partitionBy, entries, err := readCatalogFile(opt.Dir)
 	if err != nil {
 		return nil, err
 	}
@@ -339,7 +452,8 @@ func Recover(opt Options) (*Service, error) {
 		opt:      opt,
 		regs:     make(map[QueryID]*registration),
 		sets:     make(map[string]*execSet),
-		families: make(map[string]*execSet),
+		states:   make(map[string]*execSet),
+		baseKeys: make(map[string]*execSet),
 		nextID:   QueryID(nextID),
 		nextSet:  nextSet,
 	}
@@ -369,10 +483,9 @@ func Recover(opt Options) (*Service, error) {
 	serveOpt := s.serveOptions()
 	for _, sid := range setIDs {
 		ents := bySet[sid]
-		// Parse and plan every member: family members of one set have
-		// distinct SQL (same structure, different threshold constant), so a
-		// per-entry plan is required. ents[0] — the lowest surviving QueryID
-		// — is the representative whose query the executors are built from.
+		// Parse and plan every member: one set's members have distinct SQL
+		// (same maintained state, different probe plans), so a per-entry plan
+		// is required.
 		qs := make([]*query.Query, len(ents))
 		plans := make([]engine.Plan, len(ents))
 		for i, ent := range ents {
@@ -388,17 +501,40 @@ func Recover(opt Options) (*Service, error) {
 			}
 			qs[i], plans[i] = q, plan
 		}
-		q := qs[0]
-		canon := q.String()
+		// The set's executors run its founder's query (version-3 manifests
+		// record it; older manifests fall back to the lowest surviving member,
+		// whose canonical form matched its set in those eras).
+		baseSQL := ents[0].sql
+		for _, ent := range ents {
+			if ent.baseSQL != "" {
+				baseSQL = ent.baseSQL
+				break
+			}
+		}
+		bq, err := sqlparse.Parse(baseSQL)
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("catalog: set %d founding query: %w", sid, err)
+		}
+		exec, stateKey, baseKey, baseSpec, setShared := deriveState(bq, partitionBy)
 		sd := setDir(opt.Dir, gen, sid)
+		fd := forkDir(opt.Dir, gen, sid, ents[0].since)
 		var svc *serve.Service[engine.Event]
-		var err error
-		if _, statErr := os.Stat(sd); statErr == nil {
-			svc, err = serve.RecoverForQuery(sd, q, partitionBy, serveOpt)
+		snapDir, snapAt := "", uint64(0)
+		if _, statErr := os.Stat(fd); statErr == nil {
+			// A late joiner forked this set at record `since`; the fork is the
+			// newest committed state.
+			svc, err = serve.RecoverForQuery(fd, exec, partitionBy, serveOpt)
+			snapDir, snapAt = fd, ents[0].since
+		} else if !errors.Is(statErr, os.ErrNotExist) {
+			err = statErr
+		} else if _, statErr := os.Stat(sd); statErr == nil {
+			svc, err = serve.RecoverForQuery(sd, exec, partitionBy, serveOpt)
+			snapDir, snapAt = sd, ents[0].since
 		} else if errors.Is(statErr, os.ErrNotExist) {
 			// Registered after the last checkpoint: state lives in the WAL
 			// suffix alone.
-			svc, err = serve.ForQuery(q, partitionBy, serveOpt)
+			svc, err = serve.ForQuery(exec, partitionBy, serveOpt)
 		} else {
 			err = statErr
 		}
@@ -406,47 +542,51 @@ func Recover(opt Options) (*Service, error) {
 			closeAll()
 			return nil, fmt.Errorf("catalog: recover set %d: %w", sid, err)
 		}
-		// Recovered sets are conservatively treated as carrying history
-		// (ingested): the sharing rules only admit joins into provably empty
-		// sets, and a recovered one cannot prove that.
-		set := &execSet{setID: sid, canon: canon, q: q, svc: svc,
-			refs: make(map[QueryID]struct{}), since: ents[0].since, ingested: true}
-		famKey, _, famOK := engine.FamilyKey(q)
-		if famOK {
-			set.famKey = famKey
-			set.lanes = make(map[uint64]int)
+		set := &execSet{setID: sid, canon: bq.String(), baseSQL: baseSQL, q: exec,
+			stateKey: stateKey, baseKey: baseKey,
+			refs: make(map[QueryID]struct{}), svc: svc,
+			since: ents[0].since, founded: ents[0].founded,
+			snapDir: snapDir, snapAt: snapAt}
+		if setShared {
+			set.lanes = make(map[engine.ProbeSpec]int)
+			set.baseSpec = baseSpec
+			set.baseSpec.Kind = exec.Outer
 		}
 		for i, ent := range ents {
-			famConst := ent.famConst
-			if ent.derive && famOK {
-				// Pre-family (v1) manifest: the lane constant comes from the
+			spec, shared := ent.spec, ent.shared
+			if ent.derive {
+				// Pre-family (v1) manifest: the probe plan comes from the
 				// member's own SQL. v1 members of one set share a canonical
 				// form, so the derivation cannot diverge from the set's.
-				_, famConst, _ = engine.FamilyKey(qs[i])
+				spec, shared = deriveSpec(qs[i], partitionBy)
 			}
-			if famOK {
-				set.lanes[math.Float64bits(famConst)]++
+			if shared && set.lanes != nil {
+				set.lanes[spec]++
 			}
 			set.refs[ent.id] = struct{}{}
 			s.regs[ent.id] = &registration{id: ent.id, sql: ent.sql, set: set,
-				plan: plans[i], canon: qs[i].String(), famConst: famConst}
+				plan: plans[i], canon: qs[i].String(), shared: shared && set.lanes != nil, spec: spec}
 			// Newest set per canonical form wins the join table (higher
 			// setID == created later); every member registers its own form.
 			if prev, ok := s.sets[qs[i].String()]; !ok || prev.setID < sid {
 				s.sets[qs[i].String()] = set
 			}
 		}
-		if famOK {
-			if prev, ok := s.families[famKey]; !ok || prev.setID < sid {
-				s.families[famKey] = set
+		if setShared {
+			if prev, ok := s.states[stateKey]; !ok || prev.setID < sid {
+				s.states[stateKey] = set
 			}
-			// Multiple distinct constants: reinstall the fan lanes the live
-			// catalog was serving, before WAL replay maintains them.
-			if len(set.lanes) > 1 {
-				if err := s.installLanesLocked(set); err != nil {
-					closeAll()
-					return nil, fmt.Errorf("catalog: recover set %d: %w", sid, err)
+			if baseKey != "" {
+				if prev, ok := s.baseKeys[baseKey]; !ok || prev.setID < sid {
+					s.baseKeys[baseKey] = set
 				}
+			}
+			// Reinstall the probe lanes the live catalog was serving, before
+			// WAL replay maintains them (a no-op while every member reads the
+			// base result).
+			if err := s.installLanesLocked(set); err != nil {
+				closeAll()
+				return nil, fmt.Errorf("catalog: recover set %d: %w", sid, err)
 			}
 		}
 	}
@@ -479,54 +619,16 @@ func Recover(opt Options) (*Service, error) {
 		return nil, fmt.Errorf("catalog: WAL replay: %w", err)
 	}
 	s.records = idx
+	s.applied = appliedBase + idx
 
 	// Rotate to a fresh generation so the replayed WAL is compacted away.
 	// CreateWAL truncates, so the old WAL must never be reopened for append.
 	s.dur = &durableState{dir: opt.Dir, gen: gen}
-	if err := s.recoverRotate(); err != nil {
+	if err := s.rotateLocked(); err != nil {
 		closeAll()
 		return nil, err
 	}
 	return s, nil
-}
-
-// recoverRotate is rotateLocked for the recovery path, where no WAL writer
-// is open yet.
-func (s *Service) recoverRotate() error {
-	dir, oldGen := s.dur.dir, s.dur.gen
-	newGen := oldGen + 1
-	sets := s.distinctSetsLocked()
-	for _, set := range sets {
-		if err := set.svc.Drain(); err != nil {
-			return err
-		}
-		if err := set.svc.Checkpoint(setDir(dir, newGen, set.setID)); err != nil {
-			return err
-		}
-	}
-	newWAL, err := checkpoint.CreateWAL(walPath(dir, newGen), checkpoint.Header{Gen: newGen, Shard: 0, ShardCount: 1})
-	if err != nil {
-		return err
-	}
-	entries := s.manifestEntriesLocked()
-	for i := range entries {
-		entries[i].since = 0
-	}
-	if err := writeCatalogFile(dir, newGen, uint64(s.nextID), s.nextSet, s.opt.PartitionBy, entries); err != nil {
-		newWAL.Close()
-		os.Remove(walPath(dir, newGen))
-		os.RemoveAll(filepath.Join(dir, fmt.Sprintf("g%d", newGen)))
-		return err
-	}
-	s.dur.wal = newWAL
-	s.dur.gen = newGen
-	s.records = 0
-	for _, set := range sets {
-		set.since = 0
-	}
-	os.Remove(walPath(dir, oldGen))
-	os.RemoveAll(filepath.Join(dir, fmt.Sprintf("g%d", oldGen)))
-	return nil
 }
 
 func equalStrings(a, b []string) bool {

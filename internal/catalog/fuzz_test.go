@@ -13,16 +13,33 @@ import (
 )
 
 // sqlVWAP60 is a third threshold constant over sqlVWAP's predicate
-// structure, so the fuzz mixes can build three-lane families.
-const sqlVWAP60 = `SELECT SUM(b.price * b.volume) FROM bids b
+// structure, so the fuzz mixes can build three-lane families. The remaining
+// constants are sqlVWAP's other probe-plan variants: a COUNT(*) and an AVG
+// over the same predicate (aggregate-variant lanes on one state set) and a
+// copy carrying one extra bare partition-column conjunct (a residual
+// probe-time gate — the fuzzer partitions by broker).
+const (
+	sqlVWAP60 = `SELECT SUM(b.price * b.volume) FROM bids b
 WHERE 0.6 * (SELECT SUM(b1.volume) FROM bids b1)
       < (SELECT SUM(b2.volume) FROM bids b2 WHERE b2.price <= b.price)`
+	sqlCountVWAP = `SELECT COUNT(*) FROM bids b
+WHERE 0.75 * (SELECT SUM(b1.volume) FROM bids b1)
+      < (SELECT SUM(b2.volume) FROM bids b2 WHERE b2.price <= b.price)`
+	sqlAvgVWAP = `SELECT AVG(b.price * b.volume) FROM bids b
+WHERE 0.75 * (SELECT SUM(b1.volume) FROM bids b1)
+      < (SELECT SUM(b2.volume) FROM bids b2 WHERE b2.price <= b.price)`
+	sqlResVWAP = `SELECT SUM(b.price * b.volume) FROM bids b
+WHERE b.broker > 2
+AND 0.75 * (SELECT SUM(b1.volume) FROM bids b1)
+      < (SELECT SUM(b2.volume) FROM bids b2 WHERE b2.price <= b.price)`
+)
 
 // fuzzSets are the registration mixes the differential fuzzer can pick from.
 // Each mix exercises a different sharing topology: exact duplicates (one
-// shared set), constant variants (same predicate family, one set with one
-// fan lane per constant), strategy mixes, and — in the 16-query entry — the
-// full acceptance-criterion load.
+// shared set), constant variants (one set, one fan lane per constant),
+// aggregate variants (SUM/COUNT/AVG probe plans on one state set), filtered
+// variants (residual probe gates), strategy mixes, and — in the 16-query
+// entry — the full acceptance-criterion load.
 var fuzzSets = [][]string{
 	{sqlVWAP},
 	{sqlVWAP, sqlVWAP2},                   // one shared set (exact)
@@ -35,20 +52,24 @@ var fuzzSets = [][]string{
 		sqlVWAP, sqlEq, sqlVWAP90, sqlNested, sqlVWAP2,
 		sqlVWAP, sqlVWAP90, sqlEq, sqlNested, sqlVWAP, sqlEq,
 	},
-	{sqlVWAP, sqlVWAP90, sqlVWAP60},           // three-lane family
-	{sqlVWAP, sqlVWAP2, sqlVWAP90, sqlVWAP60}, // exact duplicate + family in one set
+	{sqlVWAP, sqlVWAP90, sqlVWAP60},                            // three-lane family
+	{sqlVWAP, sqlVWAP2, sqlVWAP90, sqlVWAP60},                  // exact duplicate + family in one set
+	{sqlVWAP, sqlCountVWAP, sqlAvgVWAP},                        // aggregate variants: one set, three probe kinds
+	{sqlVWAP, sqlResVWAP},                                      // filtered variant: residual probe gate
+	{sqlAvgVWAP, sqlVWAP90, sqlCountVWAP, sqlResVWAP, sqlVWAP}, // AVG founds the set; every lane kind joins
 }
 
-// fuzzLateSets are mid-ingest registration waves. A late constant variant
-// cannot join the (already ingested) family set, so it founds a fresh set
-// whose `since` excludes the prefix — and when the wave itself holds two
-// variants, the second joins the first mid-stream, installing fan lanes on a
-// set that starts ingesting immediately.
+// fuzzLateSets are mid-ingest registration waves. A late variant joins the
+// live family set retroactively — on durable catalogs via a checkpoint fork
+// of the set's state — and inherits the family's entire history, so its
+// independent reference must replay that history before the comparison.
 var fuzzLateSets = [][]string{
 	nil,
-	{sqlVWAP90},          // late variant: own set despite the live family
-	{sqlVWAP, sqlVWAP60}, // late pair: family forms mid-stream
-	{sqlEq, sqlVWAP90},
+	{sqlVWAP90},                // late constant variant joins the live family
+	{sqlVWAP, sqlVWAP60},       // late pair: exact joiner + new lane in one wave
+	{sqlEq, sqlVWAP90},         // strategy stranger + family joiner
+	{sqlAvgVWAP, sqlCountVWAP}, // late aggregate variants fork the family state
+	{sqlResVWAP},               // late filtered variant: residual gate on inherited state
 }
 
 // fuzzLateAt and fuzzChurnAt are the event counts at which the late
@@ -59,6 +80,101 @@ const (
 	fuzzChurnAt = 12
 )
 
+// fuzzRef is one registered query's independent ground truth: a dedicated
+// single-query service (or pair of them, for AVG) fed the same batches as
+// the catalog.
+type fuzzRef interface {
+	ApplyBatch([]engine.Event) error
+	Drain() error
+	Result() float64
+	ResultGrouped() []engine.GroupResult
+	Close() error
+}
+
+// avgRef serves a top-level AVG query — which a partitioned service cannot
+// run directly, averages not being sum-decomposable — as a SUM service and a
+// COUNT service over the same predicate, finished by their quotient at every
+// read. This is exactly the raw pair the catalog's AVG probe lane carries,
+// so the two must stay bit-identical.
+type avgRef struct{ sum, cnt *serve.Service[engine.Event] }
+
+func (r *avgRef) ApplyBatch(b []engine.Event) error {
+	if err := r.sum.ApplyBatch(b); err != nil {
+		return err
+	}
+	return r.cnt.ApplyBatch(b)
+}
+
+func (r *avgRef) Drain() error {
+	if err := r.sum.Drain(); err != nil {
+		return err
+	}
+	return r.cnt.Drain()
+}
+
+func (r *avgRef) Result() float64 { return avgQuotient(r.sum.Result(), r.cnt.Result()) }
+
+func (r *avgRef) ResultGrouped() []engine.GroupResult {
+	sums, cnts := r.sum.ResultGrouped(), r.cnt.ResultGrouped()
+	if len(sums) != len(cnts) {
+		return nil // impossible for identical feeds; nil forces the comparison to fail loudly
+	}
+	out := make([]engine.GroupResult, len(sums))
+	for i := range sums {
+		out[i] = engine.GroupResult{Key: sums[i].Key, Value: avgQuotient(sums[i].Value, cnts[i].Value)}
+	}
+	return out
+}
+
+func (r *avgRef) Close() error {
+	err := r.sum.Close()
+	if cerr := r.cnt.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// avgQuotient finishes an AVG's raw (sum, count) pair the way the engine
+// does: 0 over an empty qualifying set.
+func avgQuotient(sum, cnt float64) float64 {
+	if cnt == 0 {
+		return 0
+	}
+	return sum / cnt
+}
+
+// newFuzzRef builds a query's independent reference service(s).
+func newFuzzRef(t *testing.T, sql string, opt serve.Options) fuzzRef {
+	t.Helper()
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Outer != query.Avg {
+		svc, err := serve.ForQuery(q, []string{"broker"}, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return svc
+	}
+	q.Outer = query.Sum
+	sum, err := serve.ForQuery(q, []string{"broker"}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qc, err := sqlparse.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qc.Outer = query.Count
+	qc.Agg = query.Const(1) // COUNT(*)'s term: counts the qualifying tuples
+	cnt, err := serve.ForQuery(qc, []string{"broker"}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &avgRef{sum: sum, cnt: cnt}
+}
+
 // FuzzCatalogDifferential is the catalog-level differential fuzzer: a
 // catalog of N registered queries fed one shared event stream must be
 // bit-identical — scalar and grouped, after every batch — to N independent
@@ -66,12 +182,17 @@ const (
 // FuzzEngineDifferential trace layout (shape byte, 8-byte seed, 3-byte
 // (op,b1,b2) event records); the shape byte selects the registration mix,
 // bytes 1-2 pick shard count and batch boundaries, byte 3 selects a
-// mid-ingest registration wave (late family joiners get fresh sets with a
-// later `since`), and byte 4 packs unregister churn (low bits arm it, high
-// bits pick the victim) plus a durable bit that ends the run with a
-// crash-copy recovery compared against the same references. One corpus
-// therefore walks sharing topologies, shard counts, insert/delete traces,
-// register/unregister churn, and crash/recovery at once.
+// mid-ingest registration wave, and byte 4 packs unregister churn (low bits
+// arm it, high bits pick the victim) plus a durable bit that ends the run
+// with a crash-copy recovery compared against the same references.
+//
+// Late waves pin the retroactive-join contract: a mid-stream registration
+// joins its family's live state set (forking its checkpoint when durable)
+// and inherits the set's history, so its reference replays every batch from
+// the set's founding epoch (Explain.StateSince) before comparing. One corpus
+// therefore walks sharing topologies — exact, constant-variant,
+// aggregate-variant, filtered-variant — shard counts, insert/delete traces,
+// register/unregister churn, checkpoint forks, and crash/recovery at once.
 //
 // Run with `go test -fuzz FuzzCatalogDifferential ./internal/catalog`; the
 // committed corpus under testdata/fuzz executes under plain `go test`.
@@ -100,23 +221,28 @@ func FuzzCatalogDifferential(f *testing.F) {
 			t.Fatal(err)
 		}
 		defer cat.Close()
+		refOpt := serve.Options{Shards: shards, BatchSize: 8}
 		var ids []QueryID
-		var indep []*serve.Service[engine.Event]
+		var indep []fuzzRef
+		var flushed [][]engine.Event
 		register := func(sql string) {
-			id, _, err := cat.Register(sql)
+			id, ex, err := cat.Register(sql)
 			if err != nil {
 				t.Fatalf("register %q: %v", sql, err)
 			}
-			q, err := sqlparse.Parse(sql)
-			if err != nil {
-				t.Fatal(err)
-			}
-			svc, err := serve.ForQuery(q, []string{"broker"}, serve.Options{Shards: shards, BatchSize: 8})
-			if err != nil {
-				t.Fatal(err)
+			ref := newFuzzRef(t, sql, refOpt)
+			// A joiner inherits its set's state retroactively: the set
+			// reflects every batch applied since its founding epoch, so the
+			// fresh reference replays that history before the first compare.
+			if n := int(ex.StateSince); n < len(flushed) {
+				for _, b := range flushed[n:] {
+					if err := ref.ApplyBatch(b); err != nil {
+						t.Fatal(err)
+					}
+				}
 			}
 			ids = append(ids, id)
-			indep = append(indep, svc)
+			indep = append(indep, ref)
 		}
 		for _, sql := range sqls {
 			register(sql)
@@ -142,6 +268,7 @@ func FuzzCatalogDifferential(f *testing.F) {
 					t.Fatal(err)
 				}
 			}
+			flushed = append(flushed, append([]engine.Event(nil), batch...))
 			batch = batch[:0]
 			if err := cat.DrainAll(); err != nil {
 				t.Fatal(err)
@@ -192,8 +319,9 @@ func FuzzCatalogDifferential(f *testing.F) {
 			}
 			if late != nil && events >= fuzzLateAt {
 				// Mid-ingest wave: flush the partial batch so the catalog's
-				// record count matches the references, then register. The late
-				// services start empty, exactly like the late sets' `since`.
+				// batch count matches the flushed history, then register. On a
+				// durable catalog a family joiner forks the set's checkpoint;
+				// register() replays the inherited history into its reference.
 				flush()
 				for _, sql := range late {
 					register(sql)
@@ -201,7 +329,8 @@ func FuzzCatalogDifferential(f *testing.F) {
 				late = nil
 				if durable {
 					// Rotate mid-stream so the recovery below crosses a
-					// checkpoint holding family entries and late sets.
+					// checkpoint holding family entries, probe lanes, and
+					// freshly forked snapshots.
 					if err := cat.Checkpoint(); err != nil {
 						t.Fatal(err)
 					}
@@ -256,9 +385,10 @@ func FuzzCatalogDifferential(f *testing.F) {
 }
 
 // fuzzSeedInputs is the committed seed corpus: one entry per registration
-// mix over a short mixed insert/delete trace, plus family-focused entries
-// that arm late joiners, unregister churn, and the durable crash/recovery
-// path, so plain `go test` exercises every sharing topology and lifecycle.
+// mix over a short mixed insert/delete trace, plus lifecycle entries that
+// arm late joiners (constant, aggregate, and filtered variants), unregister
+// churn, checkpoint forks, and the durable crash/recovery path, so plain
+// `go test` exercises every sharing topology and lifecycle.
 func fuzzSeedInputs() [][]byte {
 	trace := []byte{
 		1, 5, 9, 1, 5, 3, 1, 17, 28, 1, 5, 9, 0, 0, 1, 1, 200, 100,
@@ -269,15 +399,20 @@ func fuzzSeedInputs() [][]byte {
 	for shape := byte(0); shape < byte(len(fuzzSets)); shape++ {
 		out = append(out, append([]byte{shape, shape + 1, 3, 0, 0, 0, 0, 0, 77}, trace...))
 	}
-	// Family lifecycle seeds: header bytes are {shape, shards, batch, late,
+	// Lifecycle seeds: header bytes are {shape, shards, batch, late,
 	// churn|durable|victim<<3}; the longer trace reaches the churn threshold.
 	for _, hdr := range [][]byte{
-		{2, 2, 3, 1, 0},             // live family + late variant set
+		{2, 2, 3, 1, 0},             // live family + late constant variant
 		{2, 2, 4, 2, 1 | 1<<3},      // family forming mid-stream, then churn
 		{7, 1, 3, 0, 1},             // three-lane family, founder unregisters
 		{7, 2, 5, 3, 4},             // three-lane family, crash + recover
 		{8, 2, 3, 1, 1 | 4 | 2<<3},  // exact+family set: churn and recovery
 		{6, 3, 5, 2, 1 | 4 | 11<<3}, // 16-query mix with every lifecycle arm
+		{9, 2, 3, 4, 0},             // aggregate variants + late AVG/COUNT joiners
+		{9, 1, 4, 4, 4},             // same wave on a durable catalog: fork + recover
+		{10, 2, 3, 5, 0},            // filtered variant + late residual joiner
+		{10, 2, 5, 5, 1 | 4},        // late residual joiner with churn and recovery
+		{11, 3, 3, 4, 1 | 4 | 2<<3}, // AVG-founded mix: late wave, churn, recovery
 	} {
 		out = append(out, append(append(append([]byte{}, hdr...), 0, 0, 0, 77), long...))
 	}

@@ -107,9 +107,27 @@ func TestFamilyChurnRace(t *testing.T) {
 	}
 
 	// Register/unregister churn: transient members joining the anchors' sets
-	// (exact duplicates and the family's constants) and distinct strangers,
-	// unregistered as fast as they arrive.
-	churnSQLs := []string{sqlVWAP, sqlVWAP2, sqlVWAP90, sqlVWAP60, sqlEq, sqlNested}
+	// — exact duplicates, the family's constants, aggregate variants
+	// (COUNT/AVG probe lanes on the anchors' state), a filtered variant
+	// (residual probe gate) — and distinct strangers, unregistered as fast as
+	// they arrive. Every attach/detach reconciles the set's probe lanes under
+	// live ingest, which is the ProbePlan churn this test races.
+	const (
+		sqlChurnCount = `SELECT COUNT(*) FROM bids b
+WHERE 0.75 * (SELECT SUM(b1.volume) FROM bids b1)
+      < (SELECT SUM(b2.volume) FROM bids b2 WHERE b2.price <= b.price)`
+		sqlChurnAvg = `SELECT AVG(b.price * b.volume) FROM bids b
+WHERE 0.75 * (SELECT SUM(b1.volume) FROM bids b1)
+      < (SELECT SUM(b2.volume) FROM bids b2 WHERE b2.price <= b.price)`
+		sqlChurnRes = `SELECT SUM(b.price * b.volume) FROM bids b
+WHERE b.sym > 4
+AND 0.75 * (SELECT SUM(b1.volume) FROM bids b1)
+      < (SELECT SUM(b2.volume) FROM bids b2 WHERE b2.price <= b.price)`
+	)
+	churnSQLs := []string{
+		sqlVWAP, sqlVWAP2, sqlVWAP90, sqlVWAP60, sqlEq, sqlNested,
+		sqlChurnCount, sqlChurnAvg, sqlChurnRes,
+	}
 	for g := 0; g < 2; g++ {
 		wg.Add(1)
 		go func(g int) {

@@ -1,0 +1,100 @@
+package checkpoint
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Fork clones a checkpoint directory into dst: every file under src is copied
+// byte for byte, each copy is synced before the next starts, and the
+// destination directories are synced last, so a completed Fork is exactly as
+// durable as the source checkpoint it was taken from. Fork is how a caller
+// reuses an existing snapshot as the starting state of another consumer — a
+// late-joining query forking its family's state set, a generation rotation
+// carrying forward a snapshot whose state has not advanced — without
+// re-serializing the live executors or replaying the history the snapshot
+// already embodies.
+//
+// dst must not exist (a half-written previous fork must be removed by the
+// caller, who knows whether anything references it); src must be a directory.
+// Fork itself is not atomic — a crash mid-fork leaves a torn dst — so callers
+// must only commit references to dst (manifest swaps, catalog entries) after
+// Fork returns.
+func Fork(src, dst string) error {
+	info, err := os.Stat(src)
+	if err != nil {
+		return err
+	}
+	if !info.IsDir() {
+		return fmt.Errorf("checkpoint: fork source %s is not a directory", src)
+	}
+	if _, err := os.Stat(dst); err == nil {
+		return fmt.Errorf("checkpoint: fork destination %s already exists", dst)
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	if err := forkTree(src, dst); err != nil {
+		return err
+	}
+	// Sync the parent so the new directory entry itself is durable.
+	return syncDir(filepath.Dir(dst))
+}
+
+// forkTree recursively copies one directory level and syncs it.
+func forkTree(src, dst string) error {
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		return err
+	}
+	for _, ent := range entries {
+		sp := filepath.Join(src, ent.Name())
+		dp := filepath.Join(dst, ent.Name())
+		if ent.IsDir() {
+			if err := forkTree(sp, dp); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := copyFileSync(sp, dp); err != nil {
+			return err
+		}
+	}
+	return syncDir(dst)
+}
+
+// copyFileSync copies one file and forces it to stable storage.
+func copyFileSync(src, dst string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.OpenFile(dst, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Sync(); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+// syncDir fsyncs a directory, making its entries durable.
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}

@@ -14,7 +14,7 @@ import (
 // driving the index, and the canonical predicate renderings. It is the body
 // of EXPLAIN, surfaced per registered query by the catalog.
 type Plan struct {
-	Strategy   string   // "naive" | "general" | "aggindex"
+	Strategy   string   // "naive" | "general" | "aggindex" | "relstate"
 	IndexKind  string   // "pai" | "rpai-arena" | "treemap" | "" (no index)
 	KeyCol     string   // correlation / compared column keying the index
 	SubOp      string   // correlation operator of the indexed predicate
@@ -88,7 +88,14 @@ func PredSig(q *query.Query) string {
 	} else {
 		b.WriteString("R")
 	}
-	fmt.Fprintf(&b, " SUM(%s)", sigExpr(q.Agg))
+	switch q.Outer {
+	case query.Count:
+		b.WriteString(" COUNT(*)")
+	case query.Avg:
+		fmt.Fprintf(&b, " AVG(%s)", sigExpr(q.Agg))
+	default:
+		fmt.Fprintf(&b, " SUM(%s)", sigExpr(q.Agg))
+	}
 	conj := make([]string, 0, len(q.Preds))
 	for _, p := range q.Preds {
 		conj = append(conj, sigPred(p))

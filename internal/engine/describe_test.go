@@ -20,7 +20,7 @@ func TestDescribe(t *testing.T) {
 		kind     string
 		keyCol   string
 	}{
-		{"vwap-le", vwapSpec(), "aggindex", "rpai-arena", "price"},
+		{"vwap-le", vwapSpec(), "relstate", "rpai-arena", "price"},
 		{"eq1-pai", eq1Spec(), "aggindex", "pai", "a"},
 		{"nested-general", nq1Spec(), "general", "", ""},
 		{"two-pred-general", twoPredSpec(), "general", "", ""},

@@ -74,12 +74,14 @@ func NewWithIndexKind(q *query.Query, kind aggindex.Kind) (Executor, error) {
 		return nil, err
 	}
 	if len(q.GroupBy) == 0 && len(q.Preds) == 1 {
-		if plan, ok := q.PlanAggIndex(); ok && plan.SubOp == query.Eq {
+		// The PAI equality executor maintains only the summed aggregate, so it
+		// serves SUM outers; COUNT and AVG need the count side relState keeps.
+		if plan, ok := q.PlanAggIndex(); ok && plan.SubOp == query.Eq && q.Outer == query.Sum {
 			return newAggIndexExec(q, plan, kind)
 		}
 		if noNested(q) {
 			if rs, err := newRelState(RelSpec{Name: "R", Term: q.Agg, Pred: q.Preds[0]}, kind); err == nil {
-				return &relStateExec{rs: rs}, nil
+				return &relStateExec{rs: rs, outer: q.Outer}, nil
 			}
 		}
 	}
@@ -97,21 +99,28 @@ func noNested(q *query.Query) bool {
 
 // relStateExec adapts the multi-relation per-relation machinery (all four
 // inequality orientations plus column predicates) to single-relation
-// queries: Result is the qualifying sum of the query's aggregate expression.
+// queries. The relState is the StateSet half (it maintains both a count and
+// a term index regardless of the outer aggregate); the outer kind is the
+// probe half, deciding which side(s) Result reads: the term sum for SUM, the
+// count for COUNT, their quotient for AVG.
 type relStateExec struct {
-	rs *relState
+	rs    *relState
+	outer query.AggKind
+	probe probeScratch
 }
 
-// Strategy implements Executor.
-func (ex *relStateExec) Strategy() string { return "aggindex" }
+// Strategy implements Executor. "relstate" names the range-shift executor
+// over shared relation state, distinguishing it from the PAI point-move
+// "aggindex" path in EXPLAIN and the benches.
+func (ex *relStateExec) Strategy() string { return "relstate" }
 
 // Apply implements Executor.
 func (ex *relStateExec) Apply(e Event) { ex.rs.apply(e.Tuple, e.X) }
 
 // Result implements Executor.
 func (ex *relStateExec) Result() float64 {
-	_, sum := ex.rs.aggregates()
-	return sum
+	cnt, sum := ex.rs.aggregates()
+	return finishAgg(ex.outer, sum, cnt)
 }
 
 // --- Naive ---
@@ -145,7 +154,7 @@ func (n *NaiveExec) Apply(e Event) {
 
 // Result implements Executor.
 func (n *NaiveExec) Result() float64 {
-	var res float64
+	var res, cnt float64
 	for _, t := range n.live {
 		ok := true
 		for _, p := range n.q.Preds {
@@ -156,9 +165,10 @@ func (n *NaiveExec) Result() float64 {
 		}
 		if ok {
 			res += n.q.Agg.Eval(t)
+			cnt++
 		}
 	}
-	return res
+	return finishAgg(n.q.Outer, res, cnt)
 }
 
 func (n *NaiveExec) evalValue(v query.Value, outer query.Tuple) float64 {
@@ -463,7 +473,7 @@ func (g *GeneralExec) groupKey(t query.Tuple) (string, []float64) {
 // Result implements Executor.
 func (g *GeneralExec) Result() float64 {
 	outer := make(query.Tuple, len(g.groupCols))
-	var res float64
+	var res, cnt float64
 	for _, gr := range g.groups {
 		for i, c := range g.groupCols {
 			outer[c] = gr.vals[i]
@@ -477,9 +487,10 @@ func (g *GeneralExec) Result() float64 {
 		}
 		if ok {
 			res += gr.agg
+			cnt += gr.cnt
 		}
 	}
-	return res
+	return finishAgg(g.q.Outer, res, cnt)
 }
 
 func (g *GeneralExec) evalValue(v query.Value, outer query.Tuple) float64 {
@@ -508,6 +519,8 @@ type AggIndexExec struct {
 	// groups tracks, for equality plans, each level's summed outer
 	// aggregate (the portion to move between index keys).
 	groups map[float64]float64
+	// probe backs ResultProbe's sorted lane constants (see probe.go).
+	probe probeScratch
 	// moveBuf backs the deferred point moves of the batched equality path
 	// (see applyEqBatch) so steady-state batches allocate nothing.
 	moveBuf []paimap.MoveOp

@@ -221,10 +221,10 @@ func TestPlannerSelection(t *testing.T) {
 		q    *query.Query
 		want string
 	}{
-		{vwapSpec(), "aggindex"},
+		{vwapSpec(), "relstate"},
 		{eq1Spec(), "aggindex"},
-		{countSpec(), "aggindex"},
-		{avgSpec(), "aggindex"},
+		{countSpec(), "relstate"},
+		{avgSpec(), "relstate"},
 		{sq2Spec(), "general"},     // asymmetric correlation
 		{twoPredSpec(), "general"}, // two predicates
 	}

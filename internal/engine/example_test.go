@@ -30,7 +30,7 @@ func ExampleNew() {
 	ex.Apply(engine.Delete(query.Tuple{"price": 30, "volume": 2}))
 	fmt.Println(ex.Result())
 	// Output:
-	// aggindex
+	// relstate
 	// 60
 	// 20
 }

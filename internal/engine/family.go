@@ -31,35 +31,51 @@ import (
 // Apply. The key is orientation-normalized by construction: it is built from
 // the executor's analyzed plan, which already folds flipped spellings.
 func FamilyKey(q *query.Query) (key string, constant float64, ok bool) {
+	key, _, constant, _, ok = familyKeys(q)
+	return key, constant, ok
+}
+
+// familyKeys is FamilyKey's full form: it also renders baseKey — the key
+// with the aggregate term masked to "#", identifying the maintained state
+// that does not depend on the term (the count index and the correlation
+// structure) — and reports whether the executor maintains a count side at
+// all. StateKey builds the StateSet identity from these.
+func familyKeys(q *query.Query) (key, baseKey string, constant float64, hasCnt, ok bool) {
 	if len(q.GroupBy) > 0 || len(q.Preds) != 1 {
-		return "", 0, false
+		return "", "", 0, false, false
 	}
 	ex, err := New(q)
 	if err != nil {
-		return "", 0, false
+		return "", "", 0, false, false
 	}
 	switch e := ex.(type) {
 	case *AggIndexExec:
 		thr, c, ok := maskThreshold(e.plan.Threshold)
 		if !ok {
-			return "", 0, false
+			return "", "", 0, false, false
 		}
-		return fmt.Sprintf("aggidx|agg=%s|key=%s|subop=%s|theta=%s|corr=%s|thr=%s",
-			q.Agg, e.plan.KeyCol, e.plan.SubOp, e.plan.ThetaCorrFirst, e.plan.Corr, thr), c, true
+		render := func(agg string) string {
+			return fmt.Sprintf("aggidx|agg=%s|key=%s|subop=%s|theta=%s|corr=%s|thr=%s",
+				agg, e.plan.KeyCol, e.plan.SubOp, e.plan.ThetaCorrFirst, e.plan.Corr, thr)
+		}
+		return render(q.Agg.String()), render("#"), c, false, true
 	case *relStateExec:
 		pl := e.rs.plan
 		thr, c, ok := maskThreshold(pl.threshold)
 		if !ok {
-			return "", 0, false
+			return "", "", 0, false, false
 		}
 		corr := ""
 		if pl.corr != nil {
 			corr = pl.corr.String()
 		}
-		return fmt.Sprintf("rel%d|agg=%s|key=%s|subop=%s|theta=%s|corr=%s|thr=%s",
-			pl.kind, q.Agg, pl.keyCol, pl.subOp, pl.thetaCorrFirst, corr, thr), c, true
+		render := func(agg string) string {
+			return fmt.Sprintf("rel%d|agg=%s|key=%s|subop=%s|theta=%s|corr=%s|thr=%s",
+				pl.kind, agg, pl.keyCol, pl.subOp, pl.thetaCorrFirst, corr, thr)
+		}
+		return render(q.Agg.String()), render("#"), c, true, true
 	}
-	return "", 0, false
+	return "", "", 0, false, false
 }
 
 // maskThreshold renders the uncorrelated threshold side with its read-time
@@ -171,11 +187,14 @@ func (ex *AggIndexExec) ResultFan(consts, dst []float64) {
 }
 
 // ResultFan implements FanExecutor for the relation-state executor.
-func (ex *relStateExec) ResultFan(consts, dst []float64) { ex.rs.sumFan(consts, dst) }
+func (ex *relStateExec) ResultFan(consts, dst []float64) { ex.rs.probeFan(false, consts, dst) }
 
-// sumFan is the fan counterpart of aggregates()'s term-sum side (the value
-// relStateExec.Result reports): one probe per lane against the term index.
-func (rs *relState) sumFan(consts, dst []float64) {
+// probeFan is the fan counterpart of aggregates(): one probe per lane
+// against the term index (cntSide=false, the side relStateExec.Result's sum
+// comes from) or the count index (cntSide=true, backing COUNT and AVG probe
+// lanes). Both sides are maintained identically, so the descent logic is
+// shared.
+func (rs *relState) probeFan(cntSide bool, consts, dst []float64) {
 	var base float64
 	hasSub := rs.thr != nil
 	if hasSub {
@@ -184,7 +203,11 @@ func (rs *relState) sumFan(consts, dst []float64) {
 	if rs.plan.kind == PredColumn {
 		// treemap probes have no batch path; K point probes, like K solo
 		// reads would do.
-		idx := treeSums{rs.termByCol}
+		byCol := rs.termByCol
+		if cntSide {
+			byCol = rs.cntByCol
+		}
+		idx := treeSums{byCol}
 		for i, c := range consts {
 			thr := c
 			if hasSub {
@@ -205,6 +228,10 @@ func (rs *relState) sumFan(consts, dst []float64) {
 		}
 		return
 	}
+	side := rs.term
+	if cntSide {
+		side = rs.cnt
+	}
 	keys, reversed := rs.fan.keysFor(consts, hasSub, base)
 	out := dst
 	if reversed {
@@ -214,34 +241,34 @@ func (rs *relState) sumFan(consts, dst []float64) {
 	// defines SuffixSum that way (the tree representations do; see
 	// rpai.Tree.SuffixSum). Elsewhere each lane calls the implementation's
 	// own method, exactly as a solo aggregates() would.
-	_, isTree := rs.term.(interface{ PrefixSums(_, _ []float64, _ bool) })
+	_, isTree := side.(interface{ PrefixSums(_, _ []float64, _ bool) })
 	switch rs.plan.thetaCorrFirst {
 	case query.Lt:
-		aggindex.PrefixSums(rs.term, keys, out, false)
+		aggindex.PrefixSums(side, keys, out, false)
 	case query.Le:
-		aggindex.PrefixSums(rs.term, keys, out, true)
+		aggindex.PrefixSums(side, keys, out, true)
 	case query.Gt:
 		if isTree {
-			aggindex.PrefixSums(rs.term, keys, out, true)
-			total := rs.term.Total()
+			aggindex.PrefixSums(side, keys, out, true)
+			total := side.Total()
 			for i := range out {
 				out[i] = total - out[i]
 			}
 		} else {
 			for i, k := range keys {
-				out[i] = rs.term.SuffixSumGreater(k)
+				out[i] = side.SuffixSumGreater(k)
 			}
 		}
 	case query.Ge:
 		if isTree {
-			aggindex.PrefixSums(rs.term, keys, out, false)
-			total := rs.term.Total()
+			aggindex.PrefixSums(side, keys, out, false)
+			total := side.Total()
 			for i := range out {
 				out[i] = total - out[i]
 			}
 		} else {
 			for i, k := range keys {
-				out[i] = rs.term.SuffixSum(k)
+				out[i] = side.SuffixSum(k)
 			}
 		}
 	default:

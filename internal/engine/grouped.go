@@ -27,6 +27,7 @@ type GroupedExecutor interface {
 // ResultGrouped implements GroupedExecutor for the naive executor.
 func (n *NaiveExec) ResultGrouped() []GroupResult {
 	acc := map[string]*GroupResult{}
+	cnts := map[string]float64{}
 	for _, t := range n.live {
 		ok := true
 		for _, p := range n.q.Preds {
@@ -45,8 +46,22 @@ func (n *NaiveExec) ResultGrouped() []GroupResult {
 			acc[key] = g
 		}
 		g.Value += n.q.Agg.Eval(t)
+		cnts[key]++
 	}
+	finishGroups(n.q.Outer, acc, cnts)
 	return sortedGroups(acc)
+}
+
+// finishGroups rewrites each group's accumulated term sum into the outer
+// aggregate's value: counts for COUNT, sum/count for AVG (empty groups are
+// never materialized, so the 0-count case cannot arise here).
+func finishGroups(outer query.AggKind, acc map[string]*GroupResult, cnts map[string]float64) {
+	if outer == query.Sum {
+		return
+	}
+	for key, g := range acc {
+		g.Value = finishAgg(outer, g.Value, cnts[key])
+	}
 }
 
 // ResultGrouped implements GroupedExecutor for the general algorithm. The
@@ -55,6 +70,7 @@ func (n *NaiveExec) ResultGrouped() []GroupResult {
 func (g *GeneralExec) ResultGrouped() []GroupResult {
 	outer := make(query.Tuple, len(g.groupCols))
 	acc := map[string]*GroupResult{}
+	cnts := map[string]float64{}
 	for _, gr := range g.groups {
 		for i, c := range g.groupCols {
 			outer[c] = gr.vals[i]
@@ -76,7 +92,9 @@ func (g *GeneralExec) ResultGrouped() []GroupResult {
 			acc[key] = out
 		}
 		out.Value += gr.agg
+		cnts[key] += gr.cnt
 	}
+	finishGroups(g.q.Outer, acc, cnts)
 	return sortedGroups(acc)
 }
 

@@ -1,0 +1,398 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"rpai/internal/query"
+)
+
+// This file is the read half of the StateSet/ProbePlan split. A *state set*
+// is the maintained base-relation state (an executor's indexes, owned by
+// whoever Applies events); a *probe plan* is a pure read against that state:
+// an outer aggregate kind, a threshold constant, and an optional residual
+// partition-column conjunct. The catalog keys state sets by StateKey and
+// attaches any number of probe plans to one set; ResultProbe answers all of
+// them against the shared state, each lane bit-identical to a dedicated
+// executor's Result.
+//
+// Three sharing forms ride on this split:
+//
+//   - threshold variants: lanes differ only in Const (PR 9's families);
+//   - aggregate variants: SUM, COUNT(*), and AVG lanes over one state set —
+//     relation state maintains both a count and a term index regardless of
+//     the founding query's outer aggregate, so every variant is a probe;
+//   - filtered variants: a lane whose query carries one extra bare
+//     partition-column conjunct; the conjunct is split off as a residual
+//     gate and applied per partition at probe time (see SplitResidual).
+
+// ProbeSpec is one probe plan: everything a read needs beyond the shared
+// maintained state. The zero Residual* fields mean "no residual conjunct".
+// ProbeSpec is comparable, so it can key lane dedup maps directly.
+type ProbeSpec struct {
+	// Kind is the variant's outer aggregate. Sum and Count lanes receive a
+	// final value; Avg lanes receive the raw (term sum, count) pair and the
+	// caller forms the quotient at its own aggregation boundary, so a
+	// partitioned service can compose the exact global average.
+	Kind query.AggKind
+	// Const is the threshold constant (the family lane position).
+	Const float64
+	// Residual* describe the optional extra conjunct `col op val` over a
+	// partition column, evaluated as a per-partition gate at probe time.
+	Residual    bool
+	ResidualCol string
+	ResidualOp  query.CmpOp
+	ResidualVal float64
+}
+
+// String renders the spec canonically (used by EXPLAIN and the wire layer):
+// "sum@0.75", "count@0.9 | sym > 2".
+func (s ProbeSpec) String() string {
+	var b strings.Builder
+	switch s.Kind {
+	case query.Count:
+		b.WriteString("count")
+	case query.Avg:
+		b.WriteString("avg")
+	default:
+		b.WriteString("sum")
+	}
+	b.WriteByte('@')
+	b.WriteString(strconv.FormatFloat(s.Const, 'g', -1, 64))
+	if s.Residual {
+		fmt.Fprintf(&b, " | %s %s %s", s.ResidualCol, s.ResidualOp,
+			strconv.FormatFloat(s.ResidualVal, 'g', -1, 64))
+	}
+	return b.String()
+}
+
+// GateOn evaluates the residual conjunct against one partition's key values
+// (aligned with partCols). Specs without a residual are always on; a
+// residual column missing from the partitioning never arises for specs built
+// by SplitResidual, but reads as gated-off rather than panicking.
+func (s ProbeSpec) GateOn(partCols []string, key []float64) bool {
+	if !s.Residual {
+		return true
+	}
+	for i, c := range partCols {
+		if c == s.ResidualCol && i < len(key) {
+			return s.ResidualOp.Compare(key[i], s.ResidualVal)
+		}
+	}
+	return false
+}
+
+// ProbeExecutor is implemented by executors whose maintained state can
+// answer many probe plans. specs need not be sorted or unique; vals[i]
+// receives spec i's value. For Avg specs vals[i] is the raw qualifying term
+// sum and cnts[i] the qualifying count; for Sum and Count specs vals[i] is
+// final and cnts[i] is untouched. Residual gating is the caller's concern
+// (it is per partition, and the executor sees only its own partition).
+//
+// The bit-identity contract of FanExecutor extends to ResultProbe: each
+// lane's value equals, bit for bit, the Result of a dedicated executor of
+// that variant fed the same events.
+type ProbeExecutor interface {
+	ResultProbe(specs []ProbeSpec, vals, cnts []float64)
+}
+
+// FinishProbe combines a lane's ResultProbe outputs into its final value:
+// SUM and COUNT lanes are already final in val; AVG lanes carry the raw
+// (term sum, count) pair and finish as their quotient (0 when the count is
+// 0, matching a dedicated executor over an empty qualifying set).
+// Aggregation boundaries — a partitioned service's scalar read, a
+// subscriber frame — call this after summing the raw pair across
+// partitions, yielding the exact global average rather than a sum of
+// per-partition averages.
+func FinishProbe(spec ProbeSpec, val, cnt float64) float64 {
+	if spec.Kind != query.Avg {
+		return val
+	}
+	return finishAgg(query.Avg, val, cnt)
+}
+
+// probeScratch backs ResultProbe's per-side sorted constant lists and
+// descent outputs, reused across reads.
+type probeScratch struct {
+	termConsts, cntConsts []float64
+	termVals, cntVals     []float64
+}
+
+// gather appends each spec's constant for the requested side, sorted and
+// deduplicated, so one batched descent serves all lanes of that side.
+func gatherConsts(dst []float64, specs []ProbeSpec, cntSide bool) []float64 {
+	dst = dst[:0]
+	for _, s := range specs {
+		if probeSides(s.Kind, cntSide) {
+			dst = append(dst, s.Const)
+		}
+	}
+	sort.Float64s(dst)
+	uniq := dst[:0]
+	for i, c := range dst {
+		if i == 0 || c != uniq[len(uniq)-1] {
+			uniq = append(uniq, c)
+		}
+	}
+	return uniq
+}
+
+// probeSides reports whether a lane of the given outer aggregate reads the
+// count side (true) or the term side (false). Avg reads both.
+func probeSides(k query.AggKind, cntSide bool) bool {
+	if cntSide {
+		return k == query.Count || k == query.Avg
+	}
+	return k == query.Sum || k == query.Avg
+}
+
+func sized(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// laneAt returns the descent output for constant c from the sorted unique
+// constant list and its aligned values.
+func laneAt(consts, vals []float64, c float64) float64 {
+	return vals[sort.SearchFloat64s(consts, c)]
+}
+
+// ResultProbe implements ProbeExecutor for the relation-state executor. The
+// state set maintains both a count and a term index (see relState.apply), so
+// every aggregate variant is one side-probe away: SUM lanes read the term
+// index, COUNT lanes the count index, AVG lanes both. Each side runs one
+// shared batched descent over its sorted unique constants, exactly the
+// machinery ResultFan uses, preserving per-lane bit-identity.
+func (ex *relStateExec) ResultProbe(specs []ProbeSpec, vals, cnts []float64) {
+	ps := &ex.probe
+	ps.termConsts = gatherConsts(ps.termConsts, specs, false)
+	ps.cntConsts = gatherConsts(ps.cntConsts, specs, true)
+	if len(ps.termConsts) > 0 {
+		ps.termVals = sized(ps.termVals, len(ps.termConsts))
+		ex.rs.probeFan(false, ps.termConsts, ps.termVals)
+	}
+	if len(ps.cntConsts) > 0 {
+		ps.cntVals = sized(ps.cntVals, len(ps.cntConsts))
+		ex.rs.probeFan(true, ps.cntConsts, ps.cntVals)
+	}
+	for i, s := range specs {
+		switch s.Kind {
+		case query.Sum:
+			vals[i] = laneAt(ps.termConsts, ps.termVals, s.Const)
+		case query.Count:
+			vals[i] = laneAt(ps.cntConsts, ps.cntVals, s.Const)
+		case query.Avg:
+			vals[i] = laneAt(ps.termConsts, ps.termVals, s.Const)
+			cnts[i] = laneAt(ps.cntConsts, ps.cntVals, s.Const)
+		default:
+			panic("engine: non-streamable probe kind " + s.Kind.String())
+		}
+	}
+}
+
+// ResultProbe implements ProbeExecutor for the PAI/RPAI executor. This state
+// maintains only the term index, so SUM lanes are served directly and COUNT
+// lanes only when the maintained aggregate term is the constant 1 (then the
+// term index is bitwise a count index — the catalog's attach rule only
+// routes COUNT lanes to such sets). AVG lanes need the missing count side
+// and are a caller bug here.
+func (ex *AggIndexExec) ResultProbe(specs []ProbeSpec, vals, cnts []float64) {
+	for _, s := range specs {
+		switch s.Kind {
+		case query.Avg:
+			panic("engine: aggindex state has no count side for AVG probes")
+		case query.Count:
+			if c, ok := ex.q.Agg.(query.Const); !ok || c != 1 {
+				panic("engine: COUNT probe against a non-count aggindex term")
+			}
+		}
+	}
+	ps := &ex.probe
+	ps.termConsts = ps.termConsts[:0]
+	for _, s := range specs {
+		ps.termConsts = append(ps.termConsts, s.Const)
+	}
+	sort.Float64s(ps.termConsts)
+	uniq := ps.termConsts[:0]
+	for i, c := range ps.termConsts {
+		if i == 0 || c != uniq[len(uniq)-1] {
+			uniq = append(uniq, c)
+		}
+	}
+	ps.termConsts = uniq
+	ps.termVals = sized(ps.termVals, len(ps.termConsts))
+	ex.ResultFan(ps.termConsts, ps.termVals)
+	for i, s := range specs {
+		vals[i] = laneAt(ps.termConsts, ps.termVals, s.Const)
+	}
+	_ = cnts
+}
+
+// StateKey reports whether q can ride a shared state set, and if so returns
+// the set's identity and q's probe plan against it.
+//
+//   - key identifies the exact maintained state: everything FamilyKey
+//     preserves, including the aggregate term expression. Queries with equal
+//     keys share a set outright, whatever their outer aggregate — the state
+//     carries both indexes.
+//   - baseKey is key with the aggregate term masked. A COUNT(*) variant
+//     reads only the count index, which is identical across term
+//     expressions, so it may attach to any relation-state set whose baseKey
+//     matches. baseKey is empty for the PAI/aggindex shape, which maintains
+//     no count side (COUNT(*) there matches through key: its term is the
+//     constant 1, so only constant-1 sets qualify; AVG is ineligible).
+//
+// The keys are built from the SUM form of q — same predicates, outer forced
+// to SUM — because maintained state never depends on the outer aggregate.
+func StateKey(q *query.Query) (key, baseKey string, spec ProbeSpec, ok bool) {
+	sumForm := *q
+	sumForm.Outer = query.Sum
+	key, baseKey, c, hasCnt, ok := familyKeys(&sumForm)
+	if !ok {
+		return "", "", ProbeSpec{}, false
+	}
+	if !hasCnt {
+		baseKey = ""
+		if q.Outer == query.Avg {
+			// No count side to probe: AVG cannot ride this state.
+			return "", "", ProbeSpec{}, false
+		}
+	}
+	return key, baseKey, ProbeSpec{Kind: q.Outer, Const: c}, true
+}
+
+// SplitResidual splits a two-conjunct query into a shareable base query and
+// a residual probe-time gate: one conjunct must be a bare comparison between
+// a partitioning column and a constant, and the remaining single-conjunct
+// query must itself be StateKey-eligible. The residual column must be a
+// partition column because the gate is evaluated per partition — every tuple
+// of a partition agrees on its value, so gating the partition's lane is
+// exactly filtering its tuples.
+//
+// The returned base is a fresh query (q is not modified); spec is q's full
+// probe plan against base's state set, residual included.
+func SplitResidual(q *query.Query, partCols []string) (base *query.Query, spec ProbeSpec, ok bool) {
+	if len(q.GroupBy) > 0 || len(q.Preds) != 2 {
+		return nil, ProbeSpec{}, false
+	}
+	for i := range q.Preds {
+		col, op, val, bare := bareConjunct(q.Preds[i], partCols)
+		if !bare {
+			continue
+		}
+		b := *q
+		b.Preds = []query.Predicate{q.Preds[1-i]}
+		_, _, sp, keyOK := StateKey(&b)
+		if !keyOK {
+			continue
+		}
+		sp.Residual = true
+		sp.ResidualCol = col
+		sp.ResidualOp = op
+		sp.ResidualVal = val
+		return &b, sp, true
+	}
+	return nil, ProbeSpec{}, false
+}
+
+// bareConjunct matches `col op const` (either orientation) where col is one
+// of the partitioning columns, normalizing to the column-first direction.
+func bareConjunct(p query.Predicate, partCols []string) (col string, op query.CmpOp, val float64, ok bool) {
+	left, right := p.Left, p.Right
+	op = p.Op
+	if c, isConst := bareExpr(left); isConst {
+		// const op col → col flipped-op const
+		if name, isCol := bareCol(right); isCol {
+			return name, op.Flip(), c, partColumn(name, partCols)
+		}
+		return "", 0, 0, false
+	}
+	if name, isCol := bareCol(left); isCol {
+		if c, isConst := bareExpr(right); isConst {
+			return name, op, c, partColumn(name, partCols)
+		}
+	}
+	return "", 0, 0, false
+}
+
+func partColumn(name string, partCols []string) bool {
+	for _, c := range partCols {
+		if c == name {
+			return true
+		}
+	}
+	return false
+}
+
+func bareCol(v query.Value) (string, bool) {
+	if v.Sub != nil {
+		return "", false
+	}
+	c, ok := v.Expr.(query.Col)
+	return string(c), ok
+}
+
+func bareExpr(v query.Value) (float64, bool) {
+	if v.Sub != nil {
+		return 0, false
+	}
+	c, ok := v.Expr.(query.Const)
+	return float64(c), ok
+}
+
+// Gated wraps an executor with a residual gate decided at construction time
+// (the partition's key is known when the partition is created or restored).
+// A gated-off partition maintains state like any other — the split is pure
+// read-time — but reports 0, exactly what a dedicated executor of the
+// unsplit query would report for a partition its residual conjunct excludes.
+type Gated struct {
+	Inner Executor
+	On    bool
+}
+
+// NewGated wraps ex; on=false zeroes Result.
+func NewGated(ex Executor, on bool) *Gated { return &Gated{Inner: ex, On: on} }
+
+func (g *Gated) Apply(e Event) { g.Inner.Apply(e) }
+
+func (g *Gated) Result() float64 {
+	if !g.On {
+		return 0
+	}
+	return g.Inner.Result()
+}
+
+func (g *Gated) Strategy() string { return "gated+" + g.Inner.Strategy() }
+
+// ApplyBatch delegates to the inner executor's batched path when it has one.
+func (g *Gated) ApplyBatch(events []Event) {
+	if b, ok := g.Inner.(BatchExecutor); ok {
+		b.ApplyBatch(events)
+		return
+	}
+	for _, e := range events {
+		g.Inner.Apply(e)
+	}
+}
+
+// Snapshot persists the inner executor's state; the gate is configuration,
+// re-derived from the partition key at restore.
+func (g *Gated) Snapshot(w io.Writer) error {
+	return g.Inner.(Snapshotter).Snapshot(w)
+}
+
+// ResultProbe delegates: lane gating is the serve layer's job, the inner
+// state answers the probes either way.
+func (g *Gated) ResultProbe(specs []ProbeSpec, vals, cnts []float64) {
+	g.Inner.(ProbeExecutor).ResultProbe(specs, vals, cnts)
+}
+
+// ResultFan delegates for the same reason.
+func (g *Gated) ResultFan(consts, dst []float64) {
+	g.Inner.(FanExecutor).ResultFan(consts, dst)
+}

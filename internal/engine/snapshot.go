@@ -410,7 +410,7 @@ func restoreRelStateExec(d *checkpoint.Decoder, q *query.Query) *relStateExec {
 	if d.Err() != nil {
 		return nil
 	}
-	return &relStateExec{rs: rs}
+	return &relStateExec{rs: rs, outer: q.Outer}
 }
 
 func snapRelState(e *checkpoint.Encoder, rs *relState) {

@@ -351,6 +351,13 @@ type Query struct {
 	// Agg is the outer aggregate's per-tuple expression (summed over
 	// qualifying tuples).
 	Agg Expr
+	// Outer is the outer aggregate function applied to Agg over the
+	// qualifying tuples: Sum (the zero value, so struct literals without the
+	// field keep their historical meaning), Count, or Avg. A Count query
+	// fixes Agg to the constant 1 — maintained term state is then bitwise
+	// identical to a count index, which is what lets COUNT variants share a
+	// SUM variant's StateSet (see engine.StateKey).
+	Outer AggKind
 	// GroupBy lists the grouping columns (the grammar's Aggr[cols]); empty
 	// for a scalar query.
 	GroupBy []string
@@ -358,13 +365,26 @@ type Query struct {
 	Preds []Predicate
 }
 
+// OuterString renders the outer aggregate clause: SUM(expr), COUNT(*), or
+// AVG(expr).
+func (q *Query) OuterString() string {
+	switch q.Outer {
+	case Count:
+		return "COUNT(*)"
+	case Avg:
+		return fmt.Sprintf("AVG(%s)", q.Agg)
+	default:
+		return fmt.Sprintf("SUM(%s)", q.Agg)
+	}
+}
+
 // String renders the query.
 func (q *Query) String() string {
 	var b strings.Builder
 	if len(q.GroupBy) > 0 {
-		fmt.Fprintf(&b, "SELECT %s, SUM(%s) FROM R", strings.Join(q.GroupBy, ", "), q.Agg)
+		fmt.Fprintf(&b, "SELECT %s, %s FROM R", strings.Join(q.GroupBy, ", "), q.OuterString())
 	} else {
-		fmt.Fprintf(&b, "SELECT SUM(%s) FROM R", q.Agg)
+		fmt.Fprintf(&b, "SELECT %s FROM R", q.OuterString())
 	}
 	for i, p := range q.Preds {
 		if i == 0 {
@@ -416,6 +436,14 @@ func (q *Query) OuterCols() []string {
 // deletion streams (non-streamable nested aggregates, section 4.2.5) and
 // malformed two-level nesting.
 func (q *Query) Validate() error {
+	if !q.Outer.Streamable() {
+		return fmt.Errorf("query: top-level %s is not maintainable under deletions (section 4.2.5)", q.Outer)
+	}
+	if q.Outer == Count {
+		if c, ok := q.Agg.(Const); !ok || c != 1 {
+			return fmt.Errorf("query: a COUNT(*) query must carry the constant-1 aggregate term, found %s", q.Agg)
+		}
+	}
 	for _, s := range q.Subqueries() {
 		if !s.Kind.Streamable() {
 			return fmt.Errorf("query: %s is not streamable under deletions (section 4.2.5)", s.Kind)

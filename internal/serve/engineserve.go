@@ -33,7 +33,11 @@ type Options struct {
 // engineDurable wires the engine's executor snapshot codec and event codec
 // into the serving layer's persistence hooks. It is always installed, so any
 // engine-backed service can Checkpoint; Dir decides whether WALs are kept.
-func engineDurable(q *query.Query, opt Options) *Durable[engine.Event] {
+// exec is the query the partition executors actually run (the residual-split
+// base when orig carries a residual conjunct); snapshots persist only the
+// base state, and Restore re-derives each partition's gate from its key —
+// the gate is configuration, not state.
+func engineDurable(exec, orig *query.Query, gate func([]float64) bool, opt Options) *Durable[engine.Event] {
 	// WAL replay is sequential (Recover walks shards one at a time), so one
 	// interning decoder serves the whole recovery: each distinct column name
 	// is allocated once for the entire replay instead of once per event.
@@ -50,8 +54,15 @@ func engineDurable(q *query.Query, opt Options) *Durable[engine.Event] {
 			}
 			return s.Snapshot(w)
 		},
-		Restore: func(r io.Reader, _ []float64) (Executor[engine.Event], error) {
-			return engine.Restore(q, r)
+		Restore: func(r io.Reader, key []float64) (Executor[engine.Event], error) {
+			ex, err := engine.Restore(exec, r)
+			if err != nil {
+				return nil, err
+			}
+			if exec != orig {
+				return engine.NewGated(ex, gate(key)), nil
+			}
+			return ex, nil
 		},
 	}
 }
@@ -61,28 +72,50 @@ func engineConfig(q *query.Query, partitionBy []string, opt Options) (Config[eng
 	if len(partitionBy) == 0 {
 		return cfg, errors.New("serve: ForQuery requires at least one partition column")
 	}
-	if _, err := engine.New(q); err != nil {
+	if q.Outer == query.Avg {
+		// A partitioned service composes its scalar result by summing the
+		// partitions, and an average is not sum-decomposable. AVG queries are
+		// served as probe lanes (raw sum/count pairs finished at the read
+		// boundary) — register them against a catalog instead.
+		return cfg, errors.New("serve: top-level AVG is not sum-decomposable across partitions; register it against a catalog, which serves it as a probe lane")
+	}
+	// A query carrying one extra bare partition-column conjunct splits into
+	// its shareable base plus a residual gate: every partition maintains the
+	// base, and partitions the conjunct excludes are gated to 0 — the same
+	// read the catalog serves for such a query as a residual probe lane, so
+	// a dedicated service and a shared lane stay bit-identical.
+	exec := q
+	gate := func([]float64) bool { return true }
+	if base, spec, ok := engine.SplitResidual(q, partitionBy); ok {
+		exec = base
+		gate = func(key []float64) bool { return spec.GateOn(partitionBy, key) }
+	}
+	if _, err := engine.New(exec); err != nil {
 		return cfg, err
 	}
 	cfg = Config[engine.Event]{
-		Shards:    opt.Shards,
-		QueueLen:  opt.QueueLen,
-		BatchSize: opt.BatchSize,
+		Shards:        opt.Shards,
+		QueueLen:      opt.QueueLen,
+		BatchSize:     opt.BatchSize,
+		PartitionCols: partitionBy,
 		Partition: func(e engine.Event, buf []float64) []float64 {
 			for _, c := range partitionBy {
 				buf = append(buf, e.Tuple[c])
 			}
 			return buf
 		},
-		New: func([]float64) Executor[engine.Event] {
-			ex, err := engine.New(q)
+		New: func(key []float64) Executor[engine.Event] {
+			ex, err := engine.New(exec)
 			if err != nil {
 				// Unreachable: the same query planned successfully above.
 				panic("serve: " + err.Error())
 			}
+			if exec != q {
+				return engine.NewGated(ex, gate(key))
+			}
 			return ex
 		},
-		Durable: engineDurable(q, opt),
+		Durable: engineDurable(exec, q, gate, opt),
 	}
 	return cfg, nil
 }

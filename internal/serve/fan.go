@@ -1,20 +1,25 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 
 	"rpai/internal/engine"
+	"rpai/internal/query"
 )
 
-// This file is the serving side of predicate-generalized sharing (threshold
-// families): one service maintains its executors once, and every snapshot
-// additionally materializes the per-partition results at K extra threshold
-// constants ("fan lanes") via the executors' ResultFan. Each lane's values
-// are bit-identical to a dedicated single-constant service fed the same
-// events — the engine's FanExecutor contract — so a catalog can serve N
-// constant-variant queries from one executor set.
+// This file is the serving side of shared-state reads (probe lanes): one
+// service maintains its executors once, and every snapshot additionally
+// materializes the per-partition results of K probe plans via the executors'
+// ResultProbe. Lanes generalize PR 9's threshold fans three ways: a lane may
+// probe a different threshold constant, a different outer aggregate (SUM,
+// COUNT, AVG — the relation state maintains both index sides), or carry a
+// residual partition-column conjunct applied as a per-partition gate. Each
+// lane's values are bit-identical to a dedicated single-variant service fed
+// the same events — the engine's ProbeExecutor contract plus gate-zeroing —
+// so a catalog can serve N structural variants from one executor set.
 
 // FanExecutor mirrors engine.FanExecutor through the serving layer: consts
 // is sorted ascending, dst has the same length, and dst[i] must equal (bit
@@ -23,118 +28,203 @@ type FanExecutor interface {
 	ResultFan(consts, dst []float64)
 }
 
-// SetFan installs the service's fan lane constants, replacing any previous
-// set: every partition's per-lane results are re-evaluated on its owning
-// shard's worker, and the next publication is a full one (fan values are not
-// a delta on the previous lane set). An empty consts disables fan reads.
-// The constants are deduplicated and kept sorted; lanes are addressed by
-// constant value, not index, so callers never track positions. Fails when
-// any partition's executor does not implement FanExecutor (the service's
-// query is not family-eligible) — partitions created after a successful
-// SetFan are guaranteed fan-capable because every partition runs the same
-// Config.New. SetFan returns after every shard has installed the lanes; the
-// publication carrying them follows the shard's next commit (Drain for a
-// barrier).
-func (s *Service[E]) SetFan(consts []float64) error {
-	thrs := append([]float64(nil), consts...)
-	sort.Float64s(thrs)
-	// Dedup by bit pattern (lanes are resolved by exact bits; two queries
-	// sharing a constant share a lane).
+// ProbeExecutor mirrors engine.ProbeExecutor through the serving layer; see
+// that contract for the vals/cnts convention (AVG lanes are raw pairs).
+type ProbeExecutor interface {
+	ResultProbe(specs []engine.ProbeSpec, vals, cnts []float64)
+}
+
+// canonSpecs sorts and deduplicates lane specs. Lanes are addressed by spec
+// value (ProbeSpec is comparable), so callers never track positions; the
+// order is deterministic — by constant bits, then kind, then residual — so
+// every shard and every recovery installs identical lane layouts.
+func canonSpecs(specs []engine.ProbeSpec) []engine.ProbeSpec {
+	out := append([]engine.ProbeSpec(nil), specs...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Const != b.Const {
+			return a.Const < b.Const
+		}
+		if ab, bb := math.Float64bits(a.Const), math.Float64bits(b.Const); ab != bb {
+			return ab < bb // orders -0 before +0 deterministically
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Residual != b.Residual {
+			return !a.Residual
+		}
+		if a.ResidualCol != b.ResidualCol {
+			return a.ResidualCol < b.ResidualCol
+		}
+		if a.ResidualOp != b.ResidualOp {
+			return a.ResidualOp < b.ResidualOp
+		}
+		return math.Float64bits(a.ResidualVal) < math.Float64bits(b.ResidualVal)
+	})
 	w := 0
-	for i, c := range thrs {
-		if i == 0 || math.Float64bits(c) != math.Float64bits(thrs[i-1]) {
-			thrs[w] = c
+	for i, sp := range out {
+		if i == 0 || sp != out[i-1] {
+			out[w] = sp
 			w++
 		}
 	}
-	thrs = thrs[:w]
+	return out[:w]
+}
+
+// SetProbes installs the service's probe lanes, replacing any previous set:
+// every partition's per-lane results are re-evaluated on its owning shard's
+// worker, and the next publication is a full one (lane values are not a
+// delta on the previous lane set). An empty specs disables lane reads. The
+// specs are deduplicated and canonically ordered; lanes are addressed by
+// spec value, not index. Fails when any partition's executor does not
+// implement ProbeExecutor, or when a residual spec names a column outside
+// Config.PartitionCols — partitions created after a successful SetProbes
+// are guaranteed lane-capable because every partition runs the same
+// Config.New. Shard installation errors are joined (errors.Join), not
+// truncated to the first shard's report; a failed shard keeps its previous
+// lanes. SetProbes returns after every shard has installed the lanes; the
+// publication carrying them follows the shard's next commit (Drain for a
+// barrier).
+func (s *Service[E]) SetProbes(specs []engine.ProbeSpec) error {
+	canon := canonSpecs(specs)
+	hasAvg := false
+	for _, sp := range canon {
+		if sp.Kind == query.Avg {
+			hasAvg = true
+		}
+		if sp.Residual && !colNamed(s.cfg.PartitionCols, sp.ResidualCol) {
+			return fmt.Errorf("serve: residual probe column %q is not a partition column (Config.PartitionCols: %v)",
+				sp.ResidualCol, s.cfg.PartitionCols)
+		}
+	}
+	var errs []error
 	for i := range s.shards {
 		if err := s.control(i, func(ws *workerState[E]) error {
-			if len(thrs) == 0 {
-				ws.fanThrs = nil
+			if len(canon) == 0 {
+				ws.specs, ws.hasAvg = nil, false
 				for _, p := range ws.plist {
-					p.fan = nil
+					p.fan, p.fanCnt, p.gate = nil, nil, nil
 				}
 				ws.publishFull = true
 				return nil
 			}
 			for _, p := range ws.plist {
-				if p.fanEx == nil {
-					return fmt.Errorf("serve: executor %T does not support fan reads", p.ex)
+				if p.probeEx == nil {
+					return fmt.Errorf("serve: executor %T does not support probe reads", p.ex)
 				}
 			}
-			ws.fanThrs = thrs
+			ws.specs, ws.hasAvg = canon, hasAvg
 			for _, p := range ws.plist {
-				if cap(p.fan) < len(thrs) {
-					p.fan = make([]float64, len(thrs))
-				} else {
-					p.fan = p.fan[:len(thrs)]
-				}
-				p.fanEx.ResultFan(ws.fanThrs, p.fan)
+				ws.sizeLanes(p)
+				p.refreshLanes(ws)
 			}
 			ws.publishFull = true
 			return nil
 		}); err != nil {
-			return err
+			errs = append(errs, fmt.Errorf("serve: set probes shard %d: %w", i, err))
 		}
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
-// laneOf locates the lane serving constant c in the sorted lane set, by
-// exact bit equality; -1 when absent.
-func laneOf(thrs []float64, c float64) int {
-	for i, t := range thrs {
-		if math.Float64bits(t) == math.Float64bits(c) {
+func colNamed(cols []string, name string) bool {
+	for _, c := range cols {
+		if c == name {
+			return true
+		}
+	}
+	return false
+}
+
+// SetFan installs plain SUM threshold lanes, one per constant — the PR 9
+// fan surface, kept as a thin wrapper over SetProbes.
+func (s *Service[E]) SetFan(consts []float64) error {
+	specs := make([]engine.ProbeSpec, len(consts))
+	for i, c := range consts {
+		specs[i] = engine.ProbeSpec{Const: c}
+	}
+	return s.SetProbes(specs)
+}
+
+// laneOfSpec locates the lane serving spec in the canonical lane set; -1
+// when absent. Constants match by exact bits (ProbeSpec equality).
+func laneOfSpec(specs []engine.ProbeSpec, spec engine.ProbeSpec) int {
+	for i, sp := range specs {
+		if sp == spec {
 			return i
 		}
 	}
 	return -1
 }
 
-// FanResult returns the sum of all partition results at lane constant c, as
-// of each shard's last published snapshot — the fan counterpart of Result.
-// ok is false when some shard's snapshot does not carry the lane (SetFan
-// with c has not published everywhere yet, or c was never installed).
-func (s *Service[E]) FanResult(c float64) (float64, bool) {
-	var total float64
+// Probes returns the installed lane specs (canonical order) as of the
+// shards' published snapshots; nil when lane reads are off. Shards install
+// lanes one at a time, so during a SetProbes the reported set is the first
+// shard's.
+func (s *Service[E]) Probes() []engine.ProbeSpec {
+	if len(s.shards) == 0 {
+		return nil
+	}
+	return s.shards[0].snap.Load().Probes
+}
+
+// ProbeResult returns the service-wide value of the lane serving spec, as of
+// each shard's last published snapshot — the lane counterpart of Result. For
+// AVG lanes the raw sum and count sides are summed across all shards first
+// and finished as one quotient, the exact global average. ok is false when
+// some shard's snapshot does not carry the lane (SetProbes with spec has not
+// published everywhere yet, or spec was never installed).
+func (s *Service[E]) ProbeResult(spec engine.ProbeSpec) (float64, bool) {
+	var sum, cnt float64
 	for _, sh := range s.shards {
 		snap := sh.snap.Load()
-		lane := laneOf(snap.FanThrs, c)
+		lane := laneOfSpec(snap.Probes, spec)
 		if lane < 0 {
 			return 0, false
 		}
-		total += snap.FanTotals[lane]
+		sum += snap.FanTotals[lane]
+		if snap.FanCntTotals != nil {
+			cnt += snap.FanCntTotals[lane]
+		}
 	}
-	return total, true
+	return engine.FinishProbe(spec, sum, cnt), true
 }
 
-// FanResultGrouped returns the per-partition results at lane constant c,
-// sorted by partition key — the fan counterpart of ResultGrouped.
-func (s *Service[E]) FanResultGrouped(c float64) ([]engine.GroupResult, bool) {
+// ProbeResultGrouped returns the per-partition values of the lane serving
+// spec, sorted by partition key — the lane counterpart of ResultGrouped.
+// AVG lanes finish per partition (each group is its partition's exact
+// average).
+func (s *Service[E]) ProbeResultGrouped(spec engine.ProbeSpec) ([]engine.GroupResult, bool) {
 	var out []engine.GroupResult
 	for _, sh := range s.shards {
 		snap := sh.snap.Load()
-		lane := laneOf(snap.FanThrs, c)
+		lane := laneOfSpec(snap.Probes, spec)
 		if lane < 0 {
 			return nil, false
 		}
-		k := len(snap.FanThrs)
+		k := len(snap.Probes)
 		for slot := range snap.Groups {
-			out = append(out, engine.GroupResult{Key: snap.Groups[slot].Key, Value: snap.FanVals[slot*k+lane]})
+			v := snap.FanVals[slot*k+lane]
+			var c float64
+			if snap.FanCnts != nil {
+				c = snap.FanCnts[slot*k+lane]
+			}
+			out = append(out, engine.GroupResult{Key: snap.Groups[slot].Key, Value: engine.FinishProbe(spec, v, c)})
 		}
 	}
 	sortGroups(out)
 	return out, true
 }
 
-// FanThrs returns the installed lane constants (sorted ascending) as of the
-// shards' published snapshots; nil when fan reads are off. Shards install
-// lanes one at a time, so during a SetFan the reported set is the first
-// shard's.
-func (s *Service[E]) FanThrs() []float64 {
-	if len(s.shards) == 0 {
-		return nil
-	}
-	return s.shards[0].snap.Load().FanThrs
+// FanResult returns the sum of all partition results at the plain SUM lane
+// with constant c — the PR 9 fan read, a wrapper over ProbeResult.
+func (s *Service[E]) FanResult(c float64) (float64, bool) {
+	return s.ProbeResult(engine.ProbeSpec{Const: c})
+}
+
+// FanResultGrouped returns the per-partition results at the plain SUM lane
+// with constant c, sorted by partition key.
+func (s *Service[E]) FanResultGrouped(c float64) ([]engine.GroupResult, bool) {
+	return s.ProbeResultGrouped(engine.ProbeSpec{Const: c})
 }

@@ -94,6 +94,11 @@ type Config[E any] struct {
 	// allocate). It must be pure: the same event must always yield the same
 	// key.
 	Partition func(e E, buf []float64) []float64
+	// PartitionCols names the key columns Partition extracts, in order. It is
+	// only required for probe lanes with residual conjuncts (SetProbes): a
+	// residual gate compares one named key column against a constant per
+	// partition.
+	PartitionCols []string
 	// New constructs the executor for a new partition key.
 	New func(key []float64) Executor[E]
 	// Durable enables checkpoint/WAL persistence (nil disables it).
@@ -157,16 +162,17 @@ type ctl[E any] struct {
 // workerState is the state a shard worker owns exclusively: its partitions
 // and its WAL position. Control requests mutate it between batches.
 type workerState[E any] struct {
-	idx   int
-	parts map[string]*partition[E]
+	idx      int
+	partCols []string // Config.PartitionCols (residual gate evaluation)
+	parts    map[string]*partition[E]
 	// plist is the insertion-ordered partition list and groups its parallel
 	// result row per partition (groups[p.slot] tracks p.last). commit
 	// publishes by cloning groups in one copy instead of walking the parts
 	// map and re-boxing every row — the map walk plus per-row append was the
 	// dominant snapshot-publish cost at high partition counts.
-	plist  []*partition[E]
-	groups []engine.GroupResult
-	wal    *checkpoint.WALWriter
+	plist   []*partition[E]
+	groups  []engine.GroupResult
+	wal     *checkpoint.WALWriter
 	gen     uint64 // checkpoint generation the WAL belongs to
 	seq     uint64 // snapshot sequence the WAL follows
 	pending int    // events appended to the WAL since its header
@@ -184,12 +190,14 @@ type workerState[E any] struct {
 	subs []*subShard
 	// publishFull makes the next commit offer subscribers the full partition
 	// set instead of the dirty delta — set after a wholesale state swap
-	// (replica rebase) or a fan-lane change (SetFan), where the previous
+	// (replica rebase) or a lane change (SetProbes), where the previous
 	// published state is no longer a valid delta base.
 	publishFull bool
-	// fanThrs are the installed fan lane constants, sorted ascending (see
-	// SetFan); empty disables the fan read path.
-	fanThrs []float64
+	// specs are the installed probe lanes in canonical order (see SetProbes);
+	// empty disables the lane read path. hasAvg notes whether any lane needs
+	// the count side (AVG lanes publish raw sum/count pairs).
+	specs  []engine.ProbeSpec
+	hasAvg bool
 }
 
 // partition is one partition owned by a shard: its executor plus the cached
@@ -197,16 +205,39 @@ type workerState[E any] struct {
 // events for this partition so the whole run is handed to the executor's
 // ApplyBatch in one call.
 type partition[E any] struct {
-	vals  []float64 // partition key values (immutable, shared with snapshots)
-	ekey  string    // canonical byte encoding of vals (subscriber filter key)
-	ex    Executor[E]
-	bex   BatchExecutor[E] // ex's native batched path, nil if it has none
-	fanEx FanExecutor      // ex's fan-lane path, nil if it has none
-	pend  []E              // events buffered for the in-progress batch
-	last  float64
-	fan   []float64 // per-lane results, parallel to the worker's fanThrs
-	dirty bool
-	slot  int // index into the owning worker's plist/groups
+	vals    []float64 // partition key values (immutable, shared with snapshots)
+	ekey    string    // canonical byte encoding of vals (subscriber filter key)
+	ex      Executor[E]
+	bex     BatchExecutor[E] // ex's native batched path, nil if it has none
+	probeEx ProbeExecutor    // ex's probe-lane path, nil if it has none
+	pend    []E              // events buffered for the in-progress batch
+	last    float64
+	// fan/fanCnt are the per-lane results, parallel to the worker's specs:
+	// final values for SUM/COUNT lanes, raw (term sum, count) pairs for AVG
+	// lanes. gate holds each lane's residual verdict for this partition's
+	// key; gated-off lanes are zeroed after every refresh so they contribute
+	// nothing to lane totals — exactly a dedicated executor's 0 result for a
+	// partition its residual conjunct excludes.
+	fan    []float64
+	fanCnt []float64
+	gate   []bool
+	dirty  bool
+	slot   int // index into the owning worker's plist/groups
+}
+
+// refreshLanes re-evaluates every installed lane against this partition's
+// executor and applies the residual gates.
+func (p *partition[E]) refreshLanes(ws *workerState[E]) {
+	if len(ws.specs) == 0 || p.probeEx == nil {
+		return
+	}
+	p.probeEx.ResultProbe(ws.specs, p.fan, p.fanCnt)
+	for i, on := range p.gate {
+		if !on {
+			p.fan[i] = 0
+			p.fanCnt[i] = 0
+		}
+	}
 }
 
 // addPartition registers p in the worker's map and ordered list, keeping the
@@ -216,12 +247,68 @@ func (ws *workerState[E]) addPartition(p *partition[E]) {
 	ws.parts[p.ekey] = p
 	ws.plist = append(ws.plist, p)
 	ws.groups = append(ws.groups, engine.GroupResult{Key: p.vals, Value: p.last})
-	if k := len(ws.fanThrs); k > 0 && p.fanEx != nil {
+	if len(ws.specs) > 0 && p.probeEx != nil {
 		// Seed the lane results so partitions installed outside the dirty
-		// path (recovery restore, replica rebase) publish correct fans.
-		p.fan = make([]float64, k)
-		p.fanEx.ResultFan(ws.fanThrs, p.fan)
+		// path (recovery restore, replica rebase) publish correct lanes.
+		ws.sizeLanes(p)
+		p.refreshLanes(ws)
 	}
+}
+
+// sizeLanes sizes p's lane buffers to the installed spec count and evaluates
+// the partition's residual gates.
+func (ws *workerState[E]) sizeLanes(p *partition[E]) {
+	k := len(ws.specs)
+	p.fan = sizedFloats(p.fan, k)
+	p.fanCnt = sizedFloats(p.fanCnt, k)
+	if cap(p.gate) < k {
+		p.gate = make([]bool, k)
+	} else {
+		p.gate = p.gate[:k]
+	}
+	for i, sp := range ws.specs {
+		p.gate[i] = sp.GateOn(ws.partCols, p.vals)
+	}
+}
+
+// laneMatrix clones the workers' per-partition lane rows (the value side, or
+// the count side for AVG lanes) into one slot-major immutable matrix.
+func laneMatrix[E any](ws *workerState[E], cntSide bool) []float64 {
+	k := len(ws.specs)
+	m := make([]float64, len(ws.plist)*k)
+	for _, p := range ws.plist {
+		row := p.fan
+		if cntSide {
+			row = p.fanCnt
+		}
+		copy(m[p.slot*k:(p.slot+1)*k], row)
+	}
+	return m
+}
+
+// laneTotals sums each lane over all partition slots in slot order — the
+// same summation order Snapshot.Total uses.
+func laneTotals(m []float64, k, slots int) []float64 {
+	t := make([]float64, k)
+	for lane := 0; lane < k; lane++ {
+		var v float64
+		for slot := 0; slot < slots; slot++ {
+			v += m[slot*k+lane]
+		}
+		t[lane] = v
+	}
+	return t
+}
+
+func sizedFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
 }
 
 // resetParts replaces the worker's partition set wholesale (replica rebase).
@@ -239,7 +326,7 @@ func (ws *workerState[E]) resetParts(list []*partition[E]) {
 func newPartition[E any](vals []float64, ex Executor[E]) *partition[E] {
 	p := &partition[E]{vals: vals, ex: ex}
 	p.bex, _ = ex.(BatchExecutor[E])
-	p.fanEx, _ = ex.(FanExecutor)
+	p.probeEx, _ = ex.(ProbeExecutor)
 	return p
 }
 
@@ -266,15 +353,20 @@ type Snapshot struct {
 	Version uint64
 	Total   float64
 	Groups  []engine.GroupResult
-	// Fan lanes (empty unless SetFan installed them): FanThrs are the lane
-	// constants sorted ascending, FanVals the per-partition per-lane results
-	// laid out slot-major (partition slot i, lane l at FanVals[i*K+l], rows
-	// parallel to Groups), and FanTotals the per-lane sums over all
-	// partitions in slot order — the same summation order Total uses, so
-	// each lane's total is bit-identical to a dedicated service's Total.
-	FanThrs   []float64
-	FanVals   []float64
-	FanTotals []float64
+	// Probe lanes (empty unless SetProbes installed them): Probes are the
+	// lane specs in canonical order, FanVals the per-partition per-lane
+	// results laid out slot-major (partition slot i, lane l at
+	// FanVals[i*K+l], rows parallel to Groups), and FanTotals the per-lane
+	// sums over all partitions in slot order — the same summation order
+	// Total uses, so each lane's total is bit-identical to a dedicated
+	// service's Total. AVG lanes carry raw (term sum, count) pairs: FanCnts
+	// and FanCntTotals hold the count side (nil when no lane needs it), and
+	// readers finish the quotient via engine.FinishProbe.
+	Probes       []engine.ProbeSpec
+	FanVals      []float64
+	FanTotals    []float64
+	FanCnts      []float64
+	FanCntTotals []float64
 }
 
 // ShardStats are the per-shard serving counters.
@@ -599,7 +691,8 @@ func (s *Service[E]) TryApply(e E) error {
 // FIFO semantics recovery and checkpointing rely on.
 func (s *Service[E]) run(sh *shard[E]) {
 	defer s.wg.Done()
-	ws := &workerState[E]{idx: sh.idx, parts: make(map[string]*partition[E]), wal: sh.initWAL, gen: 1}
+	ws := &workerState[E]{idx: sh.idx, partCols: s.cfg.PartitionCols,
+		parts: make(map[string]*partition[E]), wal: sh.initWAL, gen: 1}
 	defer func() {
 		if ws.wal != nil {
 			if err := ws.wal.Close(); err != nil && ws.err == nil {
@@ -654,9 +747,7 @@ func (s *Service[E]) run(sh *shard[E]) {
 			p.applyPend()
 			p.last = p.ex.Result()
 			ws.groups[p.slot].Value = p.last
-			if len(ws.fanThrs) > 0 && p.fanEx != nil {
-				p.fanEx.ResultFan(ws.fanThrs, p.fan)
-			}
+			p.refreshLanes(ws)
 			p.dirty = false
 		}
 		ws.version++
@@ -680,26 +771,19 @@ func (s *Service[E]) run(sh *shard[E]) {
 				total += snap.Groups[i].Value
 			}
 			snap.Total = total
-			if k := len(ws.fanThrs); k > 0 {
-				snap.FanThrs = ws.fanThrs
-				fv := make([]float64, len(ws.plist)*k)
-				for _, p := range ws.plist {
-					copy(fv[p.slot*k:(p.slot+1)*k], p.fan)
+			if k := len(ws.specs); k > 0 {
+				snap.Probes = ws.specs
+				snap.FanVals = laneMatrix(ws, false)
+				snap.FanTotals = laneTotals(snap.FanVals, k, len(ws.plist))
+				if ws.hasAvg {
+					snap.FanCnts = laneMatrix(ws, true)
+					snap.FanCntTotals = laneTotals(snap.FanCnts, k, len(ws.plist))
 				}
-				snap.FanVals = fv
-				ft := make([]float64, k)
-				for lane := 0; lane < k; lane++ {
-					var t float64
-					for slot := 0; slot < len(ws.plist); slot++ {
-						t += fv[slot*k+lane]
-					}
-					ft[lane] = t
-				}
-				snap.FanTotals = ft
 			}
 		} else {
 			snap.Groups, snap.Total = prev.Groups, prev.Total
-			snap.FanThrs, snap.FanVals, snap.FanTotals = prev.FanThrs, prev.FanVals, prev.FanTotals
+			snap.Probes, snap.FanVals, snap.FanTotals = prev.Probes, prev.FanVals, prev.FanTotals
+			snap.FanCnts, snap.FanCntTotals = prev.FanCnts, prev.FanCntTotals
 		}
 		sh.snap.Store(snap)
 		sh.flushed.Add(1)

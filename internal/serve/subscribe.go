@@ -60,11 +60,16 @@ type SubOptions struct {
 	// attach.
 	Resume      []ShardVersion
 	ResumeEpoch uint64
-	// FanConst, when non-nil, subscribes to the fan lane serving that
-	// threshold constant instead of the base results: frames carry the
-	// lane's per-partition values (see SetFan). Publications made while the
-	// lane is not installed offer nothing to this subscription.
+	// FanConst, when non-nil, subscribes to the plain SUM lane serving that
+	// threshold constant instead of the base results — shorthand for Probe
+	// with a zero-kind spec.
 	FanConst *float64
+	// Probe, when non-nil, subscribes to the probe lane serving that spec:
+	// frames carry the lane's per-partition values (AVG lanes are finished
+	// per partition, each group its partition's exact average; see
+	// SetProbes). Publications made while the lane is not installed offer
+	// nothing to this subscription.
+	Probe *engine.ProbeSpec
 }
 
 // Subscription is one registered reader. Frames delivers coalesced
@@ -84,11 +89,11 @@ type Subscription struct {
 // memory per slot is bounded by the subscribed partition count no matter how
 // far the subscriber lags.
 type subShard struct {
-	shard  int
-	sub    *Subscription
-	filter map[string]bool // encoded-key subset, nil = all partitions
-	hasFan bool            // frames carry a fan lane's values, not the base results
-	fanC   float64         // the lane constant (valid when hasFan)
+	shard   int
+	sub     *Subscription
+	filter  map[string]bool  // encoded-key subset, nil = all partitions
+	hasLane bool             // frames carry a probe lane's values, not the base results
+	lane    engine.ProbeSpec // the lane spec (valid when hasLane)
 
 	mu        sync.Mutex
 	has       bool   // a pending frame exists
@@ -148,8 +153,10 @@ func (s *Service[E]) Subscribe(opt SubOptions) (*Subscription, error) {
 	for i := range s.shards {
 		ss := &subShard{shard: i, sub: sub, filter: filter,
 			groups: make(map[string]engine.GroupResult)}
-		if opt.FanConst != nil {
-			ss.hasFan, ss.fanC = true, *opt.FanConst
+		if opt.Probe != nil {
+			ss.hasLane, ss.lane = true, *opt.Probe
+		} else if opt.FanConst != nil {
+			ss.hasLane, ss.lane = true, engine.ProbeSpec{Const: *opt.FanConst}
 		}
 		sub.shards[i] = ss
 	}
@@ -216,18 +223,23 @@ func (s *Service[E]) publishSubs(ws *workerState[E], dirty []*partition[E]) {
 }
 
 // subLane resolves the value a partition contributes to this subscription:
-// the base result, or the subscribed fan lane's value. ok is false when the
-// slot wants a lane the worker has not installed (or the partition carries
-// no fan values), in which case the partition is not offered.
+// the base result, or the subscribed probe lane's value (AVG lanes finished
+// per partition). ok is false when the slot wants a lane the worker has not
+// installed (or the partition carries no lane values), in which case the
+// partition is not offered.
 func subLane[E any](ws *workerState[E], ss *subShard, p *partition[E]) (float64, bool) {
-	if !ss.hasFan {
+	if !ss.hasLane {
 		return p.last, true
 	}
-	lane := laneOf(ws.fanThrs, ss.fanC)
+	lane := laneOfSpec(ws.specs, ss.lane)
 	if lane < 0 || lane >= len(p.fan) {
 		return 0, false
 	}
-	return p.fan[lane], true
+	var cnt float64
+	if lane < len(p.fanCnt) {
+		cnt = p.fanCnt[lane]
+	}
+	return engine.FinishProbe(ss.lane, p.fan[lane], cnt), true
 }
 
 // offerDeltas merges one incremental publication into a subscriber slot:

@@ -212,8 +212,8 @@ func (p *parser) parseQuery() (*query.Query, error) {
 	if err != nil {
 		return nil, err
 	}
-	if kind != query.Sum {
-		return nil, p.errAt(kindTok, "top-level aggregate must be SUM, found %s", kind)
+	if !kind.Streamable() {
+		return nil, p.errAt(kindTok, "top-level aggregate must be SUM, COUNT, or AVG, found %s", kind)
 	}
 	if err := p.expectSymbol("("); err != nil {
 		return nil, err
@@ -247,19 +247,30 @@ func (p *parser) parseQuery() (*query.Query, error) {
 	p.outerAlias = alias
 
 	// Re-parse the saved aggregate expression now that the alias is known.
-	sub := &parser{
-		toks:       append(append([]token(nil), p.toks[aggStart:aggEnd]...), token{kind: tokEOF, off: p.toks[aggEnd].off}),
-		outerAlias: alias,
-	}
-	agg, err := sub.parseExpr(exprOuter)
-	if err != nil {
-		return nil, fmt.Errorf("in aggregate expression: %w", err)
-	}
-	if !sub.eof() {
-		return nil, sub.errf("trailing tokens in aggregate expression")
+	// COUNT takes the bare star (its term is the constant 1, so maintained
+	// state is bitwise identical to a count index); SUM and AVG take an
+	// expression over the outer tuple.
+	var agg query.Expr
+	if kind == query.Count {
+		if aggEnd-aggStart != 1 || p.toks[aggStart].kind != tokSymbol || p.toks[aggStart].text != "*" {
+			return nil, p.errAt(p.toks[aggStart], "COUNT supports only COUNT(*) at the top level")
+		}
+		agg = query.Const(1)
+	} else {
+		sub := &parser{
+			toks:       append(append([]token(nil), p.toks[aggStart:aggEnd]...), token{kind: tokEOF, off: p.toks[aggEnd].off}),
+			outerAlias: alias,
+		}
+		agg, err = sub.parseExpr(exprOuter)
+		if err != nil {
+			return nil, fmt.Errorf("in aggregate expression: %w", err)
+		}
+		if !sub.eof() {
+			return nil, sub.errf("trailing tokens in aggregate expression")
+		}
 	}
 
-	q := &query.Query{Agg: agg}
+	q := &query.Query{Agg: agg, Outer: kind}
 	if p.acceptKeyword("WHERE") {
 		for {
 			pred, err := p.parsePredicate()

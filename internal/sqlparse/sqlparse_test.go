@@ -122,7 +122,8 @@ func TestParseErrors(t *testing.T) {
 	}{
 		{"empty", "", "expected SELECT"},
 		{"no from", "SELECT SUM(a.b)", "expected FROM"},
-		{"top-level count", "SELECT COUNT(*) FROM r a", "must be SUM"},
+		{"top-level min", "SELECT MIN(a.b) FROM r a", "must be SUM, COUNT, or AVG"},
+		{"top-level count of expr", "SELECT COUNT(a.b) FROM r a", "COUNT supports only COUNT(*)"},
 		{"unqualified column", "SELECT SUM(price) FROM bids b", "alias-qualified"},
 		{"wrong outer alias", "SELECT SUM(x.price) FROM bids b", `"x" does not match outer relation alias "b"`},
 		{"wrong inner alias", `SELECT SUM(b.v) FROM r b WHERE 1 * (SELECT SUM(b.v) FROM r b2) < b.v`, `does not match subquery alias`},
@@ -161,7 +162,7 @@ func TestParsedQueryExecutesCorrectly(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ex.Strategy() != "aggindex" {
+	if ex.Strategy() != "relstate" {
 		t.Fatalf("planner picked %s", ex.Strategy())
 	}
 	naive := engine.NewNaive(MustParse(vwapSQL))
@@ -434,7 +435,8 @@ func TestParsePositionedErrors(t *testing.T) {
 		{"empty input", "", 0, "", "expected SELECT"},
 		{"not sql", "INSERT INTO r", 0, "INSERT", "expected SELECT"},
 		{"missing from", "SELECT SUM(a.b) ", 16, "", "expected FROM"},
-		{"top-level count", "SELECT COUNT(*) FROM r a", 7, "COUNT", "must be SUM"},
+		{"top-level min", "SELECT MIN(a.b) FROM r a", 7, "MIN", "must be SUM, COUNT, or AVG"},
+		{"top-level count of expr", "SELECT COUNT(a.b) FROM r a", 13, "a", "COUNT supports only COUNT(*)"},
 		{"missing alias", "SELECT SUM(b.v) FROM r", 22, "", "expected relation alias"},
 		{"bad aggregate", "SELECT TOTAL(b.v) FROM r b", 7, "TOTAL", "unknown aggregate function"},
 		{"trailing garbage", "SELECT SUM(b.v) FROM r b extra", 25, "extra", "trailing input"},

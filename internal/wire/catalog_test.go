@@ -85,7 +85,7 @@ func TestServerCatalogRoundtrip(t *testing.T) {
 		t.Fatalf("constant variant: family %v exact %v, sig match %v",
 			exs[2].SharedFamily, exs[2].SharedExact, exs[2].PredSig == exs[0].PredSig)
 	}
-	if exs[0].Strategy != "aggindex" || exs[3].Strategy == exs[0].Strategy && exs[3].IndexKind == exs[0].IndexKind {
+	if exs[0].Strategy != "relstate" || exs[3].Strategy == exs[0].Strategy && exs[3].IndexKind == exs[0].IndexKind {
 		t.Fatalf("strategies: vwap %s/%s, eq %s/%s", exs[0].Strategy, exs[0].IndexKind, exs[3].Strategy, exs[3].IndexKind)
 	}
 
@@ -369,4 +369,71 @@ func TestServerCatalogSubscribeQ(t *testing.T) {
 		}
 	}
 	_ = id1
+}
+
+// TestExplainCrossVersion pins the version-parameterized EXPLAIN codec: a v4
+// body carries no state/probe tail (and a v5 decoder rejects it as
+// truncated), the v5 body round-trips the state/probe split, and a live v4
+// connection to a v5 server receives the v4 body.
+func TestExplainCrossVersion(t *testing.T) {
+	ex := catalog.Explain{
+		ID: 7, SQL: "SELECT 1", Canonical: "SELECT 1", Strategy: "relstate",
+		IndexKind: "rpai-arena", KeyCol: "price", SubOp: "<=", Agg: "(price * volume)",
+		PredSig: "sig", Predicates: []string{"p"},
+		StateKey: "rel0|agg=(price * volume)", Probe: "count@0.75 | sym > 2",
+		Residual: "sym > 2", SharedWith: []catalog.QueryID{3},
+		SharedFamily: []catalog.QueryID{3}, Since: 4, StateSince: 9, IngestSets: 2,
+	}
+	v4 := EncodeExplainAt(nil, ex, 4)
+	got4, err := DecodeExplainAt(v4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got4.StateKey != "" || got4.Probe != "" || got4.Residual != "" || got4.StateSince != 0 {
+		t.Fatalf("v4 body carried v5 fields: %+v", got4)
+	}
+	if got4.ID != ex.ID || got4.Since != ex.Since || got4.Strategy != ex.Strategy {
+		t.Fatalf("v4 round-trip = %+v", got4)
+	}
+	if _, err := DecodeExplainAt(v4, 5); err == nil {
+		t.Fatal("v5 decoder accepted a v4 body")
+	}
+	got5, err := DecodeExplainAt(EncodeExplainAt(nil, ex, 5), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got5.StateKey != ex.StateKey || got5.Probe != ex.Probe ||
+		got5.Residual != ex.Residual || got5.StateSince != ex.StateSince {
+		t.Fatalf("v5 round-trip = %+v", got5)
+	}
+	list4, err := DecodeQueryListAt(EncodeQueryListAt(nil, []catalog.Explain{ex, ex}, 4), 4)
+	if err != nil || len(list4) != 2 {
+		t.Fatalf("v4 list round-trip: %v, %d entries", err, len(list4))
+	}
+
+	// Live downgrade: a v4 connection registers against a v5 server and gets
+	// a decodable v4 reply; a v5 connection sees the state/probe split.
+	cat, err := catalog.New(catalog.Options{PartitionBy: []string{"sym"}, BatchSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := startCatalogServer(t, cat, ServerConfig{})
+	rc4 := dialRawVersion(t, addr, 31, 4)
+	rc4.send(MsgRegister, EncodeRegister(nil, catSQLVWAP))
+	tp, _, body := rc4.recv()
+	if tp != MsgRegistered {
+		t.Fatalf("v4 register reply %s", tp)
+	}
+	ex4, err := DecodeExplainAt(body, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex4.Strategy != "relstate" || ex4.StateKey != "" {
+		t.Fatalf("v4 connection explain = %+v", ex4)
+	}
+	rc5 := dialRaw(t, addr, 32)
+	ex5 := rc5.register(catSQLVWAP)
+	if ex5.StateKey == "" || ex5.Probe != "sum@0.75" {
+		t.Fatalf("v5 connection explain = %+v", ex5)
+	}
 }

@@ -24,7 +24,7 @@ func (c *Client) Register(sql string) (catalog.Explain, error) {
 	if r.t != wire.MsgRegistered {
 		return catalog.Explain{}, fmt.Errorf("wire client: register got reply %s", r.t)
 	}
-	return wire.DecodeExplain(r.body)
+	return wire.DecodeExplainAt(r.body, c.protoVersion())
 }
 
 // Unregister removes a registered query by QueryID.
@@ -46,7 +46,7 @@ func (c *Client) ListQueries() ([]catalog.Explain, error) {
 	if r.t != wire.MsgQueryList {
 		return nil, fmt.Errorf("wire client: list-queries got reply %s", r.t)
 	}
-	return wire.DecodeQueryList(r.body)
+	return wire.DecodeQueryListAt(r.body, c.protoVersion())
 }
 
 // ExplainQuery returns one registered query's EXPLAIN.
@@ -58,7 +58,7 @@ func (c *Client) ExplainQuery(id catalog.QueryID) (catalog.Explain, error) {
 	if r.t != wire.MsgExplained {
 		return catalog.Explain{}, fmt.Errorf("wire client: explain got reply %s", r.t)
 	}
-	return wire.DecodeExplain(r.body)
+	return wire.DecodeExplainAt(r.body, c.protoVersion())
 }
 
 // ResultQuery reads one registered query's scalar result.

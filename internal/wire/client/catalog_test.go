@@ -64,7 +64,7 @@ func TestClientCatalog(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ex1.Strategy != "aggindex" || ex2.ID == ex1.ID {
+	if ex1.Strategy != "relstate" || ex2.ID == ex1.ID {
 		t.Fatalf("explains %+v / %+v", ex1, ex2)
 	}
 	if _, err := c.Register("SELECT nonsense"); !errors.Is(err, wire.ErrBadRequest) {

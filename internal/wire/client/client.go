@@ -126,6 +126,7 @@ type Client struct {
 
 	conns []*conn
 	rr    atomic.Uint64 // round-robin cursor for read calls
+	ver   atomic.Uint32 // negotiated protocol version (from the last welcome)
 
 	quit      chan struct{}
 	closeOnce sync.Once
@@ -397,8 +398,22 @@ func (cn *conn) sealLocked() error {
 // version this client still speaks — so a new client talks to an old server
 // at the old version, losing only the newer messages.
 func (cn *conn) connect() (net.Conn, *bufio.Reader, error) {
-	nc, br, _, err := dialHandshake(cn.c.addr, cn.c.opt, cn.session)
+	nc, br, w, err := dialHandshake(cn.c.addr, cn.c.opt, cn.session)
+	if err == nil {
+		cn.c.ver.Store(w.Version)
+	}
 	return nc, br, err
+}
+
+// protoVersion is the pool's negotiated protocol version: every connection
+// handshakes with the same server, so the last welcome's version governs how
+// version-dependent reply bodies (EXPLAIN) are decoded. Before any handshake
+// completes it is the newest version this client speaks.
+func (c *Client) protoVersion() uint32 {
+	if v := c.ver.Load(); v != 0 {
+		return v
+	}
+	return wire.Version
 }
 
 // dialHandshake dials addr and completes the version-negotiated handshake,

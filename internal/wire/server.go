@@ -739,7 +739,7 @@ func (s *Server) process(cs *connScratch, sess *session, ver uint32, it reqItem)
 			// Parse and plan failures carry positions worth relaying verbatim.
 			return MsgError, EncodeError(nil, CodeBadRequest, err.Error())
 		}
-		return MsgRegistered, EncodeExplain(nil, ex)
+		return MsgRegistered, EncodeExplainAt(nil, ex, ver)
 
 	case MsgUnregister:
 		id, err := DecodeQueryID(it.body)
@@ -755,7 +755,7 @@ func (s *Server) process(cs *connScratch, sess *session, ver uint32, it reqItem)
 		if len(it.body) != 0 {
 			return MsgError, EncodeError(nil, CodeBadRequest, "list-queries takes no body")
 		}
-		return MsgQueryList, EncodeQueryList(nil, s.cat.List())
+		return MsgQueryList, EncodeQueryListAt(nil, s.cat.List(), ver)
 
 	case MsgExplain:
 		id, err := DecodeQueryID(it.body)
@@ -766,7 +766,7 @@ func (s *Server) process(cs *connScratch, sess *session, ver uint32, it reqItem)
 		if err != nil {
 			return errReply(err)
 		}
-		return MsgExplained, EncodeExplain(nil, ex)
+		return MsgExplained, EncodeExplainAt(nil, ex, ver)
 
 	case MsgResultQ:
 		id, err := DecodeQueryID(it.body)

@@ -283,8 +283,8 @@ func TestDecodeDeltaMalformed(t *testing.T) {
 		{"unknown flags", patch(func(b []byte) { b[20] |= 0x02 })},
 		{"full frame with nonzero base", patch(func(b []byte) { b[20] |= deltaFullFlag })},
 		{"base beyond version", patch(func(b []byte) { le.PutUint64(b[12:], 9) })},
-		{"group count overruns body", patch(func(b []byte) { le.PutUint32(b[21:], 1 << 20) })},
-		{"key width overruns body", patch(func(b []byte) { le.PutUint32(b[25:], maxGroupKey + 1) })},
+		{"group count overruns body", patch(func(b []byte) { le.PutUint32(b[21:], 1<<20) })},
+		{"key width overruns body", patch(func(b []byte) { le.PutUint32(b[25:], maxGroupKey+1) })},
 	}
 	for _, tc := range cases {
 		if _, err := DecodeDelta(tc.body); err == nil {
@@ -314,8 +314,8 @@ func TestDecodeSubscribeMalformed(t *testing.T) {
 		{"truncated keys", good[:7]},
 		{"truncated resume", good[:len(good)-5]},
 		{"trailing bytes", append(append([]byte(nil), good...), 0)},
-		{"key count overruns body", patch(func(b []byte) { le.PutUint32(b, 1 << 20) })},
-		{"key width overruns body", patch(func(b []byte) { le.PutUint32(b[4:], maxGroupKey + 1) })},
+		{"key count overruns body", patch(func(b []byte) { le.PutUint32(b, 1<<20) })},
+		{"key width overruns body", patch(func(b []byte) { le.PutUint32(b[4:], maxGroupKey+1) })},
 		{"resume count mismatch", patch(func(b []byte) { le.PutUint32(b[len(b)-16:], 2) })},
 	}
 	for _, tc := range cases {

@@ -47,8 +47,13 @@ import (
 // catalog: runtime query registration (MsgRegister/MsgUnregister/
 // MsgListQueries), EXPLAIN (MsgExplain), QueryID-routed reads and
 // subscriptions (MsgResultQ/MsgGroupedQ/MsgSubscribeQ/MsgDeltaQ), and the
-// per-query table appended to the stats reply.
-const Version = 4
+// per-query table appended to the stats reply; version 5 appends the
+// state/probe split to every EXPLAIN body — the maintained-state key, the
+// query's probe-plan rendering, its residual conjunct, and the state set's
+// founding epoch (StateKey/Probe/Residual/StateSince) — so clients of a
+// sharing catalog can see which registrations run as probe plans over one
+// state set. A v4 connection receives the v4 body unchanged.
+const Version = 5
 
 // MinVersion is the oldest protocol version the server still accepts. The
 // handshake negotiates downward: a hello carrying any version in
